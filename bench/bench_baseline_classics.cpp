@@ -1,0 +1,79 @@
+// Extra bench (background §II-B): the pre-neural baselines — wordlist+rules
+// (Hashcat-family), order-3 Markov (OMEN-family), and Weir PCFG — on the
+// same trawling task as Table IV. Gives the classic reference points the
+// paper's related-work section describes but does not re-measure.
+#include <cstdio>
+
+#include "baselines/markov.h"
+#include "baselines/rules.h"
+#include "common.h"
+#include "eval/report.h"
+#include "pcfg/pcfg_model.h"
+
+using namespace ppg;
+
+int main(int argc, char** argv) {
+  const auto env = bench::parse_env(argc, argv);
+  bench::print_preamble(
+      env, "== Extra: classic baselines on the trawling task ==");
+
+  const auto site = bench::load_site(env, data::rockyou_profile());
+  const eval::TestSet test(site.split.test);
+  const auto train = bench::capped_train(env, site.split.train);
+
+  // Rules: dictionary = lowercase alpha cores of training passwords.
+  std::vector<std::string> dictionary;
+  {
+    std::unordered_map<std::string, std::size_t> seen;
+    for (const auto& pw : train) {
+      std::string core;
+      for (const char c : pw)
+        if (std::isalpha(static_cast<unsigned char>(c)))
+          core += static_cast<char>(std::tolower(c));
+      if (core.size() >= 3) seen[core]++;
+    }
+    std::vector<std::pair<std::string, std::size_t>> items(seen.begin(),
+                                                           seen.end());
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (const auto& [word, cnt] : items) dictionary.push_back(word);
+  }
+  const baselines::RuleAttack rules(baselines::RuleAttack::stock_rules(),
+                                    dictionary);
+
+  baselines::MarkovModel markov(3);
+  markov.train(train);
+  pcfg::PcfgModel pcfg_model;
+  pcfg_model.train(train);
+
+  std::vector<std::string> headers = {"Model"};
+  for (const auto b : env.ladder()) headers.push_back(std::to_string(b));
+  eval::Table table(std::move(headers));
+  struct Entry {
+    std::string name;
+    std::function<std::vector<std::string>(std::size_t)> enumerate;
+  };
+  const std::vector<Entry> entries = {
+      {"Wordlist+rules", [&](std::size_t n) { return rules.enumerate(n); }},
+      {"Markov-3 (OMEN-style)",
+       [&](std::size_t n) { return markov.enumerate(n); }},
+      {"PCFG (Weir)", [&](std::size_t n) { return pcfg_model.enumerate(n); }},
+  };
+  for (const auto& entry : entries) {
+    std::vector<std::string> row = {entry.name};
+    for (const auto budget : env.ladder()) {
+      const auto guesses = entry.enumerate(budget);
+      row.push_back(eval::pct(eval::hit_rate(guesses, test)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nDeterministic enumerations (no sampling): repeat rate is "
+              "zero by construction for all three models.\n");
+  std::printf("Note: the synthetic corpus is generated from a segment-"
+              "structured process, which flatters PCFG-style enumeration "
+              "relative to real leaks; treat these rows as upper bounds.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 9 reproduction: per-pattern hit rate HR_P (Eq. 5) of PassGPT vs
+// PagPassGPT for the top-5 patterns of each category s = 1..6.
+#include <cstdio>
+
+#include "common.h"
+#include "eval/report.h"
+#include "pcfg/pcfg_model.h"
+
+using namespace ppg;
+
+int main(int argc, char** argv) {
+  const auto env = bench::parse_env(argc, argv);
+  bench::print_preamble(
+      env, "== Fig. 9: hit rate HR_P for top-5 patterns per category ==");
+
+  const auto site = bench::load_site(env, data::rockyou_profile());
+  const auto pag = bench::get_pagpassgpt(env, "rockyou", site);
+  const auto passgpt = bench::get_passgpt(env, "rockyou", site);
+  const eval::TestSet test(site.split.test);
+
+  pcfg::PatternDistribution test_patterns;
+  for (const auto& pw : site.split.test) test_patterns.add(pcfg::pattern_of(pw));
+  test_patterns.finalize();
+
+  const auto guesses_per_pattern =
+      static_cast<std::size_t>(2000 * env.scale);
+  gpt::SampleOptions opts;
+  opts.batch_size = 128;
+
+  eval::Table table({"s", "Pattern", "Test count", "PassGPT HR_P",
+                     "PagPassGPT HR_P"});
+  for (int s = 1; s <= 6; ++s) {
+    for (const auto& [pattern_str, prob] :
+         test_patterns.top_k_with_segments(5, s)) {
+      const auto segs = pcfg::parse_pattern(pattern_str);
+      if (!segs) continue;
+      Rng r1(env.seed, "fig9-pag-" + pattern_str);
+      Rng r2(env.seed, "fig9-gpt-" + pattern_str);
+      const auto a = pag->generate_with_pattern(*segs, guesses_per_pattern,
+                                                r1, opts, true);
+      const auto b = passgpt->generate_with_pattern(*segs, guesses_per_pattern,
+                                                    r2, opts);
+      table.add_row({std::to_string(s), pattern_str,
+                     eval::count(test.count_with_pattern(pattern_str)),
+                     eval::pct(eval::pattern_hit_rate(b, test, pattern_str)),
+                     eval::pct(eval::pattern_hit_rate(a, test, pattern_str))});
+    }
+  }
+  table.print();
+  return 0;
+}

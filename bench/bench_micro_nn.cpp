@@ -1,0 +1,106 @@
+// Microbenchmarks of the nn/gpt substrate (google-benchmark): GEMM kernels,
+// fused attention forward+backward, full training steps, and decode
+// throughput of the KV-cache inference path.
+#include <benchmark/benchmark.h>
+
+#include "gpt/infer.h"
+#include "gpt/model.h"
+#include "nn/graph.h"
+#include "nn/kernels.h"
+#include "tokenizer/tokenizer.h"
+
+namespace {
+
+using namespace ppg;
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<nn::Index>(state.range(0));
+  std::vector<float> a(n * n, 1.f), b(n * n, 1.f), c(n * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.f);
+    nn::kernels::gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<nn::Index>(state.range(0));
+  std::vector<float> a(n * n, 1.f), b(n * n, 1.f), c(n * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.f);
+    nn::kernels::gemm_nt(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128);
+
+void BM_AttentionForwardBackward(benchmark::State& state) {
+  const nn::Index B = 8, T = 32, d = 64, H = 4;
+  Rng rng(1);
+  nn::Tensor qkv({B * T, 3 * d});
+  qkv.fill_normal(rng, 0.5f);
+  for (auto _ : state) {
+    nn::Graph g;
+    const nn::Tensor out = g.causal_self_attention(qkv, B, T, H);
+    const nn::Tensor loss = g.mean_all(out);
+    g.backward(loss);
+    benchmark::DoNotOptimize(qkv.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * B * T);
+}
+BENCHMARK(BM_AttentionForwardBackward);
+
+void BM_LayerNormForwardBackward(benchmark::State& state) {
+  const nn::Index m = 512, d = 64;
+  Rng rng(2);
+  nn::Tensor x({m, d}), gain({d}), bias({d});
+  x.fill_normal(rng, 1.f);
+  gain.fill(1.f);
+  for (auto _ : state) {
+    nn::Graph g;
+    const nn::Tensor loss = g.mean_all(g.layernorm(x, gain, bias));
+    g.backward(loss);
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_LayerNormForwardBackward);
+
+void BM_TrainStep(benchmark::State& state) {
+  // One full forward+backward of the bench transformer on a batch.
+  gpt::GptModel model(gpt::Config::small(), 3);
+  const nn::Index batch = 32, time = 20;
+  std::vector<int> inputs(batch * time, 41), targets(batch * time, 42);
+  for (auto _ : state) {
+    nn::Graph g;
+    const nn::Tensor loss = model.loss(g, inputs, targets, batch, time, -1);
+    g.backward(loss);
+    model.params().zero_grad();
+    benchmark::DoNotOptimize(loss.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch * time);
+}
+BENCHMARK(BM_TrainStep);
+
+void BM_InferenceDecode(benchmark::State& state) {
+  // Tokens/second of the KV-cache decode path at the given batch size.
+  const gpt::GptModel model(gpt::Config::small(), 4);
+  const auto batch = static_cast<nn::Index>(state.range(0));
+  gpt::InferenceSession session(model);
+  const std::vector<int> tokens(static_cast<std::size_t>(batch),
+                                tok::Tokenizer::kBos);
+  session.reset(batch);
+  for (auto _ : state) {
+    if (session.position() >= model.config().context) session.reset(batch);
+    benchmark::DoNotOptimize(session.step(tokens).data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_InferenceDecode)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

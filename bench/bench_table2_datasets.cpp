@@ -1,0 +1,47 @@
+// Table II reproduction: key characteristics of the applied datasets —
+// unique raw entries, cleaned count, and retention rate per site.
+//
+// Paper values (for shape comparison):
+//   RockYou  14,344,391 / 13,265,184 / 92.5%
+//   LinkedIn 60,525,521 / 49,776,665 / 82.2%
+//   phpBB       255,376 /    251,283 / 98.4%
+//   MySpace      37,126 /     36,369 / 98.0%
+//   Yahoo!      442,836 /    436,015 / 98.5%
+#include <cstdio>
+
+#include "common.h"
+#include "eval/report.h"
+
+using namespace ppg;
+
+int main(int argc, char** argv) {
+  const auto env = bench::parse_env(argc, argv);
+  bench::print_preamble(env, "== Table II: key characteristics of applied datasets ==");
+
+  struct Row {
+    data::SiteProfile profile;
+    double paper_retention;
+  };
+  const std::vector<Row> rows = {
+      {data::rockyou_profile(), 0.925},  {data::linkedin_profile(), 0.822},
+      {data::phpbb_profile(), 0.984},    {data::myspace_profile(), 0.980},
+      {data::yahoo_profile(), 0.985},
+  };
+
+  eval::Table table({"Name", "Unique", "Cleaned", "Retention rate",
+                     "Paper retention"});
+  for (auto row : rows) {
+    row.profile.unique_target = static_cast<std::size_t>(
+        double(row.profile.unique_target) * env.scale);
+    const auto cleaned = data::clean(data::generate_site(row.profile, env.seed));
+    table.add_row({row.profile.name, eval::count(cleaned.stats.unique_raw),
+                   eval::count(cleaned.stats.cleaned),
+                   eval::pct(cleaned.stats.retention()),
+                   eval::pct(row.paper_retention)});
+  }
+  table.print();
+  std::printf(
+      "\nNote: sizes are scaled synthetic substitutes (~1/100 of the real "
+      "leaks at scale=1); retention rates are the reproduced quantity.\n");
+  return 0;
+}

@@ -1,0 +1,315 @@
+#include "common.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "core/dcgen.h"
+#include "eval/generator.h"
+
+namespace ppg::bench {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint64_t> BenchEnv::ladder() const {
+  std::vector<std::uint64_t> out;
+  for (const double base : {1e3, 1e4, 1e5}) {
+    const auto v = static_cast<std::uint64_t>(base * scale);
+    if (v > 0) out.push_back(v);
+  }
+  return out;
+}
+
+BenchEnv parse_env(int argc, char** argv) {
+  const Cli cli(argc, argv,
+                {"scale", "seed", "cache-dir", "epochs", "fresh", "train-cap"});
+  BenchEnv env;
+  env.scale = cli.get_double("scale", 1.0);
+  env.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
+  env.cache_dir = cli.get("cache-dir", "bench_cache");
+  env.epochs = static_cast<int>(cli.get_int("epochs", 10));
+  env.fresh = cli.get_bool("fresh");
+  env.train_cap = static_cast<std::size_t>(cli.get_int("train-cap", 12000));
+  fs::create_directories(env.cache_dir);
+  return env;
+}
+
+SiteData load_site(const BenchEnv& env, data::SiteProfile profile) {
+  profile.unique_target = static_cast<std::size_t>(
+      double(profile.unique_target) * env.scale * env.corpus_frac);
+  profile.unique_target = std::max<std::size_t>(profile.unique_target, 500);
+  SiteData site;
+  site.corpus = data::clean(data::generate_site(profile, env.seed));
+  site.split = data::split_712(site.corpus.passwords, env.seed);
+  return site;
+}
+
+std::vector<std::string> capped_train(const BenchEnv& env,
+                                      const std::vector<std::string>& train) {
+  if (train.size() <= env.train_cap) return train;
+  return {train.begin(), train.begin() + static_cast<std::ptrdiff_t>(env.train_cap)};
+}
+
+namespace {
+
+std::string checkpoint_path(const BenchEnv& env, const std::string& kind,
+                            const std::string& site) {
+  std::ostringstream os;
+  os << env.cache_dir << '/' << kind << '_' << site << "_d"
+     << env.model_cfg.d_model << "_l" << env.model_cfg.n_layers << "_e"
+     << env.epochs << "_s" << env.scale << "_c" << env.train_cap << "_seed"
+     << env.seed << ".ckpt";
+  return os.str();
+}
+
+gpt::TrainConfig train_config(const BenchEnv& env) {
+  gpt::TrainConfig cfg;
+  cfg.epochs = env.epochs;
+  cfg.batch_size = 64;
+  cfg.lr = 2e-3f;
+  cfg.seed = env.seed;
+  cfg.log_every = 0;
+  return cfg;
+}
+
+}  // namespace
+
+std::unique_ptr<core::PagPassGPT> get_pagpassgpt(const BenchEnv& env,
+                                                 const std::string& site,
+                                                 const SiteData& data) {
+  auto model = std::make_unique<core::PagPassGPT>(env.model_cfg,
+                                                  env.seed ^ hash64("pag"));
+  const std::string path = checkpoint_path(env, "pag", site);
+  if (!env.fresh && fs::exists(path)) {
+    log_info("bench: loading cached PagPassGPT %s", path.c_str());
+    model->load(path);
+    return model;
+  }
+  log_info("bench: training PagPassGPT on %s (%d epochs)...", site.c_str(),
+           env.epochs);
+  model->train(capped_train(env, data.split.train), data.split.valid,
+               train_config(env));
+  model->save(path);
+  return model;
+}
+
+std::unique_ptr<baselines::PassGpt> get_passgpt(const BenchEnv& env,
+                                                const std::string& site,
+                                                const SiteData& data) {
+  auto model = std::make_unique<baselines::PassGpt>(
+      env.model_cfg, env.seed ^ hash64("passgpt"));
+  const std::string path = checkpoint_path(env, "passgpt", site);
+  if (!env.fresh && fs::exists(path)) {
+    log_info("bench: loading cached PassGPT %s", path.c_str());
+    model->load(path);
+    return model;
+  }
+  log_info("bench: training PassGPT on %s (%d epochs)...", site.c_str(),
+           env.epochs);
+  model->train(capped_train(env, data.split.train), data.split.valid,
+               train_config(env));
+  model->save(path);
+  return model;
+}
+
+std::unique_ptr<baselines::PassGan> get_passgan(const BenchEnv& env,
+                                                const SiteData& data) {
+  baselines::PassGanConfig cfg;
+  cfg.steps = static_cast<int>(250 * std::max(env.scale, 1.0));
+  cfg.hidden = 96;
+  auto model =
+      std::make_unique<baselines::PassGan>(cfg, env.seed ^ hash64("passgan"));
+  const std::string path = checkpoint_path(env, "passgan", data.corpus.name);
+  if (!env.fresh && fs::exists(path)) {
+    log_info("bench: loading cached PassGAN %s", path.c_str());
+    model->load(path);
+    return model;
+  }
+  log_info("bench: training PassGAN (%d generator steps)...", cfg.steps);
+  model->train(capped_train(env, data.split.train));
+  model->save(path);
+  return model;
+}
+
+std::unique_ptr<baselines::VaePass> get_vaepass(const BenchEnv& env,
+                                                const SiteData& data) {
+  baselines::VaePassConfig cfg;
+  cfg.epochs = std::max(2, env.epochs / 3);
+  auto model =
+      std::make_unique<baselines::VaePass>(cfg, env.seed ^ hash64("vaepass"));
+  const std::string path = checkpoint_path(env, "vaepass", data.corpus.name);
+  if (!env.fresh && fs::exists(path)) {
+    log_info("bench: loading cached VAEPass %s", path.c_str());
+    model->load(path);
+    return model;
+  }
+  log_info("bench: training VAEPass (%d epochs)...", cfg.epochs);
+  model->train(capped_train(env, data.split.train));
+  model->save(path);
+  return model;
+}
+
+std::unique_ptr<baselines::PassFlow> get_passflow(const BenchEnv& env,
+                                                  const SiteData& data) {
+  baselines::PassFlowConfig cfg;
+  cfg.epochs = std::max(2, env.epochs / 3);
+  auto model =
+      std::make_unique<baselines::PassFlow>(cfg, env.seed ^ hash64("passflow"));
+  const std::string path = checkpoint_path(env, "passflow", data.corpus.name);
+  if (!env.fresh && fs::exists(path)) {
+    log_info("bench: loading cached PassFlow %s", path.c_str());
+    model->load(path);
+    return model;
+  }
+  log_info("bench: training PassFlow (%d epochs)...", cfg.epochs);
+  model->train(capped_train(env, data.split.train));
+  model->save(path);
+  return model;
+}
+
+namespace {
+
+constexpr std::size_t kChunk = 2000;
+
+std::string sweep_path(const BenchEnv& env) {
+  std::ostringstream os;
+  os << env.cache_dir << "/sweep_d" << env.model_cfg.d_model << "_e"
+     << env.epochs << "_s" << env.scale << "_c" << env.train_cap << "_seed"
+     << env.seed << ".tsv";
+  return os.str();
+}
+
+void save_sweep(const std::string& path, const SweepResult& sweep) {
+  std::ofstream out(path);
+  out << "# test_size=" << sweep.test_size << "\n";
+  out << "model\tbudget\tguesses\tunique\thits\thit_rate\trepeat_rate\t"
+         "length_distance\tpattern_distance\n";
+  for (const auto& [model, curve] : sweep.curves) {
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const auto& p = curve[i];
+      out << model << '\t' << sweep.ladder[i] << '\t' << p.guesses << '\t'
+          << p.unique << '\t' << p.hits << '\t' << p.hit_rate << '\t'
+          << p.repeat_rate << '\t' << p.length_distance << '\t'
+          << p.pattern_distance << "\n";
+    }
+  }
+}
+
+bool load_sweep(const std::string& path, const BenchEnv& env,
+                SweepResult& sweep) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# test_size=", 0) != 0)
+    return false;
+  sweep.test_size = std::stoull(line.substr(12));
+  std::getline(in, line);  // header
+  sweep.ladder = env.ladder();
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string model;
+    std::uint64_t budget;
+    eval::CurvePoint p;
+    ls >> model >> budget >> p.guesses >> p.unique >> p.hits >> p.hit_rate >>
+        p.repeat_rate >> p.length_distance >> p.pattern_distance;
+    if (!ls) return false;
+    sweep.curves[model].push_back(p);
+  }
+  return !sweep.curves.empty();
+}
+
+}  // namespace
+
+SweepResult trawling_sweep(const BenchEnv& env) {
+  SweepResult sweep;
+  const std::string path = sweep_path(env);
+  if (!env.fresh && load_sweep(path, env, sweep)) {
+    log_info("bench: loaded cached trawling sweep %s", path.c_str());
+    return sweep;
+  }
+  sweep = SweepResult{};
+  sweep.ladder = env.ladder();
+
+  const SiteData site = load_site(env, data::rockyou_profile());
+  const eval::TestSet test(site.split.test);
+  sweep.test_size = test.size();
+  log_info("bench: trawling sweep on %zu train / %zu test passwords",
+           site.split.train.size(), test.size());
+
+  const auto pag = get_pagpassgpt(env, "rockyou", site);
+  const auto passgpt = get_passgpt(env, "rockyou", site);
+  const auto gan = get_passgan(env, site);
+  const auto vae = get_vaepass(env, site);
+  const auto flow = get_passflow(env, site);
+
+  std::vector<eval::NamedGenerator> generators;
+  generators.push_back(
+      {"PassGAN", [&](std::size_t n, Rng& rng) { return gan->generate(n, rng); }});
+  generators.push_back(
+      {"VAEPass", [&](std::size_t n, Rng& rng) { return vae->generate(n, rng); }});
+  generators.push_back({"PassFlow", [&](std::size_t n, Rng& rng) {
+                          return flow->generate(n, rng);
+                        }});
+  generators.push_back({"PassGPT", [&](std::size_t n, Rng& rng) {
+                          gpt::SampleOptions opts;
+                          opts.batch_size = 128;
+                          return passgpt->generate(n, rng, opts);
+                        }});
+  generators.push_back({"PagPassGPT", [&](std::size_t n, Rng& rng) {
+                          gpt::SampleOptions opts;
+                          opts.batch_size = 128;
+                          return pag->generate_free(n, rng, opts);
+                        }});
+
+  for (const auto& gen : generators) {
+    log_info("bench: sweeping %s...", gen.name.c_str());
+    Rng rng(env.seed, "sweep-" + gen.name);
+    eval::GuessCurve curve(test);
+    Curve points;
+    eval::run_guess_ladder(
+        gen, sweep.ladder, kChunk, rng,
+        [&](const std::vector<std::string>& chunk) { curve.feed(chunk); },
+        [&](std::uint64_t) { points.push_back(curve.snapshot()); });
+    sweep.curves[gen.name] = std::move(points);
+  }
+
+  // PagPassGPT-D&C: task allocation depends on the total budget, so each
+  // ladder point is an independent run (as in the paper).
+  {
+    Curve points;
+    for (const std::uint64_t budget : sweep.ladder) {
+      log_info("bench: D&C-GEN run at budget %" PRIu64 "...", budget);
+      core::DcGenConfig cfg;
+      cfg.total = double(budget);
+      cfg.threshold = std::max(64.0, double(budget) / 1024.0);
+      cfg.sample.batch_size = 128;
+      const auto guesses =
+          core::dc_generate(pag->model(), pag->patterns(), cfg,
+                            env.seed ^ hash64("sweep-dc"));
+      eval::GuessCurve curve(test);
+      curve.feed(guesses);
+      points.push_back(curve.snapshot());
+    }
+    sweep.curves["PagPassGPT-D&C"] = std::move(points);
+  }
+
+  save_sweep(path, sweep);
+  log_info("bench: sweep cached at %s", path.c_str());
+  return sweep;
+}
+
+void print_preamble(const BenchEnv& env, const std::string& what) {
+  std::printf("%s\n", what.c_str());
+  std::printf(
+      "substrate: synthetic leaked-corpus generator (see DESIGN.md §1); "
+      "scale=%.3g seed=%" PRIu64 " epochs=%d model=d%lld/l%lld\n",
+      env.scale, env.seed, env.epochs,
+      static_cast<long long>(env.model_cfg.d_model),
+      static_cast<long long>(env.model_cfg.n_layers));
+}
+
+}  // namespace ppg::bench

@@ -1,0 +1,110 @@
+// Shared workbench for the reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper. They all
+// share: a scaled synthetic-corpus environment, cached trained checkpoints
+// (training is the expensive step — a checkpoint trained by one bench is
+// reused by the rest), and a cached "trawling sweep" whose per-budget curve
+// points feed Table IV, Table V, Fig. 10 and Fig. 11.
+//
+// Flags accepted by every bench (see parse_env):
+//   --scale=<f>      multiplies corpus sizes and guess budgets (default 1)
+//   --seed=<n>       master seed (default 2024)
+//   --cache-dir=<p>  checkpoint/sweep cache (default ./bench_cache)
+//   --epochs=<n>     GPT training epochs (default 10)
+//   --fresh          ignore caches, retrain/regenerate everything
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/passgan.h"
+#include "baselines/passflow.h"
+#include "baselines/passgpt.h"
+#include "baselines/vaepass.h"
+#include "core/pagpassgpt.h"
+#include "data/corpus.h"
+#include "eval/metrics.h"
+
+namespace ppg::bench {
+
+/// Environment shared by all benches.
+struct BenchEnv {
+  double scale = 1.0;
+  std::uint64_t seed = 2024;
+  std::string cache_dir = "bench_cache";
+  int epochs = 10;
+  bool fresh = false;
+  /// Cap on training passwords per model (wall-clock guard; the remainder
+  /// of the split is simply unused).
+  std::size_t train_cap = 12000;
+  /// Transformer size for all GPT-family models in benches.
+  gpt::Config model_cfg = gpt::Config::small();
+
+  /// Guess-budget ladder for trawling benches: {1e3, 1e4, 1e5} × scale,
+  /// mirroring the paper's 10^6..10^9 at a CPU-sized offset.
+  std::vector<std::uint64_t> ladder() const;
+
+  /// Fraction of the full Table-II corpus sizes used for model training
+  /// environments (Table II itself reports full sizes).
+  double corpus_frac = 0.2;
+};
+
+/// Parses common bench flags; unknown flags abort with a message.
+BenchEnv parse_env(int argc, char** argv);
+
+/// One site's cleaned corpus and split under the environment's scaling.
+struct SiteData {
+  data::CleanCorpus corpus;
+  data::Split split;
+};
+
+/// Generates, cleans, and splits one site at env scale.
+SiteData load_site(const BenchEnv& env, data::SiteProfile profile);
+
+/// Capped view of a training split.
+std::vector<std::string> capped_train(const BenchEnv& env,
+                                      const std::vector<std::string>& train);
+
+/// Trains (or loads from cache) a PagPassGPT for a site's split.
+std::unique_ptr<core::PagPassGPT> get_pagpassgpt(const BenchEnv& env,
+                                                 const std::string& site,
+                                                 const SiteData& data);
+
+/// Trains (or loads from cache) the PassGPT baseline for a site's split.
+std::unique_ptr<baselines::PassGpt> get_passgpt(const BenchEnv& env,
+                                                const std::string& site,
+                                                const SiteData& data);
+
+/// Trains the continuous-space baselines (no disk cache; they are cheap at
+/// bench scale relative to the GPTs).
+std::unique_ptr<baselines::PassGan> get_passgan(const BenchEnv& env,
+                                                const SiteData& data);
+std::unique_ptr<baselines::VaePass> get_vaepass(const BenchEnv& env,
+                                                const SiteData& data);
+std::unique_ptr<baselines::PassFlow> get_passflow(const BenchEnv& env,
+                                                  const SiteData& data);
+
+/// One model's metric curve along the guess ladder.
+using Curve = std::vector<eval::CurvePoint>;
+
+/// The full trawling sweep: every model of Table IV evaluated at every
+/// ladder budget against the rockyou-like test set. Cached as a TSV in the
+/// cache dir so the four benches that consume it pay for it once.
+struct SweepResult {
+  std::vector<std::uint64_t> ladder;
+  /// Model name → curve (one CurvePoint per ladder budget). Model names:
+  /// PassGAN, VAEPass, PassFlow, PassGPT, PagPassGPT, PagPassGPT-D&C.
+  std::map<std::string, Curve> curves;
+  std::size_t test_size = 0;
+};
+
+/// Runs or loads the sweep.
+SweepResult trawling_sweep(const BenchEnv& env);
+
+/// Prints the standard bench preamble (seed, scale, substitution note).
+void print_preamble(const BenchEnv& env, const std::string& what);
+
+}  // namespace ppg::bench

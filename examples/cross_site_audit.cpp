@@ -1,0 +1,88 @@
+// Cross-site password audit (paper §IV-E, defensive reading): given a model
+// trained on one site's public leak, estimate how exposed ANOTHER site's
+// users are to a trawling attacker with that model — the measurement a
+// security team would run to argue for stronger password policies.
+//
+// Usage: ./examples/cross_site_audit [--train-site=rockyou]
+//        [--audit-site=phpbb] [--budget=20000] [--epochs=8] [--seed=7]
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "core/dcgen.h"
+#include "core/pagpassgpt.h"
+#include "data/corpus.h"
+#include "eval/metrics.h"
+
+using namespace ppg;
+
+namespace {
+data::SiteProfile profile_by_name(const std::string& name) {
+  if (name == "rockyou") return data::rockyou_profile();
+  if (name == "linkedin") return data::linkedin_profile();
+  if (name == "phpbb") return data::phpbb_profile();
+  if (name == "myspace") return data::myspace_profile();
+  if (name == "yahoo") return data::yahoo_profile();
+  throw std::invalid_argument("unknown site: " + name);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv,
+                {"train-site", "audit-site", "budget", "epochs", "seed"});
+  const std::string train_site = cli.get("train-site", "rockyou");
+  const std::string audit_site = cli.get("audit-site", "phpbb");
+  const auto budget = static_cast<std::size_t>(cli.get_int("budget", 20000));
+  const int epochs = static_cast<int>(cli.get_int("epochs", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  // Attacker knowledge: the training site's leak (scaled).
+  auto train_profile = profile_by_name(train_site);
+  train_profile.unique_target =
+      std::min<std::size_t>(train_profile.unique_target / 20, 8000);
+  const auto train_corpus =
+      data::clean(data::generate_site(train_profile, seed));
+  const auto split = data::split_712(train_corpus.passwords, seed);
+
+  // Audited population: the other site's full (scaled) corpus.
+  auto audit_profile = profile_by_name(audit_site);
+  audit_profile.unique_target =
+      std::min<std::size_t>(audit_profile.unique_target / 20, 6000);
+  const auto audit_corpus =
+      data::clean(data::generate_site(audit_profile, seed));
+  const eval::TestSet audited(audit_corpus.passwords);
+
+  std::printf("attacker model: PagPassGPT trained on %s (%zu passwords)\n",
+              train_site.c_str(), split.train.size());
+  std::printf("audited population: %s (%zu unique passwords)\n",
+              audit_site.c_str(), audited.size());
+
+  core::PagPassGPT model(gpt::Config::small(), seed);
+  gpt::TrainConfig train_cfg;
+  train_cfg.epochs = epochs;
+  train_cfg.batch_size = 64;
+  train_cfg.lr = 2e-3f;
+  model.train(split.train, split.valid, train_cfg);
+
+  core::DcGenConfig dc_cfg;
+  dc_cfg.total = double(budget);
+  dc_cfg.threshold = 64;
+  dc_cfg.sample.batch_size = 128;
+  const auto guesses =
+      core::dc_generate(model.model(), model.patterns(), dc_cfg, seed);
+
+  eval::GuessCurve curve(audited);
+  curve.feed(guesses);
+  const auto p = curve.snapshot();
+  std::printf("\nwith %llu guesses the attacker cracks %llu accounts "
+              "(%.2f%% of the audited site)\n",
+              static_cast<unsigned long long>(p.guesses),
+              static_cast<unsigned long long>(p.hits), p.hit_rate * 100.0);
+  std::printf("audit verdict: %s\n",
+              p.hit_rate > 0.02
+                  ? "password reuse across sites leaves this population "
+                    "meaningfully exposed; enforce blocklists of common "
+                    "patterns"
+                  : "cross-site exposure is modest at this budget");
+  return 0;
+}

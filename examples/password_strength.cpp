@@ -1,0 +1,73 @@
+// Defensive use of the guessing substrate: a password strength meter.
+//
+// Trains the classic probabilistic models (PCFG and Markov) on a synthetic
+// leak and uses Monte-Carlo guess-number estimation (Dell'Amico &
+// Filippone) to report how many guesses a trawling attacker would need per
+// password — the measurement behind "ban passwords crackable within 10^14
+// guesses" policies (paper §III-A threat budget).
+//
+// Usage: ./examples/password_strength [--passwords=love12,Tr0ub4dor&3]
+//        [--corpus=8000] [--samples=20000] [--seed=7]
+#include <cstdio>
+#include <sstream>
+
+#include "baselines/markov.h"
+#include "common/cli.h"
+#include "data/corpus.h"
+#include "eval/strength.h"
+#include "pcfg/pcfg_model.h"
+
+using namespace ppg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv, {"passwords", "corpus", "samples", "seed"});
+  const auto corpus_size =
+      static_cast<std::size_t>(cli.get_int("corpus", 8000));
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples", 20000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  std::vector<std::string> targets;
+  {
+    std::stringstream ss(cli.get(
+        "passwords",
+        "123456,love12,monkey99,Tiger2008,xK9#mQ2$vL,correcthorse"));
+    std::string item;
+    while (std::getline(ss, item, ','))
+      if (!item.empty()) targets.push_back(item);
+  }
+
+  data::SiteProfile profile;
+  profile.name = "strength";
+  profile.unique_target = corpus_size;
+  const auto cleaned = data::clean(data::generate_site(profile, seed));
+  std::printf("training PCFG and Markov models on %zu passwords...\n",
+              cleaned.passwords.size());
+
+  pcfg::PcfgModel pcfg_model;
+  pcfg_model.train(cleaned.passwords);
+  baselines::MarkovModel markov(3);
+  markov.train(cleaned.passwords);
+
+  Rng rng(seed, "strength-mc");
+  const eval::StrengthEstimator pcfg_meter(
+      [&](Rng& r) { return pcfg_model.sample(r); },
+      [&](std::string_view pw) { return pcfg_model.log_prob(pw); }, samples,
+      rng);
+  const eval::StrengthEstimator markov_meter(
+      [&](Rng& r) { return markov.sample(r); },
+      [&](std::string_view pw) { return markov.log_prob(pw); }, samples, rng);
+
+  std::printf("\n%-16s %14s %14s  %s\n", "password", "PCFG guesses",
+              "Markov guesses", "verdict (weakest model)");
+  for (const auto& pw : targets) {
+    const double g1 = pcfg_meter.guess_number(pw);
+    const double g2 = markov_meter.guess_number(pw);
+    // A password is only as strong as its weakest model's estimate.
+    const double weakest = std::min(g1, g2);
+    std::printf("%-16s %14.3g %14.3g  %s\n", pw.c_str(), g1, g2,
+                eval::StrengthEstimator::band(weakest).c_str());
+  }
+  std::printf(
+      "\nNote: estimates are relative to models trained on the synthetic "
+      "corpus; a real deployment would train on real leaks.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Trawling-attack scenario (paper §IV-D): a bulk guessing campaign against
+// a large user population, where duplicate guesses are pure waste.
+//
+// Runs the same trained PagPassGPT with and without D&C-GEN at several
+// budgets and reports hit rate and repeat rate — the paper's Table IV /
+// Fig. 10 story in one binary.
+//
+// Usage: ./examples/trawling_attack [--budget=20000] [--epochs=8]
+//        [--corpus=6000] [--threshold=64] [--seed=7]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "core/dcgen.h"
+#include "core/pagpassgpt.h"
+#include "data/corpus.h"
+#include "eval/metrics.h"
+
+using namespace ppg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv,
+                {"budget", "epochs", "corpus", "threshold", "seed"});
+  const auto budget = static_cast<std::size_t>(cli.get_int("budget", 20000));
+  const int epochs = static_cast<int>(cli.get_int("epochs", 8));
+  const auto corpus_size =
+      static_cast<std::size_t>(cli.get_int("corpus", 6000));
+  const double threshold = cli.get_double("threshold", 64.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  data::SiteProfile profile;
+  profile.name = "trawling";
+  profile.unique_target = corpus_size;
+  const auto cleaned = data::clean(data::generate_site(profile, seed));
+  const auto split = data::split_712(cleaned.passwords, seed);
+  const eval::TestSet test(split.test);
+
+  core::PagPassGPT model(gpt::Config::small(), seed);
+  gpt::TrainConfig train_cfg;
+  train_cfg.epochs = epochs;
+  train_cfg.batch_size = 64;
+  train_cfg.lr = 2e-3f;
+  std::printf("training PagPassGPT on %zu passwords...\n",
+              split.train.size());
+  model.train(split.train, split.valid, train_cfg);
+
+  std::printf("\n%-22s %10s %10s %10s %10s\n", "generator", "budget",
+              "unique", "hit rate", "repeat");
+  for (const std::size_t b : {budget / 4, budget}) {
+    // Plain auto-regressive sampling from <BOS>.
+    Rng rng(seed, "trawl-free-" + std::to_string(b));
+    gpt::SampleOptions opts;
+    opts.batch_size = 128;
+    const auto free_guesses = model.generate_free(b, rng, opts);
+    eval::GuessCurve free_curve(test);
+    free_curve.feed(free_guesses);
+    const auto fp = free_curve.snapshot();
+    std::printf("%-22s %10zu %10llu %9.2f%% %9.2f%%\n", "PagPassGPT",
+                free_guesses.size(),
+                static_cast<unsigned long long>(fp.unique),
+                fp.hit_rate * 100.0, fp.repeat_rate * 100.0);
+
+    // D&C-GEN at the same budget.
+    core::DcGenConfig dc_cfg;
+    dc_cfg.total = double(b);
+    dc_cfg.threshold = threshold;
+    dc_cfg.sample.batch_size = 128;
+    core::DcGenStats stats;
+    const auto dc_guesses = core::dc_generate(model.model(), model.patterns(),
+                                              dc_cfg, seed, &stats);
+    eval::GuessCurve dc_curve(test);
+    dc_curve.feed(dc_guesses);
+    const auto dp = dc_curve.snapshot();
+    std::printf("%-22s %10zu %10llu %9.2f%% %9.2f%%   (divisions=%zu "
+                "leaves=%zu)\n",
+                "PagPassGPT-D&C", dc_guesses.size(),
+                static_cast<unsigned long long>(dp.unique),
+                dp.hit_rate * 100.0, dp.repeat_rate * 100.0, stats.divisions,
+                stats.leaves);
+  }
+  std::printf("\nD&C-GEN should match or beat the hit rate while cutting the "
+              "repeat rate — the paper's headline result.\n");
+  return 0;
+}

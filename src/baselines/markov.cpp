@@ -1,0 +1,161 @@
+#include "baselines/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "pcfg/pattern.h"
+
+namespace ppg::baselines {
+
+MarkovModel::MarkovModel(int order, double smoothing)
+    : order_(order), smoothing_(smoothing) {
+  if (order < 1 || order > 8)
+    throw std::invalid_argument("MarkovModel: order outside [1,8]");
+  if (smoothing <= 0.0)
+    throw std::invalid_argument("MarkovModel: smoothing must be > 0");
+}
+
+void MarkovModel::train(std::span<const std::string> passwords) {
+  if (trained_) throw std::logic_error("MarkovModel::train: retrained");
+  std::size_t used = 0;
+  for (const auto& pw : passwords) {
+    if (pw.empty() ||
+        !std::all_of(pw.begin(), pw.end(), pcfg::in_universe))
+      continue;
+    std::string context(static_cast<std::size_t>(order_), '\x01');
+    for (std::size_t i = 0; i <= pw.size(); ++i) {
+      const int sym = i < pw.size() ? symbol_of(pw[i]) : kEnd;
+      auto [it, inserted] = table_.try_emplace(context);
+      if (inserted) it->second.fill(0);
+      it->second[static_cast<std::size_t>(sym)]++;
+      if (i < pw.size()) {
+        context.erase(context.begin());
+        context.push_back(pw[i]);
+      }
+    }
+    ++used;
+  }
+  if (used == 0)
+    throw std::invalid_argument("MarkovModel::train: no usable passwords");
+  trained_ = true;
+}
+
+std::string MarkovModel::sample(Rng& rng) const {
+  if (!trained_) throw std::logic_error("MarkovModel::sample: untrained");
+  std::string pw;
+  std::string context(static_cast<std::size_t>(order_), '\x01');
+  for (int len = 0; len < kMaxLen; ++len) {
+    const auto it = table_.find(context);
+    double weights[kSymbols];
+    if (it == table_.end()) {
+      std::fill(weights, weights + kSymbols, smoothing_);
+    } else {
+      for (int s = 0; s < kSymbols; ++s)
+        weights[s] =
+            double(it->second[static_cast<std::size_t>(s)]) + smoothing_;
+    }
+    const auto sym = static_cast<int>(
+        rng.discrete(std::span<const double>(weights, kSymbols)));
+    if (sym == kEnd) break;
+    pw += char_of(sym);
+    context.erase(context.begin());
+    context.push_back(char_of(sym));
+  }
+  return pw;
+}
+
+std::vector<std::string> MarkovModel::generate(std::size_t count,
+                                               Rng& rng) const {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+std::vector<std::string> MarkovModel::enumerate(std::size_t n) const {
+  if (!trained_) throw std::logic_error("MarkovModel::enumerate: untrained");
+  struct State {
+    double log_prob;
+    std::string password;  // context is derivable: last `order` chars
+    bool done;
+  };
+  struct Cmp {
+    bool operator()(const State& a, const State& b) const {
+      if (a.log_prob != b.log_prob) return a.log_prob < b.log_prob;
+      return a.password > b.password;  // deterministic tie-break
+    }
+  };
+  std::priority_queue<State, std::vector<State>, Cmp> heap;
+  heap.push({0.0, "", false});
+  std::vector<std::string> out;
+  out.reserve(n);
+  const auto context_of = [this](const std::string& pw) {
+    std::string ctx(static_cast<std::size_t>(order_), '\x01');
+    const std::size_t take =
+        std::min(pw.size(), static_cast<std::size_t>(order_));
+    ctx.replace(ctx.size() - take, take, pw.substr(pw.size() - take));
+    return ctx;
+  };
+  // Best-first search: a popped `done` state is the next-most-probable
+  // password; a popped prefix expands every transition observed in
+  // training. The frontier is capped to bound memory.
+  const std::size_t frontier_cap = std::max<std::size_t>(n * 64, 1 << 16);
+  while (!heap.empty() && out.size() < n) {
+    const State st = heap.top();
+    heap.pop();
+    if (st.done) {
+      out.push_back(st.password);
+      continue;
+    }
+    if (static_cast<int>(st.password.size()) >= kMaxLen) continue;
+    const auto it = table_.find(context_of(st.password));
+    if (it == table_.end()) continue;
+    double total = smoothing_ * kSymbols;
+    for (int s = 0; s < kSymbols; ++s)
+      total += double(it->second[static_cast<std::size_t>(s)]);
+    for (int s = 0; s < kSymbols; ++s) {
+      const auto count = it->second[static_cast<std::size_t>(s)];
+      if (count == 0) continue;  // prune unseen transitions
+      // Score with the same add-δ smoothing log_prob() uses, so the
+      // enumeration order agrees with the model's scoring.
+      const double lp =
+          st.log_prob + std::log((double(count) + smoothing_) / total);
+      if (heap.size() >= frontier_cap) break;
+      if (s == kEnd) {
+        if (!st.password.empty()) heap.push({lp, st.password, true});
+      } else {
+        heap.push({lp, st.password + char_of(s), false});
+      }
+    }
+  }
+  return out;
+}
+
+double MarkovModel::log_prob(std::string_view password) const {
+  if (!trained_) throw std::logic_error("MarkovModel::log_prob: untrained");
+  if (password.empty() ||
+      !std::all_of(password.begin(), password.end(), pcfg::in_universe))
+    return -1e30;
+  double lp = 0.0;
+  std::string context(static_cast<std::size_t>(order_), '\x01');
+  for (std::size_t i = 0; i <= password.size(); ++i) {
+    const int sym = i < password.size() ? symbol_of(password[i]) : kEnd;
+    const auto it = table_.find(context);
+    double numer = smoothing_, denom = smoothing_ * kSymbols;
+    if (it != table_.end()) {
+      numer += double(it->second[static_cast<std::size_t>(sym)]);
+      for (int s = 0; s < kSymbols; ++s)
+        denom += double(it->second[static_cast<std::size_t>(s)]);
+    }
+    lp += std::log(numer / denom);
+    if (i < password.size()) {
+      context.erase(context.begin());
+      context.push_back(password[i]);
+    }
+  }
+  return lp;
+}
+
+}  // namespace ppg::baselines

@@ -1,0 +1,66 @@
+// Order-k character Markov password model (OMEN-family; paper §II-B2).
+//
+// Not part of the paper's comparison table, but the classic probabilistic
+// baseline the deep models are implicitly measured against; used by the
+// ablation benches and available through the public API.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppg::baselines {
+
+/// Add-δ smoothed order-k Markov chain over the 94-character universe plus
+/// an end symbol.
+class MarkovModel {
+ public:
+  /// `order` previous characters condition each next character.
+  explicit MarkovModel(int order = 3, double smoothing = 0.01);
+
+  /// Counts transitions over the training passwords (out-of-universe
+  /// passwords are skipped).
+  void train(std::span<const std::string> passwords);
+
+  /// Samples one password (may have any length up to the cap).
+  std::string sample(Rng& rng) const;
+
+  /// Samples `count` passwords.
+  std::vector<std::string> generate(std::size_t count, Rng& rng) const;
+
+  /// OMEN-style deterministic enumeration: the `n` most probable passwords
+  /// in (approximately exact) descending probability order, via best-first
+  /// search over prefixes. Transitions never observed in training are
+  /// pruned (smoothing mass is for scoring, not enumeration), so the
+  /// output is finite even for small n. Lengths are bounded by the same
+  /// cap as sample().
+  std::vector<std::string> enumerate(std::size_t n) const;
+
+  /// log P(password) including the end transition.
+  double log_prob(std::string_view password) const;
+
+  int order() const noexcept { return order_; }
+  std::size_t context_count() const noexcept { return table_.size(); }
+
+ private:
+  // 94 chars + end symbol.
+  static constexpr int kSymbols = 95;
+  static constexpr int kEnd = 94;
+  static constexpr int kMaxLen = 16;
+
+  static int symbol_of(char c) { return static_cast<unsigned char>(c) - 0x21; }
+  static char char_of(int s) { return static_cast<char>(s + 0x21); }
+
+  int order_;
+  double smoothing_;
+  bool trained_ = false;
+  // context string (start-padded with '\x01') -> next-symbol counts.
+  std::unordered_map<std::string, std::array<std::uint32_t, kSymbols>> table_;
+};
+
+}  // namespace ppg::baselines

@@ -1,0 +1,64 @@
+// Fixed-width character coding shared by the continuous-space baselines
+// (PassGAN, VAEPass, PassFlow).
+//
+// These model families require a fixed input dimension, so passwords are
+// padded to kWidth positions over an alphabet of the 94 in-universe
+// characters plus one terminator/pad class — the same framing the original
+// papers use (PassGAN pads to 10, we pad to the cleaning limit of 12).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pcfg/pattern.h"
+
+namespace ppg::baselines {
+
+/// Fixed password width (equals the data-cleaning maximum).
+inline constexpr int kWidth = 12;
+/// 94 characters + 1 pad/terminator class.
+inline constexpr int kClasses = 95;
+/// Index of the pad/terminator class.
+inline constexpr int kPadClass = 94;
+
+/// Class index of an in-universe character (0..93).
+inline int char_class_index(char c) {
+  return static_cast<unsigned char>(c) - 0x21;
+}
+
+/// Character of a non-pad class index.
+inline char class_index_char(int idx) {
+  return static_cast<char>(idx + 0x21);
+}
+
+/// Encodes a password into kWidth class indices (pad-filled), or
+/// std::nullopt when it does not fit / contains out-of-universe chars.
+inline std::optional<std::vector<int>> encode_fixed(std::string_view pw) {
+  if (pw.empty() || pw.size() > static_cast<std::size_t>(kWidth))
+    return std::nullopt;
+  std::vector<int> out(kWidth, kPadClass);
+  for (std::size_t i = 0; i < pw.size(); ++i) {
+    if (!pcfg::in_universe(pw[i])) return std::nullopt;
+    out[i] = char_class_index(pw[i]);
+  }
+  return out;
+}
+
+/// Decodes class indices back to a password, truncating at the first pad.
+inline std::string decode_fixed(const std::vector<int>& classes) {
+  std::string pw;
+  for (const int c : classes) {
+    if (c == kPadClass) break;
+    pw += class_index_char(c);
+  }
+  return pw;
+}
+
+/// Scatters class indices into a one-hot row of width kWidth*kClasses.
+inline void onehot_row(const std::vector<int>& classes, float* row) {
+  for (int p = 0; p < kWidth; ++p) row[p * kClasses + classes[p]] = 1.f;
+}
+
+}  // namespace ppg::baselines

@@ -1,0 +1,190 @@
+#include "baselines/passflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <fstream>
+
+#include "baselines/onehot.h"
+#include "common/logging.h"
+#include "nn/kernels.h"
+#include "nn/optimizer.h"
+
+namespace ppg::baselines {
+
+namespace {
+constexpr nn::Index kDim = kWidth;       // one continuous value per position
+constexpr nn::Index kHalf = kDim / 2;
+constexpr double kLog2Pi = 1.8378770664093453;
+}  // namespace
+
+PassFlow::PassFlow(PassFlowConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {
+  if (cfg_.couplings < 1)
+    throw std::invalid_argument("PassFlow: need at least one coupling");
+  Rng rng(seed, "passflow-init");
+  couplings_.reserve(static_cast<std::size_t>(cfg_.couplings));
+  for (int i = 0; i < cfg_.couplings; ++i) {
+    Coupling c;
+    const std::string p = "cpl" + std::to_string(i);
+    c.fc1 = nn::Linear(params_, p + ".fc1", kHalf, cfg_.hidden, rng);
+    c.fc2 = nn::Linear(params_, p + ".fc2", cfg_.hidden, kHalf, rng);
+    c.swap = (i % 2) == 1;
+    couplings_.push_back(std::move(c));
+  }
+  log_scale_ = nn::Tensor({kDim});
+  log_scale_.fill(0.f);
+  params_.add("log_scale", log_scale_);
+}
+
+nn::Tensor PassFlow::flow_forward(nn::Graph& g, const nn::Tensor& x) const {
+  nn::Tensor a = g.slice_cols(x, 0, kHalf);
+  nn::Tensor b = g.slice_cols(x, kHalf, kDim);
+  for (const Coupling& c : couplings_) {
+    if (!c.swap) {
+      const nn::Tensor m =
+          c.fc2.forward(g, g.tanh_op(c.fc1.forward(g, a)));
+      b = g.add(b, m);
+    } else {
+      const nn::Tensor m =
+          c.fc2.forward(g, g.tanh_op(c.fc1.forward(g, b)));
+      a = g.add(a, m);
+    }
+  }
+  nn::Tensor y = g.concat_cols(a, b);
+  // Diagonal scaling: z = y ∘ exp(log_scale); log|det| = Σ log_scale.
+  return g.mul_row(y, g.exp_op(log_scale_));
+}
+
+void PassFlow::flow_inverse(std::vector<float>& row) const {
+  // Undo the diagonal scaling.
+  for (nn::Index j = 0; j < kDim; ++j)
+    row[static_cast<std::size_t>(j)] *= std::exp(-log_scale_.at(j));
+  std::vector<float> h(static_cast<std::size_t>(cfg_.hidden));
+  std::vector<float> m(static_cast<std::size_t>(kHalf));
+  for (auto it = couplings_.rbegin(); it != couplings_.rend(); ++it) {
+    const float* cond = it->swap ? row.data() + kHalf : row.data();
+    float* target = it->swap ? row.data() : row.data() + kHalf;
+    std::fill(h.begin(), h.end(), 0.f);
+    nn::kernels::affine(1, cfg_.hidden, kHalf, cond,
+                        it->fc1.weight().data().data(),
+                        it->fc1.bias().data().data(), h.data());
+    for (auto& v : h) v = std::tanh(v);
+    std::fill(m.begin(), m.end(), 0.f);
+    nn::kernels::affine(1, kHalf, cfg_.hidden, h.data(),
+                        it->fc2.weight().data().data(),
+                        it->fc2.bias().data().data(), m.data());
+    for (nn::Index j = 0; j < kHalf; ++j)
+      target[j] -= m[static_cast<std::size_t>(j)];
+  }
+}
+
+void PassFlow::train(std::span<const std::string> passwords) {
+  if (trained_) throw std::logic_error("PassFlow::train: already trained");
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(passwords.size());
+  for (const auto& pw : passwords)
+    if (auto e = encode_fixed(pw)) encoded.push_back(std::move(*e));
+  if (encoded.empty())
+    throw std::invalid_argument("PassFlow::train: no usable passwords");
+
+  Rng shuffle_rng(seed_, "passflow-shuffle");
+  Rng deq_rng(seed_, "passflow-dequant");
+  nn::AdamW::Config opt_cfg;
+  opt_cfg.lr = cfg_.lr;
+  opt_cfg.weight_decay = 0.f;
+  nn::AdamW opt(params_, opt_cfg);
+  nn::Graph g;
+
+  std::vector<std::size_t> order(encoded.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_nll = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(cfg_.batch)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(cfg_.batch));
+      const nn::Index n = static_cast<nn::Index>(end - start);
+      nn::Tensor x({n, kDim});
+      for (nn::Index i = 0; i < n; ++i) {
+        const auto& e = encoded[order[start + static_cast<std::size_t>(i)]];
+        for (nn::Index j = 0; j < kDim; ++j)
+          x.at(i, j) = static_cast<float>(
+              (double(e[static_cast<std::size_t>(j)]) + deq_rng.uniform()) /
+              double(kClasses));
+      }
+      g.clear();
+      const nn::Tensor z = flow_forward(g, x);
+      // mean NLL = 0.5/B Σ z² + D/2 log2π - Σ log_scale
+      const nn::Tensor quad =
+          g.scale(g.sum_all(g.square(z)), 0.5f / static_cast<float>(n));
+      const nn::Tensor logdet = g.sum_all(log_scale_);
+      const nn::Tensor loss = g.add_scalar(
+          g.sub(quad, logdet), static_cast<float>(0.5 * kDim * kLog2Pi));
+      g.backward(loss);
+      params_.clip_grad_norm(5.0);
+      opt.step();
+      epoch_nll += double(loss.at(0));
+      ++batches;
+    }
+    g.clear();
+    last_nll_ = batches == 0 ? 0.0 : epoch_nll / double(batches);
+    log_debug("PassFlow: epoch %d nll=%.4f", epoch + 1, last_nll_);
+  }
+  trained_ = true;
+}
+
+std::vector<std::string> PassFlow::generate(std::size_t count,
+                                            Rng& rng) const {
+  if (!trained_) throw std::logic_error("PassFlow::generate: untrained");
+  std::vector<std::string> out;
+  out.reserve(count);
+  std::vector<float> row(static_cast<std::size_t>(kDim));
+  std::vector<int> classes(static_cast<std::size_t>(kDim));
+  for (std::size_t i = 0; i < count; ++i) {
+    for (auto& v : row)
+      v = static_cast<float>(rng.normal(0.0, cfg_.sample_sigma));
+    flow_inverse(row);
+    for (nn::Index j = 0; j < kDim; ++j) {
+      const int idx = static_cast<int>(
+          std::floor(double(row[static_cast<std::size_t>(j)]) * kClasses));
+      classes[static_cast<std::size_t>(j)] =
+          std::clamp(idx, 0, kClasses - 1);
+    }
+    out.push_back(decode_fixed(classes));
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kFlowMagic = 0x50464c57;  // "PFLW"
+}  // namespace
+
+void PassFlow::save(const std::string& path) const {
+  if (!trained_) throw std::logic_error("PassFlow::save: untrained");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PassFlow::save: cannot open " + path);
+  BinaryWriter w(out);
+  w.write(kFlowMagic);
+  w.write(cfg_.couplings);
+  w.write(cfg_.hidden);
+  params_.save(w);
+}
+
+void PassFlow::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PassFlow::load: cannot open " + path);
+  BinaryReader r(in);
+  if (r.read<std::uint32_t>() != kFlowMagic)
+    throw std::runtime_error("PassFlow::load: bad magic in " + path);
+  if (r.read<int>() != cfg_.couplings || r.read<nn::Index>() != cfg_.hidden)
+    throw std::runtime_error("PassFlow::load: config mismatch in " + path);
+  params_.load(r);
+  trained_ = true;
+}
+
+}  // namespace ppg::baselines

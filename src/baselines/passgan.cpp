@@ -1,0 +1,204 @@
+#include "baselines/passgan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <fstream>
+
+#include "baselines/onehot.h"
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace ppg::baselines {
+
+namespace {
+constexpr nn::Index kFeature = static_cast<nn::Index>(kWidth) * kClasses;
+}  // namespace
+
+PassGan::PassGan(PassGanConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {
+  Rng rng(seed, "passgan-init");
+  g1_ = nn::Linear(gen_params_, "g1", cfg_.z_dim, cfg_.hidden, rng);
+  g2_ = nn::Linear(gen_params_, "g2", cfg_.hidden, cfg_.hidden, rng);
+  g3_ = nn::Linear(gen_params_, "g3", cfg_.hidden, kFeature, rng);
+  c1_ = nn::Linear(critic_params_, "c1", kFeature, cfg_.hidden, rng);
+  c2_ = nn::Linear(critic_params_, "c2", cfg_.hidden, cfg_.hidden, rng);
+  c3_ = nn::Linear(critic_params_, "c3", cfg_.hidden, 1, rng);
+}
+
+nn::Tensor PassGan::generator_forward(nn::Graph& g, const nn::Tensor& z,
+                                      Rng* gumbel_rng) const {
+  nn::Tensor h = g.relu(g1_.forward(g, z));
+  h = g.relu(g2_.forward(g, h));
+  nn::Tensor logits = g3_.forward(g, h);  // [B, W*C]
+  const nn::Index b = logits.dim(0);
+  nn::Tensor rows = logits.reshaped({b * kWidth, kClasses});
+  if (gumbel_rng != nullptr) {
+    // Gumbel-softmax relaxation: logits + G, G = -log(-log U).
+    nn::Tensor noise({b * kWidth, kClasses});
+    for (auto& v : noise.data()) {
+      double u = gumbel_rng->uniform();
+      if (u <= 0.0) u = 1e-12;
+      v = static_cast<float>(-std::log(-std::log(u)));
+    }
+    rows = g.add(rows, noise);
+  }
+  rows = g.scale(rows, 1.f / cfg_.gumbel_tau);
+  return g.softmax_rows(rows).reshaped({b, kFeature});
+}
+
+nn::Tensor PassGan::critic_forward(nn::Graph& g, const nn::Tensor& x) const {
+  nn::Tensor h = g.relu(c1_.forward(g, x));
+  h = g.relu(c2_.forward(g, h));
+  return g.mean_all(c3_.forward(g, h));
+}
+
+void PassGan::train(std::span<const std::string> passwords) {
+  if (trained_) throw std::logic_error("PassGan::train: already trained");
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(passwords.size());
+  for (const auto& pw : passwords)
+    if (auto e = encode_fixed(pw)) encoded.push_back(std::move(*e));
+  if (encoded.empty())
+    throw std::invalid_argument("PassGan::train: no usable passwords");
+
+  Rng data_rng(seed_, "passgan-data");
+  Rng noise_rng(seed_, "passgan-noise");
+  nn::AdamW::Config gen_opt_cfg{cfg_.lr, 0.5f, 0.9f, 1e-8f, 0.f};
+  nn::AdamW::Config critic_opt_cfg{cfg_.lr, 0.5f, 0.9f, 1e-8f, 0.f};
+  nn::AdamW gen_opt(gen_params_, gen_opt_cfg);
+  nn::AdamW critic_opt(critic_params_, critic_opt_cfg);
+  nn::Graph g;
+
+  auto real_batch = [&](nn::Index n) {
+    nn::Tensor x({n, kFeature});
+    for (nn::Index i = 0; i < n; ++i) {
+      const auto& e = encoded[data_rng.uniform_u64(encoded.size())];
+      onehot_row(e, x.data().data() + i * kFeature);
+    }
+    return x;
+  };
+  auto noise_batch = [&](nn::Index n) {
+    nn::Tensor z({n, cfg_.z_dim});
+    for (auto& v : z.data()) v = static_cast<float>(noise_rng.normal());
+    return z;
+  };
+
+  for (int step = 0; step < cfg_.steps; ++step) {
+    for (int k = 0; k < cfg_.n_critic; ++k) {
+      g.clear();
+      const nn::Tensor fake = generator_forward(g, noise_batch(cfg_.batch),
+                                                &noise_rng);
+      const nn::Tensor score_fake = critic_forward(g, fake);
+      const nn::Tensor score_real = critic_forward(g, real_batch(cfg_.batch));
+      // Critic maximises real - fake, so minimise fake - real.
+      const nn::Tensor loss = g.sub(score_fake, score_real);
+      g.backward(loss);
+      critic_opt.step();
+      gen_params_.zero_grad();  // discard the leak into the generator
+      last_wdist_ = -double(loss.at(0));
+      // Weight clipping (original WGAN Lipschitz constraint).
+      for (auto& p : critic_params_.items())
+        for (auto& w : p.tensor.data())
+          w = std::clamp(w, -cfg_.weight_clip, cfg_.weight_clip);
+    }
+    g.clear();
+    const nn::Tensor fake = generator_forward(g, noise_batch(cfg_.batch),
+                                              &noise_rng);
+    const nn::Tensor loss = g.scale(critic_forward(g, fake), -1.f);
+    g.backward(loss);
+    gen_opt.step();
+    critic_params_.zero_grad();
+    if ((step + 1) % 500 == 0)
+      log_debug("PassGan: step %d wdist=%.4f", step + 1, last_wdist_);
+  }
+  g.clear();
+  trained_ = true;
+}
+
+std::vector<std::string> PassGan::generate(std::size_t count,
+                                           Rng& rng) const {
+  if (!trained_) throw std::logic_error("PassGan::generate: untrained");
+  std::vector<std::string> out;
+  out.reserve(count);
+  nn::Graph g;  // forward-only; cleared each batch
+  const nn::Index batch = cfg_.batch;
+  while (out.size() < count) {
+    const nn::Index n = static_cast<nn::Index>(
+        std::min<std::size_t>(static_cast<std::size_t>(batch),
+                              count - out.size()));
+    nn::Tensor z({n, cfg_.z_dim});
+    for (auto& v : z.data()) v = static_cast<float>(rng.normal());
+    g.clear();
+    const nn::Tensor probs = generator_forward(g, z, nullptr);
+    // Sharpened decode: p^(gumbel_tau/sample_tau), renormalised. At
+    // sample_tau → 0 this is the original PassGAN's argmax (all the
+    // randomness in z, heavy mode concentration — its published repeat-
+    // rate signature); small positive values let a little per-position
+    // noise through.
+    const double sharpen =
+        cfg_.sample_tau <= 0.f ? 0.0 : double(cfg_.gumbel_tau / cfg_.sample_tau);
+    for (nn::Index i = 0; i < n; ++i) {
+      std::vector<int> classes(kWidth);
+      for (int p = 0; p < kWidth; ++p) {
+        const float* row = probs.data().data() + i * kFeature + p * kClasses;
+        int chosen = 0;
+        if (sharpen == 0.0) {
+          for (int c = 1; c < kClasses; ++c)
+            if (row[c] > row[chosen]) chosen = c;
+        } else {
+          double weights[kClasses], total = 0.0;
+          for (int c = 0; c < kClasses; ++c) {
+            weights[c] = std::pow(double(row[c]), sharpen);
+            total += weights[c];
+          }
+          double target = rng.uniform() * total;
+          chosen = kClasses - 1;
+          for (int c = 0; c < kClasses; ++c) {
+            target -= weights[c];
+            if (target < 0.0) {
+              chosen = c;
+              break;
+            }
+          }
+        }
+        classes[static_cast<std::size_t>(p)] = chosen;
+      }
+      out.push_back(decode_fixed(classes));
+    }
+  }
+  g.clear();
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kGanMagic = 0x50474147;  // "PGAG"
+}  // namespace
+
+void PassGan::save(const std::string& path) const {
+  if (!trained_) throw std::logic_error("PassGan::save: untrained");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PassGan::save: cannot open " + path);
+  BinaryWriter w(out);
+  w.write(kGanMagic);
+  w.write(cfg_.z_dim);
+  w.write(cfg_.hidden);
+  gen_params_.save(w);
+  critic_params_.save(w);
+}
+
+void PassGan::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PassGan::load: cannot open " + path);
+  BinaryReader r(in);
+  if (r.read<std::uint32_t>() != kGanMagic)
+    throw std::runtime_error("PassGan::load: bad magic in " + path);
+  if (r.read<nn::Index>() != cfg_.z_dim || r.read<nn::Index>() != cfg_.hidden)
+    throw std::runtime_error("PassGan::load: config mismatch in " + path);
+  gen_params_.load(r);
+  critic_params_.load(r);
+  trained_ = true;
+}
+
+}  // namespace ppg::baselines

@@ -1,0 +1,82 @@
+// PassGAN baseline (Hitaj et al. 2019): adversarial password generator.
+//
+// A WGAN over fixed-width one-hot passwords: an MLP generator maps Gaussian
+// noise to per-position character distributions (Gumbel-softmax relaxation
+// during training), and an MLP critic scores real vs. generated samples
+// under weight clipping (original WGAN Lipschitz control). This keeps the
+// mechanism responsible for PassGAN's published evaluation signature — the
+// continuous→discrete mapping loss and mode concentration that give it the
+// highest repeat rate and a weak hit rate at scale (paper §I-A2, Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/layers.h"
+
+namespace ppg::baselines {
+
+/// PassGAN hyperparameters.
+struct PassGanConfig {
+  nn::Index z_dim = 32;
+  nn::Index hidden = 128;
+  int steps = 1500;       ///< generator updates
+  int n_critic = 5;       ///< critic updates per generator update
+  nn::Index batch = 64;
+  float lr = 5e-4f;
+  float weight_clip = 0.02f;
+  float gumbel_tau = 0.75f;
+  /// Decode temperature at sampling time. The original PassGAN decodes
+  /// argmax (temperature → 0, full mode concentration); a small positive
+  /// value keeps that duplicate-heavy signature while letting z diversity
+  /// through. 0 selects exact argmax.
+  float sample_tau = 0.2f;
+};
+
+/// WGAN password generator.
+class PassGan {
+ public:
+  PassGan(PassGanConfig cfg, std::uint64_t seed);
+
+  /// Adversarial training on cleaned passwords.
+  void train(std::span<const std::string> passwords);
+
+  /// Samples `count` passwords: per-position categorical at the (sharp)
+  /// sample_tau temperature, so most of the randomness comes from z — the
+  /// original PassGAN's argmax decode corresponds to sample_tau = 0. A draw
+  /// whose first position lands on the pad class decodes to an empty
+  /// string — a wasted guess, exactly how a real PassGAN run spends part
+  /// of its budget on junk.
+  std::vector<std::string> generate(std::size_t count, Rng& rng) const;
+
+  bool trained() const noexcept { return trained_; }
+
+  /// Mean critic score gap of the last training step (diagnostics).
+  double last_wdist() const noexcept { return last_wdist_; }
+
+  /// Checkpoints both networks' weights.
+  void save(const std::string& path) const;
+  /// Restores a checkpoint saved with the same configuration.
+  void load(const std::string& path);
+
+ private:
+  /// Generator forward: z [B, z_dim] -> per-position probabilities
+  /// [B, width*classes]. `gumbel_rng` adds Gumbel noise (training only).
+  nn::Tensor generator_forward(nn::Graph& g, const nn::Tensor& z,
+                               Rng* gumbel_rng) const;
+  /// Critic forward: probabilities/one-hot [B, width*classes] -> mean score.
+  nn::Tensor critic_forward(nn::Graph& g, const nn::Tensor& x) const;
+
+  PassGanConfig cfg_;
+  std::uint64_t seed_;
+  nn::ParamList gen_params_, critic_params_;
+  nn::Linear g1_, g2_, g3_;
+  nn::Linear c1_, c2_, c3_;
+  bool trained_ = false;
+  double last_wdist_ = 0.0;
+};
+
+}  // namespace ppg::baselines

@@ -1,0 +1,63 @@
+// PassGPT baseline (Rando et al. 2023), re-implemented on the shared GPT
+// substrate exactly as the paper describes it (§I-A1, §III-B):
+//
+//  * trained on bare-password rules <BOS>‖password‖<EOS> — no pattern
+//    conditioning;
+//  * free generation samples from <BOS>;
+//  * pattern-guided generation filters candidate tokens at every step so
+//    the output obeys the pattern — the scheme whose word-truncation
+//    artifact ("polic#10") motivates PagPassGPT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpt/model.h"
+#include "gpt/sampler.h"
+#include "gpt/trainer.h"
+#include "pcfg/pattern.h"
+
+namespace ppg::baselines {
+
+/// GPT over bare passwords with filter-based guided generation.
+class PassGpt {
+ public:
+  PassGpt(gpt::Config cfg, std::uint64_t seed);
+
+  /// Encodes <BOS>‖pw‖<EOS> rules and trains the LM.
+  gpt::TrainReport train(std::span<const std::string> train_passwords,
+                         std::span<const std::string> valid_passwords,
+                         const gpt::TrainConfig& cfg);
+
+  /// Unconditional trawling generation.
+  std::vector<std::string> generate(std::size_t count, Rng& rng,
+                                    const gpt::SampleOptions& opts = {},
+                                    gpt::SampleStats* stats = nullptr) const;
+
+  /// Pattern-guided generation by per-step token filtering: at step s only
+  /// characters of the pattern's class at position s survive; after the
+  /// pattern, only <EOS>.
+  std::vector<std::string> generate_with_pattern(
+      const std::vector<pcfg::Segment>& pattern, std::size_t count, Rng& rng,
+      const gpt::SampleOptions& opts = {},
+      gpt::SampleStats* stats = nullptr) const;
+
+  const gpt::GptModel& model() const noexcept { return model_; }
+  gpt::GptModel& model() noexcept { return model_; }
+
+  void save(const std::string& path) const { model_.save(path); }
+  void load(const std::string& path) {
+    model_.load(path);
+    trained_ = true;
+  }
+
+  bool trained() const noexcept { return trained_; }
+
+ private:
+  gpt::GptModel model_;
+  bool trained_ = false;
+};
+
+}  // namespace ppg::baselines

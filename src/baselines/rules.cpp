@@ -1,0 +1,193 @@
+#include "baselines/rules.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ppg::baselines {
+
+std::optional<Rule> Rule::parse(std::string_view text) {
+  Rule rule;
+  rule.text_ = std::string(text);
+  std::size_t i = 0;
+  auto need = [&](std::size_t k) { return i + k <= text.size(); };
+  while (i < text.size()) {
+    const char c = text[i++];
+    switch (c) {
+      case ':': rule.ops_.push_back({Kind::kNoop}); break;
+      case 'l': rule.ops_.push_back({Kind::kLower}); break;
+      case 'u': rule.ops_.push_back({Kind::kUpper}); break;
+      case 'c': rule.ops_.push_back({Kind::kCapitalize}); break;
+      case 'C': rule.ops_.push_back({Kind::kInvertCap}); break;
+      case 't': rule.ops_.push_back({Kind::kToggleAll}); break;
+      case 'r': rule.ops_.push_back({Kind::kReverse}); break;
+      case 'd': rule.ops_.push_back({Kind::kDuplicate}); break;
+      case '[': rule.ops_.push_back({Kind::kDeleteFirst}); break;
+      case ']': rule.ops_.push_back({Kind::kDeleteLast}); break;
+      case '$':
+        if (!need(1)) return std::nullopt;
+        rule.ops_.push_back({Kind::kAppend, text[i++]});
+        break;
+      case '^':
+        if (!need(1)) return std::nullopt;
+        rule.ops_.push_back({Kind::kPrepend, text[i++]});
+        break;
+      case '@':
+        if (!need(1)) return std::nullopt;
+        rule.ops_.push_back({Kind::kPurge, text[i++]});
+        break;
+      case 's':
+        if (!need(2)) return std::nullopt;
+        rule.ops_.push_back({Kind::kSubstitute, text[i], text[i + 1]});
+        i += 2;
+        break;
+      case 'T':
+        if (!need(1) || !std::isdigit(static_cast<unsigned char>(text[i])))
+          return std::nullopt;
+        rule.ops_.push_back({Kind::kToggleAt, text[i++]});
+        break;
+      case 'z':
+        if (!need(1) || !std::isdigit(static_cast<unsigned char>(text[i])))
+          return std::nullopt;
+        rule.ops_.push_back({Kind::kDupFirst, text[i++]});
+        break;
+      case 'Z':
+        if (!need(1) || !std::isdigit(static_cast<unsigned char>(text[i])))
+          return std::nullopt;
+        rule.ops_.push_back({Kind::kDupLast, text[i++]});
+        break;
+      case ' ':
+        break;  // rule files separate ops with spaces; ignore
+      default:
+        return std::nullopt;
+    }
+  }
+  return rule;
+}
+
+namespace {
+char toggle(char c) {
+  if (std::islower(static_cast<unsigned char>(c)))
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (std::isupper(static_cast<unsigned char>(c)))
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return c;
+}
+}  // namespace
+
+std::string Rule::apply(std::string_view word) const {
+  std::string w(word);
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Kind::kNoop:
+        break;
+      case Kind::kLower:
+        for (auto& c : w)
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        break;
+      case Kind::kUpper:
+        for (auto& c : w)
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        break;
+      case Kind::kCapitalize:
+        for (auto& c : w)
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (!w.empty())
+          w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+        break;
+      case Kind::kInvertCap:
+        for (auto& c : w)
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        if (!w.empty())
+          w[0] = static_cast<char>(std::tolower(static_cast<unsigned char>(w[0])));
+        break;
+      case Kind::kToggleAll:
+        for (auto& c : w) c = toggle(c);
+        break;
+      case Kind::kReverse:
+        std::reverse(w.begin(), w.end());
+        break;
+      case Kind::kDuplicate:
+        w += w;
+        break;
+      case Kind::kAppend:
+        w += op.a;
+        break;
+      case Kind::kPrepend:
+        w.insert(w.begin(), op.a);
+        break;
+      case Kind::kSubstitute:
+        for (auto& c : w)
+          if (c == op.a) c = op.b;
+        break;
+      case Kind::kDeleteFirst:
+        if (!w.empty()) w.erase(w.begin());
+        break;
+      case Kind::kDeleteLast:
+        if (!w.empty()) w.pop_back();
+        break;
+      case Kind::kToggleAt: {
+        const std::size_t pos = static_cast<std::size_t>(op.a - '0');
+        if (pos < w.size()) w[pos] = toggle(w[pos]);
+        break;
+      }
+      case Kind::kDupFirst: {
+        if (w.empty()) break;
+        const int n = op.a - '0';
+        w.insert(0, std::string(static_cast<std::size_t>(n), w[0]));
+        break;
+      }
+      case Kind::kDupLast: {
+        if (w.empty()) break;
+        const int n = op.a - '0';
+        w.append(std::string(static_cast<std::size_t>(n), w.back()));
+        break;
+      }
+      case Kind::kPurge:
+        w.erase(std::remove(w.begin(), w.end(), op.a), w.end());
+        break;
+    }
+  }
+  return w;
+}
+
+RuleAttack::RuleAttack(std::span<const std::string> rule_lines,
+                       std::vector<std::string> dictionary)
+    : dictionary_(std::move(dictionary)) {
+  rules_.reserve(rule_lines.size());
+  for (const auto& line : rule_lines) {
+    if (auto rule = Rule::parse(line))
+      rules_.push_back(std::move(*rule));
+    else
+      ++rejected_;
+  }
+}
+
+std::vector<std::string> RuleAttack::enumerate(std::size_t n) const {
+  std::vector<std::string> out;
+  out.reserve(std::min(n, capacity()));
+  for (const Rule& rule : rules_) {
+    for (const auto& word : dictionary_) {
+      if (out.size() >= n) return out;
+      std::string guess = rule.apply(word);
+      if (!guess.empty()) out.push_back(std::move(guess));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> RuleAttack::stock_rules() {
+  // A best64-flavoured core: identity, case mangles, common suffixes,
+  // small leet substitutions, and structural tweaks, ordered by the
+  // empirical productivity of each family.
+  return {
+      ":",     "c",     "u",      "$1",    "$2",    "$3",    "c$1",
+      "$1$2$3", "$7",   "$1$1",   "$6$9", "$2$3", "$0$7", "c$1$2$3",
+      "$!",    "c$!",   "se3",    "sa@",   "so0",   "si1",  "ss$",
+      "se3so0", "c se3", "r",     "d",     "]",     "[",    "T0",
+      "$1$2",  "$9$9",  "$0$0",   "$2$0$0$9", "$2$0$1$0", "$2$0$1$1",
+      "$2$0$1$2", "^1", "^a",     "Z1",    "z1",    "@a",   "c$2$2",
+      "u$1",   "$8$8",  "$4$5$6", "$5$5",  "sa4",   "st7",  "$q$w$e",
+  };
+}
+
+}  // namespace ppg::baselines

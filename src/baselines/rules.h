@@ -1,0 +1,110 @@
+// Rule-based password guessing (paper §II-B1): the Hashcat / John-the-
+// Ripper family the probabilistic and neural models are measured against.
+//
+// Implements a practical subset of the Hashcat rule language. A RuleSet is
+// an ordered list of rules; a rule is a sequence of operations applied to a
+// dictionary word. The attack enumerates (rule, word) pairs in rule-major
+// order — the classic wordlist+rules attack.
+//
+// Supported operations (one rule = concatenation of these):
+//   :        no-op (pass word through)
+//   l u c C  lowercase / uppercase / capitalize / invert-capitalize
+//   t        toggle case of every letter
+//   r        reverse
+//   d        duplicate word ("pass" -> "passpass")
+//   $X       append character X
+//   ^X       prepend character X
+//   sXY      substitute every X with Y
+//   [        delete first character
+//   ]        delete last character
+//   TN       toggle case at position N (0-9)
+//   zN       duplicate first character N times
+//   ZN       duplicate last character N times
+//   @X       purge all instances of character X
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppg::baselines {
+
+/// One parsed rule: a compiled sequence of operations.
+class Rule {
+ public:
+  /// Parses rule text; std::nullopt on any unsupported/ill-formed token.
+  static std::optional<Rule> parse(std::string_view text);
+
+  /// Applies the rule to a word. Never throws; returns the transformed
+  /// word (possibly empty — callers treat empty as a skipped guess).
+  std::string apply(std::string_view word) const;
+
+  /// The original rule text.
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  enum class Kind : char {
+    kNoop,
+    kLower,
+    kUpper,
+    kCapitalize,
+    kInvertCap,
+    kToggleAll,
+    kReverse,
+    kDuplicate,
+    kAppend,
+    kPrepend,
+    kSubstitute,
+    kDeleteFirst,
+    kDeleteLast,
+    kToggleAt,
+    kDupFirst,
+    kDupLast,
+    kPurge,
+  };
+  struct Op {
+    Kind kind;
+    char a = 0;
+    char b = 0;
+  };
+  std::string text_;
+  std::vector<Op> ops_;
+};
+
+/// An ordered collection of rules plus a dictionary: the classic
+/// wordlist+rules attack.
+class RuleAttack {
+ public:
+  /// Builds from rule lines (unparseable lines are dropped and counted)
+  /// and a dictionary. Rule order and word order define guess order.
+  RuleAttack(std::span<const std::string> rule_lines,
+             std::vector<std::string> dictionary);
+
+  /// Number of rules that failed to parse.
+  std::size_t rejected_rules() const noexcept { return rejected_; }
+
+  /// Number of usable rules.
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  /// Total guesses available (rules × words).
+  std::size_t capacity() const noexcept {
+    return rules_.size() * dictionary_.size();
+  }
+
+  /// Enumerates the first `n` guesses in rule-major order. Empty
+  /// transformations are skipped (they consume no budget).
+  std::vector<std::string> enumerate(std::size_t n) const;
+
+  /// The stock rule list used by the benches: the "best64"-style core of
+  /// common mangling rules.
+  static std::vector<std::string> stock_rules();
+
+ private:
+  std::vector<Rule> rules_;
+  std::vector<std::string> dictionary_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace ppg::baselines

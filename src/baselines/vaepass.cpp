@@ -1,0 +1,184 @@
+#include "baselines/vaepass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <fstream>
+
+#include "baselines/onehot.h"
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace ppg::baselines {
+
+namespace {
+constexpr nn::Index kFeature = static_cast<nn::Index>(kWidth) * kClasses;
+}  // namespace
+
+VaePass::VaePass(VaePassConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {
+  Rng rng(seed, "vaepass-init");
+  e1_ = nn::Linear(params_, "e1", kFeature, cfg_.hidden, rng);
+  e_mu_ = nn::Linear(params_, "e_mu", cfg_.hidden, cfg_.latent, rng);
+  e_logvar_ = nn::Linear(params_, "e_logvar", cfg_.hidden, cfg_.latent, rng);
+  d1_ = nn::Linear(params_, "d1", cfg_.latent, cfg_.hidden, rng);
+  d2_ = nn::Linear(params_, "d2", cfg_.hidden, kFeature, rng);
+}
+
+void VaePass::train(std::span<const std::string> passwords) {
+  if (trained_) throw std::logic_error("VaePass::train: already trained");
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(passwords.size());
+  for (const auto& pw : passwords)
+    if (auto e = encode_fixed(pw)) encoded.push_back(std::move(*e));
+  if (encoded.empty())
+    throw std::invalid_argument("VaePass::train: no usable passwords");
+
+  Rng shuffle_rng(seed_, "vaepass-shuffle");
+  Rng eps_rng(seed_, "vaepass-eps");
+  nn::AdamW::Config opt_cfg;
+  opt_cfg.lr = cfg_.lr;
+  opt_cfg.weight_decay = 0.f;
+  nn::AdamW opt(params_, opt_cfg);
+  nn::Graph g;
+
+  std::vector<std::size_t> order(encoded.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(cfg_.batch)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(cfg_.batch));
+      const nn::Index n = static_cast<nn::Index>(end - start);
+      nn::Tensor x({n, kFeature});
+      std::vector<int> targets(static_cast<std::size_t>(n) * kWidth);
+      for (nn::Index i = 0; i < n; ++i) {
+        const auto& e = encoded[order[start + static_cast<std::size_t>(i)]];
+        onehot_row(e, x.data().data() + i * kFeature);
+        for (int p = 0; p < kWidth; ++p)
+          targets[static_cast<std::size_t>(i) * kWidth +
+                  static_cast<std::size_t>(p)] = e[static_cast<std::size_t>(p)];
+      }
+      nn::Tensor eps({n, cfg_.latent});
+      for (auto& v : eps.data()) v = static_cast<float>(eps_rng.normal());
+
+      g.clear();
+      const nn::Tensor h = g.relu(e1_.forward(g, x));
+      const nn::Tensor mu = e_mu_.forward(g, h);
+      const nn::Tensor logvar = e_logvar_.forward(g, h);
+      // z = mu + exp(logvar/2) ∘ eps
+      const nn::Tensor z =
+          g.add(mu, g.mul(g.exp_op(g.scale(logvar, 0.5f)), eps));
+      const nn::Tensor logits =
+          d2_.forward(g, g.relu(d1_.forward(g, z)))
+              .reshaped({n * kWidth, static_cast<nn::Index>(kClasses)});
+      const nn::Tensor recon = g.cross_entropy(logits, targets, -1);
+      // KL(q||p) per batch element: -1/2 Σ (1 + logvar - mu² - e^logvar)
+      const nn::Tensor kl_terms =
+          g.sub(g.sub(g.add_scalar(logvar, 1.f), g.square(mu)),
+                g.exp_op(logvar));
+      const nn::Tensor kl =
+          g.scale(g.sum_all(kl_terms), -0.5f / static_cast<float>(n));
+      const nn::Tensor loss = g.add(recon, g.scale(kl, cfg_.beta));
+      g.backward(loss);
+      params_.clip_grad_norm(5.0);
+      opt.step();
+      epoch_loss += double(loss.at(0));
+      ++batches;
+    }
+    g.clear();
+    last_loss_ = batches == 0 ? 0.0 : epoch_loss / double(batches);
+    log_debug("VaePass: epoch %d loss=%.4f", epoch + 1, last_loss_);
+  }
+  trained_ = true;
+}
+
+std::vector<std::string> VaePass::generate(std::size_t count,
+                                           Rng& rng) const {
+  if (!trained_) throw std::logic_error("VaePass::generate: untrained");
+  std::vector<std::string> out;
+  out.reserve(count);
+  nn::Graph g;
+  const nn::Index batch = cfg_.batch;
+  while (out.size() < count) {
+    const nn::Index n = static_cast<nn::Index>(std::min<std::size_t>(
+        static_cast<std::size_t>(batch), count - out.size()));
+    nn::Tensor z({n, cfg_.latent});
+    for (auto& v : z.data()) v = static_cast<float>(rng.normal());
+    g.clear();
+    const nn::Tensor logits =
+        d2_.forward(g, g.relu(d1_.forward(g, z)))
+            .reshaped({n * kWidth, static_cast<nn::Index>(kClasses)});
+    const nn::Tensor probs = g.softmax_rows(logits);
+    // Sharpened decode (p^(1/sample_tau)): at sample_tau → 0 this is the
+    // original VAEPass argmax, whose blurry decoder maps nearby z to the
+    // same string — its duplicate-heavy signature.
+    const double sharpen =
+        cfg_.sample_tau <= 0.f ? 0.0 : 1.0 / double(cfg_.sample_tau);
+    for (nn::Index i = 0; i < n; ++i) {
+      std::vector<int> classes(kWidth);
+      for (int p = 0; p < kWidth; ++p) {
+        const float* row =
+            probs.data().data() + (i * kWidth + p) * kClasses;
+        int chosen = 0;
+        if (sharpen == 0.0) {
+          for (int c = 1; c < kClasses; ++c)
+            if (row[c] > row[chosen]) chosen = c;
+        } else {
+          double weights[kClasses], total = 0.0;
+          for (int c = 0; c < kClasses; ++c) {
+            weights[c] = std::pow(double(row[c]), sharpen);
+            total += weights[c];
+          }
+          double target = rng.uniform() * total;
+          chosen = kClasses - 1;
+          for (int c = 0; c < kClasses; ++c) {
+            target -= weights[c];
+            if (target < 0.0) {
+              chosen = c;
+              break;
+            }
+          }
+        }
+        classes[static_cast<std::size_t>(p)] = chosen;
+      }
+      out.push_back(decode_fixed(classes));
+    }
+  }
+  g.clear();
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kVaeMagic = 0x50564145;  // "PVAE"
+}  // namespace
+
+void VaePass::save(const std::string& path) const {
+  if (!trained_) throw std::logic_error("VaePass::save: untrained");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("VaePass::save: cannot open " + path);
+  BinaryWriter w(out);
+  w.write(kVaeMagic);
+  w.write(cfg_.latent);
+  w.write(cfg_.hidden);
+  params_.save(w);
+}
+
+void VaePass::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("VaePass::load: cannot open " + path);
+  BinaryReader r(in);
+  if (r.read<std::uint32_t>() != kVaeMagic)
+    throw std::runtime_error("VaePass::load: bad magic in " + path);
+  if (r.read<nn::Index>() != cfg_.latent || r.read<nn::Index>() != cfg_.hidden)
+    throw std::runtime_error("VaePass::load: config mismatch in " + path);
+  params_.load(r);
+  trained_ = true;
+}
+
+}  // namespace ppg::baselines

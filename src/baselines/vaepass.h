@@ -1,0 +1,67 @@
+// VAEPass baseline (Yang et al. 2022): variational-autoencoder guesser.
+//
+// MLP encoder to a Gaussian latent, reparameterised sample, MLP decoder to
+// per-position character logits over fixed-width one-hot passwords, trained
+// with ELBO (reconstruction cross-entropy + β·KL). Generation decodes
+// latent draws from the prior. Same model family as the paper's baseline;
+// shows its signature blurry-decoder behaviour: duplicate-heavy output and
+// mid-pack hit rates (paper Table IV/V, Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/layers.h"
+
+namespace ppg::baselines {
+
+/// VAEPass hyperparameters.
+struct VaePassConfig {
+  nn::Index latent = 24;
+  nn::Index hidden = 128;
+  int epochs = 4;
+  nn::Index batch = 64;
+  float lr = 1e-3f;
+  float beta = 0.05f;  ///< KL weight (β-VAE style warm target)
+  /// Decode temperature at sampling time; 0 = argmax (the original
+  /// VAEPass decode — blurry-decoder duplicates), small positive values
+  /// admit a little per-position noise.
+  float sample_tau = 0.3f;
+};
+
+/// The VAE password model.
+class VaePass {
+ public:
+  VaePass(VaePassConfig cfg, std::uint64_t seed);
+
+  /// Trains the ELBO on cleaned passwords.
+  void train(std::span<const std::string> passwords);
+
+  /// Decodes `count` prior samples into passwords (categorical per
+  /// position). Empty decodes are wasted guesses, as in the real model.
+  std::vector<std::string> generate(std::size_t count, Rng& rng) const;
+
+  bool trained() const noexcept { return trained_; }
+
+  /// Final epoch's mean training loss (diagnostics).
+  double last_loss() const noexcept { return last_loss_; }
+
+  /// Checkpoints the encoder/decoder weights.
+  void save(const std::string& path) const;
+  /// Restores a checkpoint saved with the same configuration.
+  void load(const std::string& path);
+
+ private:
+  VaePassConfig cfg_;
+  std::uint64_t seed_;
+  nn::ParamList params_;
+  nn::Linear e1_, e_mu_, e_logvar_;
+  nn::Linear d1_, d2_;
+  bool trained_ = false;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace ppg::baselines

@@ -1,0 +1,80 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name. Unknown
+// flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppg {
+
+/// Parsed command line: a flag→value map with typed accessors and defaults.
+class Cli {
+ public:
+  /// Parses argv. `allowed` lists every flag the binary understands (without
+  /// the leading dashes); anything else throws std::invalid_argument.
+  Cli(int argc, char** argv, std::vector<std::string> allowed) {
+    for (auto& a : allowed) allowed_.insert(std::move(a));
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (!arg.starts_with("--"))
+        throw std::invalid_argument("Cli: positional arguments unsupported: " +
+                                    std::string(arg));
+      arg.remove_prefix(2);
+      std::string name, value;
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        name = std::string(arg.substr(0, eq));
+        value = std::string(arg.substr(eq + 1));
+      } else {
+        name = std::string(arg);
+        if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--")
+          value = argv[++i];
+        else
+          value = "1";  // bare boolean flag
+      }
+      if (!allowed_.contains(name))
+        throw std::invalid_argument("Cli: unknown flag --" + name);
+      values_[name] = value;
+    }
+  }
+
+  /// True if the flag was present on the command line.
+  bool has(const std::string& name) const { return values_.contains(name); }
+
+  /// String flag with default.
+  std::string get(const std::string& name, std::string def = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  /// Integer flag with default.
+  std::int64_t get_int(const std::string& name, std::int64_t def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+
+  /// Floating flag with default.
+  double get_double(const std::string& name, double def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+
+  /// Boolean flag (present, "1", "true", "yes" → true).
+  bool get_bool(const std::string& name, bool def = false) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return it->second == "1" || it->second == "true" || it->second == "yes";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> allowed_;
+};
+
+}  // namespace ppg

@@ -1,0 +1,71 @@
+// Minimal leveled logger used by trainers and benches.
+//
+// Not thread-aware beyond line-atomic writes; benches are effectively
+// single-threaded on this target. Level is process-global and settable via
+// the PPG_LOG_LEVEL environment variable (error|warn|info|debug).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace ppg {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+inline LogLevel& log_level_ref() {
+  static LogLevel level = [] {
+    const char* env = std::getenv("PPG_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kInfo;
+    const std::string_view v(env);
+    if (v == "error") return LogLevel::kError;
+    if (v == "warn") return LogLevel::kWarn;
+    if (v == "debug") return LogLevel::kDebug;
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+}  // namespace detail
+
+/// Returns the current process-wide log level.
+inline LogLevel log_level() { return detail::log_level_ref(); }
+
+/// Overrides the process-wide log level (tests use this to silence output).
+inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+
+/// printf-style logging at the given level to stderr.
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  const char* tag = level == LogLevel::kError  ? "E"
+                    : level == LogLevel::kWarn ? "W"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "D";
+  std::fprintf(stderr, "[%s] ", tag);
+  if constexpr (sizeof...(Args) == 0)
+    std::fprintf(stderr, "%s", fmt);
+  else
+    std::fprintf(stderr, fmt, args...);
+  std::fputc('\n', stderr);
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  log(LogLevel::kInfo, fmt, args...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) {
+  log(LogLevel::kWarn, fmt, args...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args... args) {
+  log(LogLevel::kError, fmt, args...);
+}
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  log(LogLevel::kDebug, fmt, args...);
+}
+
+}  // namespace ppg

@@ -1,0 +1,216 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every source of randomness (data synthesis, weight init, sampling,
+// shuffling) flows through ppg::Rng seeded from an explicit 64-bit seed, so
+// all experiments and tests are reproducible bit-for-bit on one platform.
+//
+// The generator is xoshiro256**, seeded via splitmix64 as its authors
+// recommend. It is not cryptographic; it is a simulation RNG.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace ppg {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stable 64-bit hash of a string; used to derive sub-seeds from names so
+/// that e.g. the "rockyou" site generator and the "linkedin" one are
+/// decorrelated even when built from the same master seed.
+constexpr std::uint64_t hash64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // One splitmix round to improve avalanche of the FNV result.
+  return splitmix64(h);
+}
+
+/// xoshiro256** deterministic RNG.
+///
+/// Satisfies std::uniform_random_bit_generator so it can also be plugged
+/// into <random> distributions, though the member samplers below are
+/// preferred (they are guaranteed stable across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 256-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  /// Convenience: derive a seed from a master seed and a component name.
+  Rng(std::uint64_t master_seed, std::string_view component) noexcept
+      : Rng(master_seed ^ hash64(component)) {}
+
+  /// Re-initialises the state deterministically from `seed`.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Next raw 64 random bits.
+  std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::uniform_u64: n must be > 0");
+    // 128-bit multiply rejection sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_u64(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float uniform_f() noexcept { return static_cast<float>(uniform()); }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (stateless variant; one draw per call).
+  double normal() noexcept {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Samples an index from an unnormalised non-negative weight vector.
+  /// Throws if weights are empty or sum to zero.
+  std::size_t discrete(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (weights.empty() || total <= 0.0)
+      throw std::invalid_argument("Rng::discrete: weights empty or zero-sum");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;  // numeric round-off fallback
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s, via inverse-CDF over a
+  /// precomputable harmonic table is avoided; uses rejection-free cumulative
+  /// scan (n is small in our use) — kept O(n) per draw only when a caller
+  /// has no table; prefer ZipfTable for hot paths.
+  std::size_t zipf(std::size_t n, double s) {
+    if (n == 0) throw std::invalid_argument("Rng::zipf: n must be > 0");
+    double total = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) total += std::pow(double(i), -s);
+    double target = uniform() * total;
+    for (std::size_t i = 1; i <= n; ++i) {
+      target -= std::pow(double(i), -s);
+      if (target < 0.0) return i - 1;
+    }
+    return n - 1;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_u64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Precomputed Zipf sampler: O(log n) per draw via binary search over the
+/// cumulative mass. Use for the synthetic-corpus hot loops.
+class ZipfTable {
+ public:
+  /// Builds the cumulative table for ranks [0, n) with exponent s.
+  ZipfTable(std::size_t n, double s) : cdf_(n) {
+    if (n == 0) throw std::invalid_argument("ZipfTable: n must be > 0");
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += std::pow(double(i + 1), -s);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  /// Number of ranks.
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Draws a rank using `rng`.
+  std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.uniform();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ppg

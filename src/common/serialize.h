@@ -1,0 +1,99 @@
+// Tiny binary (de)serialization for model checkpoints.
+//
+// Format: little-endian PODs, length-prefixed strings and vectors, with a
+// magic/version header written by the model classes themselves. Only needs
+// to round-trip on the machine that wrote the file (checkpoints are local
+// artifacts of a bench run, not an interchange format).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ppg {
+
+/// Streaming binary writer over an ostream.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes a trivially-copyable value verbatim.
+  template <typename T>
+  void write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    if (!out_) throw std::runtime_error("BinaryWriter: write failed");
+  }
+
+  /// Writes a u64 length then the raw bytes.
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    if (!out_) throw std::runtime_error("BinaryWriter: write failed");
+  }
+
+  /// Writes a u64 length then the elements.
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write<std::uint64_t>(v.size());
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(T)));
+    if (!out_) throw std::runtime_error("BinaryWriter: write failed");
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Streaming binary reader over an istream. Throws on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  /// Reads a trivially-copyable value.
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated input");
+    return value;
+  }
+
+  /// Reads a length-prefixed string.
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    check_size(n);
+    std::string s(n, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated input");
+    return s;
+  }
+
+  /// Reads a length-prefixed vector.
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = read<std::uint64_t>();
+    check_size(n * sizeof(T));
+    std::vector<T> v(n);
+    in_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    if (!in_) throw std::runtime_error("BinaryReader: truncated input");
+    return v;
+  }
+
+ private:
+  static void check_size(std::uint64_t bytes) {
+    // Sanity cap: refuse absurd lengths from corrupt files (4 GiB).
+    if (bytes > (1ULL << 32))
+      throw std::runtime_error("BinaryReader: implausible length field");
+  }
+  std::istream& in_;
+};
+
+}  // namespace ppg

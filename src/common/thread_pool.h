@@ -1,0 +1,115 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// D&C-GEN's §III-C3 optimisation "tasks in the list can be executed
+// concurrently" uses this pool. On a single-core host the pool degrades
+// gracefully to near-serial execution; correctness never depends on
+// parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppg {
+
+/// A simple work-queue thread pool. Tasks are std::function<void()>.
+/// The destructor drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, n), partitioned into roughly equal contiguous
+  /// chunks across the pool, and blocks until all complete. The calling
+  /// thread participates, so parallel_for on a 1-thread pool costs no
+  /// synchronization round-trips for the caller's chunk.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    const std::size_t chunks = std::min(n, size() + 1);
+    const std::size_t per = (n + chunks - 1) / chunks;
+    std::vector<std::future<void>> futs;
+    futs.reserve(chunks - 1);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t lo = c * per;
+      const std::size_t hi = std::min(n, lo + per);
+      if (lo >= hi) break;
+      futs.push_back(submit([lo, hi, &fn] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }));
+    }
+    const std::size_t hi0 = std::min(n, per);
+    for (std::size_t i = 0; i < hi0; ++i) fn(i);
+    for (auto& f : futs) f.get();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stopping_) return;
+          continue;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace ppg

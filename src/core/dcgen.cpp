@@ -1,0 +1,199 @@
+#include "core/dcgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "core/masks.h"
+#include "gpt/infer.h"
+#include "tokenizer/tokenizer.h"
+
+namespace ppg::core {
+
+namespace {
+
+using tok::Tokenizer;
+
+/// One pending unit of work: generate `n` passwords whose rule starts with
+/// `prefix` (token form) under `pattern`, `chars_done` characters of which
+/// are already fixed by the prefix.
+struct Task {
+  std::vector<int> prefix;
+  const std::vector<pcfg::Segment>* pattern;
+  int chars_done;
+  double n;
+};
+
+/// Capacity of the *unfilled* suffix of a pattern (optimisation 2, applied
+/// recursively to every subtask, not only whole patterns).
+double remaining_capacity(const std::vector<pcfg::Segment>& pattern,
+                          int chars_done, double cap) {
+  double total = 1.0;
+  const int len = pcfg::pattern_length(pattern);
+  for (int pos = chars_done; pos < len; ++pos) {
+    total *= pcfg::class_size(*pcfg::class_at(pattern, pos));
+    if (total >= cap) return cap;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<std::string> dc_generate(const gpt::GptModel& model,
+                                     const pcfg::PatternDistribution& patterns,
+                                     const DcGenConfig& cfg,
+                                     std::uint64_t seed, DcGenStats* stats) {
+  if (cfg.total <= 0 || cfg.threshold <= 0)
+    throw std::invalid_argument("dc_generate: total and threshold must be > 0");
+  DcGenStats local;
+
+  // Parsed pattern storage must be address-stable for Task::pattern.
+  std::vector<std::unique_ptr<std::vector<pcfg::Segment>>> parsed_patterns;
+  std::vector<Task> leaves;
+  std::vector<std::string> forced;  // fully-determined outputs
+  // Pending division tasks grouped by prefix length so divisions batch into
+  // lockstep InferenceSession calls (optimisation 3).
+  std::map<std::size_t, std::vector<Task>> pending;
+
+  auto route = [&](Task t) {
+    // Cap by the capacity of what is still free (optimisation 2).
+    const double capacity =
+        remaining_capacity(*t.pattern, t.chars_done, cfg.total * 2 + 1);
+    if (t.n > capacity) {
+      local.capacity_capped += t.n - capacity;
+      t.n = capacity;
+    }
+    if (t.n < cfg.min_task) {
+      ++local.dropped;
+      return;
+    }
+    if (t.chars_done >= pcfg::pattern_length(*t.pattern)) {
+      // Prefix fully determines the password; emit it once.
+      std::vector<int> full = t.prefix;
+      full.push_back(Tokenizer::kEos);
+      if (auto pw = Tokenizer::decode_password(full); pw && !pw->empty()) {
+        forced.push_back(std::move(*pw));
+        ++local.forced;
+      }
+      return;
+    }
+    if (t.n <= cfg.threshold) {
+      leaves.push_back(std::move(t));
+      return;
+    }
+    const std::size_t len = t.prefix.size();
+    pending[len].push_back(std::move(t));
+  };
+
+  // Root division by the pattern distribution (Alg. 1 lines 2-9).
+  const auto& sorted = patterns.sorted();
+  const std::size_t pattern_limit =
+      cfg.max_patterns == 0 ? sorted.size()
+                            : std::min(cfg.max_patterns, sorted.size());
+  for (std::size_t i = 0; i < pattern_limit; ++i) {
+    const auto& [pattern_str, prob] = sorted[i];
+    auto parsed = pcfg::parse_pattern(pattern_str);
+    if (!parsed) continue;
+    bool representable = true;
+    for (const auto& s : *parsed)
+      if (s.len > Tokenizer::kMaxSegmentLen) representable = false;
+    if (!representable) continue;
+    parsed_patterns.push_back(
+        std::make_unique<std::vector<pcfg::Segment>>(std::move(*parsed)));
+    Task t;
+    t.pattern = parsed_patterns.back().get();
+    t.prefix = Tokenizer::encode_generation_prefix(*t.pattern);
+    t.chars_done = 0;
+    t.n = cfg.total * prob;
+    route(std::move(t));
+  }
+
+  // Recursive division (Alg. 1 lines 10-22), batched by prefix length.
+  gpt::InferenceSession session(model);
+  const auto& class_sets = ClassTokenSets::instance();
+  std::vector<int> feed;
+  while (!pending.empty()) {
+    auto bucket_it = pending.begin();
+    auto& bucket = bucket_it->second;
+    const std::size_t take = std::min(cfg.division_batch, bucket.size());
+    std::vector<Task> group(std::make_move_iterator(bucket.end() - take),
+                            std::make_move_iterator(bucket.end()));
+    bucket.resize(bucket.size() - take);
+    if (bucket.empty()) pending.erase(bucket_it);
+
+    const std::size_t len = group.front().prefix.size();
+    session.reset(static_cast<gpt::Index>(group.size()));
+    feed.resize(group.size());
+    for (std::size_t p = 0; p < len; ++p) {
+      for (std::size_t i = 0; i < group.size(); ++i)
+        feed[i] = group[i].prefix[p];
+      session.step(feed);
+    }
+    ++local.model_calls;
+
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      Task& t = group[i];
+      ++local.divisions;
+      const auto cls = pcfg::class_at(*t.pattern, t.chars_done);
+      const auto& allowed = class_sets.of(*cls);
+      const auto logits = session.logits_row(static_cast<gpt::Index>(i));
+      // Softmax restricted to the candidate tokens (paper: c = 52/10/32).
+      float mx = -1e30f;
+      for (std::size_t v = 0; v < logits.size(); ++v)
+        if (allowed[v]) mx = std::max(mx, logits[v]);
+      double z = 0.0;
+      thread_local std::vector<std::pair<int, double>> cand;
+      cand.clear();
+      for (std::size_t v = 0; v < logits.size(); ++v) {
+        if (!allowed[v]) continue;
+        const double e = std::exp(double(logits[v] - mx));
+        cand.emplace_back(static_cast<int>(v), e);
+        z += e;
+      }
+      for (auto& [tok_id, weight] : cand) {
+        const double n_child = t.n * (weight / z);
+        Task child;
+        child.pattern = t.pattern;
+        child.prefix = t.prefix;
+        child.prefix.push_back(tok_id);
+        child.chars_done = t.chars_done + 1;
+        child.n = n_child;
+        route(std::move(child));
+      }
+    }
+  }
+
+  // Execute leaves (Alg. 1 lines 5 and 13). Each leaf draws from its own
+  // seeded RNG and results are concatenated in task order, so the output
+  // is identical for any thread count (§III-C3 optimisation 3).
+  local.leaves = leaves.size();
+  std::vector<std::vector<std::string>> leaf_out(leaves.size());
+  const auto run_leaf = [&](std::size_t leaf_idx) {
+    const Task& t = leaves[leaf_idx];
+    const auto count = static_cast<std::size_t>(std::llround(t.n));
+    if (count == 0) return;
+    Rng rng(seed ^ hash64("dcgen-leaf"), std::to_string(leaf_idx));
+    const gpt::LogitMask mask =
+        cfg.strict_leaves ? make_pattern_mask(*t.pattern, t.chars_done)
+                          : gpt::LogitMask{};
+    leaf_out[leaf_idx] =
+        gpt::sample_passwords(model, t.prefix, count, rng, cfg.sample, mask);
+  };
+  if (cfg.threads > 1 && leaves.size() > 1) {
+    ThreadPool pool(static_cast<std::size_t>(cfg.threads));
+    pool.parallel_for(leaves.size(), run_leaf);
+  } else {
+    for (std::size_t i = 0; i < leaves.size(); ++i) run_leaf(i);
+  }
+  std::vector<std::string> out = std::move(forced);
+  for (auto& pws : leaf_out)
+    out.insert(out.end(), std::make_move_iterator(pws.begin()),
+               std::make_move_iterator(pws.end()));
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace ppg::core

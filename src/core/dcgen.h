@@ -1,0 +1,77 @@
+// D&C-GEN: divide-and-conquer password generation (paper §III-C, Alg. 1).
+//
+// The guessing task of N passwords is split by the training-set pattern
+// distribution into per-pattern tasks (N_Pi = N · Pr(Pi)); any task bigger
+// than the threshold T is recursively divided by the model's next-token
+// distribution — filtered to the candidate tokens the pattern permits at
+// that position (52 letters / 10 digits / 32 specials) — into subtasks with
+// one-character-longer prefixes. Tasks at or below T are executed as leaf
+// generations. Because sibling prefixes differ and an ancestor is never
+// also a leaf, leaf prefixes are prefix-free, so (with conformance masking)
+// no two distinct tasks can emit the same password — duplicates only arise
+// inside a single leaf (§III-C2); tests/dcgen_test.cpp asserts this.
+//
+// All three §III-C3 optimisations are implemented:
+//  1. T sized to the generation batch the backend executes in parallel;
+//  2. per-task counts capped by the remaining pattern capacity
+//     (52^letters · 10^digits · 32^specials of the unfilled suffix);
+//  3. divisions are batched across tasks of equal prefix length, and
+//     prefixes stay in token form end-to-end (no re-encoding).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpt/model.h"
+#include "gpt/sampler.h"
+#include "pcfg/pcfg_model.h"
+
+namespace ppg::core {
+
+/// D&C-GEN knobs.
+struct DcGenConfig {
+  /// N: total number of guesses to apportion.
+  double total = 100000;
+  /// T: division threshold (paper used 4000 = one GPU batch; our CPU
+  /// default matches the sampler batch).
+  double threshold = 64;
+  /// Leaf-generation sampling options.
+  gpt::SampleOptions sample;
+  /// Subtasks with fewer expected passwords than this are dropped
+  /// ("generation number less than 1 → the subtask is deleted", Fig. 7).
+  double min_task = 1.0;
+  /// Only divide the top-K patterns (0 = all patterns).
+  std::size_t max_patterns = 0;
+  /// Maximum number of same-length tasks divided per batched model call.
+  std::size_t division_batch = 64;
+  /// Enforce pattern conformance at leaves (required for the cross-task
+  /// no-duplicate invariant; off reproduces unconstrained drift).
+  bool strict_leaves = true;
+  /// Worker threads for leaf execution (§III-C3 optimisation 3: "tasks in
+  /// the list can be executed concurrently"). Results are identical for
+  /// any thread count: each leaf draws from its own seeded RNG and outputs
+  /// are concatenated in task order.
+  int threads = 1;
+};
+
+/// Run diagnostics.
+struct DcGenStats {
+  std::size_t divisions = 0;    ///< tasks expanded into children
+  std::size_t model_calls = 0;  ///< batched division forwards
+  std::size_t leaves = 0;       ///< executed leaf tasks
+  std::size_t dropped = 0;      ///< subtasks below min_task
+  std::size_t forced = 0;       ///< fully-determined prefixes emitted directly
+  double capacity_capped = 0;   ///< guesses saved by the capacity cap
+};
+
+/// Generates ~cfg.total passwords with the divide-and-conquer scheme.
+/// Deterministic in (model, patterns, cfg, seed). The result may contain
+/// duplicates only within a single leaf's output.
+std::vector<std::string> dc_generate(const gpt::GptModel& model,
+                                     const pcfg::PatternDistribution& patterns,
+                                     const DcGenConfig& cfg,
+                                     std::uint64_t seed,
+                                     DcGenStats* stats = nullptr);
+
+}  // namespace ppg::core

@@ -1,0 +1,76 @@
+// Logit masks enforcing pattern conformance during sampling.
+//
+// Two consumers:
+//  * PassGPT's guided generation (paper §I-A1): the model is trained on
+//    bare passwords and the mask *forces* each sampled token into the
+//    pattern's character class — exactly the filtering scheme the paper
+//    criticises for word truncation.
+//  * D&C-GEN leaf tasks and PagPassGPT's strict mode: the model already
+//    conditions on the pattern; the mask merely guarantees conformance of
+//    the remaining suffix.
+#pragma once
+
+#include <vector>
+
+#include "gpt/sampler.h"
+#include "pcfg/pattern.h"
+#include "tokenizer/tokenizer.h"
+
+namespace ppg::core {
+
+/// Precomputed per-class token allowlists (indices into the vocabulary).
+struct ClassTokenSets {
+  std::vector<bool> letter, digit, special;
+
+  ClassTokenSets() {
+    letter.assign(tok::Tokenizer::kVocabSize, false);
+    digit.assign(tok::Tokenizer::kVocabSize, false);
+    special.assign(tok::Tokenizer::kVocabSize, false);
+    for (int id = tok::Tokenizer::kCharBase; id < tok::Tokenizer::kCharBase + 94;
+         ++id) {
+      switch (pcfg::classify(tok::Tokenizer::token_char(id))) {
+        case pcfg::CharClass::kLetter: letter[id] = true; break;
+        case pcfg::CharClass::kDigit: digit[id] = true; break;
+        case pcfg::CharClass::kSpecial: special[id] = true; break;
+      }
+    }
+  }
+
+  const std::vector<bool>& of(pcfg::CharClass c) const {
+    switch (c) {
+      case pcfg::CharClass::kLetter: return letter;
+      case pcfg::CharClass::kDigit: return digit;
+      default: return special;
+    }
+  }
+
+  /// Process-wide instance.
+  static const ClassTokenSets& instance() {
+    static const ClassTokenSets sets;
+    return sets;
+  }
+};
+
+/// Builds a LogitMask that, at generation step s, permits only characters
+/// of pattern position `offset + s` — and only <EOS> once the pattern is
+/// exhausted. `offset` is how many password characters the prefix already
+/// contains (nonzero for D&C-GEN subtasks).
+inline gpt::LogitMask make_pattern_mask(std::vector<pcfg::Segment> pattern,
+                                        int offset = 0) {
+  return [pattern = std::move(pattern), offset](gpt::Index step,
+                                                std::span<float> logits) {
+    const auto cls =
+        pcfg::class_at(pattern, offset + static_cast<int>(step));
+    if (!cls.has_value()) {
+      // Pattern complete: only <EOS> may follow.
+      for (std::size_t i = 0; i < logits.size(); ++i)
+        if (static_cast<int>(i) != tok::Tokenizer::kEos) logits[i] = -1e30f;
+      return;
+    }
+    const auto& allowed = ClassTokenSets::instance().of(*cls);
+    for (std::size_t i = 0; i < logits.size(); ++i)
+      if (!allowed[i]) logits[i] = -1e30f;
+  };
+}
+
+}  // namespace ppg::core

@@ -1,0 +1,78 @@
+// PagPassGPT: the paper's primary contribution (§III-B).
+//
+// A GPT-2-style LM trained on rules <BOS>‖pattern‖<SEP>‖password‖<EOS>, so
+// the pattern acts as conditioning context (Eq. 1) instead of a hard filter.
+// Exposes the two published generation modes:
+//   * pattern-guided: prefix = <BOS>‖pattern‖<SEP> (§III-B2);
+//   * free-running:   prefix = <BOS>; the model emits its own pattern,
+//     separator, password and terminator (§IV-D).
+// The learned pattern distribution of the training set is retained for
+// D&C-GEN (dcgen.h) and for the evaluation harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <string>
+#include <vector>
+
+#include "gpt/model.h"
+#include "gpt/sampler.h"
+#include "gpt/trainer.h"
+#include "pcfg/pcfg_model.h"
+
+namespace ppg::core {
+
+/// The pattern-conditioned password LM.
+class PagPassGPT {
+ public:
+  /// Creates an untrained model with the given transformer config.
+  PagPassGPT(gpt::Config cfg, std::uint64_t seed);
+
+  /// Encodes rules from cleaned passwords, fits the pattern distribution,
+  /// and trains the LM. Passwords that cannot be encoded (length/charset)
+  /// are skipped.
+  gpt::TrainReport train(std::span<const std::string> train_passwords,
+                         std::span<const std::string> valid_passwords,
+                         const gpt::TrainConfig& cfg);
+
+  /// True once train() (or load()) has run.
+  bool trained() const noexcept { return trained_; }
+
+  /// Pattern distribution of the training corpus. Requires trained().
+  const pcfg::PatternDistribution& patterns() const;
+
+  /// Pattern-guided generation. When `strict`, a conformance mask removes
+  /// the (rare) generations that drift off-pattern; when false this is the
+  /// paper's plain conditional sampling.
+  std::vector<std::string> generate_with_pattern(
+      const std::vector<pcfg::Segment>& pattern, std::size_t count, Rng& rng,
+      const gpt::SampleOptions& opts = {}, bool strict = false,
+      gpt::SampleStats* stats = nullptr) const;
+
+  /// Free-running trawling generation from a bare <BOS>.
+  std::vector<std::string> generate_free(
+      std::size_t count, Rng& rng, const gpt::SampleOptions& opts = {},
+      gpt::SampleStats* stats = nullptr) const;
+
+  /// Joint log-probability log P(pattern, password) of a password under the
+  /// model (the full-rule sequence probability, Eq. 1 composed with Eq. 3).
+  /// ~-1e30 for passwords the tokenizer cannot encode. Enables guess-number
+  /// strength estimation (eval::StrengthEstimator) on the neural model.
+  double log_prob(std::string_view password) const;
+
+  /// Underlying transformer (shared with D&C-GEN and the benches).
+  const gpt::GptModel& model() const noexcept { return model_; }
+  gpt::GptModel& model() noexcept { return model_; }
+
+  /// Checkpoints weights and the pattern distribution.
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  gpt::GptModel model_;
+  pcfg::PatternDistribution patterns_;
+  bool trained_ = false;
+};
+
+}  // namespace ppg::core

@@ -1,0 +1,395 @@
+#include "data/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <numeric>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/wordlists.h"
+#include "pcfg/pattern.h"
+
+namespace ppg::data {
+
+SiteProfile rockyou_profile() {
+  SiteProfile p;
+  p.name = "rockyou";
+  p.unique_target = 120000;
+  p.zipf_s = 0.95;
+  p.dirty_rate = 0.075;
+  p.rank_jitter = 0.0;  // the reference distribution
+  return p;
+}
+
+SiteProfile linkedin_profile() {
+  SiteProfile p;
+  p.name = "linkedin";
+  p.unique_target = 150000;
+  p.zipf_s = 0.85;
+  p.dirty_rate = 0.178;
+  p.rank_jitter = 0.25;
+  // Professional site: fewer pure-common entries, more word+digits (many
+  // sites enforced digit rules), fewer name+year.
+  p.w_common = 0.05;
+  p.w_word_digits = 0.34;
+  p.w_word_special_digits = 0.09;
+  p.w_name_year = 0.09;
+  p.caps_rate = 0.16;
+  return p;
+}
+
+SiteProfile phpbb_profile() {
+  SiteProfile p;
+  p.name = "phpbb";
+  p.unique_target = 24000;
+  p.zipf_s = 0.9;
+  p.dirty_rate = 0.016;
+  p.rank_jitter = 0.3;
+  // Tech forum: more keyboard walks and leet, fewer names.
+  p.w_keyboard_walk = 0.09;
+  p.w_leet_word = 0.09;
+  p.w_name_year = 0.07;
+  return p;
+}
+
+SiteProfile myspace_profile() {
+  SiteProfile p;
+  p.name = "myspace";
+  p.unique_target = 9000;
+  p.zipf_s = 1.0;
+  p.dirty_rate = 0.02;
+  p.rank_jitter = 0.2;
+  // Social site with a (historical) letter+digit requirement: heavy
+  // word+digit mixture.
+  p.w_word_digits = 0.40;
+  p.w_word_only = 0.04;
+  p.w_common = 0.06;
+  return p;
+}
+
+SiteProfile yahoo_profile() {
+  SiteProfile p;
+  p.name = "yahoo";
+  p.unique_target = 36000;
+  p.zipf_s = 0.9;
+  p.dirty_rate = 0.015;
+  p.rank_jitter = 0.22;
+  return p;
+}
+
+namespace {
+
+/// A per-site view of a global frequency-ordered list: a Zipf sampler over
+/// ranks composed with a site-specific locally-jittered permutation, so
+/// sites agree on roughly what is popular while disagreeing in detail.
+class JitteredList {
+ public:
+  JitteredList(std::span<const std::string_view> items, double zipf_s,
+               double jitter, Rng& rng)
+      : items_(items), table_(items.size(), zipf_s), perm_(items.size()) {
+    std::iota(perm_.begin(), perm_.end(), 0);
+    // Local reshuffle: displacement grows with `jitter`.
+    const auto n = perm_.size();
+    const auto swaps = static_cast<std::size_t>(jitter * double(n) * 3.0);
+    for (std::size_t k = 0; k < swaps; ++k) {
+      const std::size_t i = rng.uniform_u64(n);
+      const std::size_t d = 1 + rng.uniform_u64(std::max<std::size_t>(n / 8, 1));
+      const std::size_t j = std::min(n - 1, i + d);
+      std::swap(perm_[i], perm_[j]);
+    }
+  }
+
+  std::string_view sample(Rng& rng) const {
+    return items_[perm_[table_.sample(rng)]];
+  }
+
+ private:
+  std::span<const std::string_view> items_;
+  ZipfTable table_;
+  std::vector<std::size_t> perm_;
+};
+
+std::string apply_case(std::string word, double caps_rate, double upper_rate,
+                       Rng& rng) {
+  if (rng.bernoulli(upper_rate)) {
+    for (auto& c : word) c = static_cast<char>(std::toupper(c));
+  } else if (rng.bernoulli(caps_rate) && !word.empty()) {
+    word[0] = static_cast<char>(std::toupper(word[0]));
+  }
+  return word;
+}
+
+std::string digit_suffix(const SiteProfile& p, Rng& rng) {
+  switch (rng.uniform_u64(6)) {
+    case 0:  // single digit
+      return std::to_string(rng.uniform_u64(10));
+    case 1:  // two digits
+      return std::to_string(rng.uniform_u64(10)) +
+             std::to_string(rng.uniform_u64(10));
+    case 2: {  // 2-digit year
+      const int y = static_cast<int>(
+          rng.uniform_int(p.year_lo, p.year_hi));
+      const int yy = y % 100;
+      return std::string(1, char('0' + yy / 10)) +
+             std::string(1, char('0' + yy % 10));
+    }
+    case 3:  // 4-digit year
+      return std::to_string(rng.uniform_int(p.year_lo, p.year_hi));
+    case 4:  // "123"-style run
+      return std::string("123").substr(0, 1 + rng.uniform_u64(3));
+    default: {  // repeated digit
+      const char d = static_cast<char>('0' + rng.uniform_u64(10));
+      return std::string(1 + rng.uniform_u64(3), d);
+    }
+  }
+}
+
+std::string digits_only(const SiteProfile& p, Rng& rng) {
+  switch (rng.uniform_u64(5)) {
+    case 0: {  // MMDD
+      const int mm = static_cast<int>(1 + rng.uniform_u64(12));
+      const int dd = static_cast<int>(1 + rng.uniform_u64(28));
+      char buf[5];
+      std::snprintf(buf, sizeof buf, "%02d%02d", mm, dd);
+      return buf;
+    }
+    case 1: {  // MMDDYYYY
+      const int mm = static_cast<int>(1 + rng.uniform_u64(12));
+      const int dd = static_cast<int>(1 + rng.uniform_u64(28));
+      const int y = static_cast<int>(rng.uniform_int(p.year_lo, p.year_hi));
+      char buf[9];
+      std::snprintf(buf, sizeof buf, "%02d%02d%04d", mm, dd, y);
+      return buf;
+    }
+    case 2: {  // ascending run starting anywhere
+      const int start = static_cast<int>(rng.uniform_u64(5));
+      const int len = static_cast<int>(4 + rng.uniform_u64(6));
+      std::string s;
+      for (int i = 0; i < len; ++i) s += char('0' + (start + i) % 10);
+      return s;
+    }
+    case 3: {  // repeated block ("121212", "777777")
+      const int len = static_cast<int>(4 + rng.uniform_u64(5));
+      const char a = static_cast<char>('0' + rng.uniform_u64(10));
+      const char b = rng.bernoulli(0.5)
+                         ? a
+                         : static_cast<char>('0' + rng.uniform_u64(10));
+      std::string s;
+      for (int i = 0; i < len; ++i) s += (i % 2 == 0 ? a : b);
+      return s;
+    }
+    default: {  // random 6-8 digit number (phone fragment / PIN)
+      const int len = static_cast<int>(6 + rng.uniform_u64(3));
+      std::string s;
+      for (int i = 0; i < len; ++i) s += char('0' + rng.uniform_u64(10));
+      return s;
+    }
+  }
+}
+
+char popular_special(Rng& rng) {
+  // Zipf-ish over the popularity-ordered special list: squared-uniform
+  // index concentrates on the head.
+  const double u = rng.uniform();
+  const auto idx = static_cast<std::size_t>(
+      u * u * double(kSpecialsByPopularity.size()));
+  return kSpecialsByPopularity[std::min(idx, kSpecialsByPopularity.size() - 1)];
+}
+
+std::string leetify(std::string word, Rng& rng) {
+  bool changed = false;
+  for (auto& c : word) {
+    if (!rng.bernoulli(0.6)) continue;
+    switch (c) {
+      case 'a': c = rng.bernoulli(0.7) ? '@' : '4'; changed = true; break;
+      case 'e': c = '3'; changed = true; break;
+      case 'i': c = rng.bernoulli(0.7) ? '1' : '!'; changed = true; break;
+      case 'o': c = '0'; changed = true; break;
+      case 's': c = rng.bernoulli(0.7) ? '$' : '5'; changed = true; break;
+      case 't': c = '7'; changed = true; break;
+      default: break;
+    }
+  }
+  if (!changed && !word.empty()) word[0] = '@';  // force at least one sub
+  return word;
+}
+
+/// One dirty entry that the §IV-A1 cleaning must reject.
+std::string dirty_entry(Rng& rng) {
+  switch (rng.uniform_u64(4)) {
+    case 0: {  // too long (13..28 chars)
+      const int len = static_cast<int>(13 + rng.uniform_u64(16));
+      std::string s;
+      for (int i = 0; i < len; ++i)
+        s += char('a' + rng.uniform_u64(26));
+      return s;
+    }
+    case 1: {  // too short (1..3 chars)
+      const int len = static_cast<int>(1 + rng.uniform_u64(3));
+      std::string s;
+      for (int i = 0; i < len; ++i)
+        s += char('a' + rng.uniform_u64(26));
+      return s;
+    }
+    case 2: {  // contains a space
+      std::string s = "pass word";
+      s += std::to_string(rng.uniform_u64(100000));
+      return s;
+    }
+    default: {  // contains non-ASCII bytes (UTF-8-ish garbage)
+      std::string s = "p\xc3\xa4ss";
+      s += std::to_string(rng.uniform_u64(100000));
+      return s;
+    }
+  }
+}
+
+}  // namespace
+
+RawCorpus generate_site(const SiteProfile& profile,
+                        std::uint64_t master_seed) {
+  Rng rng(master_seed, profile.name);
+  const JitteredList words(std::span<const std::string_view>(kWords), profile.zipf_s,
+                           profile.rank_jitter, rng);
+  const JitteredList names(std::span<const std::string_view>(kNames), profile.zipf_s,
+                           profile.rank_jitter, rng);
+  const JitteredList commons(std::span<const std::string_view>(kCommonPasswords),
+                             profile.zipf_s * 1.1, profile.rank_jitter, rng);
+  const JitteredList walks(std::span<const std::string_view>(kKeyboardWalks), profile.zipf_s,
+                           profile.rank_jitter, rng);
+
+  const std::array<double, 9> mix = {
+      profile.w_common,        profile.w_word_digits,
+      profile.w_word_special_digits, profile.w_digits_only,
+      profile.w_name_year,     profile.w_keyboard_walk,
+      profile.w_leet_word,     profile.w_two_words,
+      profile.w_word_only};
+
+  std::unordered_set<std::string> seen;
+  RawCorpus corpus;
+  corpus.name = profile.name;
+  corpus.entries.reserve(profile.unique_target);
+  seen.reserve(profile.unique_target * 2);
+
+  // Generation loop with a stall guard: habit spaces are finite, so after
+  // enough consecutive duplicates we accept the corpus as saturated.
+  std::size_t consecutive_dups = 0;
+  const std::size_t dup_limit = 50000;
+  while (corpus.entries.size() < profile.unique_target &&
+         consecutive_dups < dup_limit) {
+    std::string pw;
+    if (rng.bernoulli(profile.dirty_rate)) {
+      pw = dirty_entry(rng);
+    } else {
+      switch (rng.discrete(std::span(mix.data(), mix.size()))) {
+        case 0:
+          pw = std::string(commons.sample(rng));
+          break;
+        case 1:
+          pw = apply_case(std::string(words.sample(rng)), profile.caps_rate,
+                          profile.upper_rate, rng) +
+               digit_suffix(profile, rng);
+          break;
+        case 2:
+          pw = apply_case(std::string(words.sample(rng)), profile.caps_rate,
+                          profile.upper_rate, rng) +
+               std::string(1, popular_special(rng)) + digit_suffix(profile, rng);
+          break;
+        case 3:
+          pw = digits_only(profile, rng);
+          break;
+        case 4:
+          pw = apply_case(std::string(names.sample(rng)), profile.caps_rate,
+                          profile.upper_rate, rng) +
+               digit_suffix(profile, rng);
+          break;
+        case 5: {
+          pw = std::string(walks.sample(rng));
+          if (rng.bernoulli(0.25)) pw += digit_suffix(profile, rng);
+          break;
+        }
+        case 6:
+          pw = leetify(std::string(words.sample(rng)), rng);
+          if (rng.bernoulli(0.4)) pw += digit_suffix(profile, rng);
+          break;
+        case 7: {
+          pw = std::string(words.sample(rng)) + std::string(words.sample(rng));
+          break;
+        }
+        default:
+          pw = apply_case(std::string(words.sample(rng)), profile.caps_rate,
+                          profile.upper_rate, rng);
+          break;
+      }
+    }
+    if (seen.insert(pw).second) {
+      corpus.entries.push_back(std::move(pw));
+      consecutive_dups = 0;
+    } else {
+      ++consecutive_dups;
+    }
+  }
+  return corpus;
+}
+
+CleanCorpus clean(const RawCorpus& raw) {
+  CleanCorpus out;
+  out.name = raw.name;
+  std::unordered_set<std::string> seen;
+  seen.reserve(raw.entries.size() * 2);
+  for (const auto& e : raw.entries) {
+    if (!seen.insert(e).second) continue;  // raw may carry duplicates
+    ++out.stats.unique_raw;
+    if (e.size() < 4 || e.size() > 12) continue;
+    const bool universe_ok =
+        std::all_of(e.begin(), e.end(), pcfg::in_universe);
+    if (!universe_ok) continue;
+    out.passwords.push_back(e);
+  }
+  out.stats.cleaned = out.passwords.size();
+  return out;
+}
+
+Split split_712(std::vector<std::string> passwords, std::uint64_t seed) {
+  Rng rng(seed, "split712");
+  rng.shuffle(passwords);
+  const std::size_t n = passwords.size();
+  const std::size_t n_train = n * 7 / 10;
+  const std::size_t n_valid = n / 10;
+  Split s;
+  s.train.assign(passwords.begin(), passwords.begin() + n_train);
+  s.valid.assign(passwords.begin() + n_train,
+                 passwords.begin() + n_train + n_valid);
+  s.test.assign(passwords.begin() + n_train + n_valid, passwords.end());
+  return s;
+}
+
+CorpusSummary summarize(const std::vector<std::string>& passwords,
+                        std::size_t top_k) {
+  CorpusSummary s;
+  s.count = passwords.size();
+  if (passwords.empty()) return s;
+  double len_sum = 0.0;
+  std::unordered_map<std::string, std::size_t> pattern_counts;
+  for (const auto& pw : passwords) {
+    len_sum += double(pw.size());
+    pattern_counts[pcfg::pattern_of(pw)]++;
+  }
+  s.mean_length = len_sum / double(passwords.size());
+  s.distinct_patterns = pattern_counts.size();
+  std::vector<std::pair<std::string, std::size_t>> items(
+      pattern_counts.begin(), pattern_counts.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (std::size_t i = 0; i < std::min(top_k, items.size()); ++i)
+    s.top_patterns.emplace_back(items[i].first,
+                                double(items[i].second) / double(s.count));
+  return s;
+}
+
+}  // namespace ppg::data

@@ -1,0 +1,119 @@
+// Synthetic leaked-password corpora, cleaning, and splits (paper §IV-A).
+//
+// Real leak files (RockYou, LinkedIn, …) are not redistributable and are
+// unavailable offline, so the evaluation substrate is a parameterised
+// generator that reproduces the *distributional* properties the paper's
+// metrics depend on: a Zipf-heavy head of very common passwords, a body of
+// human composition habits (word+digits, leetspeak, names+years, keyboard
+// walks, dates), convergent pattern structure across sites, and a
+// site-specific parameter shift that makes cross-site evaluation
+// meaningful. Each profile also injects "dirty" entries (too long/short,
+// spaces, non-ASCII) so the §IV-A1 cleaning rules have real work to do and
+// Table II's retention rates are reproduced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppg::data {
+
+/// Tunable knobs of one synthetic "site" (one leak).
+struct SiteProfile {
+  std::string name;
+  /// Approximate number of distinct raw entries to produce.
+  std::size_t unique_target = 50000;
+  /// Zipf exponent over the word/name lists; higher = heavier head.
+  double zipf_s = 0.9;
+  /// Mixture weights over composition habits (need not sum to 1).
+  double w_common = 0.08;        ///< verbatim very-common password
+  double w_word_digits = 0.30;   ///< word + digit suffix ("monkey12")
+  double w_word_special_digits = 0.07;  ///< word + special + digits
+  double w_digits_only = 0.14;   ///< dates, phone fragments, repeats
+  double w_name_year = 0.12;     ///< given name + 2/4-digit year
+  double w_keyboard_walk = 0.05; ///< "qwerty"-style walks
+  double w_leet_word = 0.06;     ///< leetspeak substitutions
+  double w_two_words = 0.08;     ///< word pairs ("bluedragon")
+  double w_word_only = 0.10;     ///< bare word, case-mangled
+  /// Probability of capitalising the first letter of word habits.
+  double caps_rate = 0.12;
+  /// Probability of fully uppercasing a word habit.
+  double upper_rate = 0.02;
+  /// How far each site's word-frequency ranking drifts from the global
+  /// ranking (0 = identical across sites; 1 = heavy local reshuffle).
+  double rank_jitter = 0.15;
+  /// Fraction of dirty (cleaning-removed) entries ≈ 1 - retention rate.
+  double dirty_rate = 0.05;
+  /// Inclusive year range for year suffixes.
+  int year_lo = 1955;
+  int year_hi = 2012;
+};
+
+/// Built-in profiles mirroring the paper's five datasets (Table II),
+/// scaled ~100x down. Retention targets: RockYou 92.5%, LinkedIn 82.2%,
+/// phpBB 98.4%, MySpace 98.0%, Yahoo! 98.5%.
+SiteProfile rockyou_profile();
+SiteProfile linkedin_profile();
+SiteProfile phpbb_profile();
+SiteProfile myspace_profile();
+SiteProfile yahoo_profile();
+
+/// A raw leak: unique entries, dirty ones included.
+struct RawCorpus {
+  std::string name;
+  std::vector<std::string> entries;
+};
+
+/// Deterministically generates the raw corpus for a profile. The same
+/// (profile, master_seed) always produces the same corpus; different site
+/// names decorrelate via seed derivation.
+RawCorpus generate_site(const SiteProfile& profile, std::uint64_t master_seed);
+
+/// Cleaning statistics for Table II.
+struct CleanStats {
+  std::size_t unique_raw = 0;
+  std::size_t cleaned = 0;
+  /// cleaned / unique_raw.
+  double retention() const {
+    return unique_raw == 0 ? 0.0 : double(cleaned) / double(unique_raw);
+  }
+};
+
+/// A cleaned corpus: deduplicated passwords of length 4..12 made only of
+/// printable non-space ASCII (paper §IV-A1).
+struct CleanCorpus {
+  std::string name;
+  std::vector<std::string> passwords;
+  CleanStats stats;
+};
+
+/// Applies the paper's cleaning rules to a raw corpus.
+CleanCorpus clean(const RawCorpus& raw);
+
+/// 7:1:2 train/validation/test split of unique passwords (paper §IV-A2).
+struct Split {
+  std::vector<std::string> train;
+  std::vector<std::string> valid;
+  std::vector<std::string> test;
+};
+
+/// Shuffles deterministically with `seed` and splits 70/10/20.
+Split split_712(std::vector<std::string> passwords, std::uint64_t seed);
+
+/// Summary statistics used by benches and examples.
+struct CorpusSummary {
+  std::size_t count = 0;
+  double mean_length = 0.0;
+  std::size_t distinct_patterns = 0;
+  /// Top patterns by frequency, descending.
+  std::vector<std::pair<std::string, double>> top_patterns;
+};
+
+/// Computes summary statistics over a password list.
+CorpusSummary summarize(const std::vector<std::string>& passwords,
+                        std::size_t top_k = 10);
+
+}  // namespace ppg::data

@@ -1,0 +1,143 @@
+// Embedded vocabulary for the synthetic leaked-corpus generator.
+//
+// These lists stand in for the lexical material of real leaks: a head of
+// very common passwords, everyday English words, given names, and keyboard
+// walks. They are ordered roughly by real-world frequency so a Zipf draw
+// over the index reproduces the heavy head observed in leaked corpora.
+#pragma once
+
+#include <string_view>
+
+namespace ppg::data {
+
+/// Passwords that top every real leak's frequency table.
+inline constexpr std::string_view kCommonPasswords[] = {
+    "123456", "password", "123456789", "12345678", "12345", "1234567",
+    "iloveyou", "qwerty", "abc123", "111111", "123123", "admin",
+    "letmein", "welcome", "monkey", "dragon", "sunshine", "princess",
+    "football", "shadow", "master", "666666", "qwertyuiop", "123321",
+    "baseball", "superman", "1qaz2wsx", "7777777", "121212", "000000",
+    "qazwsx", "trustno1", "jordan", "hunter", "michael", "batman",
+    "soccer", "harley", "ranger", "buster", "thomas", "tigger",
+    "robert", "access", "love", "passw0rd", "loveme", "hello",
+    "charlie", "pepper", "jessica", "asshole", "696969", "amanda",
+    "nicole", "daniel", "babygirl", "lovely", "jesus", "michelle",
+    "ashley", "654321", "qwerty123", "football1", "987654321", "mynoob",
+    "18atcskd2w", "3rjs1la7qe", "google", "zxcvbnm", "1q2w3e4r", "555555",
+    "fuckyou", "starwars", "computer", "michelle1", "jordan23", "liverpool",
+    "justin", "loveyou", "princess1", "1234", "131313", "159753",
+    "anthony", "159357", "222222", "lol123", "qwe123", "secret",
+    "summer", "internet", "a123456", "bailey", "whatever", "ginger",
+    "flower", "hottie", "cheese", "matthew", "pokemon", "joshua",
+    "november", "killer", "mustang", "freedom", "nothing", "maggie",
+    "andrea", "chelsea", "family", "purple", "angels", "jennifer",
+    "peanut", "cookie", "silver", "987654", "112233", "samsung",
+};
+
+/// Everyday words users build passwords from (rough frequency order).
+inline constexpr std::string_view kWords[] = {
+    "love", "baby", "angel", "girl", "life", "happy", "lucky", "money",
+    "star", "blue", "pink", "sexy", "cool", "rock", "king", "queen",
+    "heart", "music", "dance", "smile", "dream", "sweet", "honey", "candy",
+    "sugar", "magic", "power", "tiger", "eagle", "wolf", "bear", "lion",
+    "horse", "dog", "cat", "bird", "fish", "snake", "panda", "bunny",
+    "green", "black", "white", "red", "gold", "silver", "orange", "purple",
+    "yellow", "brown", "crazy", "funny", "super", "mega", "ultra", "hyper",
+    "ninja", "pirate", "zombie", "ghost", "devil", "demon", "spirit",
+    "soul", "fire", "water", "earth", "wind", "storm", "thunder", "light",
+    "dark", "night", "day", "moon", "sun", "sky", "rain", "snow",
+    "summer", "winter", "spring", "autumn", "flower", "rose", "daisy",
+    "lily", "jasmine", "peace", "hope", "faith", "grace", "glory", "honor",
+    "pride", "trust", "truth", "forever", "always", "never", "alone",
+    "friend", "family", "mother", "father", "sister", "brother", "cousin",
+    "uncle", "mommy", "daddy", "nana", "papa", "house", "home", "school",
+    "college", "work", "office", "beach", "ocean", "river", "lake",
+    "mountain", "forest", "island", "paradise", "heaven", "hell", "world",
+    "planet", "space", "galaxy", "rocket", "shuttle", "pilot", "driver",
+    "racer", "runner", "player", "gamer", "winner", "loser", "master",
+    "slave", "boss", "chief", "captain", "soldier", "warrior", "knight",
+    "prince", "duke", "lord", "wizard", "witch", "fairy", "mermaid",
+    "dolphin", "shark", "whale", "turtle", "monkey", "donkey", "chicken",
+    "cowboy", "hunter", "fisher", "farmer", "doctor", "nurse", "teacher",
+    "student", "lawyer", "banker", "singer", "artist", "writer", "poet",
+    "actor", "model", "diva", "princess", "cutie", "sweetie", "darling",
+    "honey", "sunshine", "rainbow", "butterfly", "ladybug", "dragonfly",
+    "firefly", "cricket", "spider", "scorpion", "cobra", "viper", "python",
+    "falcon", "hawk", "raven", "crow", "robin", "sparrow", "phoenix",
+    "dragon", "unicorn", "pegasus", "griffin", "hydra", "kraken", "titan",
+    "atlas", "zeus", "apollo", "athena", "venus", "mars", "jupiter",
+    "saturn", "neptune", "pluto", "mercury", "cosmos", "nebula", "comet",
+    "meteor", "eclipse", "aurora", "horizon", "sunset", "sunrise", "dawn",
+    "dusk", "midnight", "noon", "today", "tomorrow", "yesterday", "monday",
+    "friday", "sunday", "january", "april", "june", "july", "august",
+    "october", "december", "spring", "soccer", "football", "baseball",
+    "basket", "tennis", "hockey", "rugby", "cricket", "golf", "boxing",
+    "karate", "judo", "yoga", "chess", "poker", "bingo", "lotto",
+    "casino", "vegas", "paris", "london", "tokyo", "berlin", "madrid",
+    "roma", "milan", "dallas", "texas", "boston", "chicago", "miami",
+    "brooklyn", "jersey", "hawaii", "alaska", "canada", "mexico", "brazil",
+    "china", "india", "japan", "korea", "france", "spain", "italy",
+    "russia", "egypt", "kenya", "congo", "peru", "chile", "cuba",
+    "guitar", "piano", "violin", "drums", "flute", "trumpet", "banjo",
+    "techno", "disco", "salsa", "tango", "reggae", "hiphop", "metal",
+    "punk", "blues", "jazz", "opera", "remix", "melody", "rhythm",
+    "chorus", "lyric", "song", "tune", "beat", "bass", "treble",
+    "coffee", "pizza", "burger", "taco", "pasta", "noodle", "cookie",
+    "brownie", "muffin", "donut", "bagel", "pretzel", "popcorn", "nachos",
+    "cheese", "butter", "pepper", "garlic", "onion", "tomato", "potato",
+    "carrot", "banana", "apple", "mango", "peach", "cherry", "berry",
+    "grape", "melon", "lemon", "lime", "coconut", "vanilla", "chocolate",
+    "caramel", "toffee", "fudge", "jelly", "peanut", "walnut", "almond",
+    "turbo", "nitro", "diesel", "petrol", "engine", "motor", "wheels",
+    "brakes", "clutch", "gears", "speed", "racing", "drift", "cruise",
+    "harley", "honda", "yamaha", "suzuki", "ferrari", "porsche", "bentley",
+    "jaguar", "mustang", "camaro", "charger", "viper", "shelby", "lancer",
+    "pixel", "cyber", "digital", "virtual", "matrix", "vector", "binary",
+    "kernel", "server", "router", "modem", "laptop", "mobile", "tablet",
+    "gadget", "widget", "hacker", "coder", "nerd", "geek", "wizard",
+};
+
+/// Given names (used for name+year habits; rough frequency order).
+inline constexpr std::string_view kNames[] = {
+    "michael", "jessica", "ashley", "matthew", "joshua", "amanda",
+    "daniel", "david", "james", "robert", "john", "joseph", "andrew",
+    "ryan", "brandon", "jason", "justin", "sarah", "william", "jonathan",
+    "brittany", "samantha", "anthony", "stephanie", "nicholas", "melissa",
+    "christopher", "jennifer", "elizabeth", "megan", "kevin", "steven",
+    "thomas", "lauren", "eric", "rachel", "amber", "nicole", "heather",
+    "timothy", "christina", "tiffany", "charles", "austin", "jeremy",
+    "sean", "kayla", "brian", "emily", "jacob", "danielle", "kyle",
+    "rebecca", "zachary", "chelsea", "jose", "alex", "maria", "angel",
+    "victoria", "crystal", "richard", "erica", "tyler", "jordan",
+    "alexis", "jesse", "alyssa", "vanessa", "cody", "courtney", "aaron",
+    "kimberly", "adam", "laura", "patrick", "natalie", "jasmine",
+    "travis", "michelle", "karen", "nathan", "sara", "dustin", "kelsey",
+    "paul", "mark", "erin", "katie", "derek", "allison", "lucas",
+    "monica", "diana", "carlos", "sophia", "olivia", "emma", "isabella",
+    "mia", "charlotte", "amelia", "harper", "evelyn", "abigail", "ella",
+    "scarlett", "grace", "lily", "aria", "chloe", "zoey", "penelope",
+    "layla", "riley", "nora", "hazel", "violet", "aurora", "savannah",
+    "audrey", "brooklyn", "bella", "claire", "skylar", "lucy", "paisley",
+    "everly", "anna", "caroline", "genesis", "kennedy", "stella",
+    "maya", "valeria", "adrian", "gabriel", "miguel", "antonio", "diego",
+    "fernando", "pedro", "juan", "luis", "pablo", "sergio", "marco",
+    "bruno", "felipe", "rafael", "andres", "hugo", "ivan", "oscar",
+    "victor", "ricardo", "eduardo", "roberto", "manuel", "alejandro",
+    "francisco", "javier", "leonardo", "gustavo",
+};
+
+/// Keyboard walks common in leaks.
+inline constexpr std::string_view kKeyboardWalks[] = {
+    "qwerty", "qwertyuiop", "asdfgh", "asdfghjkl", "zxcvbn", "zxcvbnm",
+    "1qaz2wsx", "qazwsx", "qazwsxedc", "1q2w3e4r", "1q2w3e", "q1w2e3r4",
+    "zaq12wsx", "xsw2zaq1", "poiuyt", "lkjhgf", "mnbvcx", "098765",
+    "135790", "246810", "13579", "02468", "1234qwer", "qwer1234",
+    "asdf1234", "1234asdf", "wasd", "wasdwasd", "4rfv3edc", "5tgb6yhn",
+    "7ujm8ik", "9ol.0p", "plokij", "okmijn", "qweasd", "qweasdzxc",
+};
+
+/// Special characters in rough order of password popularity.
+inline constexpr std::string_view kSpecialsByPopularity =
+    "!.@_-*#$&+?=%^/~,:;'\"()[]{}<>|\\`";
+
+}  // namespace ppg::data

@@ -1,0 +1,48 @@
+// Uniform password-generator interface used by the guess-curve benches so
+// Table IV / Fig. 10 can iterate one loop over six heterogeneous models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppg::eval {
+
+/// A named batch-generation callback: produce up to `count` guesses.
+struct NamedGenerator {
+  std::string name;
+  std::function<std::vector<std::string>(std::size_t count, Rng& rng)> generate;
+};
+
+/// Runs one generator along a ladder of guess budgets, feeding a
+/// GuessCurve-compatible sink in chunks so memory stays bounded.
+/// `sink(chunk)` is called with successive guess batches; `checkpoint(b)`
+/// after the cumulative count reaches budget b (in ladder order).
+template <typename Sink, typename Checkpoint>
+void run_guess_ladder(const NamedGenerator& gen,
+                      const std::vector<std::uint64_t>& ladder,
+                      std::size_t chunk_size, Rng& rng, Sink&& sink,
+                      Checkpoint&& checkpoint) {
+  std::uint64_t produced = 0;
+  for (const std::uint64_t budget : ladder) {
+    while (produced < budget) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(chunk_size, budget - produced));
+      auto chunk = gen.generate(want, rng);
+      if (chunk.empty()) {
+        // Generator exhausted / refuses to produce; pad accounting with
+        // empty guesses so budgets stay comparable.
+        chunk.assign(want, std::string());
+      }
+      produced += chunk.size();
+      sink(chunk);
+    }
+    checkpoint(budget);
+  }
+}
+
+}  // namespace ppg::eval

@@ -1,0 +1,173 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pcfg/pattern.h"
+
+namespace ppg::eval {
+
+TestSet::TestSet(std::span<const std::string> passwords) {
+  set_.reserve(passwords.size() * 2);
+  for (const auto& pw : passwords) {
+    if (!set_.insert(pw).second) continue;
+    const std::string pat = pcfg::pattern_of(pw);
+    by_pattern_[pat]++;
+    by_segments_[pcfg::segment_count(pat)]++;
+  }
+}
+
+std::size_t TestSet::count_with_pattern(const std::string& pattern) const {
+  const auto it = by_pattern_.find(pattern);
+  return it == by_pattern_.end() ? 0 : it->second;
+}
+
+std::size_t TestSet::count_with_segments(int segments) const {
+  const auto it = by_segments_.find(segments);
+  return it == by_segments_.end() ? 0 : it->second;
+}
+
+double repeat_rate(std::span<const std::string> guesses) {
+  if (guesses.empty()) return 0.0;
+  std::unordered_set<std::string> unique(guesses.begin(), guesses.end());
+  return 1.0 - double(unique.size()) / double(guesses.size());
+}
+
+double hit_rate(std::span<const std::string> guesses, const TestSet& test) {
+  if (test.size() == 0) return 0.0;
+  std::unordered_set<std::string> unique(guesses.begin(), guesses.end());
+  std::size_t hits = 0;
+  for (const auto& g : unique)
+    if (test.contains(g)) ++hits;
+  return double(hits) / double(test.size());
+}
+
+GuessCurve::GuessCurve(const TestSet& test, std::size_t top_patterns)
+    : test_(&test) {
+  // Length distribution of the test set over 4..12.
+  const double denom = std::max<double>(1.0, double(test.size()));
+  std::unordered_map<std::string, std::uint64_t> pattern_counts;
+  for (const auto& pw : test.passwords()) {
+    if (pw.size() < test_length_prob_.size())
+      test_length_prob_[pw.size()] += 1.0;
+    pattern_counts[pcfg::pattern_of(pw)]++;
+  }
+  for (auto& v : test_length_prob_) v /= denom;
+  std::vector<std::pair<std::string, std::uint64_t>> items(
+      pattern_counts.begin(), pattern_counts.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const std::size_t keep = std::min(top_patterns, items.size());
+  test_top_patterns_.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i)
+    test_top_patterns_.emplace_back(items[i].first,
+                                    double(items[i].second) / denom);
+}
+
+void GuessCurve::feed(std::span<const std::string> guesses) {
+  for (const auto& g : guesses) {
+    ++total_;
+    if (g.size() < gen_lengths_.size()) gen_lengths_[g.size()]++;
+    gen_patterns_[pcfg::pattern_of(g)]++;
+    if (seen_.insert(g).second && test_->contains(g)) ++hits_;
+  }
+}
+
+CurvePoint GuessCurve::snapshot() const {
+  CurvePoint p;
+  p.guesses = total_;
+  p.unique = seen_.size();
+  p.hits = hits_;
+  p.hit_rate =
+      test_->size() == 0 ? 0.0 : double(hits_) / double(test_->size());
+  p.repeat_rate =
+      total_ == 0 ? 0.0 : 1.0 - double(p.unique) / double(total_);
+  if (total_ > 0) {
+    double acc = 0.0;
+    for (std::size_t len = 4; len <= 12; ++len) {
+      const double gp = double(gen_lengths_[len]) / double(total_);
+      const double d = test_length_prob_[len] - gp;
+      acc += d * d;
+    }
+    p.length_distance = std::sqrt(acc);
+    acc = 0.0;
+    for (const auto& [pat, tp] : test_top_patterns_) {
+      const auto it = gen_patterns_.find(pat);
+      const double gp =
+          it == gen_patterns_.end() ? 0.0 : double(it->second) / double(total_);
+      const double d = tp - gp;
+      acc += d * d;
+    }
+    p.pattern_distance = std::sqrt(acc);
+  }
+  return p;
+}
+
+double length_distance(std::span<const std::string> generated,
+                       std::span<const std::string> test) {
+  std::array<double, 16> gp{}, tp{};
+  for (const auto& pw : generated)
+    if (pw.size() < gp.size()) gp[pw.size()] += 1.0;
+  for (const auto& pw : test)
+    if (pw.size() < tp.size()) tp[pw.size()] += 1.0;
+  const double gd = std::max<double>(1.0, double(generated.size()));
+  const double td = std::max<double>(1.0, double(test.size()));
+  double acc = 0.0;
+  for (std::size_t len = 4; len <= 12; ++len) {
+    const double d = tp[len] / td - gp[len] / gd;
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double pattern_distance(std::span<const std::string> generated,
+                        std::span<const std::string> test, std::size_t top) {
+  std::unordered_map<std::string, std::uint64_t> gc, tc;
+  for (const auto& pw : generated) gc[pcfg::pattern_of(pw)]++;
+  for (const auto& pw : test) tc[pcfg::pattern_of(pw)]++;
+  std::vector<std::pair<std::string, std::uint64_t>> items(tc.begin(),
+                                                           tc.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const double gd = std::max<double>(1.0, double(generated.size()));
+  const double td = std::max<double>(1.0, double(test.size()));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < std::min(top, items.size()); ++i) {
+    const auto it = gc.find(items[i].first);
+    const double gp = it == gc.end() ? 0.0 : double(it->second) / gd;
+    const double d = double(items[i].second) / td - gp;
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double pattern_hit_rate(std::span<const std::string> generated,
+                        const TestSet& test, const std::string& pattern) {
+  const std::size_t denom = test.count_with_pattern(pattern);
+  if (denom == 0) return 0.0;
+  std::unordered_set<std::string> unique(generated.begin(), generated.end());
+  std::size_t hits = 0;
+  for (const auto& pw : unique)
+    if (pcfg::pattern_of(pw) == pattern && test.contains(pw)) ++hits;
+  return double(hits) / double(denom);
+}
+
+double category_hit_rate(std::span<const std::string> generated,
+                         const TestSet& test, int segments) {
+  const std::size_t denom = test.count_with_segments(segments);
+  if (denom == 0) return 0.0;
+  std::unordered_set<std::string> unique(generated.begin(), generated.end());
+  std::size_t hits = 0;
+  for (const auto& pw : unique) {
+    if (pcfg::segment_count(pcfg::pattern_of(pw)) == segments &&
+        test.contains(pw))
+      ++hits;
+  }
+  return double(hits) / double(denom);
+}
+
+}  // namespace ppg::eval

@@ -1,0 +1,116 @@
+// Evaluation metrics of the paper's §IV: hit rate, repeat rate, per-
+// category and per-pattern hit rates (Eqs. 4-5), and length/pattern
+// distribution distances (Eqs. 6-7), plus an incremental guess-curve
+// evaluator that produces Table IV and Fig. 10/11 series in one pass.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ppg::eval {
+
+/// A deduplicated test set with pattern/category indexes precomputed.
+class TestSet {
+ public:
+  /// Builds from cleaned test passwords (deduplicates defensively).
+  explicit TestSet(std::span<const std::string> passwords);
+
+  /// Number of distinct test passwords.
+  std::size_t size() const noexcept { return set_.size(); }
+
+  /// Membership test.
+  bool contains(const std::string& pw) const { return set_.contains(pw); }
+
+  /// Count of test passwords whose pattern is exactly `pattern`.
+  std::size_t count_with_pattern(const std::string& pattern) const;
+
+  /// Count of test passwords whose pattern has `segments` segments.
+  std::size_t count_with_segments(int segments) const;
+
+  /// All distinct test passwords.
+  const std::unordered_set<std::string>& passwords() const noexcept {
+    return set_;
+  }
+
+ private:
+  std::unordered_set<std::string> set_;
+  std::unordered_map<std::string, std::size_t> by_pattern_;
+  std::unordered_map<int, std::size_t> by_segments_;
+};
+
+/// Fraction of duplicate entries among `guesses` (paper §IV-D2):
+/// 1 - unique/total.
+double repeat_rate(std::span<const std::string> guesses);
+
+/// Simple one-shot hit rate: |unique(guesses) ∩ test| / |test|.
+double hit_rate(std::span<const std::string> guesses, const TestSet& test);
+
+/// One checkpoint of an incremental guessing run.
+struct CurvePoint {
+  std::uint64_t guesses = 0;     ///< total guesses consumed so far
+  std::uint64_t unique = 0;      ///< distinct guesses so far
+  std::uint64_t hits = 0;        ///< distinct test passwords hit so far
+  double hit_rate = 0.0;         ///< hits / |test|
+  double repeat_rate = 0.0;      ///< 1 - unique/guesses
+  double length_distance = 0.0;  ///< Eq. 6 over guesses so far
+  double pattern_distance = 0.0; ///< Eq. 7 over guesses so far
+};
+
+/// Streaming evaluator: feed guesses in any chunking, snapshot at chosen
+/// budgets. Tracks the distinct-guess set, hits against the test set, and
+/// the running length/pattern histograms for the distance metrics.
+class GuessCurve {
+ public:
+  /// `top_patterns` is the number of most-common test patterns entering the
+  /// pattern-distance sum (paper uses 150).
+  explicit GuessCurve(const TestSet& test, std::size_t top_patterns = 150);
+
+  /// Consumes a batch of guesses (duplicates allowed; that is the point).
+  void feed(std::span<const std::string> guesses);
+
+  /// Current metrics.
+  CurvePoint snapshot() const;
+
+  /// Total guesses consumed.
+  std::uint64_t consumed() const noexcept { return total_; }
+
+ private:
+  const TestSet* test_;
+  std::unordered_set<std::string> seen_;
+  std::uint64_t total_ = 0;
+  std::uint64_t hits_ = 0;
+  // Length histogram over guesses (indices 4..12 used; others = invalid).
+  std::array<std::uint64_t, 16> gen_lengths_{};
+  std::unordered_map<std::string, std::uint64_t> gen_patterns_;
+  // Test-side reference distributions.
+  std::array<double, 16> test_length_prob_{};
+  std::vector<std::pair<std::string, double>> test_top_patterns_;
+};
+
+/// Eq. 6: Euclidean distance between the length distributions (lengths
+/// 4..12) of two password multisets.
+double length_distance(std::span<const std::string> generated,
+                       std::span<const std::string> test);
+
+/// Eq. 7: Euclidean distance between the distributions of the `top`
+/// most-common test patterns in two password multisets.
+double pattern_distance(std::span<const std::string> generated,
+                        std::span<const std::string> test,
+                        std::size_t top = 150);
+
+/// Eq. 5: hit rate restricted to one pattern — generated passwords are
+/// matched against test passwords conforming to `pattern`.
+double pattern_hit_rate(std::span<const std::string> generated,
+                        const TestSet& test, const std::string& pattern);
+
+/// Eq. 4: hit rate restricted to one segment-count category.
+double category_hit_rate(std::span<const std::string> generated,
+                         const TestSet& test, int segments);
+
+}  // namespace ppg::eval

@@ -1,0 +1,71 @@
+// Plain-text table rendering for the bench binaries: every bench prints
+// the same rows/series as the paper's corresponding table or figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ppg::eval {
+
+/// A fixed-column text table with an ASCII separator header, printed to
+/// stdout. Cells are strings; callers format numbers themselves.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends one row (must match the header count).
+  void add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  /// Renders the table to stdout.
+  void print(const std::string& title = "") const {
+    if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("| %-*s ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("|\n");
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::printf("|");
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    }
+    std::printf("|\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a ratio as a percent string like "12.34%".
+inline std::string pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", x * 100.0);
+  return buf;
+}
+
+/// Formats a double with the given precision.
+inline std::string num(double x, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, x);
+  return buf;
+}
+
+/// Formats an integer count.
+inline std::string count(std::uint64_t x) { return std::to_string(x); }
+
+}  // namespace ppg::eval

@@ -1,0 +1,64 @@
+#include "eval/strength.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppg::eval {
+
+StrengthEstimator::StrengthEstimator(const Sampler& sample, LogProb log_prob,
+                                     std::size_t samples, Rng& rng)
+    : log_prob_(std::move(log_prob)) {
+  if (samples == 0)
+    throw std::invalid_argument("StrengthEstimator: samples must be > 0");
+  std::vector<double> lps;
+  lps.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::string pw = sample(rng);
+    const double lp = log_prob_(pw);
+    if (lp > -1e29) lps.push_back(lp);
+  }
+  if (lps.empty())
+    throw std::runtime_error(
+        "StrengthEstimator: every sample scored zero probability — the "
+        "sampler and scorer disagree about the model");
+  std::sort(lps.begin(), lps.end(), std::greater<>());
+  points_.reserve(lps.size());
+  const double inv_m = 1.0 / double(lps.size());
+  double acc = 0.0;
+  for (const double lp : lps) {
+    // cumulative strictly *before* this sample: number of more-probable
+    // passwords estimated so far.
+    points_.push_back({lp, acc});
+    acc += inv_m * std::exp(-lp);
+  }
+}
+
+double StrengthEstimator::guess_number_for_log_prob(double log_prob) const {
+  if (log_prob <= -1e29) return 1e30;
+  // First point with log_prob <= target (points_ sorted descending).
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), log_prob,
+      [](const Point& p, double target) { return p.log_prob > target; });
+  if (it == points_.begin()) return 1.0;  // more probable than every sample
+  if (it == points_.end()) {
+    // Less probable than every sample: extrapolate past the last point.
+    const Point& last = points_.back();
+    return last.cumulative + std::exp(-last.log_prob) / double(points_.size());
+  }
+  return std::max(1.0, it->cumulative);
+}
+
+double StrengthEstimator::guess_number(std::string_view password) const {
+  return guess_number_for_log_prob(log_prob_(password));
+}
+
+std::string StrengthEstimator::band(double guess_number) {
+  if (guess_number < 1e4) return "very weak (< 10^4 guesses)";
+  if (guess_number < 1e6) return "weak (< 10^6)";
+  if (guess_number < 1e10) return "moderate (< 10^10)";
+  if (guess_number < 1e14) return "strong (< 10^14, paper threat budget)";
+  return "very strong (beyond the paper's 10^14-guess attacker)";
+}
+
+}  // namespace ppg::eval

@@ -1,0 +1,63 @@
+// Monte-Carlo guess-number estimation (Dell'Amico & Filippone, CCS 2015).
+//
+// Given any password model that can (a) sample passwords and (b) score
+// log-probabilities, estimate the *guess number* of a password — how many
+// guesses an attacker enumerating the model in descending-probability
+// order would need before reaching it. This is the standard way to turn a
+// generative password model into a strength meter, and the defensive
+// counterpart of the paper's trawling attack: a password is safe against a
+// 10^14-guess attacker (paper §III-A) iff its estimated guess number
+// exceeds that budget.
+//
+// Method: draw m samples x_i from the model; the guess number of a
+// password with log-probability ℓ is estimated by
+//   G(ℓ) ≈ Σ_{i : log p(x_i) > ℓ} 1 / (m · p(x_i)),
+// an unbiased estimator of the number of passwords more probable than ℓ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppg::eval {
+
+/// Precomputed Monte-Carlo estimator over one model.
+class StrengthEstimator {
+ public:
+  /// Model interface: a sampler and a log-probability scorer.
+  using Sampler = std::function<std::string(Rng&)>;
+  using LogProb = std::function<double(std::string_view)>;
+
+  /// Draws `samples` passwords and builds the cumulative table.
+  /// Degenerate samples (log-prob ≤ -1e29) are dropped.
+  StrengthEstimator(const Sampler& sample, LogProb log_prob,
+                    std::size_t samples, Rng& rng);
+
+  /// Estimated guess number of a password; +inf-like large value
+  /// (1e30) when the model assigns it (effectively) zero probability.
+  double guess_number(std::string_view password) const;
+
+  /// Estimated guess number for a given log-probability.
+  double guess_number_for_log_prob(double log_prob) const;
+
+  /// Number of usable Monte-Carlo samples.
+  std::size_t sample_count() const noexcept { return points_.size(); }
+
+  /// Human-readable strength band for a guess number, using the paper's
+  /// threat-model budget (§III-A: up to 10^14 guesses) as the top band.
+  static std::string band(double guess_number);
+
+ private:
+  struct Point {
+    double log_prob;       // descending
+    double cumulative;     // Σ 1/(m·p) over samples with higher log-prob
+  };
+  LogProb log_prob_;
+  std::vector<Point> points_;
+};
+
+}  // namespace ppg::eval

@@ -1,0 +1,213 @@
+#include "gpt/infer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/kernels.h"
+
+namespace ppg::gpt {
+
+namespace {
+
+/// y[i,:] = layernorm(x[i,:]) * gain + bias, rows of width d.
+void layernorm_rows(Index rows, Index d, const float* x, const float* gain,
+                    const float* bias, float* y) {
+  const float invd = 1.f / static_cast<float>(d);
+  for (Index i = 0; i < rows; ++i) {
+    const float* xr = x + i * d;
+    float* yr = y + i * d;
+    float mean = 0.f;
+    for (Index j = 0; j < d; ++j) mean += xr[j];
+    mean *= invd;
+    float var = 0.f;
+    for (Index j = 0; j < d; ++j) {
+      const float c = xr[j] - mean;
+      var += c * c;
+    }
+    const float rs = 1.f / std::sqrt(var * invd + 1e-5f);
+    for (Index j = 0; j < d; ++j)
+      yr[j] = (xr[j] - mean) * rs * gain[j] + bias[j];
+  }
+}
+
+inline float gelu1(float v) {
+  return 0.5f * v * (1.f + std::erf(v * 0.7071067811865475f));
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(const GptModel& model) : model_(&model) {}
+
+void InferenceSession::reset(Index batch) {
+  if (batch <= 0)
+    throw std::invalid_argument("InferenceSession::reset: batch must be > 0");
+  const Config& c = model_->config();
+  batch_ = batch;
+  pos_ = 0;
+  const std::size_t cache = static_cast<std::size_t>(batch * c.context * c.d_model);
+  kcache_.assign(c.n_layers, std::vector<float>(cache, 0.f));
+  vcache_.assign(c.n_layers, std::vector<float>(cache, 0.f));
+  x_.assign(batch * c.d_model, 0.f);
+  h_.assign(batch * c.d_model, 0.f);
+  qkv_.assign(batch * 3 * c.d_model, 0.f);
+  att_.assign(batch * c.d_model, 0.f);
+  ff_.assign(batch * c.d_ff(), 0.f);
+  logits_.assign(batch * c.vocab, 0.f);
+}
+
+std::span<const float> InferenceSession::step(std::span<const int> tokens) {
+  const Config& c = model_->config();
+  if (batch_ == 0)
+    throw std::logic_error("InferenceSession::step before reset()");
+  if (static_cast<Index>(tokens.size()) != batch_)
+    throw std::invalid_argument("InferenceSession::step: token count != batch");
+  if (pos_ >= c.context)
+    throw std::runtime_error("InferenceSession::step: context exhausted");
+  const Index d = c.d_model, heads = c.n_heads, dh = d / heads;
+  const float scale = 1.f / std::sqrt(static_cast<float>(dh));
+
+  // Embedding: x = wte[token] + wpe[pos].
+  const float* wte = model_->wte().table().data().data();
+  const float* wpe_row = model_->wpe().table().data().data() + pos_ * d;
+  for (Index i = 0; i < batch_; ++i) {
+    const int tok = tokens[i];
+    if (tok < 0 || tok >= c.vocab)
+      throw std::invalid_argument("InferenceSession::step: token out of range");
+    const float* te = wte + static_cast<Index>(tok) * d;
+    float* xr = x_.data() + i * d;
+    for (Index j = 0; j < d; ++j) xr[j] = te[j] + wpe_row[j];
+  }
+
+  std::vector<float> scores(pos_ + 1);
+  for (Index l = 0; l < c.n_layers; ++l) {
+    const Block& blk = model_->blocks()[static_cast<std::size_t>(l)];
+    // Attention: h = ln1(x); qkv = h·Wqkv+b; cache k,v; attend; x += proj.
+    layernorm_rows(batch_, d, x_.data(), blk.ln1.gain().data().data(),
+                   blk.ln1.bias().data().data(), h_.data());
+    nn::kernels::affine(batch_, 3 * d, d, h_.data(),
+                        blk.qkv.weight().data().data(),
+                        blk.qkv.bias().data().data(), qkv_.data());
+    float* kc = kcache_[static_cast<std::size_t>(l)].data();
+    float* vc = vcache_[static_cast<std::size_t>(l)].data();
+    for (Index i = 0; i < batch_; ++i) {
+      const float* krow = qkv_.data() + i * 3 * d + d;
+      const float* vrow = qkv_.data() + i * 3 * d + 2 * d;
+      float* kdst = kc + (i * c.context + pos_) * d;
+      float* vdst = vc + (i * c.context + pos_) * d;
+      for (Index j = 0; j < d; ++j) {
+        kdst[j] = krow[j];
+        vdst[j] = vrow[j];
+      }
+    }
+    for (Index i = 0; i < batch_; ++i) {
+      const float* q = qkv_.data() + i * 3 * d;
+      float* out = att_.data() + i * d;
+      for (Index hh = 0; hh < heads; ++hh) {
+        const float* qh = q + hh * dh;
+        float mx = -1e30f;
+        for (Index s = 0; s <= pos_; ++s) {
+          const float* kh = kc + (i * c.context + s) * d + hh * dh;
+          float acc = 0.f;
+          for (Index j = 0; j < dh; ++j) acc += qh[j] * kh[j];
+          scores[s] = acc * scale;
+          mx = std::max(mx, scores[s]);
+        }
+        float z = 0.f;
+        for (Index s = 0; s <= pos_; ++s) {
+          scores[s] = std::exp(scores[s] - mx);
+          z += scores[s];
+        }
+        const float inv = 1.f / z;
+        float* oh = out + hh * dh;
+        for (Index j = 0; j < dh; ++j) oh[j] = 0.f;
+        for (Index s = 0; s <= pos_; ++s) {
+          const float p = scores[s] * inv;
+          const float* vh = vc + (i * c.context + s) * d + hh * dh;
+          for (Index j = 0; j < dh; ++j) oh[j] += p * vh[j];
+        }
+      }
+    }
+    // x += proj(att)
+    nn::kernels::affine(batch_, d, d, att_.data(),
+                        blk.proj.weight().data().data(),
+                        blk.proj.bias().data().data(), h_.data());
+    for (Index i = 0; i < batch_ * d; ++i) x_[i] += h_[i];
+    // MLP: x += fc2(gelu(fc1(ln2(x))))
+    layernorm_rows(batch_, d, x_.data(), blk.ln2.gain().data().data(),
+                   blk.ln2.bias().data().data(), h_.data());
+    nn::kernels::affine(batch_, c.d_ff(), d, h_.data(),
+                        blk.fc1.weight().data().data(),
+                        blk.fc1.bias().data().data(), ff_.data());
+    for (auto& v : ff_) v = gelu1(v);
+    nn::kernels::affine(batch_, d, c.d_ff(), ff_.data(),
+                        blk.fc2.weight().data().data(),
+                        blk.fc2.bias().data().data(), h_.data());
+    for (Index i = 0; i < batch_ * d; ++i) x_[i] += h_[i];
+  }
+
+  layernorm_rows(batch_, d, x_.data(), model_->ln_f().gain().data().data(),
+                 model_->ln_f().bias().data().data(), h_.data());
+  nn::kernels::affine(batch_, c.vocab, d, h_.data(),
+                      model_->lm_head().weight().data().data(),
+                      model_->lm_head().bias().data().data(), logits_.data());
+  ++pos_;
+  return {logits_.data(), logits_.size()};
+}
+
+std::span<const float> InferenceSession::prime(std::span<const int> prefix) {
+  if (prefix.empty())
+    throw std::invalid_argument("InferenceSession::prime: empty prefix");
+  std::vector<int> broadcast(static_cast<std::size_t>(batch_));
+  std::span<const float> out;
+  for (const int tok : prefix) {
+    std::fill(broadcast.begin(), broadcast.end(), tok);
+    out = step(broadcast);
+  }
+  return out;
+}
+
+std::span<const float> InferenceSession::logits_row(Index i) const {
+  const Index v = model_->config().vocab;
+  return {logits_.data() + i * v, static_cast<std::size_t>(v)};
+}
+
+std::vector<float> next_token_distribution(const GptModel& model,
+                                           std::span<const int> prefix) {
+  InferenceSession session(model);
+  session.reset(1);
+  const auto logits = session.prime(prefix);
+  std::vector<float> probs(logits.begin(), logits.end());
+  float mx = probs[0];
+  for (const float v : probs) mx = std::max(mx, v);
+  double z = 0.0;
+  for (auto& v : probs) {
+    v = std::exp(v - mx);
+    z += v;
+  }
+  for (auto& v : probs) v = static_cast<float>(v / z);
+  return probs;
+}
+
+double sequence_log_prob(const GptModel& model, std::span<const int> ids) {
+  if (ids.size() < 2)
+    throw std::invalid_argument("sequence_log_prob: need at least two tokens");
+  if (static_cast<Index>(ids.size()) > model.config().context)
+    throw std::invalid_argument("sequence_log_prob: sequence exceeds context");
+  InferenceSession session(model);
+  session.reset(1);
+  double total = 0.0;
+  for (std::size_t t = 0; t + 1 < ids.size(); ++t) {
+    const int tok = ids[t];
+    const auto logits = session.step(std::span<const int>(&tok, 1));
+    // log softmax at the next token's index.
+    float mx = logits[0];
+    for (const float v : logits) mx = std::max(mx, v);
+    double z = 0.0;
+    for (const float v : logits) z += std::exp(double(v - mx));
+    total += double(logits[static_cast<std::size_t>(ids[t + 1])] - mx) -
+             std::log(z);
+  }
+  return total;
+}
+
+}  // namespace ppg::gpt

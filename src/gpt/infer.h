@@ -1,0 +1,75 @@
+// No-autograd batched inference with per-layer KV caches.
+//
+// Training goes through nn::Graph; generation volume (millions of guesses)
+// demands a fast path: this session keeps key/value caches per layer so each
+// new token costs O(d² + pos·d) per sequence, processes a whole batch of
+// sequences in lockstep (one GEMM per projection), and allocates all
+// buffers once at reset.
+//
+// All sequences in a session advance together (same position). Callers that
+// need ragged prefixes group them by length (see D&C-GEN's divider).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpt/model.h"
+
+namespace ppg::gpt {
+
+/// Batched incremental decoder over a GptModel's weights.
+/// The model must outlive the session.
+class InferenceSession {
+ public:
+  /// Binds to a model. Buffers are sized lazily at reset().
+  explicit InferenceSession(const GptModel& model);
+
+  /// Starts `batch` fresh sequences at position 0.
+  void reset(Index batch);
+
+  /// Feeds one token per sequence (tokens.size() == batch()) and returns
+  /// the next-token logits, row-major [batch, vocab]. The returned span is
+  /// valid until the next step()/reset(). Throws when the context window
+  /// is exhausted.
+  std::span<const float> step(std::span<const int> tokens);
+
+  /// Feeds a shared prefix to every sequence; returns the logits after its
+  /// last token. Equivalent to step() per prefix token with the same token
+  /// broadcast across the batch.
+  std::span<const float> prime(std::span<const int> prefix);
+
+  /// Logits row for sequence `i` from the last step.
+  std::span<const float> logits_row(Index i) const;
+
+  /// Next position to be fed (0 after reset).
+  Index position() const noexcept { return pos_; }
+
+  /// Number of sequences in the current batch.
+  Index batch() const noexcept { return batch_; }
+
+  const Config& config() const noexcept { return model_->config(); }
+
+ private:
+  const GptModel* model_;
+  Index batch_ = 0;
+  Index pos_ = 0;
+  // Per layer: K and V caches, [batch, context, d_model] flattened.
+  std::vector<std::vector<float>> kcache_, vcache_;
+  // Scratch buffers reused across steps.
+  std::vector<float> x_, h_, qkv_, att_, ff_, logits_;
+};
+
+/// One-shot convenience: next-token distribution (softmax of logits) after
+/// `prefix` for a single sequence. Builds a throwaway session; use an
+/// explicit session for anything hot.
+std::vector<float> next_token_distribution(const GptModel& model,
+                                           std::span<const int> prefix);
+
+/// log P(ids[1..]) under the model: the sum of next-token log-probabilities
+/// of every token after the first (autoregressive chain rule, Eq. 3 of the
+/// paper). For a full rule <BOS>‖pattern‖<SEP>‖pw‖<EOS> this is the joint
+/// log-probability of the pattern *and* the password — exactly the model's
+/// guessing-order score. Requires ids.size() >= 2 and within context.
+double sequence_log_prob(const GptModel& model, std::span<const int> ids);
+
+}  // namespace ppg::gpt

@@ -1,0 +1,130 @@
+#include "gpt/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tokenizer/tokenizer.h"
+
+namespace ppg::gpt {
+
+int sample_from_logits(std::span<const float> logits, Rng& rng,
+                       const SampleOptions& opts) {
+  const std::size_t v = logits.size();
+  // Work on (probability, index) pairs after temperature scaling.
+  thread_local std::vector<std::pair<float, int>> items;
+  items.clear();
+  items.reserve(v);
+  const float inv_t = 1.f / std::max(opts.temperature, 1e-6f);
+  float mx = -1e30f;
+  for (std::size_t i = 0; i < v; ++i) mx = std::max(mx, logits[i] * inv_t);
+  for (std::size_t i = 0; i < v; ++i) {
+    const float l = logits[i] * inv_t;
+    if (l <= -1e29f) continue;  // masked out
+    items.emplace_back(std::exp(l - mx), static_cast<int>(i));
+  }
+  if (items.empty()) return -1;  // everything masked
+  const bool truncate =
+      (opts.top_k > 0 && static_cast<std::size_t>(opts.top_k) < items.size()) ||
+      opts.top_p < 1.0;
+  if (truncate) {
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (opts.top_k > 0 && static_cast<std::size_t>(opts.top_k) < items.size())
+      items.resize(static_cast<std::size_t>(opts.top_k));
+    if (opts.top_p < 1.0) {
+      double total = 0.0;
+      for (const auto& [p, idx] : items) total += p;
+      double acc = 0.0;
+      std::size_t keep = 0;
+      for (; keep < items.size(); ++keep) {
+        acc += items[keep].first;
+        if (acc >= opts.top_p * total) {
+          ++keep;
+          break;
+        }
+      }
+      items.resize(std::max<std::size_t>(keep, 1));
+    }
+  }
+  double total = 0.0;
+  for (const auto& [p, idx] : items) total += p;
+  double target = rng.uniform() * total;
+  for (const auto& [p, idx] : items) {
+    target -= p;
+    if (target < 0.0) return idx;
+  }
+  return items.back().second;
+}
+
+std::vector<std::string> sample_passwords(const GptModel& model,
+                                          std::span<const int> prefix,
+                                          std::size_t count, Rng& rng,
+                                          const SampleOptions& opts,
+                                          const LogitMask& mask,
+                                          SampleStats* stats) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  SampleStats local;
+  InferenceSession session(model);
+  const Index max_new =
+      model.config().context - static_cast<Index>(prefix.size());
+  std::vector<float> row(static_cast<std::size_t>(model.config().vocab));
+  const std::size_t attempt_budget =
+      count * static_cast<std::size_t>(std::max(opts.max_attempt_factor, 1));
+
+  while (out.size() < count && local.sequences_run < attempt_budget) {
+    const Index n = static_cast<Index>(std::min<std::size_t>(
+        static_cast<std::size_t>(opts.batch_size), count - out.size()));
+    local.sequences_run += static_cast<std::size_t>(n);
+    session.reset(n);
+    session.prime(prefix);
+    std::vector<std::vector<int>> generated(static_cast<std::size_t>(n));
+    std::vector<bool> active(static_cast<std::size_t>(n), true);
+    std::vector<int> next(static_cast<std::size_t>(n), tok::Tokenizer::kPad);
+    Index alive = n;
+    for (Index step = 0; step < max_new && alive > 0; ++step) {
+      for (Index i = 0; i < n; ++i) {
+        if (!active[static_cast<std::size_t>(i)]) {
+          next[static_cast<std::size_t>(i)] = tok::Tokenizer::kPad;
+          continue;
+        }
+        const auto logits = session.logits_row(i);
+        std::copy(logits.begin(), logits.end(), row.begin());
+        if (mask) mask(step, row);
+        const int tok_id = sample_from_logits(row, rng, opts);
+        if (tok_id < 0 || tok_id == tok::Tokenizer::kEos) {
+          // Sequence finished (or fully masked -> finished-invalid; the
+          // decode below rejects structurally bad sequences).
+          if (tok_id == tok::Tokenizer::kEos)
+            generated[static_cast<std::size_t>(i)].push_back(tok_id);
+          active[static_cast<std::size_t>(i)] = false;
+          --alive;
+          next[static_cast<std::size_t>(i)] = tok::Tokenizer::kPad;
+          continue;
+        }
+        generated[static_cast<std::size_t>(i)].push_back(tok_id);
+        next[static_cast<std::size_t>(i)] = tok_id;
+      }
+      if (alive > 0 && session.position() < model.config().context)
+        session.step(next);
+      else
+        break;
+    }
+    for (Index i = 0; i < n && out.size() < count; ++i) {
+      std::vector<int> full(prefix.begin(), prefix.end());
+      full.insert(full.end(), generated[static_cast<std::size_t>(i)].begin(),
+                  generated[static_cast<std::size_t>(i)].end());
+      const auto pw = tok::Tokenizer::decode_password(full);
+      if (pw.has_value() && !pw->empty())
+        out.push_back(*pw);
+      else
+        ++local.invalid;
+    }
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace ppg::gpt

@@ -1,0 +1,63 @@
+// Batched autoregressive password sampling on top of InferenceSession.
+//
+// One sampler serves every GPT-based scheme in the repo:
+//  * PagPassGPT pattern-guided: prefix = <BOS> pattern <SEP>, no mask;
+//  * PagPassGPT free-running:   prefix = <BOS>, no mask (the model emits
+//    pattern, <SEP>, password, <EOS> on its own — paper §IV-D);
+//  * PassGPT guided filtering:  prefix = <BOS>, mask = pattern filter that
+//    zeroes tokens violating the target pattern at each step (§I-A1);
+//  * D&C-GEN leaf tasks:        prefix = task prefix, mask = pattern filter
+//    from the task's pattern suffix.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpt/infer.h"
+
+namespace ppg::gpt {
+
+/// Sampling knobs.
+struct SampleOptions {
+  float temperature = 1.0f;
+  /// Keep only the k most likely tokens (0 = disabled).
+  int top_k = 0;
+  /// Nucleus sampling mass (1.0 = disabled).
+  double top_p = 1.0;
+  /// Sequences decoded per InferenceSession batch.
+  Index batch_size = 64;
+  /// Give up after count*max_attempt_factor sequences when the model keeps
+  /// producing undecodable output (unfinished / malformed rules).
+  int max_attempt_factor = 4;
+};
+
+/// Diagnostics of one sampling run.
+struct SampleStats {
+  std::size_t sequences_run = 0;  ///< total sequences started
+  std::size_t invalid = 0;        ///< undecodable or unterminated
+};
+
+/// Hook applied to each active sequence's raw logits before sampling;
+/// `step` counts tokens generated after the prefix (0-based). Set a logit
+/// to a very negative value (e.g. -1e30f) to forbid a token.
+using LogitMask = std::function<void(Index step, std::span<float> logits)>;
+
+/// Generates `count` decoded passwords continuing `prefix`. Returned
+/// strings may repeat — deduplication is the caller's concern (that is the
+/// paper's repeat-rate phenomenon). Undecodable sequences are replaced by
+/// fresh draws until `count` is reached or the attempt budget is exhausted.
+std::vector<std::string> sample_passwords(const GptModel& model,
+                                          std::span<const int> prefix,
+                                          std::size_t count, Rng& rng,
+                                          const SampleOptions& opts = {},
+                                          const LogitMask& mask = nullptr,
+                                          SampleStats* stats = nullptr);
+
+/// Samples a token id from raw logits under the given options.
+int sample_from_logits(std::span<const float> logits, Rng& rng,
+                       const SampleOptions& opts);
+
+}  // namespace ppg::gpt

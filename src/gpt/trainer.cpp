@@ -1,0 +1,121 @@
+#include "gpt/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace ppg::gpt {
+
+TrainReport train_lm(GptModel& model,
+                     const std::vector<std::vector<int>>& train_seqs,
+                     const std::vector<std::vector<int>>& valid_seqs,
+                     const TrainConfig& cfg, int pad_token,
+                     const EpochHook& hook) {
+  if (cfg.epochs <= 0 || cfg.batch_size <= 0)
+    throw std::invalid_argument("train_lm: epochs and batch_size must be > 0");
+  const Index context = model.config().context;
+
+  // Usable sequences: need at least one (input, target) pair and must fit.
+  std::vector<std::size_t> usable;
+  usable.reserve(train_seqs.size());
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < train_seqs.size(); ++i) {
+    const auto len = static_cast<Index>(train_seqs[i].size());
+    if (len >= 2 && len <= context + 1)
+      usable.push_back(i);
+    else
+      ++skipped;
+  }
+  if (usable.empty())
+    throw std::invalid_argument("train_lm: no usable training sequences");
+  if (skipped > 0)
+    log_warn("train_lm: skipped %zu sequences not fitting context", skipped);
+
+  Rng shuffle_rng(cfg.seed, "train-shuffle");
+  nn::AdamW::Config opt_cfg;
+  opt_cfg.lr = cfg.lr;
+  opt_cfg.weight_decay = cfg.weight_decay;
+  nn::AdamW opt(model.params(), opt_cfg);
+
+  const std::size_t steps_per_epoch =
+      (usable.size() + static_cast<std::size_t>(cfg.batch_size) - 1) /
+      static_cast<std::size_t>(cfg.batch_size);
+  const std::size_t total_steps =
+      steps_per_epoch * static_cast<std::size_t>(cfg.epochs);
+  const std::size_t warmup_steps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.warmup_frac * double(total_steps)));
+
+  TrainReport report;
+  nn::Graph g;
+  std::size_t step = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    shuffle_rng.shuffle(usable);
+    double epoch_loss = 0.0;
+    std::size_t epoch_batches = 0;
+    for (std::size_t start = 0; start < usable.size();
+         start += static_cast<std::size_t>(cfg.batch_size)) {
+      const std::size_t end = std::min(
+          usable.size(), start + static_cast<std::size_t>(cfg.batch_size));
+      const Index batch = static_cast<Index>(end - start);
+      Index time = 0;
+      for (std::size_t i = start; i < end; ++i)
+        time = std::max(
+            time, static_cast<Index>(train_seqs[usable[i]].size()) - 1);
+      std::vector<int> inputs(batch * time, pad_token);
+      std::vector<int> targets(batch * time, -1);
+      for (Index b = 0; b < batch; ++b) {
+        const auto& seq = train_seqs[usable[start + static_cast<std::size_t>(b)]];
+        for (std::size_t t = 0; t + 1 < seq.size(); ++t) {
+          inputs[b * time + static_cast<Index>(t)] = seq[t];
+          targets[b * time + static_cast<Index>(t)] = seq[t + 1];
+        }
+      }
+      // LR schedule: linear warmup then cosine decay to 10% of peak.
+      double lr_scale;
+      if (step < warmup_steps) {
+        lr_scale = double(step + 1) / double(warmup_steps);
+      } else if (cfg.cosine_decay && total_steps > warmup_steps) {
+        const double progress = double(step - warmup_steps) /
+                                double(total_steps - warmup_steps);
+        lr_scale = 0.1 + 0.9 * 0.5 * (1.0 + std::cos(3.141592653589793 * progress));
+      } else {
+        lr_scale = 1.0;
+      }
+      opt.lr() = static_cast<float>(cfg.lr * lr_scale);
+
+      g.clear();
+      const nn::Tensor loss =
+          model.loss(g, inputs, targets, batch, time, -1, nullptr);
+      g.backward(loss);
+      model.params().clip_grad_norm(cfg.grad_clip);
+      opt.step();
+      epoch_loss += double(loss.at(0));
+      ++epoch_batches;
+      ++step;
+      if (cfg.log_every > 0 && step % static_cast<std::size_t>(cfg.log_every) == 0)
+        log_info("train_lm: step %zu/%zu loss=%.4f lr=%.2e", step, total_steps,
+                 loss.at(0), double(opt.lr()));
+    }
+    g.clear();
+    const double mean_loss =
+        epoch_batches == 0 ? 0.0 : epoch_loss / double(epoch_batches);
+    report.epoch_loss.push_back(mean_loss);
+    double vnll = 0.0;
+    if (!valid_seqs.empty()) {
+      vnll = model.evaluate_nll(valid_seqs, cfg.batch_size, pad_token);
+      report.valid_nll.push_back(vnll);
+    }
+    if (hook) hook(epoch, mean_loss, vnll);
+    if (cfg.log_every > 0)
+      log_info("train_lm: epoch %d/%d train=%.4f valid=%.4f", epoch + 1,
+               cfg.epochs, mean_loss, vnll);
+  }
+  report.steps = step;
+  return report;
+}
+
+}  // namespace ppg::gpt

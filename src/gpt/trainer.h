@@ -1,0 +1,50 @@
+// LM training loop: shuffled minibatches, AdamW, linear warmup + cosine
+// decay, global-norm gradient clipping, per-epoch validation NLL.
+//
+// Mirrors the paper's setup (§IV-B1: AdamW, batch 512, 30 epochs, initial
+// LR 5e-5 on 4 GPUs) scaled to one CPU core: smaller batches, fewer
+// epochs, proportionally larger LR.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gpt/model.h"
+
+namespace ppg::gpt {
+
+/// Training hyperparameters.
+struct TrainConfig {
+  int epochs = 6;
+  Index batch_size = 64;
+  float lr = 1e-3f;
+  float warmup_frac = 0.03f;  ///< fraction of total steps spent warming up
+  bool cosine_decay = true;
+  float grad_clip = 1.0f;
+  float weight_decay = 0.01f;
+  std::uint64_t seed = 42;
+  int log_every = 0;  ///< steps between progress logs; 0 = silent
+};
+
+/// Per-epoch training record.
+struct TrainReport {
+  std::vector<double> epoch_loss;  ///< mean train loss per epoch
+  std::vector<double> valid_nll;   ///< validation NLL per epoch (if any)
+  std::size_t steps = 0;
+};
+
+/// Optional per-epoch callback: (epoch, train_loss, valid_nll).
+using EpochHook = std::function<void(int, double, double)>;
+
+/// Trains `model` on tokenised sequences (each a full rule, length >= 2).
+/// Sequences longer than the model context are skipped with a warning.
+/// `pad_token` fills ragged batch tails; padded targets are ignored in the
+/// loss. Deterministic for a fixed config.
+TrainReport train_lm(GptModel& model,
+                     const std::vector<std::vector<int>>& train_seqs,
+                     const std::vector<std::vector<int>>& valid_seqs,
+                     const TrainConfig& cfg, int pad_token,
+                     const EpochHook& hook = nullptr);
+
+}  // namespace ppg::gpt

@@ -1,0 +1,140 @@
+// Reverse-mode autograd over Tensors.
+//
+// A Graph is a tape: every op creates its output tensor, computes the
+// forward values immediately, and records a closure that propagates
+// gradients from the output's grad buffer into the inputs' grad buffers.
+// Graph::backward(loss) seeds d(loss)=1 and replays the tape in reverse.
+//
+// Usage per training step:
+//   graph.clear();
+//   Tensor loss = model.loss(graph, batch);
+//   graph.backward(loss);
+//   optimizer.step();   // parameters' grads were accumulated
+//
+// Ops validate shapes eagerly and throw std::invalid_argument on misuse.
+// All kernels are single-threaded; parallelism lives above this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace ppg::nn {
+
+/// Autograd tape. Not thread-safe; one Graph per training thread.
+class Graph {
+ public:
+  // ---- core linear algebra -------------------------------------------
+
+  /// C = A·B for A:[m,k], B:[k,n] → [m,n].
+  Tensor matmul(const Tensor& a, const Tensor& b);
+
+  /// y = x·W + bias for x:[m,k], w:[k,n], bias:[n] → [m,n].
+  Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+  // ---- elementwise ----------------------------------------------------
+
+  /// Elementwise a + b (identical shapes).
+  Tensor add(const Tensor& a, const Tensor& b);
+
+  /// Elementwise a - b (identical shapes).
+  Tensor sub(const Tensor& a, const Tensor& b);
+
+  /// Elementwise Hadamard product (identical shapes).
+  Tensor mul(const Tensor& a, const Tensor& b);
+
+  /// Row-broadcast product: out[i,j] = x[i,j] * v[j] for x:[m,n], v:[n].
+  Tensor mul_row(const Tensor& x, const Tensor& v);
+
+  /// x * c for scalar constant c.
+  Tensor scale(const Tensor& x, float c);
+
+  /// x + c elementwise for scalar constant c.
+  Tensor add_scalar(const Tensor& x, float c);
+
+  /// Exact GELU: x·Φ(x).
+  Tensor gelu(const Tensor& x);
+
+  /// max(x, 0).
+  Tensor relu(const Tensor& x);
+
+  /// tanh(x).
+  Tensor tanh_op(const Tensor& x);
+
+  /// Logistic sigmoid.
+  Tensor sigmoid(const Tensor& x);
+
+  /// exp(x).
+  Tensor exp_op(const Tensor& x);
+
+  /// log(x); inputs must be positive for meaningful gradients.
+  Tensor log_op(const Tensor& x);
+
+  /// x².
+  Tensor square(const Tensor& x);
+
+  /// Inverted dropout with keep-prob (1-p); identity when p == 0.
+  Tensor dropout(const Tensor& x, float p, Rng& rng);
+
+  // ---- reductions ------------------------------------------------------
+
+  /// Sum of all elements → [1].
+  Tensor sum_all(const Tensor& x);
+
+  /// Mean of all elements → [1].
+  Tensor mean_all(const Tensor& x);
+
+  // ---- shape surgery ---------------------------------------------------
+
+  /// Column slice x[:, lo:hi) of a rank-2 tensor → [m, hi-lo].
+  Tensor slice_cols(const Tensor& x, Index lo, Index hi);
+
+  /// Horizontal concatenation of two rank-2 tensors with equal row counts.
+  Tensor concat_cols(const Tensor& a, const Tensor& b);
+
+  // ---- fused neural ops ------------------------------------------------
+
+  /// Row-wise softmax of a rank-2 tensor.
+  Tensor softmax_rows(const Tensor& x);
+
+  /// LayerNorm over the last dim of x:[m,d] with gain/bias [d].
+  Tensor layernorm(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                   float eps = 1e-5f);
+
+  /// Row gather: out[i,:] = table[ids[i],:]. Gradient scatters into table.
+  Tensor embedding(const std::vector<int>& ids, const Tensor& table);
+
+  /// Fused causal multi-head self-attention.
+  /// qkv is [B*T, 3*d] with row layout [q | k | v]; heads split d into H
+  /// equal slices. Returns [B*T, d]. Rows are ordered batch-major
+  /// (row = b*T + t). Applies the causal mask (position t attends to <= t).
+  Tensor causal_self_attention(const Tensor& qkv, Index batch, Index time,
+                               Index heads);
+
+  /// Mean softmax cross-entropy over rows whose target != ignore_index.
+  /// logits:[m, V], targets.size() == m. Returns a [1] scalar.
+  Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets,
+                       int ignore_index = -1);
+
+  // ---- engine ----------------------------------------------------------
+
+  /// Seeds grad(loss) = 1 (loss must be a [1] tensor) and replays the tape
+  /// in reverse, accumulating into every participating tensor's grad.
+  void backward(const Tensor& loss);
+
+  /// Drops all recorded tape entries (start of a new step).
+  void clear() noexcept { tape_.clear(); }
+
+  /// Number of recorded ops (diagnostics/tests).
+  std::size_t size() const noexcept { return tape_.size(); }
+
+ private:
+  void record(std::function<void()> fn) { tape_.push_back(std::move(fn)); }
+
+  std::vector<std::function<void()>> tape_;
+};
+
+}  // namespace ppg::nn

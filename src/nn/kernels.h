@@ -1,0 +1,71 @@
+// Raw float kernels shared by the autograd ops (graph.cpp) and the
+// no-autograd inference engine (gpt/infer.cpp).
+//
+// All GEMMs accumulate into C (C += ...) so backward passes can reuse them
+// for gradient accumulation; call them on zeroed buffers for plain products.
+// Loop orders are chosen so the innermost loop is a contiguous stream the
+// compiler auto-vectorises.
+#pragma once
+
+#include <cstdint>
+
+namespace ppg::nn::kernels {
+
+using Index = std::int64_t;
+
+/// C[m,n] += A[m,k] · B[k,n]  (ikj order).
+inline void gemm_nn(Index m, Index n, Index k, const float* a, const float* b,
+                    float* c) {
+  for (Index i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (Index p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b + p * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A[m,k] · B[n,k]ᵀ  (dot-product form).
+inline void gemm_nt(Index m, Index n, Index k, const float* a, const float* b,
+                    float* c) {
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.f;
+      for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+/// C[m,n] += A[k,m]ᵀ · B[k,n]  (rank-1 update form).
+inline void gemm_tn(Index m, Index n, Index k, const float* a, const float* b,
+                    float* c) {
+  for (Index p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (Index i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.f) continue;
+      float* crow = c + i * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// y[m,n] = x[m,k] · W[k,n] + bias[n] (no accumulate; bias broadcast).
+inline void affine(Index m, Index n, Index k, const float* x, const float* w,
+                   const float* bias, float* y) {
+  for (Index i = 0; i < m; ++i) {
+    float* yrow = y + i * n;
+    for (Index j = 0; j < n; ++j) yrow[j] = bias[j];
+  }
+  gemm_nn(m, n, k, x, w, y);
+}
+
+}  // namespace ppg::nn::kernels

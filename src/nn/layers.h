@@ -1,0 +1,171 @@
+// Parameterised layer modules on top of the autograd Graph.
+//
+// A module owns its parameter Tensors and exposes forward(Graph&, ...).
+// Parameters are registered into a flat list (see Module::params) that the
+// optimizer and the checkpoint (de)serializers walk in declaration order.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "nn/graph.h"
+#include "nn/tensor.h"
+
+namespace ppg::nn {
+
+/// A named parameter handle used for optimizer walks and checkpoints.
+struct Param {
+  std::string name;
+  Tensor tensor;
+};
+
+/// Collects parameters of a model in a stable order.
+class ParamList {
+ public:
+  /// Registers a parameter; returns the same tensor for chaining.
+  Tensor& add(std::string name, Tensor& t) {
+    params_.push_back({std::move(name), t});
+    return t;
+  }
+
+  /// All registered parameters in registration order.
+  const std::vector<Param>& items() const noexcept { return params_; }
+
+  /// Mutable access for optimizers.
+  std::vector<Param>& items() noexcept { return params_; }
+
+  /// Zeroes every parameter gradient.
+  void zero_grad() {
+    for (auto& p : params_) p.tensor.zero_grad();
+  }
+
+  /// Total scalar parameter count.
+  std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : params_) n += p.tensor.numel();
+    return n;
+  }
+
+  /// Global L2 gradient clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm) {
+    double sq = 0.0;
+    for (auto& p : params_)
+      for (const float g : p.tensor.grad()) sq += double(g) * g;
+    const double norm = std::sqrt(sq);
+    if (norm > max_norm && norm > 0.0) {
+      const float s = static_cast<float>(max_norm / norm);
+      for (auto& p : params_)
+        for (auto& g : p.tensor.grad()) g *= s;
+    }
+    return norm;
+  }
+
+  /// Serializes all parameter values (not grads) in order.
+  void save(BinaryWriter& w) const {
+    w.write<std::uint64_t>(params_.size());
+    for (const auto& p : params_) {
+      w.write_string(p.name);
+      const auto d = p.tensor.data();
+      w.write_vector(std::vector<float>(d.begin(), d.end()));
+    }
+  }
+
+  /// Restores parameter values; names and sizes must match exactly.
+  void load(BinaryReader& r) {
+    const auto n = r.read<std::uint64_t>();
+    if (n != params_.size())
+      throw std::runtime_error("ParamList::load: parameter count mismatch");
+    for (auto& p : params_) {
+      const std::string name = r.read_string();
+      const auto values = r.read_vector<float>();
+      if (name != p.name || values.size() != p.tensor.numel())
+        throw std::runtime_error("ParamList::load: layout mismatch at " + name);
+      auto dst = p.tensor.data();
+      std::copy(values.begin(), values.end(), dst.begin());
+    }
+  }
+
+ private:
+  std::vector<Param> params_;
+};
+
+/// Affine layer y = xW + b with scaled-normal init (GPT-2 style).
+class Linear {
+ public:
+  Linear() = default;
+
+  /// Creates a [in, out] weight and [out] bias; registers both in `params`.
+  Linear(ParamList& params, const std::string& name, Index in, Index out,
+         Rng& rng, float init_scale = 1.0f)
+      : w_({in, out}), b_({out}) {
+    w_.fill_normal(rng, 0.02f * init_scale);
+    b_.fill(0.f);
+    params.add(name + ".weight", w_);
+    params.add(name + ".bias", b_);
+  }
+
+  /// Applies the affine map.
+  Tensor forward(Graph& g, const Tensor& x) const {
+    return g.linear(x, w_, b_);
+  }
+
+  /// Weight tensor (e.g. for weight clipping in WGAN critics).
+  Tensor& weight() noexcept { return w_; }
+  Tensor& bias() noexcept { return b_; }
+  const Tensor& weight() const noexcept { return w_; }
+  const Tensor& bias() const noexcept { return b_; }
+
+ private:
+  Tensor w_, b_;
+};
+
+/// LayerNorm with learned gain/bias.
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+
+  LayerNorm(ParamList& params, const std::string& name, Index dim)
+      : g_({dim}), b_({dim}) {
+    g_.fill(1.f);
+    b_.fill(0.f);
+    params.add(name + ".gain", g_);
+    params.add(name + ".bias", b_);
+  }
+
+  Tensor forward(Graph& g, const Tensor& x) const {
+    return g.layernorm(x, g_, b_);
+  }
+
+  const Tensor& gain() const noexcept { return g_; }
+  const Tensor& bias() const noexcept { return b_; }
+
+ private:
+  Tensor g_, b_;
+};
+
+/// Token/position embedding table.
+class Embedding {
+ public:
+  Embedding() = default;
+
+  Embedding(ParamList& params, const std::string& name, Index vocab, Index dim,
+            Rng& rng)
+      : table_({vocab, dim}) {
+    table_.fill_normal(rng, 0.02f);
+    params.add(name + ".table", table_);
+  }
+
+  Tensor forward(Graph& g, const std::vector<int>& ids) const {
+    return g.embedding(ids, table_);
+  }
+
+  const Tensor& table() const noexcept { return table_; }
+  Tensor& table() noexcept { return table_; }
+
+ private:
+  Tensor table_;
+};
+
+}  // namespace ppg::nn

@@ -1,0 +1,114 @@
+// Optimizers: AdamW (used by all neural models, matching the paper's choice)
+// and plain SGD (used for tests and the WGAN critic).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace ppg::nn {
+
+/// AdamW with decoupled weight decay. Matches the paper's training setup
+/// (AdamW, initial LR 5e-5) modulo our scaled-down schedule.
+struct AdamWConfig {
+  float lr = 5e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+};
+
+class AdamW {
+ public:
+  using Config = AdamWConfig;
+
+  /// Binds to a parameter list; allocates first/second moment buffers.
+  explicit AdamW(ParamList& params, Config cfg = {})
+      : params_(&params), cfg_(cfg) {
+    for (const auto& p : params.items()) {
+      m_.emplace_back(p.tensor.numel(), 0.f);
+      v_.emplace_back(p.tensor.numel(), 0.f);
+    }
+  }
+
+  /// Current learning rate (mutable so schedules can drive it).
+  float& lr() noexcept { return cfg_.lr; }
+
+  /// Applies one update from accumulated gradients, then zeroes them.
+  void step() {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, t_);
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, t_);
+    std::size_t idx = 0;
+    for (auto& p : params_->items()) {
+      auto data = p.tensor.data();
+      auto grad = p.tensor.grad();
+      auto& m = m_[idx];
+      auto& v = v_[idx];
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const float g = grad[i];
+        m[i] = cfg_.beta1 * m[i] + (1.f - cfg_.beta1) * g;
+        v[i] = cfg_.beta2 * v[i] + (1.f - cfg_.beta2) * g * g;
+        const double mhat = m[i] / bc1;
+        const double vhat = v[i] / bc2;
+        data[i] -= static_cast<float>(
+            cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                       cfg_.weight_decay * data[i]));
+        grad[i] = 0.f;
+      }
+      ++idx;
+    }
+  }
+
+  /// Update count so far.
+  long steps() const noexcept { return t_; }
+
+ private:
+  ParamList* params_;
+  Config cfg_;
+  std::vector<std::vector<float>> m_, v_;
+  long t_ = 0;
+};
+
+/// Vanilla SGD (optionally with momentum). Used by gradient-check tests and
+/// by the WGAN critic where Adam's preconditioning hurts Lipschitz control.
+class Sgd {
+ public:
+  explicit Sgd(ParamList& params, float lr, float momentum = 0.f)
+      : params_(&params), lr_(lr), momentum_(momentum) {
+    if (momentum_ > 0.f)
+      for (const auto& p : params.items())
+        vel_.emplace_back(p.tensor.numel(), 0.f);
+  }
+
+  float& lr() noexcept { return lr_; }
+
+  /// Applies one update from accumulated gradients, then zeroes them.
+  void step() {
+    std::size_t idx = 0;
+    for (auto& p : params_->items()) {
+      auto data = p.tensor.data();
+      auto grad = p.tensor.grad();
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        float update = grad[i];
+        if (momentum_ > 0.f) {
+          auto& v = vel_[idx];
+          v[i] = momentum_ * v[i] + update;
+          update = v[i];
+        }
+        data[i] -= lr_ * update;
+        grad[i] = 0.f;
+      }
+      ++idx;
+    }
+  }
+
+ private:
+  ParamList* params_;
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> vel_;
+};
+
+}  // namespace ppg::nn

@@ -1,0 +1,172 @@
+// Password pattern structure (PCFG-style L/N/S segmentation).
+//
+// A password is segmented into maximal runs of a single character class:
+// letters (L), digits (N), and specials (S) — exactly the scheme of Weir et
+// al. used by the paper (§II-C): "abc123!" → [L3, N3, S1] → "L3N3S1".
+//
+// The character universe is the 94 printable ASCII characters excluding
+// space (matching the paper's vocabulary and data cleaning): 52 letters,
+// 10 digits, 32 specials.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppg::pcfg {
+
+/// Character classes of the PCFG segmentation.
+enum class CharClass : std::uint8_t { kLetter, kDigit, kSpecial };
+
+/// Number of distinct characters per class (52 / 10 / 32), as used by
+/// D&C-GEN's candidate filtering (paper §III-C1).
+constexpr int class_size(CharClass c) noexcept {
+  switch (c) {
+    case CharClass::kLetter: return 52;
+    case CharClass::kDigit: return 10;
+    default: return 32;
+  }
+}
+
+/// Single-letter tag of a class ('L', 'N', 'S').
+constexpr char class_tag(CharClass c) noexcept {
+  switch (c) {
+    case CharClass::kLetter: return 'L';
+    case CharClass::kDigit: return 'N';
+    default: return 'S';
+  }
+}
+
+/// True when `ch` is in the modelled universe: printable ASCII, not space.
+constexpr bool in_universe(char ch) noexcept {
+  const auto u = static_cast<unsigned char>(ch);
+  return u > 0x20 && u < 0x7f;
+}
+
+/// Classifies an in-universe character. Precondition: in_universe(ch).
+constexpr CharClass classify(char ch) noexcept {
+  if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z'))
+    return CharClass::kLetter;
+  if (ch >= '0' && ch <= '9') return CharClass::kDigit;
+  return CharClass::kSpecial;
+}
+
+/// One maximal run of a character class.
+struct Segment {
+  CharClass cls;
+  int len;
+  bool operator==(const Segment&) const = default;
+};
+
+/// Segments `password` into maximal class runs. Characters outside the
+/// universe make the result empty (callers clean data first).
+inline std::vector<Segment> segment(std::string_view password) {
+  std::vector<Segment> segs;
+  for (const char ch : password) {
+    if (!in_universe(ch)) return {};
+    const CharClass c = classify(ch);
+    if (!segs.empty() && segs.back().cls == c)
+      ++segs.back().len;
+    else
+      segs.push_back({c, 1});
+  }
+  return segs;
+}
+
+/// Renders segments as a pattern string, e.g. "L4N3S1".
+inline std::string pattern_string(const std::vector<Segment>& segs) {
+  std::string s;
+  for (const auto& seg : segs) {
+    s += class_tag(seg.cls);
+    s += std::to_string(seg.len);
+  }
+  return s;
+}
+
+/// Pattern of a password ("" if the password is empty or out-of-universe).
+inline std::string pattern_of(std::string_view password) {
+  return pattern_string(segment(password));
+}
+
+/// Parses a pattern string back into segments; std::nullopt on malformed
+/// input (unknown tag, missing length, zero length, adjacent same-class
+/// segments are accepted — they can arise from user-provided patterns).
+inline std::optional<std::vector<Segment>> parse_pattern(
+    std::string_view pattern) {
+  std::vector<Segment> segs;
+  std::size_t i = 0;
+  while (i < pattern.size()) {
+    CharClass cls;
+    switch (pattern[i]) {
+      case 'L': cls = CharClass::kLetter; break;
+      case 'N': cls = CharClass::kDigit; break;
+      case 'S': cls = CharClass::kSpecial; break;
+      default: return std::nullopt;
+    }
+    ++i;
+    int len = 0;
+    std::size_t digits = 0;
+    while (i < pattern.size() && pattern[i] >= '0' && pattern[i] <= '9') {
+      len = len * 10 + (pattern[i] - '0');
+      ++i;
+      ++digits;
+      if (len > 1000) return std::nullopt;  // reject absurd lengths early
+    }
+    if (digits == 0 || len == 0) return std::nullopt;
+    segs.push_back({cls, len});
+  }
+  if (segs.empty()) return std::nullopt;
+  return segs;
+}
+
+/// Total character length described by a pattern.
+inline int pattern_length(const std::vector<Segment>& segs) {
+  int n = 0;
+  for (const auto& s : segs) n += s.len;
+  return n;
+}
+
+/// Number of segments in a pattern string (its "category" in the paper's
+/// Fig. 8/9 terminology); -1 for malformed patterns.
+inline int segment_count(std::string_view pattern) {
+  const auto parsed = parse_pattern(pattern);
+  return parsed ? static_cast<int>(parsed->size()) : -1;
+}
+
+/// Character class of position `pos` (0-based) under a pattern, or
+/// std::nullopt when pos is past the pattern's end. Used by pattern-guided
+/// samplers and D&C-GEN to filter candidate tokens.
+inline std::optional<CharClass> class_at(const std::vector<Segment>& segs,
+                                         int pos) {
+  for (const auto& s : segs) {
+    if (pos < s.len) return s.cls;
+    pos -= s.len;
+  }
+  return std::nullopt;
+}
+
+/// Upper bound on the number of distinct passwords matching a pattern
+/// (52^L · 10^N · 32^S), saturating at `cap`. Implements the paper's
+/// §III-C3 optimisation 2 ("reset N_Pi to the maximum number").
+inline double pattern_capacity(const std::vector<Segment>& segs,
+                               double cap = 1e18) {
+  double total = 1.0;
+  for (const auto& s : segs) {
+    for (int i = 0; i < s.len; ++i) {
+      total *= class_size(s.cls);
+      if (total >= cap) return cap;
+    }
+  }
+  return total;
+}
+
+/// True when `password` conforms to `segs` exactly (same classes in the
+/// same run structure and total length).
+inline bool matches_pattern(std::string_view password,
+                            const std::vector<Segment>& segs) {
+  return segment(password) == segs;
+}
+
+}  // namespace ppg::pcfg

@@ -1,0 +1,297 @@
+#include "pcfg/pcfg_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace ppg::pcfg {
+
+// ---- PatternDistribution ------------------------------------------------
+
+void PatternDistribution::add(const std::string& pattern,
+                              std::uint64_t count) {
+  if (finalized_)
+    throw std::logic_error("PatternDistribution::add after finalize");
+  counts_[pattern] += count;
+  total_ += count;
+}
+
+void PatternDistribution::finalize() {
+  if (finalized_) throw std::logic_error("PatternDistribution: refinalized");
+  if (total_ == 0)
+    throw std::logic_error("PatternDistribution: no observations");
+  sorted_.reserve(counts_.size());
+  for (const auto& [pat, cnt] : counts_)
+    sorted_.emplace_back(pat, double(cnt) / double(total_));
+  std::sort(sorted_.begin(), sorted_.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  cdf_.resize(sorted_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    acc += sorted_[i].second;
+    cdf_[i] = acc;
+  }
+  finalized_ = true;
+}
+
+void PatternDistribution::require_finalized(const char* op) const {
+  if (!finalized_)
+    throw std::logic_error(std::string("PatternDistribution::") + op +
+                           ": finalize() not called");
+}
+
+double PatternDistribution::prob(const std::string& pattern) const {
+  require_finalized("prob");
+  const auto it = counts_.find(pattern);
+  return it == counts_.end() ? 0.0 : double(it->second) / double(total_);
+}
+
+const std::vector<std::pair<std::string, double>>& PatternDistribution::sorted()
+    const {
+  require_finalized("sorted");
+  return sorted_;
+}
+
+std::vector<std::pair<std::string, double>> PatternDistribution::top_k(
+    std::size_t k) const {
+  require_finalized("top_k");
+  const std::size_t n = std::min(k, sorted_.size());
+  return {sorted_.begin(), sorted_.begin() + n};
+}
+
+std::vector<std::pair<std::string, double>>
+PatternDistribution::top_k_with_segments(std::size_t k, int segments) const {
+  require_finalized("top_k_with_segments");
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& item : sorted_) {
+    if (segment_count(item.first) == segments) {
+      out.push_back(item);
+      if (out.size() == k) break;
+    }
+  }
+  return out;
+}
+
+const std::string& PatternDistribution::sample(Rng& rng) const {
+  require_finalized("sample");
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t idx =
+      it == cdf_.end() ? cdf_.size() - 1
+                       : static_cast<std::size_t>(it - cdf_.begin());
+  return sorted_[idx].first;
+}
+
+void PatternDistribution::save(BinaryWriter& w) const {
+  require_finalized("save");
+  w.write<std::uint64_t>(counts_.size());
+  // Use the sorted view for a deterministic byte stream.
+  for (const auto& [pat, prob] : sorted_) {
+    w.write_string(pat);
+    w.write<std::uint64_t>(counts_.at(pat));
+  }
+}
+
+PatternDistribution PatternDistribution::load(BinaryReader& r) {
+  PatternDistribution d;
+  const auto n = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string pat = r.read_string();
+    d.add(pat, r.read<std::uint64_t>());
+  }
+  d.finalize();
+  return d;
+}
+
+// ---- PcfgModel ----------------------------------------------------------
+
+void PcfgModel::train(std::span<const std::string> passwords) {
+  if (trained_) throw std::logic_error("PcfgModel::train: retrained");
+  std::unordered_map<std::string, std::unordered_map<std::string, std::uint64_t>>
+      seg_counts;
+  std::uint64_t used = 0;
+  for (const auto& pw : passwords) {
+    const auto segs = segment(pw);
+    if (segs.empty()) continue;
+    patterns_.add(pattern_string(segs));
+    std::size_t off = 0;
+    for (const auto& s : segs) {
+      seg_counts[spec_key(s)][pw.substr(off, s.len)]++;
+      off += s.len;
+    }
+    ++used;
+  }
+  if (used == 0)
+    throw std::invalid_argument("PcfgModel::train: no usable passwords");
+  patterns_.finalize();
+  for (auto& [spec, table] : seg_counts) {
+    FillerTable ft;
+    std::uint64_t total = 0;
+    for (const auto& [str, cnt] : table) total += cnt;
+    ft.items.reserve(table.size());
+    for (const auto& [str, cnt] : table)
+      ft.items.emplace_back(str, double(cnt) / double(total));
+    std::sort(ft.items.begin(), ft.items.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    ft.cdf.resize(ft.items.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ft.items.size(); ++i) {
+      acc += ft.items[i].second;
+      ft.cdf[i] = acc;
+      ft.prob.emplace(ft.items[i].first, ft.items[i].second);
+    }
+    fillers_.emplace(spec, std::move(ft));
+  }
+  trained_ = true;
+}
+
+namespace {
+/// Uniform random character of a class (used only for unseen specs).
+char random_char_of_class(CharClass cls, Rng& rng) {
+  switch (cls) {
+    case CharClass::kLetter: {
+      const auto r = rng.uniform_u64(52);
+      return r < 26 ? static_cast<char>('a' + r)
+                    : static_cast<char>('A' + (r - 26));
+    }
+    case CharClass::kDigit:
+      return static_cast<char>('0' + rng.uniform_u64(10));
+    default: {
+      static constexpr char kSpecials[] = "!\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~";
+      return kSpecials[rng.uniform_u64(32)];
+    }
+  }
+}
+
+std::size_t sample_cdf(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return it == cdf.end() ? cdf.size() - 1
+                         : static_cast<std::size_t>(it - cdf.begin());
+}
+}  // namespace
+
+std::string PcfgModel::sample(Rng& rng) const {
+  if (!trained_) throw std::logic_error("PcfgModel::sample: untrained");
+  const std::string& pat = patterns_.sample(rng);
+  const auto segs = parse_pattern(pat);
+  return sample_with_pattern(*segs, rng);
+}
+
+std::string PcfgModel::sample_with_pattern(const std::vector<Segment>& segs,
+                                           Rng& rng) const {
+  if (!trained_)
+    throw std::logic_error("PcfgModel::sample_with_pattern: untrained");
+  std::string out;
+  for (const auto& s : segs) {
+    const auto it = fillers_.find(spec_key(s));
+    if (it == fillers_.end() || it->second.items.empty()) {
+      for (int i = 0; i < s.len; ++i) out += random_char_of_class(s.cls, rng);
+    } else {
+      out += it->second.items[sample_cdf(it->second.cdf, rng)].first;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PcfgModel::enumerate(std::size_t n) const {
+  if (!trained_) throw std::logic_error("PcfgModel::enumerate: untrained");
+  // Weir's next-function: states are (pattern, per-segment rank indices,
+  // pivot). Each state's children bump one index at position >= pivot,
+  // which makes the parent relation a tree (no duplicate states).
+  struct State {
+    double log_prob;
+    std::uint32_t pattern_idx;
+    std::uint16_t pivot;
+    std::vector<std::uint32_t> ranks;
+  };
+  struct Cmp {
+    bool operator()(const State& a, const State& b) const {
+      if (a.log_prob != b.log_prob) return a.log_prob < b.log_prob;
+      if (a.pattern_idx != b.pattern_idx) return a.pattern_idx > b.pattern_idx;
+      return a.ranks > b.ranks;
+    }
+  };
+  const auto& pats = patterns_.sorted();
+  // Pre-resolve each pattern's filler tables.
+  std::vector<std::vector<const FillerTable*>> tables(pats.size());
+  std::vector<double> pat_logp(pats.size());
+  std::priority_queue<State, std::vector<State>, Cmp> heap;
+  for (std::uint32_t pi = 0; pi < pats.size(); ++pi) {
+    const auto segs = parse_pattern(pats[pi].first);
+    bool ok = segs.has_value();
+    double lp = std::log(pats[pi].second);
+    std::vector<const FillerTable*> ts;
+    if (ok) {
+      for (const auto& s : *segs) {
+        const auto it = fillers_.find(spec_key(s));
+        if (it == fillers_.end() || it->second.items.empty()) {
+          ok = false;
+          break;
+        }
+        ts.push_back(&it->second);
+        lp += std::log(it->second.items[0].second);
+      }
+    }
+    if (!ok) continue;
+    tables[pi] = std::move(ts);
+    pat_logp[pi] = std::log(pats[pi].second);
+    heap.push({lp, pi, 0,
+               std::vector<std::uint32_t>(tables[pi].size(), 0)});
+  }
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (!heap.empty() && out.size() < n) {
+    State st = heap.top();
+    heap.pop();
+    // Materialise the concrete password.
+    std::string pw;
+    const auto& ts = tables[st.pattern_idx];
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      pw += ts[i]->items[st.ranks[i]].first;
+    out.push_back(std::move(pw));
+    // Children: bump rank at each position >= pivot.
+    for (std::uint16_t pos = st.pivot;
+         pos < static_cast<std::uint16_t>(st.ranks.size()); ++pos) {
+      const auto next_rank = st.ranks[pos] + 1;
+      if (next_rank >= ts[pos]->items.size()) continue;
+      State child = st;
+      child.ranks[pos] = next_rank;
+      child.pivot = pos;
+      child.log_prob =
+          st.log_prob - std::log(ts[pos]->items[next_rank - 1].second) +
+          std::log(ts[pos]->items[next_rank].second);
+      heap.push(std::move(child));
+    }
+  }
+  return out;
+}
+
+double PcfgModel::log_prob(std::string_view password) const {
+  if (!trained_) throw std::logic_error("PcfgModel::log_prob: untrained");
+  constexpr double kNegInf = -1e30;
+  const auto segs = segment(std::string(password));
+  if (segs.empty()) return kNegInf;
+  const double pp = patterns_.prob(pattern_string(segs));
+  if (pp <= 0.0) return kNegInf;
+  double lp = std::log(pp);
+  std::size_t off = 0;
+  for (const auto& s : segs) {
+    const auto it = fillers_.find(spec_key(s));
+    if (it == fillers_.end()) return kNegInf;
+    const auto pit =
+        it->second.prob.find(std::string(password.substr(off, s.len)));
+    if (pit == it->second.prob.end()) return kNegInf;
+    lp += std::log(pit->second);
+    off += s.len;
+  }
+  return lp;
+}
+
+}  // namespace ppg::pcfg

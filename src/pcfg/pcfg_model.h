@@ -1,0 +1,120 @@
+// Weir-style PCFG password model (paper §II-C) plus the pattern
+// distribution object reused by PagPassGPT's D&C-GEN.
+//
+// Training counts (a) the empirical distribution of full patterns
+// ("L4N3S1") and (b), per segment spec ("L4", "N3", …), the empirical
+// distribution of concrete strings filling that spec. Generation supports
+// both probabilistic sampling and Weir's descending-probability
+// enumeration (the classic "next" algorithm with a max-heap).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "pcfg/pattern.h"
+
+namespace ppg::pcfg {
+
+/// Empirical distribution over pattern strings with convenience queries
+/// used throughout the evaluation (top-k, per-category grouping).
+class PatternDistribution {
+ public:
+  /// Accumulates one observation of `pattern`.
+  void add(const std::string& pattern, std::uint64_t count = 1);
+
+  /// Freezes counts into probabilities and builds the sorted view.
+  /// Must be called once after all add()s; add() after finalize() throws.
+  void finalize();
+
+  /// Probability of a pattern (0 for unseen). Requires finalize().
+  double prob(const std::string& pattern) const;
+
+  /// All patterns sorted by descending probability (ties by pattern string
+  /// for determinism). Requires finalize().
+  const std::vector<std::pair<std::string, double>>& sorted() const;
+
+  /// The `k` most probable patterns. Requires finalize().
+  std::vector<std::pair<std::string, double>> top_k(std::size_t k) const;
+
+  /// The `k` most probable patterns having exactly `segments` segments.
+  std::vector<std::pair<std::string, double>> top_k_with_segments(
+      std::size_t k, int segments) const;
+
+  /// Number of distinct patterns observed.
+  std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// Total observations.
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Samples a pattern by probability. Requires finalize().
+  const std::string& sample(Rng& rng) const;
+
+  /// Serializes the raw counts (requires finalize()).
+  void save(BinaryWriter& w) const;
+
+  /// Deserializes into a fresh, finalized distribution.
+  static PatternDistribution load(BinaryReader& r);
+
+ private:
+  void require_finalized(const char* op) const;
+
+  std::unordered_map<std::string, std::uint64_t> counts_;
+  std::vector<std::pair<std::string, double>> sorted_;
+  std::vector<double> cdf_;
+  std::uint64_t total_ = 0;
+  bool finalized_ = false;
+};
+
+/// Full PCFG guesser.
+class PcfgModel {
+ public:
+  /// Fits pattern and segment distributions to the training passwords.
+  /// Out-of-universe passwords are skipped.
+  void train(std::span<const std::string> passwords);
+
+  /// The learned pattern distribution (shared with D&C-GEN and benches).
+  const PatternDistribution& patterns() const noexcept { return patterns_; }
+
+  /// Samples one password: pattern by probability, then each segment's
+  /// filler by probability.
+  std::string sample(Rng& rng) const;
+
+  /// Samples one password conforming to the given pattern; falls back to
+  /// uniform random characters for segment specs never seen in training.
+  std::string sample_with_pattern(const std::vector<Segment>& segs,
+                                  Rng& rng) const;
+
+  /// Enumerates up to `n` passwords in (approximately exact) descending
+  /// probability order via Weir's next-function algorithm. Deterministic.
+  std::vector<std::string> enumerate(std::size_t n) const;
+
+  /// log P(password) under the model; ~-1e30 when unseen/unrepresentable.
+  double log_prob(std::string_view password) const;
+
+  /// Number of distinct segment specs learned (e.g. "L4").
+  std::size_t spec_count() const noexcept { return fillers_.size(); }
+
+ private:
+  struct FillerTable {
+    // Sorted descending by probability; ties by string.
+    std::vector<std::pair<std::string, double>> items;
+    std::vector<double> cdf;
+    std::unordered_map<std::string, double> prob;
+  };
+
+  static std::string spec_key(const Segment& s) {
+    return std::string(1, class_tag(s.cls)) + std::to_string(s.len);
+  }
+
+  PatternDistribution patterns_;
+  std::unordered_map<std::string, FillerTable> fillers_;
+  bool trained_ = false;
+};
+
+}  // namespace ppg::pcfg

@@ -1,0 +1,59 @@
+// Umbrella header for the PagPassGPT reproduction library.
+//
+// Include this to get the whole public API; fine-grained headers are
+// available per module for faster builds:
+//
+//   common/     deterministic RNG, thread pool, serialization, CLI
+//   nn/         tensor + autograd + layers + optimizers
+//   gpt/        GPT-2-style transformer, trainer, KV-cache inference,
+//               batched password sampler
+//   pcfg/       L/N/S pattern structure, pattern distribution, Weir PCFG
+//   tokenizer/  the paper's 136-slot vocabulary and rule encoding
+//   data/       synthetic leaked-corpus substitute, cleaning, splits
+//   core/       PagPassGPT (the paper's model) and D&C-GEN (Algorithm 1)
+//   baselines/  PassGPT, PassGAN, VAEPass, PassFlow, Markov, rule engine
+//   eval/       hit/repeat rates, Eq. 4-7 metrics, guess curves,
+//               Monte-Carlo guess-number strength estimation
+//
+// Typical flow (see examples/quickstart.cpp for the runnable version):
+//
+//   auto corpus = ppg::data::clean(ppg::data::generate_site(profile, seed));
+//   auto split  = ppg::data::split_712(corpus.passwords, seed);
+//   ppg::core::PagPassGPT model(ppg::gpt::Config::small(), seed);
+//   model.train(split.train, split.valid, train_cfg);
+//   auto bulk = ppg::core::dc_generate(model.model(), model.patterns(),
+//                                      dc_cfg, seed);
+//   ppg::eval::TestSet test(split.test);
+//   double hr = ppg::eval::hit_rate(bulk, test);
+#pragma once
+
+#include "baselines/markov.h"
+#include "baselines/passflow.h"
+#include "baselines/passgan.h"
+#include "baselines/passgpt.h"
+#include "baselines/rules.h"
+#include "baselines/vaepass.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "core/dcgen.h"
+#include "core/masks.h"
+#include "core/pagpassgpt.h"
+#include "data/corpus.h"
+#include "eval/generator.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/strength.h"
+#include "gpt/infer.h"
+#include "gpt/model.h"
+#include "gpt/sampler.h"
+#include "gpt/trainer.h"
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "pcfg/pattern.h"
+#include "pcfg/pcfg_model.h"
+#include "tokenizer/tokenizer.h"

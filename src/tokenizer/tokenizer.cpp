@@ -1,0 +1,138 @@
+#include "tokenizer/tokenizer.h"
+
+#include <stdexcept>
+
+namespace ppg::tok {
+
+namespace {
+constexpr int class_block(pcfg::CharClass cls) noexcept {
+  switch (cls) {
+    case pcfg::CharClass::kLetter: return 0;
+    case pcfg::CharClass::kDigit: return 1;
+    default: return 2;
+  }
+}
+}  // namespace
+
+int Tokenizer::pattern_token(pcfg::CharClass cls, int len) {
+  if (len < 1 || len > kMaxSegmentLen)
+    throw std::out_of_range("Tokenizer::pattern_token: segment length " +
+                            std::to_string(len) + " outside [1,12]");
+  return kPatternBase + class_block(cls) * kMaxSegmentLen + (len - 1);
+}
+
+int Tokenizer::char_token(char c) noexcept {
+  if (!pcfg::in_universe(c)) return kUnk;
+  return kCharBase + (static_cast<unsigned char>(c) - 0x21);
+}
+
+pcfg::Segment Tokenizer::token_segment(int id) noexcept {
+  const int rel = id - kPatternBase;
+  const int block = rel / kMaxSegmentLen;
+  const int len = rel % kMaxSegmentLen + 1;
+  const pcfg::CharClass cls = block == 0   ? pcfg::CharClass::kLetter
+                              : block == 1 ? pcfg::CharClass::kDigit
+                                           : pcfg::CharClass::kSpecial;
+  return {cls, len};
+}
+
+std::string Tokenizer::token_name(int id) {
+  switch (id) {
+    case kBos: return "<BOS>";
+    case kSep: return "<SEP>";
+    case kEos: return "<EOS>";
+    case kUnk: return "<UNK>";
+    case kPad: return "<PAD>";
+    case kReserved: return "<RES>";
+    default: break;
+  }
+  if (is_pattern_token(id)) {
+    const auto seg = token_segment(id);
+    return std::string(1, pcfg::class_tag(seg.cls)) + std::to_string(seg.len);
+  }
+  if (is_char_token(id)) return std::string(1, token_char(id));
+  return "<BAD:" + std::to_string(id) + ">";
+}
+
+std::optional<std::vector<int>> Tokenizer::encode_training(
+    std::string_view password, int max_password_len) {
+  if (password.empty() ||
+      password.size() > static_cast<std::size_t>(max_password_len))
+    return std::nullopt;
+  const auto segs = pcfg::segment(password);
+  if (segs.empty()) return std::nullopt;  // out-of-universe character
+  std::vector<int> ids;
+  ids.reserve(2 + segs.size() + password.size() + 1);
+  ids.push_back(kBos);
+  for (const auto& s : segs) {
+    if (s.len > kMaxSegmentLen) return std::nullopt;
+    ids.push_back(pattern_token(s.cls, s.len));
+  }
+  ids.push_back(kSep);
+  for (const char c : password) ids.push_back(char_token(c));
+  ids.push_back(kEos);
+  return ids;
+}
+
+std::vector<int> Tokenizer::encode_generation_prefix(
+    const std::vector<pcfg::Segment>& pattern) {
+  std::vector<int> ids;
+  ids.reserve(pattern.size() + 2);
+  ids.push_back(kBos);
+  for (const auto& s : pattern) {
+    if (s.len < 1 || s.len > kMaxSegmentLen)
+      throw std::invalid_argument(
+          "Tokenizer::encode_generation_prefix: segment length outside [1,12]");
+    ids.push_back(pattern_token(s.cls, s.len));
+  }
+  ids.push_back(kSep);
+  return ids;
+}
+
+std::optional<std::vector<int>> Tokenizer::encode_password_only(
+    std::string_view password, int max_password_len) {
+  if (password.empty() ||
+      password.size() > static_cast<std::size_t>(max_password_len))
+    return std::nullopt;
+  std::vector<int> ids;
+  ids.reserve(password.size() + 2);
+  ids.push_back(kBos);
+  for (const char c : password) {
+    if (!pcfg::in_universe(c)) return std::nullopt;
+    ids.push_back(char_token(c));
+  }
+  ids.push_back(kEos);
+  return ids;
+}
+
+std::optional<std::string> Tokenizer::decode_password(
+    std::span<const int> ids) {
+  // Find the password region start: after <SEP> when present, else after
+  // <BOS>, else the whole sequence.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == kSep) {
+      start = i + 1;
+      break;
+    }
+  }
+  if (start == 0 && !ids.empty() && ids[0] == kBos) start = 1;
+  std::string pw;
+  for (std::size_t i = start; i < ids.size(); ++i) {
+    if (ids[i] == kEos) return pw;
+    if (!is_char_token(ids[i])) return std::nullopt;
+    pw += token_char(ids[i]);
+  }
+  return std::nullopt;  // no <EOS>
+}
+
+std::string Tokenizer::decode_debug(std::span<const int> ids) {
+  std::string s;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) s += ' ';
+    s += token_name(ids[i]);
+  }
+  return s;
+}
+
+}  // namespace ppg::tok

@@ -1,0 +1,108 @@
+// The PagPassGPT tokenizer (paper §III-B1, Figs. 4–5).
+//
+// Vocabulary, exactly as the paper specifies:
+//   * 5 special tokens: <BOS> <SEP> <EOS> <UNK> <PAD>
+//   * 36 pattern tokens: L1..L12, N1..N12, S1..S12
+//   * 94 printable-ASCII character tokens (0x21..0x7e; space excluded)
+// The paper reports a 136-token total (94+5+36 = 135); we reserve index 135
+// as an unused <RES> slot so the embedding width matches the published
+// figure while keeping the three published categories intact.
+//
+// Rules (token sequences):
+//   training     <BOS> ‖ pattern ‖ <SEP> ‖ password ‖ <EOS>
+//   generation   <BOS> ‖ pattern ‖ <SEP>
+// where `pattern` is the PCFG pattern of the password, one token per
+// segment (e.g. "Pass123$" → L4 N3 S1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pcfg/pattern.h"
+
+namespace ppg::tok {
+
+/// Stateless encoder/decoder between rules and token-index lists.
+class Tokenizer {
+ public:
+  // Special token indices.
+  static constexpr int kBos = 0;
+  static constexpr int kSep = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kUnk = 3;
+  static constexpr int kPad = 4;
+  /// First pattern token (L1); pattern tokens span [5, 41).
+  static constexpr int kPatternBase = 5;
+  /// Maximum per-segment length representable (L12/N12/S12).
+  static constexpr int kMaxSegmentLen = 12;
+  /// First character token; character tokens span [41, 135).
+  static constexpr int kCharBase = 41;
+  /// Reserved tail slot; total matches the paper's reported 136.
+  static constexpr int kReserved = 135;
+  /// Embedding-table width.
+  static constexpr int kVocabSize = 136;
+
+  /// Token for one pattern segment (e.g. {kLetter, 4} → "L4").
+  /// Throws std::out_of_range when len is outside [1, 12].
+  static int pattern_token(pcfg::CharClass cls, int len);
+
+  /// Token for an in-universe character; <UNK> otherwise.
+  static int char_token(char c) noexcept;
+
+  /// True when id denotes a password character.
+  static bool is_char_token(int id) noexcept {
+    return id >= kCharBase && id < kCharBase + 94;
+  }
+
+  /// The character a char token denotes. Precondition: is_char_token(id).
+  static char token_char(int id) noexcept {
+    return static_cast<char>(id - kCharBase + 0x21);
+  }
+
+  /// True when id denotes a pattern segment.
+  static bool is_pattern_token(int id) noexcept {
+    return id >= kPatternBase && id < kPatternBase + 36;
+  }
+
+  /// The segment a pattern token denotes. Precondition: is_pattern_token.
+  static pcfg::Segment token_segment(int id) noexcept;
+
+  /// Human-readable token name ("<BOS>", "L4", "a", …).
+  static std::string token_name(int id);
+
+  /// Encodes the training rule for a password. Returns std::nullopt when
+  /// the password is empty, exceeds max_password_len, contains
+  /// out-of-universe characters, or has a segment longer than 12.
+  static std::optional<std::vector<int>> encode_training(
+      std::string_view password, int max_password_len = 12);
+
+  /// Encodes the generation prefix <BOS> ‖ pattern ‖ <SEP> for a pattern.
+  /// Throws std::invalid_argument when a segment length exceeds 12.
+  static std::vector<int> encode_generation_prefix(
+      const std::vector<pcfg::Segment>& pattern);
+
+  /// PassGPT-style rule without pattern conditioning: <BOS> ‖ pw ‖ <EOS>.
+  static std::optional<std::vector<int>> encode_password_only(
+      std::string_view password, int max_password_len = 12);
+
+  /// Extracts the password characters from a full generated sequence:
+  /// everything after the (first) <SEP> — or after <BOS> when no <SEP>
+  /// exists (password-only rules) — up to <EOS>. Returns std::nullopt when
+  /// the region contains a non-character token or no terminating <EOS>.
+  static std::optional<std::string> decode_password(std::span<const int> ids);
+
+  /// Renders a whole token sequence for diagnostics, e.g.
+  /// "<BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS>".
+  static std::string decode_debug(std::span<const int> ids);
+
+  /// Longest rule an encode_training can produce for the given password
+  /// limit: <BOS> + ceil-many pattern tokens + <SEP> + chars + <EOS>.
+  static constexpr int max_rule_len(int max_password_len = 12) {
+    return 1 + max_password_len + 1 + max_password_len + 1;
+  }
+};
+
+}  // namespace ppg::tok

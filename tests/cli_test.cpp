@@ -1,0 +1,70 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace ppg {
+namespace {
+
+Cli make_cli(std::vector<const char*> args, std::vector<std::string> allowed) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()),
+             const_cast<char**>(args.data()), std::move(allowed));
+}
+
+TEST(Cli, EqualsForm) {
+  const auto cli = make_cli({"--scale=3"}, {"scale"});
+  EXPECT_EQ(cli.get_int("scale", 0), 3);
+}
+
+TEST(Cli, SpaceForm) {
+  const auto cli = make_cli({"--name", "rockyou"}, {"name"});
+  EXPECT_EQ(cli.get("name"), "rockyou");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const auto cli = make_cli({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto cli = make_cli({}, {"scale"});
+  EXPECT_FALSE(cli.has("scale"));
+  EXPECT_EQ(cli.get_int("scale", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 0.5), 0.5);
+  EXPECT_EQ(cli.get("scale", "x"), "x");
+  EXPECT_FALSE(cli.get_bool("scale"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  EXPECT_THROW(make_cli({"--nope=1"}, {"scale"}), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentsRejected) {
+  EXPECT_THROW(make_cli({"positional"}, {"scale"}), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto cli = make_cli({"--lr=0.125"}, {"lr"});
+  EXPECT_DOUBLE_EQ(cli.get_double("lr", 0.0), 0.125);
+}
+
+TEST(Cli, BoolStringForms) {
+  const auto cli =
+      make_cli({"--a=true", "--b=yes", "--c=0", "--d=false"},
+               {"a", "b", "c", "d"});
+  EXPECT_TRUE(cli.get_bool("a"));
+  EXPECT_TRUE(cli.get_bool("b"));
+  EXPECT_FALSE(cli.get_bool("c"));
+  EXPECT_FALSE(cli.get_bool("d"));
+}
+
+TEST(Cli, MultipleFlagsMixedForms) {
+  const auto cli = make_cli({"--scale", "2", "--name=test", "--fast"},
+                            {"scale", "name", "fast"});
+  EXPECT_EQ(cli.get_int("scale", 0), 2);
+  EXPECT_EQ(cli.get("name"), "test");
+  EXPECT_TRUE(cli.get_bool("fast"));
+}
+
+}  // namespace
+}  // namespace ppg

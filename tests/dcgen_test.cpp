@@ -1,0 +1,207 @@
+#include "core/dcgen.h"
+
+#include <filesystem>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/pagpassgpt.h"
+#include "data/corpus.h"
+#include "eval/metrics.h"
+
+namespace ppg::core {
+namespace {
+
+/// Shared tiny trained model (same shape as pagpassgpt_test's fixture but
+/// an independent instance so the suites stay runnable in isolation).
+const PagPassGPT& shared_model() {
+  static const PagPassGPT* model = [] {
+    auto* m = new PagPassGPT(gpt::Config::tiny(), 177);
+    const auto cache = std::filesystem::temp_directory_path() /
+                       "ppg_fixture_dcgentest_v1.ckpt";
+    try {
+      m->load(cache.string());
+      return m;
+    } catch (const std::exception&) {
+    }
+    data::SiteProfile profile;
+    profile.name = "dcgentest";
+    profile.unique_target = 1500;
+    const auto corpus = data::clean(data::generate_site(profile, 17));
+    const auto split = data::split_712(corpus.passwords, 17);
+    gpt::TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.batch_size = 32;
+    cfg.lr = 2e-3f;
+    m->train(split.train, split.valid, cfg);
+    m->save(cache.string());
+    return m;
+  }();
+  return *model;
+}
+
+TEST(DcGen, ValidatesConfig) {
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 0;
+  EXPECT_THROW(dc_generate(m.model(), m.patterns(), cfg, 1),
+               std::invalid_argument);
+  cfg.total = 100;
+  cfg.threshold = 0;
+  EXPECT_THROW(dc_generate(m.model(), m.patterns(), cfg, 1),
+               std::invalid_argument);
+}
+
+TEST(DcGen, ProducesApproximatelyTotalGuesses) {
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 2000;
+  cfg.threshold = 50;
+  DcGenStats stats;
+  const auto pws = dc_generate(m.model(), m.patterns(), cfg, 2, &stats);
+  // Rounding, drops, and capacity caps lose a little mass but the bulk
+  // must be generated.
+  EXPECT_GT(pws.size(), 1200u);
+  EXPECT_LT(pws.size(), 2600u);
+  EXPECT_GT(stats.leaves, 0u);
+}
+
+TEST(DcGen, AllOutputsConformToTrainingPatterns) {
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 1000;
+  cfg.threshold = 50;
+  const auto pws = dc_generate(m.model(), m.patterns(), cfg, 3);
+  for (const auto& pw : pws) {
+    const std::string pat = pcfg::pattern_of(pw);
+    EXPECT_GT(m.patterns().prob(pat), 0.0) << pw << " pattern " << pat;
+  }
+}
+
+TEST(DcGen, DeterministicForSeed) {
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 600;
+  cfg.threshold = 40;
+  const auto a = dc_generate(m.model(), m.patterns(), cfg, 4);
+  const auto b = dc_generate(m.model(), m.patterns(), cfg, 4);
+  const auto c = dc_generate(m.model(), m.patterns(), cfg, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(DcGen, ReducesRepeatRateVersusFreeSampling) {
+  // The paper's core claim for D&C-GEN (§III-C2, Fig. 10).
+  const auto& m = shared_model();
+  const std::size_t n = 3000;
+  DcGenConfig cfg;
+  cfg.total = double(n);
+  cfg.threshold = 32;
+  const auto dc = dc_generate(m.model(), m.patterns(), cfg, 6);
+  Rng rng(6);
+  const auto free = m.generate_free(n, rng);
+  ASSERT_GT(dc.size(), n / 2);
+  ASSERT_GT(free.size(), n / 2);
+  EXPECT_LT(eval::repeat_rate(dc), eval::repeat_rate(free));
+}
+
+TEST(DcGen, SmallerThresholdFewerDuplicates) {
+  const auto& m = shared_model();
+  DcGenConfig coarse;
+  coarse.total = 2000;
+  coarse.threshold = 2000;  // single leaf per pattern
+  DcGenConfig fine = coarse;
+  fine.threshold = 25;
+  const auto rough = dc_generate(m.model(), m.patterns(), coarse, 7);
+  const auto split = dc_generate(m.model(), m.patterns(), fine, 7);
+  EXPECT_LE(eval::repeat_rate(split), eval::repeat_rate(rough) + 0.005);
+}
+
+TEST(DcGen, CapacityCapLimitsSmallPatterns) {
+  // A pattern distribution with a tiny space (N1: 10 possibilities) and a
+  // huge request must not emit more than the space size for that pattern.
+  const auto& m = shared_model();
+  pcfg::PatternDistribution tiny;
+  tiny.add("N1", 1);
+  tiny.finalize();
+  DcGenConfig cfg;
+  cfg.total = 5000;  // way beyond N1's capacity of 10
+  cfg.threshold = 64;
+  DcGenStats stats;
+  const auto pws = dc_generate(m.model(), tiny, cfg, 8, &stats);
+  EXPECT_LE(pws.size(), 10u);
+  EXPECT_GT(stats.capacity_capped, 4000.0);
+  for (const auto& pw : pws) EXPECT_EQ(pcfg::pattern_of(pw), "N1");
+}
+
+TEST(DcGen, FullyDeterminedPrefixesEmittedOnce) {
+  const auto& m = shared_model();
+  pcfg::PatternDistribution tiny;
+  tiny.add("S1", 1);  // 32 possible passwords
+  tiny.finalize();
+  DcGenConfig cfg;
+  cfg.total = 32 * 40;  // forces division to full depth
+  cfg.threshold = 4;
+  DcGenStats stats;
+  const auto pws = dc_generate(m.model(), tiny, cfg, 9, &stats);
+  std::unordered_set<std::string> unique(pws.begin(), pws.end());
+  EXPECT_EQ(unique.size(), pws.size());  // no duplicates at all
+  EXPECT_LE(pws.size(), 32u);
+  EXPECT_GT(stats.forced, 0u);
+}
+
+TEST(DcGen, CrossTaskOutputsNeverCollide) {
+  // §III-C2 invariant: duplicates only arise inside a single leaf. With
+  // threshold 1 every leaf emits exactly one password, so the whole output
+  // must be duplicate-free.
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 400;
+  cfg.threshold = 1;
+  const auto pws = dc_generate(m.model(), m.patterns(), cfg, 10);
+  std::unordered_set<std::string> unique(pws.begin(), pws.end());
+  EXPECT_EQ(unique.size(), pws.size());
+}
+
+TEST(DcGen, MaxPatternsRestrictsRootDivision) {
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 800;
+  cfg.threshold = 50;
+  cfg.max_patterns = 1;
+  const auto pws = dc_generate(m.model(), m.patterns(), cfg, 11);
+  const std::string top = m.patterns().sorted()[0].first;
+  for (const auto& pw : pws) EXPECT_EQ(pcfg::pattern_of(pw), top);
+}
+
+TEST(DcGen, ThreadCountDoesNotChangeOutput) {
+  // §III-C3 optimisation 3: concurrent leaf execution must be
+  // bit-identical to serial execution (per-leaf seeded RNGs).
+  const auto& m = shared_model();
+  DcGenConfig serial;
+  serial.total = 1200;
+  serial.threshold = 40;
+  serial.threads = 1;
+  DcGenConfig threaded = serial;
+  threaded.threads = 4;
+  const auto a = dc_generate(m.model(), m.patterns(), serial, 13);
+  const auto b = dc_generate(m.model(), m.patterns(), threaded, 13);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DcGen, StatsAreConsistent) {
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 1500;
+  cfg.threshold = 30;
+  DcGenStats stats;
+  dc_generate(m.model(), m.patterns(), cfg, 12, &stats);
+  EXPECT_GT(stats.divisions, 0u);
+  EXPECT_GT(stats.model_calls, 0u);
+  EXPECT_GE(stats.divisions, stats.model_calls);
+  EXPECT_GT(stats.leaves, 0u);
+}
+
+}  // namespace
+}  // namespace ppg::core

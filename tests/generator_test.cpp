@@ -1,0 +1,93 @@
+#include "eval/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace ppg::eval {
+namespace {
+
+TEST(RunGuessLadder, HitsEveryCheckpointExactly) {
+  NamedGenerator gen{"counter", [](std::size_t n, Rng&) {
+                       return std::vector<std::string>(n, "x");
+                     }};
+  Rng rng(1);
+  std::vector<std::uint64_t> checkpoints;
+  std::uint64_t fed = 0;
+  run_guess_ladder(
+      gen, {10, 100, 250}, 32, rng,
+      [&](const std::vector<std::string>& chunk) { fed += chunk.size(); },
+      [&](std::uint64_t b) { checkpoints.push_back(b); });
+  EXPECT_EQ(checkpoints, (std::vector<std::uint64_t>{10, 100, 250}));
+  EXPECT_EQ(fed, 250u);
+}
+
+TEST(RunGuessLadder, ChunksNeverOvershootBudget) {
+  NamedGenerator gen{"exact", [](std::size_t n, Rng&) {
+                       return std::vector<std::string>(n, "y");
+                     }};
+  Rng rng(2);
+  std::uint64_t at_first_checkpoint = 0;
+  std::uint64_t fed = 0;
+  bool first = true;
+  run_guess_ladder(
+      gen, {7, 20}, 1000, rng,
+      [&](const std::vector<std::string>& chunk) { fed += chunk.size(); },
+      [&](std::uint64_t) {
+        if (first) {
+          at_first_checkpoint = fed;
+          first = false;
+        }
+      });
+  EXPECT_EQ(at_first_checkpoint, 7u);
+  EXPECT_EQ(fed, 20u);
+}
+
+TEST(RunGuessLadder, PadsWhenGeneratorGivesUp) {
+  // A generator that produces nothing: the ladder must still terminate and
+  // account full budgets (with empty-string filler guesses).
+  NamedGenerator gen{"dead", [](std::size_t, Rng&) {
+                       return std::vector<std::string>{};
+                     }};
+  Rng rng(3);
+  std::uint64_t fed = 0, empties = 0;
+  run_guess_ladder(
+      gen, {50}, 16, rng,
+      [&](const std::vector<std::string>& chunk) {
+        fed += chunk.size();
+        for (const auto& g : chunk)
+          if (g.empty()) ++empties;
+      },
+      [&](std::uint64_t) {});
+  EXPECT_EQ(fed, 50u);
+  EXPECT_EQ(empties, 50u);
+}
+
+TEST(RunGuessLadder, FeedsIntoGuessCurveConsistently) {
+  const std::vector<std::string> test_pws = {"aa", "bb", "cc"};
+  const TestSet test(test_pws);
+  GuessCurve curve(test);
+  int calls = 0;
+  NamedGenerator gen{"cycler", [&](std::size_t n, Rng&) {
+                       std::vector<std::string> out;
+                       for (std::size_t i = 0; i < n; ++i)
+                         out.push_back(test_pws[(calls + i) % 3]);
+                       calls += static_cast<int>(n);
+                       return out;
+                     }};
+  Rng rng(4);
+  std::vector<CurvePoint> points;
+  run_guess_ladder(
+      gen, {3, 30}, 2, rng,
+      [&](const std::vector<std::string>& chunk) { curve.feed(chunk); },
+      [&](std::uint64_t) { points.push_back(curve.snapshot()); });
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].guesses, 3u);
+  EXPECT_EQ(points[0].hits, 3u);  // all three test passwords hit already
+  EXPECT_EQ(points[1].guesses, 30u);
+  EXPECT_DOUBLE_EQ(points[1].hit_rate, 1.0);
+  EXPECT_NEAR(points[1].repeat_rate, 0.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace ppg::eval

@@ -1,0 +1,130 @@
+// Parameterised property sweeps over the autograd ops: gradient checks and
+// algebraic identities across a grid of shapes and seeds.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/graph.h"
+#include "test_util.h"
+
+namespace ppg::nn {
+namespace {
+
+using ppg::testing::expect_gradients_match;
+using ppg::testing::random_tensor;
+
+struct ShapeCase {
+  Index m, k, n;
+  std::uint64_t seed;
+};
+
+class MatmulSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(MatmulSweep, GradcheckAcrossShapes) {
+  const auto& p = GetParam();
+  Tensor a = random_tensor({p.m, p.k}, p.seed, 0.7f);
+  Tensor b = random_tensor({p.k, p.n}, p.seed + 1, 0.7f);
+  expect_gradients_match(
+      [&](Graph& g) { return g.mean_all(g.tanh_op(g.matmul(a, b))); }, {a, b});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSweep,
+    ::testing::Values(ShapeCase{1, 1, 1, 100}, ShapeCase{1, 7, 3, 101},
+                      ShapeCase{5, 1, 4, 102}, ShapeCase{4, 6, 1, 103},
+                      ShapeCase{3, 3, 3, 104}, ShapeCase{2, 9, 5, 105}));
+
+class AttentionSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(AttentionSweep, GradcheckAcrossGeometries) {
+  // Reuse ShapeCase as (batch, time, heads); d per head fixed at 2.
+  const auto& p = GetParam();
+  const Index d = p.n * 2;
+  Tensor qkv = random_tensor({p.m * p.k, 3 * d}, p.seed, 0.6f);
+  Tensor w = random_tensor({p.m * p.k, d}, p.seed + 1);
+  expect_gradients_match(
+      [&](Graph& g) {
+        return g.sum_all(g.mul(g.causal_self_attention(qkv, p.m, p.k, p.n), w));
+      },
+      {qkv, w}, 1e-2f, 5e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AttentionSweep,
+    ::testing::Values(ShapeCase{1, 1, 1, 200}, ShapeCase{1, 4, 2, 201},
+                      ShapeCase{3, 2, 1, 202}, ShapeCase{2, 5, 3, 203}));
+
+class SeededIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededIdentity, SoftmaxInvariantToRowShift) {
+  // softmax(x + c·1) == softmax(x) for every row shift c.
+  Graph g;
+  const Tensor x = random_tensor({4, 6}, GetParam(), 1.5f);
+  const Tensor a = g.softmax_rows(x);
+  const Tensor b = g.softmax_rows(g.add_scalar(x, 3.7f));
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-5f);
+}
+
+TEST_P(SeededIdentity, LayernormInvariantToAffineInput) {
+  // layernorm(a·x + b·1) == layernorm(x) for a > 0 (mean/variance removal).
+  Graph g;
+  const Tensor x = random_tensor({3, 8}, GetParam(), 1.f);
+  Tensor gain({8}), bias({8});
+  gain.fill(1.f);
+  const Tensor y1 = g.layernorm(x, gain, bias);
+  const Tensor y2 =
+      g.layernorm(g.add_scalar(g.scale(x, 2.5f), -1.3f), gain, bias);
+  for (std::size_t i = 0; i < y1.numel(); ++i)
+    EXPECT_NEAR(y1.data()[i], y2.data()[i], 2e-4f);
+}
+
+TEST_P(SeededIdentity, MatmulDistributesOverAdd) {
+  // (A+B)·C == A·C + B·C.
+  Graph g;
+  const Tensor a = random_tensor({3, 4}, GetParam(), 1.f);
+  const Tensor b = random_tensor({3, 4}, GetParam() + 1, 1.f);
+  const Tensor c = random_tensor({4, 5}, GetParam() + 2, 1.f);
+  const Tensor lhs = g.matmul(g.add(a, b), c);
+  const Tensor rhs = g.add(g.matmul(a, c), g.matmul(b, c));
+  for (std::size_t i = 0; i < lhs.numel(); ++i)
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4f);
+}
+
+TEST_P(SeededIdentity, CrossEntropyEqualsManualLogSoftmax) {
+  Graph g;
+  const Tensor logits = random_tensor({3, 5}, GetParam(), 1.2f);
+  const std::vector<int> targets = {1, 4, 0};
+  const Tensor loss = g.cross_entropy(logits, targets, -1);
+  double manual = 0.0;
+  for (Index i = 0; i < 3; ++i) {
+    double mx = logits.at(i, 0);
+    for (Index j = 1; j < 5; ++j) mx = std::max<double>(mx, logits.at(i, j));
+    double z = 0.0;
+    for (Index j = 0; j < 5; ++j) z += std::exp(double(logits.at(i, j)) - mx);
+    manual += std::log(z) + mx - double(logits.at(i, targets[i]));
+  }
+  EXPECT_NEAR(loss.at(0), manual / 3.0, 1e-4);
+}
+
+TEST_P(SeededIdentity, GradAccumulationIsAdditiveAcrossBackwards) {
+  // Two separate graphs over the same parameters accumulate gradients.
+  Tensor x = random_tensor({4}, GetParam(), 1.f);
+  {
+    Graph g;
+    g.backward(g.sum_all(g.square(x)));
+  }
+  std::vector<float> once(x.grad().begin(), x.grad().end());
+  {
+    Graph g;
+    g.backward(g.sum_all(g.square(x)));
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(x.grad()[i], 2 * once[i], 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededIdentity,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+}  // namespace
+}  // namespace ppg::nn

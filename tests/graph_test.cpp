@@ -1,0 +1,387 @@
+#include "nn/graph.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppg::nn {
+namespace {
+
+using ppg::testing::expect_gradients_match;
+using ppg::testing::random_tensor;
+
+// ---- forward value checks ------------------------------------------------
+
+TEST(GraphForward, MatmulValues) {
+  Graph g;
+  const Tensor a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::from({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = g.matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(GraphForward, MatmulShapeErrors) {
+  Graph g;
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(g.matmul(a, b), std::invalid_argument);
+}
+
+TEST(GraphForward, LinearAddsBias) {
+  Graph g;
+  const Tensor x = Tensor::from({1, 2}, {1, 1});
+  const Tensor w = Tensor::from({2, 2}, {1, 0, 0, 1});
+  const Tensor b = Tensor::from({2}, {10, 20});
+  const Tensor y = g.linear(x, w, b);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11.f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 21.f);
+}
+
+TEST(GraphForward, ElementwiseOps) {
+  Graph g;
+  const Tensor a = Tensor::from({3}, {1, -2, 3});
+  const Tensor b = Tensor::from({3}, {4, 5, -6});
+  EXPECT_FLOAT_EQ(g.add(a, b).at(1), 3.f);
+  EXPECT_FLOAT_EQ(g.sub(a, b).at(0), -3.f);
+  EXPECT_FLOAT_EQ(g.mul(a, b).at(2), -18.f);
+  EXPECT_FLOAT_EQ(g.scale(a, 2.f).at(2), 6.f);
+  EXPECT_FLOAT_EQ(g.add_scalar(a, 1.f).at(1), -1.f);
+  EXPECT_FLOAT_EQ(g.relu(a).at(1), 0.f);
+  EXPECT_FLOAT_EQ(g.square(a).at(1), 4.f);
+}
+
+TEST(GraphForward, ShapeMismatchThrows) {
+  Graph g;
+  Tensor a({3}), b({4});
+  EXPECT_THROW(g.add(a, b), std::invalid_argument);
+  EXPECT_THROW(g.mul(a, b), std::invalid_argument);
+}
+
+TEST(GraphForward, SoftmaxRowsSumToOne) {
+  Graph g;
+  const Tensor x = random_tensor({4, 7}, 11, 2.f);
+  const Tensor s = g.softmax_rows(x);
+  for (Index i = 0; i < 4; ++i) {
+    float sum = 0.f;
+    for (Index j = 0; j < 7; ++j) {
+      EXPECT_GT(s.at(i, j), 0.f);
+      sum += s.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+}
+
+TEST(GraphForward, SoftmaxHandlesExtremeLogits) {
+  Graph g;
+  const Tensor x = Tensor::from({1, 3}, {1e4f, -1e4f, 1e4f});
+  const Tensor s = g.softmax_rows(x);
+  EXPECT_NEAR(s.at(0, 0), 0.5f, 1e-4f);
+  EXPECT_NEAR(s.at(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(GraphForward, LayernormNormalisesRows) {
+  Graph g;
+  const Tensor x = random_tensor({3, 8}, 12, 3.f);
+  Tensor gain({8}), bias({8});
+  gain.fill(1.f);
+  const Tensor y = g.layernorm(x, gain, bias);
+  for (Index i = 0; i < 3; ++i) {
+    float mean = 0.f, var = 0.f;
+    for (Index j = 0; j < 8; ++j) mean += y.at(i, j);
+    mean /= 8.f;
+    for (Index j = 0; j < 8; ++j) {
+      const float c = y.at(i, j) - mean;
+      var += c * c;
+    }
+    var /= 8.f;
+    EXPECT_NEAR(mean, 0.f, 1e-4f);
+    EXPECT_NEAR(var, 1.f, 1e-2f);
+  }
+}
+
+TEST(GraphForward, EmbeddingGathersRows) {
+  Graph g;
+  const Tensor table = Tensor::from({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor out = g.embedding({2, 0, 2}, table);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 5.f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 2.f);
+  EXPECT_FLOAT_EQ(out.at(2, 1), 6.f);
+}
+
+TEST(GraphForward, EmbeddingRejectsOutOfRange) {
+  Graph g;
+  Tensor table({3, 2});
+  EXPECT_THROW(g.embedding({3}, table), std::invalid_argument);
+  EXPECT_THROW(g.embedding({-1}, table), std::invalid_argument);
+}
+
+TEST(GraphForward, SliceAndConcatRoundTrip) {
+  Graph g;
+  const Tensor x = random_tensor({3, 6}, 13);
+  const Tensor a = g.slice_cols(x, 0, 2);
+  const Tensor b = g.slice_cols(x, 2, 6);
+  const Tensor y = g.concat_cols(a, b);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 6; ++j) EXPECT_FLOAT_EQ(y.at(i, j), x.at(i, j));
+}
+
+TEST(GraphForward, CrossEntropyOfUniformLogits) {
+  Graph g;
+  Tensor logits({2, 4});
+  const Tensor loss = g.cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(loss.at(0), std::log(4.f), 1e-5f);
+}
+
+TEST(GraphForward, CrossEntropyIgnoresIndex) {
+  Graph g;
+  Tensor logits = Tensor::from({2, 2}, {100.f, 0.f, 0.f, 100.f});
+  // Second row ignored: loss is only the (correct) first row, near zero.
+  const Tensor loss = g.cross_entropy(logits, {0, -1}, -1);
+  EXPECT_NEAR(loss.at(0), 0.f, 1e-4f);
+}
+
+TEST(GraphForward, CrossEntropyAllIgnoredThrows) {
+  Graph g;
+  Tensor logits({1, 2});
+  EXPECT_THROW(g.cross_entropy(logits, {-1}, -1), std::invalid_argument);
+}
+
+TEST(GraphForward, AttentionFirstPositionIsIdentityOverV) {
+  // With a single position, attention output must equal the value vector.
+  Graph g;
+  const Index d = 4;
+  const Tensor qkv = random_tensor({1, 3 * d}, 14);
+  const Tensor out = g.causal_self_attention(qkv, 1, 1, 2);
+  for (Index j = 0; j < d; ++j)
+    EXPECT_NEAR(out.at(0, j), qkv.at(0, 2 * d + j), 1e-5f);
+}
+
+TEST(GraphForward, AttentionIsCausal) {
+  // Changing a *future* token's k/v must not affect an earlier output.
+  const Index d = 4, T = 3;
+  Tensor qkv = random_tensor({T, 3 * d}, 15);
+  Graph g1;
+  const Tensor out1 = g1.causal_self_attention(qkv, 1, T, 2);
+  const float before = out1.at(1, 0);
+  // Perturb the last timestep's entire qkv row.
+  for (Index j = 0; j < 3 * d; ++j) qkv.at(2, j) += 5.f;
+  Graph g2;
+  const Tensor out2 = g2.causal_self_attention(qkv, 1, T, 2);
+  EXPECT_NEAR(out2.at(1, 0), before, 1e-6f);
+  EXPECT_NE(out2.at(2, 0), out1.at(2, 0));
+}
+
+TEST(GraphForward, AttentionBatchesAreIndependent) {
+  const Index d = 4, T = 2;
+  const Tensor a = random_tensor({T, 3 * d}, 16);
+  const Tensor b = random_tensor({T, 3 * d}, 17);
+  Tensor both({2 * T, 3 * d});
+  for (Index t = 0; t < T; ++t)
+    for (Index j = 0; j < 3 * d; ++j) {
+      both.at(t, j) = a.at(t, j);
+      both.at(T + t, j) = b.at(t, j);
+    }
+  Graph g;
+  const Tensor out_a = g.causal_self_attention(a, 1, T, 2);
+  const Tensor out_b = g.causal_self_attention(b, 1, T, 2);
+  const Tensor out_both = g.causal_self_attention(both, 2, T, 2);
+  for (Index t = 0; t < T; ++t)
+    for (Index j = 0; j < d; ++j) {
+      EXPECT_NEAR(out_both.at(t, j), out_a.at(t, j), 1e-6f);
+      EXPECT_NEAR(out_both.at(T + t, j), out_b.at(t, j), 1e-6f);
+    }
+}
+
+TEST(GraphForward, DropoutZeroIsIdentity) {
+  Graph g;
+  Rng rng(1);
+  const Tensor x = random_tensor({2, 2}, 18);
+  const Tensor y = g.dropout(x, 0.f, rng);
+  EXPECT_TRUE(y.shares_storage_with(x));
+}
+
+TEST(GraphForward, DropoutKeepsExpectedMass) {
+  Graph g;
+  Rng rng(2);
+  Tensor x({10000});
+  x.fill(1.f);
+  const Tensor y = g.dropout(x, 0.25f, rng);
+  double sum = 0;
+  std::size_t zeros = 0;
+  for (const float v : y.data()) {
+    sum += v;
+    if (v == 0.f) ++zeros;
+  }
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);       // inverted scaling
+  EXPECT_NEAR(double(zeros) / 10000.0, 0.25, 0.02);
+}
+
+TEST(GraphEngine, BackwardRequiresScalar) {
+  Graph g;
+  Tensor t({2});
+  EXPECT_THROW(g.backward(t), std::invalid_argument);
+}
+
+TEST(GraphEngine, GradAccumulatesAcrossUses) {
+  // y = sum(x + x): dy/dx = 2 everywhere.
+  Graph g;
+  Tensor x = Tensor::from({3}, {1, 2, 3});
+  const Tensor loss = g.sum_all(g.add(x, x));
+  g.backward(loss);
+  for (const float gv : x.grad()) EXPECT_FLOAT_EQ(gv, 2.f);
+}
+
+// ---- gradient checks -------------------------------------------------------
+
+TEST(GraphGrad, Matmul) {
+  Tensor a = random_tensor({3, 4}, 21);
+  Tensor b = random_tensor({4, 2}, 22);
+  expect_gradients_match(
+      [&](Graph& g) { return g.sum_all(g.tanh_op(g.matmul(a, b))); }, {a, b});
+}
+
+TEST(GraphGrad, Linear) {
+  Tensor x = random_tensor({3, 4}, 23);
+  Tensor w = random_tensor({4, 3}, 24);
+  Tensor b = random_tensor({3}, 25);
+  expect_gradients_match(
+      [&](Graph& g) { return g.sum_all(g.tanh_op(g.linear(x, w, b))); },
+      {x, w, b});
+}
+
+TEST(GraphGrad, ElementwiseChain) {
+  Tensor a = random_tensor({2, 3}, 26);
+  Tensor b = random_tensor({2, 3}, 27);
+  expect_gradients_match(
+      [&](Graph& g) {
+        return g.mean_all(g.mul(g.add(a, b), g.sub(a, g.scale(b, 0.5f))));
+      },
+      {a, b});
+}
+
+TEST(GraphGrad, Gelu) {
+  Tensor x = random_tensor({2, 5}, 28);
+  expect_gradients_match([&](Graph& g) { return g.sum_all(g.gelu(x)); }, {x});
+}
+
+TEST(GraphGrad, SigmoidTanhExp) {
+  Tensor x = random_tensor({6}, 29, 0.5f);
+  expect_gradients_match(
+      [&](Graph& g) {
+        return g.sum_all(g.sigmoid(g.tanh_op(g.exp_op(x))));
+      },
+      {x});
+}
+
+TEST(GraphGrad, LogSquare) {
+  Tensor x = random_tensor({5}, 30, 0.3f);
+  // Keep inputs positive for log.
+  for (auto& v : x.data()) v = std::abs(v) + 0.5f;
+  expect_gradients_match(
+      [&](Graph& g) { return g.sum_all(g.log_op(g.square(x))); }, {x},
+      1e-3f);
+}
+
+TEST(GraphGrad, MulRow) {
+  Tensor x = random_tensor({3, 4}, 31);
+  Tensor v = random_tensor({4}, 32);
+  expect_gradients_match(
+      [&](Graph& g) { return g.sum_all(g.tanh_op(g.mul_row(x, v))); },
+      {x, v});
+}
+
+TEST(GraphGrad, SoftmaxRows) {
+  Tensor x = random_tensor({3, 5}, 33);
+  Tensor w = random_tensor({3, 5}, 34);
+  expect_gradients_match(
+      [&](Graph& g) { return g.sum_all(g.mul(g.softmax_rows(x), w)); },
+      {x, w});
+}
+
+TEST(GraphGrad, Layernorm) {
+  Tensor x = random_tensor({3, 6}, 35);
+  Tensor gain = random_tensor({6}, 36, 0.5f);
+  for (auto& v : gain.data()) v += 1.f;
+  Tensor bias = random_tensor({6}, 37, 0.5f);
+  expect_gradients_match(
+      [&](Graph& g) {
+        return g.sum_all(g.tanh_op(g.layernorm(x, gain, bias)));
+      },
+      {x, gain, bias}, 1e-2f, 4e-2f);
+}
+
+TEST(GraphGrad, Embedding) {
+  Tensor table = random_tensor({5, 3}, 38);
+  const std::vector<int> ids = {1, 4, 1, 0};
+  expect_gradients_match(
+      [&](Graph& g) { return g.sum_all(g.tanh_op(g.embedding(ids, table))); },
+      {table});
+}
+
+TEST(GraphGrad, SliceConcat) {
+  Tensor x = random_tensor({2, 6}, 39);
+  expect_gradients_match(
+      [&](Graph& g) {
+        const Tensor a = g.slice_cols(x, 0, 3);
+        const Tensor b = g.slice_cols(x, 3, 6);
+        return g.sum_all(g.tanh_op(g.concat_cols(g.mul(a, b), a)));
+      },
+      {x});
+}
+
+TEST(GraphGrad, CausalSelfAttention) {
+  const Index B = 2, T = 3, d = 4, H = 2;
+  Tensor qkv = random_tensor({B * T, 3 * d}, 40, 0.7f);
+  Tensor w = random_tensor({B * T, d}, 41);
+  expect_gradients_match(
+      [&](Graph& g) {
+        return g.sum_all(g.mul(g.causal_self_attention(qkv, B, T, H), w));
+      },
+      {qkv, w}, 1e-2f, 4e-2f);
+}
+
+TEST(GraphGrad, CrossEntropy) {
+  Tensor logits = random_tensor({4, 5}, 42);
+  const std::vector<int> targets = {0, 2, -1, 4};
+  expect_gradients_match(
+      [&](Graph& g) { return g.cross_entropy(logits, targets, -1); },
+      {logits}, 1e-2f, 3e-2f);
+}
+
+TEST(GraphGrad, SumAndMean) {
+  Tensor x = random_tensor({7}, 43);
+  expect_gradients_match(
+      [&](Graph& g) {
+        return g.add(g.mean_all(g.square(x)), g.scale(g.sum_all(x), 0.1f));
+      },
+      {x});
+}
+
+TEST(GraphGrad, TransformerMicroBlock) {
+  // A miniature pre-LN attention block end-to-end.
+  const Index T = 3, d = 4;
+  Tensor x = random_tensor({T, d}, 44, 0.5f);
+  Tensor gain = random_tensor({d}, 45, 0.1f);
+  for (auto& v : gain.data()) v += 1.f;
+  Tensor bias({d});
+  Tensor wqkv = random_tensor({d, 3 * d}, 46, 0.4f);
+  Tensor bqkv({3 * d});
+  Tensor wproj = random_tensor({d, d}, 47, 0.4f);
+  Tensor bproj({d});
+  expect_gradients_match(
+      [&](Graph& g) {
+        const Tensor h = g.layernorm(x, gain, bias);
+        const Tensor qkv = g.linear(h, wqkv, bqkv);
+        const Tensor att = g.causal_self_attention(qkv, 1, T, 2);
+        const Tensor y = g.add(x, g.linear(att, wproj, bproj));
+        return g.mean_all(g.square(y));
+      },
+      {x, gain, bias, wqkv, bqkv, wproj, bproj}, 1e-2f, 5e-2f);
+}
+
+}  // namespace
+}  // namespace ppg::nn

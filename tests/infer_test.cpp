@@ -1,0 +1,195 @@
+#include "gpt/infer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/graph.h"
+
+namespace ppg::gpt {
+namespace {
+
+/// Reference logits via the training-path forward for a single sequence.
+std::vector<float> training_logits_last(const GptModel& m,
+                                        const std::vector<int>& seq) {
+  nn::Graph g;
+  const nn::Tensor logits =
+      m.forward(g, seq, 1, static_cast<Index>(seq.size()));
+  const Index v = m.config().vocab;
+  const Index last = static_cast<Index>(seq.size()) - 1;
+  std::vector<float> out(static_cast<std::size_t>(v));
+  for (Index j = 0; j < v; ++j) out[static_cast<std::size_t>(j)] =
+      logits.at(last, j);
+  return out;
+}
+
+TEST(InferenceSession, MatchesTrainingForward) {
+  // The KV-cache incremental path must reproduce the training-path logits
+  // to float tolerance — the strongest consistency check in the suite.
+  const GptModel m(Config::tiny(), 42);
+  const std::vector<int> seq = {0, 17, 41, 60, 99, 1, 77};
+  InferenceSession s(m);
+  s.reset(1);
+  std::span<const float> logits;
+  for (const int t : seq) {
+    const int tok = t;
+    logits = s.step(std::span<const int>(&tok, 1));
+  }
+  const auto ref = training_logits_last(m, seq);
+  ASSERT_EQ(logits.size(), ref.size());
+  for (std::size_t j = 0; j < ref.size(); ++j)
+    EXPECT_NEAR(logits[j], ref[j], 2e-3f) << "logit " << j;
+}
+
+TEST(InferenceSession, MatchesTrainingForwardAtEveryPosition) {
+  const GptModel m(Config::tiny(), 43);
+  const std::vector<int> seq = {0, 5, 41, 42};
+  // Training-path logits for all positions.
+  nn::Graph g;
+  const nn::Tensor full =
+      m.forward(g, seq, 1, static_cast<Index>(seq.size()));
+  InferenceSession s(m);
+  s.reset(1);
+  for (std::size_t p = 0; p < seq.size(); ++p) {
+    const int tok = seq[p];
+    const auto logits = s.step(std::span<const int>(&tok, 1));
+    for (Index j = 0; j < m.config().vocab; ++j)
+      EXPECT_NEAR(logits[static_cast<std::size_t>(j)],
+                  full.at(static_cast<Index>(p), j), 2e-3f)
+          << "pos " << p << " logit " << j;
+  }
+}
+
+TEST(InferenceSession, BatchRowsAreIndependent) {
+  const GptModel m(Config::tiny(), 44);
+  // Two different sequences in one batch must match two solo sessions.
+  const std::vector<int> a = {0, 41, 50}, b = {0, 99, 1};
+  InferenceSession solo(m);
+  solo.reset(1);
+  std::vector<float> ra, rb;
+  for (const int t : a) {
+    const auto l = solo.step(std::span<const int>(&t, 1));
+    ra.assign(l.begin(), l.end());
+  }
+  solo.reset(1);
+  for (const int t : b) {
+    const auto l = solo.step(std::span<const int>(&t, 1));
+    rb.assign(l.begin(), l.end());
+  }
+  InferenceSession both(m);
+  both.reset(2);
+  std::span<const float> l;
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    const std::vector<int> toks = {a[p], b[p]};
+    l = both.step(toks);
+  }
+  const Index v = m.config().vocab;
+  for (Index j = 0; j < v; ++j) {
+    EXPECT_NEAR(l[static_cast<std::size_t>(j)], ra[static_cast<std::size_t>(j)],
+                1e-4f);
+    EXPECT_NEAR(l[static_cast<std::size_t>(v + j)],
+                rb[static_cast<std::size_t>(j)], 1e-4f);
+  }
+}
+
+TEST(InferenceSession, PrimeEqualsManualSteps) {
+  const GptModel m(Config::tiny(), 45);
+  const std::vector<int> prefix = {0, 7, 41};
+  InferenceSession s1(m);
+  s1.reset(3);
+  const auto via_prime = s1.prime(prefix);
+  const std::vector<float> a(via_prime.begin(), via_prime.end());
+  InferenceSession s2(m);
+  s2.reset(3);
+  std::span<const float> l;
+  for (const int t : prefix) {
+    const std::vector<int> toks(3, t);
+    l = s2.step(toks);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], l[i]);
+}
+
+TEST(InferenceSession, GuardsAgainstMisuse) {
+  const GptModel m(Config::tiny(), 46);
+  InferenceSession s(m);
+  const int tok = 0;
+  EXPECT_THROW(s.step(std::span<const int>(&tok, 1)), std::logic_error);
+  s.reset(2);
+  EXPECT_THROW(s.step(std::span<const int>(&tok, 1)), std::invalid_argument);
+  EXPECT_THROW(s.reset(0), std::invalid_argument);
+}
+
+TEST(InferenceSession, RejectsOutOfRangeToken) {
+  const GptModel m(Config::tiny(), 47);
+  InferenceSession s(m);
+  s.reset(1);
+  const int bad = 999;
+  EXPECT_THROW(s.step(std::span<const int>(&bad, 1)), std::invalid_argument);
+}
+
+TEST(InferenceSession, ContextExhaustionThrows) {
+  const GptModel m(Config::tiny(), 48);  // context 16
+  InferenceSession s(m);
+  s.reset(1);
+  const int tok = 0;
+  for (Index i = 0; i < m.config().context; ++i)
+    s.step(std::span<const int>(&tok, 1));
+  EXPECT_THROW(s.step(std::span<const int>(&tok, 1)), std::runtime_error);
+}
+
+TEST(InferenceSession, ResetRestartsPosition) {
+  const GptModel m(Config::tiny(), 49);
+  InferenceSession s(m);
+  s.reset(1);
+  const int tok = 3;
+  s.step(std::span<const int>(&tok, 1));
+  EXPECT_EQ(s.position(), 1);
+  s.reset(4);
+  EXPECT_EQ(s.position(), 0);
+  EXPECT_EQ(s.batch(), 4);
+}
+
+TEST(SequenceLogProb, MatchesManualChainRule) {
+  const GptModel m(Config::tiny(), 51);
+  const std::vector<int> seq = {0, 41, 55, 2};
+  double manual = 0.0;
+  for (std::size_t t = 0; t + 1 < seq.size(); ++t) {
+    const auto probs = next_token_distribution(
+        m, std::span<const int>(seq.data(), t + 1));
+    manual += std::log(double(probs[static_cast<std::size_t>(seq[t + 1])]));
+  }
+  EXPECT_NEAR(sequence_log_prob(m, seq), manual, 1e-3);
+}
+
+TEST(SequenceLogProb, IsNegativeAndFinite) {
+  const GptModel m(Config::tiny(), 52);
+  const std::vector<int> seq = {0, 41, 42, 43, 2};
+  const double lp = sequence_log_prob(m, seq);
+  EXPECT_LT(lp, 0.0);
+  EXPECT_GT(lp, -1e4);
+}
+
+TEST(SequenceLogProb, ValidatesInput) {
+  const GptModel m(Config::tiny(), 53);
+  EXPECT_THROW(sequence_log_prob(m, std::vector<int>{0}),
+               std::invalid_argument);
+  const std::vector<int> too_long(64, 0);
+  EXPECT_THROW(sequence_log_prob(m, too_long), std::invalid_argument);
+}
+
+TEST(NextTokenDistribution, IsNormalisedAndDeterministic) {
+  const GptModel m(Config::tiny(), 50);
+  const std::vector<int> prefix = {0, 5, 1};
+  const auto p1 = next_token_distribution(m, prefix);
+  const auto p2 = next_token_distribution(m, prefix);
+  EXPECT_EQ(p1, p2);
+  double sum = 0.0;
+  for (const float v : p1) {
+    EXPECT_GE(v, 0.f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace ppg::gpt

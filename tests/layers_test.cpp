@@ -1,0 +1,129 @@
+#include "nn/layers.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppg::nn {
+namespace {
+
+TEST(ParamList, RegistersInOrderAndCounts) {
+  ParamList params;
+  Rng rng(1);
+  nn::Linear l1(params, "a", 3, 4, rng);
+  nn::LayerNorm ln(params, "b", 4);
+  nn::Embedding emb(params, "c", 5, 4, rng);
+  ASSERT_EQ(params.items().size(), 5u);
+  EXPECT_EQ(params.items()[0].name, "a.weight");
+  EXPECT_EQ(params.items()[1].name, "a.bias");
+  EXPECT_EQ(params.items()[2].name, "b.gain");
+  EXPECT_EQ(params.items()[3].name, "b.bias");
+  EXPECT_EQ(params.items()[4].name, "c.table");
+  EXPECT_EQ(params.count(), 3u * 4 + 4 + 4 + 4 + 5 * 4);
+}
+
+TEST(ParamList, ZeroGradClearsEverything) {
+  ParamList params;
+  Rng rng(2);
+  nn::Linear l(params, "l", 2, 2, rng);
+  l.weight().grad()[0] = 5.f;
+  l.bias().grad()[1] = -1.f;
+  params.zero_grad();
+  EXPECT_EQ(l.weight().grad()[0], 0.f);
+  EXPECT_EQ(l.bias().grad()[1], 0.f);
+}
+
+TEST(ParamList, ClipGradNormScalesDown) {
+  ParamList params;
+  Tensor t({4});
+  params.add("t", t);
+  t.grad()[0] = 3.f;
+  t.grad()[1] = 4.f;  // norm 5
+  const double norm = params.clip_grad_norm(1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(t.grad()[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(t.grad()[1], 0.8f, 1e-6f);
+}
+
+TEST(ParamList, ClipGradNormLeavesSmallGradients) {
+  ParamList params;
+  Tensor t({2});
+  params.add("t", t);
+  t.grad()[0] = 0.3f;
+  params.clip_grad_norm(1.0);
+  EXPECT_FLOAT_EQ(t.grad()[0], 0.3f);
+}
+
+TEST(ParamList, SaveLoadRoundTrip) {
+  ParamList a;
+  Rng rng(3);
+  nn::Linear la(a, "l", 3, 3, rng);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save(w);
+
+  ParamList b;
+  Rng rng2(99);  // different init
+  nn::Linear lb(b, "l", 3, 3, rng2);
+  BinaryReader r(ss);
+  b.load(r);
+  for (std::size_t i = 0; i < a.items().size(); ++i) {
+    const auto da = a.items()[i].tensor.data();
+    const auto db = b.items()[i].tensor.data();
+    for (std::size_t j = 0; j < da.size(); ++j) EXPECT_EQ(da[j], db[j]);
+  }
+}
+
+TEST(ParamList, LoadRejectsLayoutMismatch) {
+  ParamList a;
+  Rng rng(4);
+  nn::Linear la(a, "x", 2, 2, rng);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save(w);
+
+  ParamList b;
+  nn::Linear lb(b, "y", 2, 2, rng);  // different name
+  BinaryReader r(ss);
+  EXPECT_THROW(b.load(r), std::runtime_error);
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  ParamList params;
+  Rng rng(5);
+  nn::Linear l(params, "l", 2, 2, rng);
+  l.weight().fill(0.f);
+  l.weight().at(0, 0) = 2.f;
+  l.weight().at(1, 1) = 3.f;
+  l.bias().at(0) = 1.f;
+  Graph g;
+  const Tensor x = Tensor::from({1, 2}, {4.f, 5.f});
+  const Tensor y = l.forward(g, x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 9.f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 15.f);
+}
+
+TEST(LayerNorm, InitialisedToIdentityAffine) {
+  ParamList params;
+  nn::LayerNorm ln(params, "ln", 4);
+  for (const float v : ln.gain().data()) EXPECT_EQ(v, 1.f);
+  for (const float v : ln.bias().data()) EXPECT_EQ(v, 0.f);
+}
+
+TEST(Embedding, ForwardGathers) {
+  ParamList params;
+  Rng rng(6);
+  nn::Embedding emb(params, "e", 4, 3, rng);
+  Graph g;
+  const Tensor out = emb.forward(g, {2, 2, 1});
+  for (Index j = 0; j < 3; ++j) {
+    EXPECT_EQ(out.at(0, j), emb.table().at(2, j));
+    EXPECT_EQ(out.at(1, j), emb.table().at(2, j));
+    EXPECT_EQ(out.at(2, j), emb.table().at(1, j));
+  }
+}
+
+}  // namespace
+}  // namespace ppg::nn

@@ -1,0 +1,99 @@
+#include "core/masks.h"
+
+#include <gtest/gtest.h>
+
+namespace ppg::core {
+namespace {
+
+using tok::Tokenizer;
+
+TEST(ClassTokenSets, PartitionCharTokensExactly) {
+  const auto& sets = ClassTokenSets::instance();
+  int letters = 0, digits = 0, specials = 0;
+  for (int id = 0; id < Tokenizer::kVocabSize; ++id) {
+    const int membership = int(sets.letter[id]) + int(sets.digit[id]) +
+                           int(sets.special[id]);
+    if (Tokenizer::is_char_token(id)) {
+      EXPECT_EQ(membership, 1) << "token " << id;
+      letters += sets.letter[id];
+      digits += sets.digit[id];
+      specials += sets.special[id];
+    } else {
+      EXPECT_EQ(membership, 0) << "non-char token " << id;
+    }
+  }
+  EXPECT_EQ(letters, 52);
+  EXPECT_EQ(digits, 10);
+  EXPECT_EQ(specials, 32);
+}
+
+TEST(ClassTokenSets, OfSelectsCorrectSet) {
+  const auto& sets = ClassTokenSets::instance();
+  EXPECT_TRUE(sets.of(pcfg::CharClass::kLetter)[Tokenizer::char_token('a')]);
+  EXPECT_TRUE(sets.of(pcfg::CharClass::kDigit)[Tokenizer::char_token('7')]);
+  EXPECT_TRUE(sets.of(pcfg::CharClass::kSpecial)[Tokenizer::char_token('!')]);
+  EXPECT_FALSE(sets.of(pcfg::CharClass::kLetter)[Tokenizer::char_token('7')]);
+}
+
+std::vector<float> masked_logits(const gpt::LogitMask& mask, gpt::Index step) {
+  std::vector<float> logits(Tokenizer::kVocabSize, 0.f);
+  mask(step, logits);
+  return logits;
+}
+
+TEST(PatternMask, AllowsOnlyPatternClassAtEachStep) {
+  const auto pattern = *pcfg::parse_pattern("L1N1S1");
+  const auto mask = make_pattern_mask(pattern);
+  // Step 0: letters only.
+  auto l0 = masked_logits(mask, 0);
+  EXPECT_GT(l0[Tokenizer::char_token('a')], -1e29f);
+  EXPECT_LT(l0[Tokenizer::char_token('1')], -1e29f);
+  EXPECT_LT(l0[Tokenizer::kEos], -1e29f);
+  // Step 1: digits only.
+  auto l1 = masked_logits(mask, 1);
+  EXPECT_GT(l1[Tokenizer::char_token('5')], -1e29f);
+  EXPECT_LT(l1[Tokenizer::char_token('a')], -1e29f);
+  // Step 2: specials only.
+  auto l2 = masked_logits(mask, 2);
+  EXPECT_GT(l2[Tokenizer::char_token('#')], -1e29f);
+  EXPECT_LT(l2[Tokenizer::char_token('z')], -1e29f);
+}
+
+TEST(PatternMask, ForcesEosAfterPatternEnd) {
+  const auto pattern = *pcfg::parse_pattern("N2");
+  const auto mask = make_pattern_mask(pattern);
+  const auto l = masked_logits(mask, 2);
+  for (int id = 0; id < Tokenizer::kVocabSize; ++id) {
+    if (id == Tokenizer::kEos)
+      EXPECT_GT(l[static_cast<std::size_t>(id)], -1e29f);
+    else
+      EXPECT_LT(l[static_cast<std::size_t>(id)], -1e29f) << id;
+  }
+}
+
+TEST(PatternMask, OffsetShiftsPosition) {
+  const auto pattern = *pcfg::parse_pattern("L2N2");
+  // Two characters already fixed by the prefix: step 0 is position 2 (N).
+  const auto mask = make_pattern_mask(pattern, 2);
+  auto l = masked_logits(mask, 0);
+  EXPECT_GT(l[Tokenizer::char_token('3')], -1e29f);
+  EXPECT_LT(l[Tokenizer::char_token('a')], -1e29f);
+  // Step 2 is past the end: EOS only.
+  auto l2 = masked_logits(mask, 2);
+  EXPECT_GT(l2[Tokenizer::kEos], -1e29f);
+  EXPECT_LT(l2[Tokenizer::char_token('3')], -1e29f);
+}
+
+TEST(PatternMask, NeverUnmasksSpecialOrPatternTokens) {
+  const auto pattern = *pcfg::parse_pattern("L3");
+  const auto mask = make_pattern_mask(pattern);
+  const auto l = masked_logits(mask, 0);
+  EXPECT_LT(l[Tokenizer::kBos], -1e29f);
+  EXPECT_LT(l[Tokenizer::kSep], -1e29f);
+  EXPECT_LT(l[Tokenizer::kPad], -1e29f);
+  EXPECT_LT(l[Tokenizer::pattern_token(pcfg::CharClass::kLetter, 3)], -1e29f);
+  EXPECT_LT(l[Tokenizer::kReserved], -1e29f);
+}
+
+}  // namespace
+}  // namespace ppg::core

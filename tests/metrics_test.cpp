@@ -1,0 +1,144 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ppg::eval {
+namespace {
+
+std::vector<std::string> test_passwords() {
+  return {"love12", "blue34", "star56", "abcd", "efgh", "1234"};
+}
+
+TEST(TestSet, DeduplicatesAndIndexes) {
+  std::vector<std::string> pws = test_passwords();
+  pws.push_back("love12");  // duplicate
+  const TestSet ts(pws);
+  EXPECT_EQ(ts.size(), 6u);
+  EXPECT_TRUE(ts.contains("love12"));
+  EXPECT_FALSE(ts.contains("nope"));
+  EXPECT_EQ(ts.count_with_pattern("L4N2"), 3u);
+  EXPECT_EQ(ts.count_with_pattern("L4"), 2u);
+  EXPECT_EQ(ts.count_with_pattern("N4"), 1u);
+  EXPECT_EQ(ts.count_with_segments(2), 3u);
+  EXPECT_EQ(ts.count_with_segments(1), 3u);
+  EXPECT_EQ(ts.count_with_segments(5), 0u);
+}
+
+TEST(RepeatRate, HandWorkedValues) {
+  EXPECT_DOUBLE_EQ(repeat_rate(std::vector<std::string>{}), 0.0);
+  const std::vector<std::string> no_dups = {"a", "b", "c"};
+  EXPECT_DOUBLE_EQ(repeat_rate(no_dups), 0.0);
+  const std::vector<std::string> half = {"a", "a", "b", "b"};
+  EXPECT_DOUBLE_EQ(repeat_rate(half), 0.5);
+  const std::vector<std::string> all = {"a", "a", "a", "a"};
+  EXPECT_DOUBLE_EQ(repeat_rate(all), 0.75);
+}
+
+TEST(HitRate, CountsDistinctHits) {
+  const TestSet ts(test_passwords());
+  const std::vector<std::string> guesses = {"love12", "love12", "wrong1",
+                                            "abcd"};
+  EXPECT_NEAR(hit_rate(guesses, ts), 2.0 / 6.0, 1e-12);
+}
+
+TEST(LengthDistance, ZeroForIdenticalDistributions) {
+  const auto pws = test_passwords();
+  EXPECT_NEAR(length_distance(pws, pws), 0.0, 1e-12);
+}
+
+TEST(LengthDistance, HandWorkedValue) {
+  // gen: all length 4; test: all length 6 → sqrt(1² + 1²) = √2.
+  const std::vector<std::string> gen = {"aaaa", "bbbb"};
+  const std::vector<std::string> test = {"aaaaaa", "bbbbbb"};
+  EXPECT_NEAR(length_distance(gen, test), std::sqrt(2.0), 1e-12);
+}
+
+TEST(LengthDistance, InvalidLengthsDiluteMass) {
+  // One of two generated passwords is out of range: half the mass is gone.
+  const std::vector<std::string> gen = {"aaaa", "waytoolongpassword"};
+  const std::vector<std::string> test = {"aaaa"};
+  EXPECT_NEAR(length_distance(gen, test), 0.5, 1e-12);
+}
+
+TEST(PatternDistance, ZeroForIdenticalDistributions) {
+  const auto pws = test_passwords();
+  EXPECT_NEAR(pattern_distance(pws, pws), 0.0, 1e-12);
+}
+
+TEST(PatternDistance, HandWorkedValue) {
+  // test: 100% L4; gen: 100% N4 → distance on top pattern L4 = 1.
+  const std::vector<std::string> gen = {"1234"};
+  const std::vector<std::string> test = {"abcd"};
+  EXPECT_NEAR(pattern_distance(gen, test), 1.0, 1e-12);
+}
+
+TEST(PatternDistance, TopTruncationApplies) {
+  // With top=1 only the most common test pattern matters.
+  const std::vector<std::string> gen = {"abcd", "99"};
+  const std::vector<std::string> test = {"abcd", "abce", "12"};
+  // top test pattern: L4 with prob 2/3; gen prob 1/2 → |2/3-1/2| = 1/6.
+  EXPECT_NEAR(pattern_distance(gen, test, 1), 1.0 / 6.0, 1e-12);
+}
+
+TEST(PatternHitRate, RestrictsToPattern) {
+  const TestSet ts(test_passwords());
+  // Guesses include an L4N2 hit, an L4 hit, and noise.
+  const std::vector<std::string> guesses = {"love12", "abcd", "zzzz99"};
+  EXPECT_NEAR(pattern_hit_rate(guesses, ts, "L4N2"), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pattern_hit_rate(guesses, ts, "L4"), 1.0 / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pattern_hit_rate(guesses, ts, "S4"), 0.0);
+}
+
+TEST(CategoryHitRate, RestrictsToSegmentCount) {
+  const TestSet ts(test_passwords());
+  const std::vector<std::string> guesses = {"love12", "abcd", "1234"};
+  EXPECT_NEAR(category_hit_rate(guesses, ts, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(category_hit_rate(guesses, ts, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(GuessCurve, MatchesOneShotMetrics) {
+  const TestSet ts(test_passwords());
+  const std::vector<std::string> guesses = {"love12", "love12", "abcd",
+                                            "nope1", "1234",   "1234"};
+  GuessCurve curve(ts);
+  // Feed in two chunks; results must match the one-shot computations.
+  curve.feed(std::span(guesses).subspan(0, 3));
+  curve.feed(std::span(guesses).subspan(3));
+  const CurvePoint p = curve.snapshot();
+  EXPECT_EQ(p.guesses, 6u);
+  EXPECT_EQ(p.unique, 4u);
+  EXPECT_EQ(p.hits, 3u);
+  EXPECT_NEAR(p.hit_rate, 0.5, 1e-12);
+  EXPECT_NEAR(p.repeat_rate, repeat_rate(guesses), 1e-12);
+  std::vector<std::string> tv(test_passwords());
+  EXPECT_NEAR(p.length_distance, length_distance(guesses, tv), 1e-12);
+  EXPECT_NEAR(p.pattern_distance, pattern_distance(guesses, tv, 150), 1e-12);
+}
+
+TEST(GuessCurve, SnapshotIsMonotoneInHits) {
+  const TestSet ts(test_passwords());
+  GuessCurve curve(ts);
+  const std::vector<std::string> first = {"love12"};
+  curve.feed(first);
+  const auto p1 = curve.snapshot();
+  const std::vector<std::string> second = {"abcd"};
+  curve.feed(second);
+  const auto p2 = curve.snapshot();
+  EXPECT_GT(p2.hits, p1.hits);
+  EXPECT_GT(p2.guesses, p1.guesses);
+}
+
+TEST(GuessCurve, EmptySnapshotIsZero) {
+  const TestSet ts(test_passwords());
+  const GuessCurve curve(ts);
+  const auto p = curve.snapshot();
+  EXPECT_EQ(p.guesses, 0u);
+  EXPECT_EQ(p.hits, 0u);
+  EXPECT_DOUBLE_EQ(p.hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(p.repeat_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace ppg::eval

@@ -1,0 +1,105 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/graph.h"
+
+namespace ppg::nn {
+namespace {
+
+/// Minimises f(x) = sum((x - target)^2) and returns the final x values.
+template <typename Opt>
+std::vector<float> minimise_quadratic(Opt& opt, Tensor& x,
+                                      const Tensor& target, int steps) {
+  Graph g;
+  for (int s = 0; s < steps; ++s) {
+    g.clear();
+    const Tensor loss = g.sum_all(g.square(g.sub(x, target)));
+    g.backward(loss);
+    opt.step();
+  }
+  return {x.data().begin(), x.data().end()};
+}
+
+TEST(AdamW, ConvergesOnQuadratic) {
+  ParamList params;
+  Tensor x({3});
+  params.add("x", x);
+  const Tensor target = Tensor::from({3}, {1.f, -2.f, 0.5f});
+  AdamW::Config cfg;
+  cfg.lr = 0.05f;
+  cfg.weight_decay = 0.f;
+  AdamW opt(params, cfg);
+  const auto final_x = minimise_quadratic(opt, x, target, 400);
+  EXPECT_NEAR(final_x[0], 1.f, 0.02f);
+  EXPECT_NEAR(final_x[1], -2.f, 0.02f);
+  EXPECT_NEAR(final_x[2], 0.5f, 0.02f);
+}
+
+TEST(AdamW, StepZeroesGradients) {
+  ParamList params;
+  Tensor x({2});
+  params.add("x", x);
+  AdamW opt(params);
+  x.grad()[0] = 1.f;
+  opt.step();
+  EXPECT_EQ(x.grad()[0], 0.f);
+  EXPECT_EQ(opt.steps(), 1);
+}
+
+TEST(AdamW, WeightDecayShrinksParameters) {
+  ParamList params;
+  Tensor x({1});
+  x.at(0) = 1.f;
+  params.add("x", x);
+  AdamW::Config cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.5f;
+  AdamW opt(params, cfg);
+  // Zero gradient: only decay acts.
+  for (int i = 0; i < 10; ++i) opt.step();
+  EXPECT_LT(x.at(0), 1.f);
+  EXPECT_GT(x.at(0), 0.f);
+}
+
+TEST(AdamW, LrIsMutableForSchedules) {
+  ParamList params;
+  Tensor x({1});
+  params.add("x", x);
+  AdamW opt(params);
+  opt.lr() = 0.123f;
+  EXPECT_FLOAT_EQ(opt.lr(), 0.123f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  ParamList params;
+  Tensor x({2});
+  params.add("x", x);
+  const Tensor target = Tensor::from({2}, {3.f, -1.f});
+  Sgd opt(params, 0.1f);
+  const auto final_x = minimise_quadratic(opt, x, target, 200);
+  EXPECT_NEAR(final_x[0], 3.f, 1e-3f);
+  EXPECT_NEAR(final_x[1], -1.f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  // Same LR and steps: momentum should end closer on an ill-scaled target.
+  const Tensor target = Tensor::from({1}, {10.f});
+  ParamList p1;
+  Tensor x1({1});
+  p1.add("x", x1);
+  Sgd plain(p1, 0.01f);
+  const auto r1 = minimise_quadratic(plain, x1, target, 50);
+
+  ParamList p2;
+  Tensor x2({1});
+  p2.add("x", x2);
+  Sgd mom(p2, 0.01f, 0.9f);
+  const auto r2 = minimise_quadratic(mom, x2, target, 50);
+  EXPECT_LT(std::abs(r2[0] - 10.f), std::abs(r1[0] - 10.f));
+}
+
+}  // namespace
+}  // namespace ppg::nn

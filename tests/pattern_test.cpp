@@ -1,0 +1,155 @@
+#include "pcfg/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppg::pcfg {
+namespace {
+
+TEST(Pattern, ClassifyCoversUniverse) {
+  EXPECT_EQ(classify('a'), CharClass::kLetter);
+  EXPECT_EQ(classify('Z'), CharClass::kLetter);
+  EXPECT_EQ(classify('0'), CharClass::kDigit);
+  EXPECT_EQ(classify('9'), CharClass::kDigit);
+  EXPECT_EQ(classify('!'), CharClass::kSpecial);
+  EXPECT_EQ(classify('~'), CharClass::kSpecial);
+  EXPECT_EQ(classify('@'), CharClass::kSpecial);
+}
+
+TEST(Pattern, UniverseExcludesSpaceAndControl) {
+  EXPECT_FALSE(in_universe(' '));
+  EXPECT_FALSE(in_universe('\t'));
+  EXPECT_FALSE(in_universe('\x7f'));
+  EXPECT_FALSE(in_universe('\xc3'));
+  EXPECT_TRUE(in_universe('!'));
+  EXPECT_TRUE(in_universe('~'));
+}
+
+TEST(Pattern, ClassSizesMatchPaper) {
+  EXPECT_EQ(class_size(CharClass::kLetter), 52);
+  EXPECT_EQ(class_size(CharClass::kDigit), 10);
+  EXPECT_EQ(class_size(CharClass::kSpecial), 32);
+}
+
+TEST(Pattern, ExactlyNinetyFourUniverseChars) {
+  int letters = 0, digits = 0, specials = 0;
+  for (int c = 0; c < 256; ++c) {
+    if (!in_universe(static_cast<char>(c))) continue;
+    switch (classify(static_cast<char>(c))) {
+      case CharClass::kLetter: ++letters; break;
+      case CharClass::kDigit: ++digits; break;
+      case CharClass::kSpecial: ++specials; break;
+    }
+  }
+  EXPECT_EQ(letters, 52);
+  EXPECT_EQ(digits, 10);
+  EXPECT_EQ(specials, 32);
+}
+
+TEST(Pattern, SegmentPaperExample) {
+  // "abc123!" → L3 N3 S1 (paper §II-C).
+  const auto segs = segment("abc123!");
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (Segment{CharClass::kLetter, 3}));
+  EXPECT_EQ(segs[1], (Segment{CharClass::kDigit, 3}));
+  EXPECT_EQ(segs[2], (Segment{CharClass::kSpecial, 1}));
+  EXPECT_EQ(pattern_of("abc123!"), "L3N3S1");
+}
+
+TEST(Pattern, TokenizerFigureExample) {
+  // "Pass123$" → "L4N3S1" (paper Fig. 4).
+  EXPECT_EQ(pattern_of("Pass123$"), "L4N3S1");
+}
+
+TEST(Pattern, OutOfUniverseYieldsEmpty) {
+  EXPECT_TRUE(segment("has space").empty());
+  EXPECT_EQ(pattern_of("p\xc3\xa4ss"), "");
+}
+
+TEST(Pattern, ParseRoundTrip) {
+  const auto segs = parse_pattern("L4N3S1");
+  ASSERT_TRUE(segs.has_value());
+  EXPECT_EQ(pattern_string(*segs), "L4N3S1");
+  EXPECT_EQ(pattern_length(*segs), 8);
+}
+
+TEST(Pattern, ParseMultiDigitLengths) {
+  const auto segs = parse_pattern("L12");
+  ASSERT_TRUE(segs.has_value());
+  EXPECT_EQ((*segs)[0].len, 12);
+}
+
+TEST(Pattern, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_pattern("").has_value());
+  EXPECT_FALSE(parse_pattern("X3").has_value());
+  EXPECT_FALSE(parse_pattern("L").has_value());
+  EXPECT_FALSE(parse_pattern("L0").has_value());
+  EXPECT_FALSE(parse_pattern("3L").has_value());
+  EXPECT_FALSE(parse_pattern("L3N").has_value());
+  EXPECT_FALSE(parse_pattern("L99999").has_value());
+}
+
+TEST(Pattern, SegmentCount) {
+  EXPECT_EQ(segment_count("L4N3S1"), 3);
+  EXPECT_EQ(segment_count("L8"), 1);
+  EXPECT_EQ(segment_count("garbage"), -1);
+}
+
+TEST(Pattern, ClassAtWalksSegments) {
+  const auto segs = *parse_pattern("L2N1S2");
+  EXPECT_EQ(class_at(segs, 0), CharClass::kLetter);
+  EXPECT_EQ(class_at(segs, 1), CharClass::kLetter);
+  EXPECT_EQ(class_at(segs, 2), CharClass::kDigit);
+  EXPECT_EQ(class_at(segs, 3), CharClass::kSpecial);
+  EXPECT_EQ(class_at(segs, 4), CharClass::kSpecial);
+  EXPECT_FALSE(class_at(segs, 5).has_value());
+}
+
+TEST(Pattern, CapacityProducts) {
+  EXPECT_DOUBLE_EQ(pattern_capacity(*parse_pattern("N3")), 1000.0);
+  EXPECT_DOUBLE_EQ(pattern_capacity(*parse_pattern("L1N1")), 520.0);
+  EXPECT_DOUBLE_EQ(pattern_capacity(*parse_pattern("S2")), 1024.0);
+}
+
+TEST(Pattern, CapacitySaturates) {
+  EXPECT_DOUBLE_EQ(pattern_capacity(*parse_pattern("L12"), 1e6), 1e6);
+}
+
+TEST(Pattern, MatchesPattern) {
+  const auto segs = *parse_pattern("L4N2");
+  EXPECT_TRUE(matches_pattern("pass12", segs));
+  EXPECT_FALSE(matches_pattern("pass1", segs));
+  EXPECT_FALSE(matches_pattern("pas123", segs));
+  EXPECT_FALSE(matches_pattern("pass12!", segs));
+}
+
+// Property: pattern_of and parse_pattern round-trip on random passwords.
+class PatternRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatternRoundTrip, ParseOfExtractedPatternMatchesPassword) {
+  Rng rng(GetParam());
+  static constexpr char kSpecials[] = "!\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~";
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string pw;
+    const int len = static_cast<int>(1 + rng.uniform_u64(12));
+    for (int i = 0; i < len; ++i) {
+      switch (rng.uniform_u64(3)) {
+        case 0: pw += static_cast<char>('a' + rng.uniform_u64(26)); break;
+        case 1: pw += static_cast<char>('0' + rng.uniform_u64(10)); break;
+        default: pw += kSpecials[rng.uniform_u64(32)]; break;
+      }
+    }
+    const std::string pat = pattern_of(pw);
+    const auto parsed = parse_pattern(pat);
+    ASSERT_TRUE(parsed.has_value()) << pw << " -> " << pat;
+    EXPECT_TRUE(matches_pattern(pw, *parsed)) << pw << " vs " << pat;
+    EXPECT_EQ(pattern_length(*parsed), static_cast<int>(pw.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ppg::pcfg

@@ -1,0 +1,196 @@
+#include "pcfg/pcfg_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace ppg::pcfg {
+namespace {
+
+std::vector<std::string> fixture_passwords() {
+  // 10 passwords: 5x L4N2, 3x L3, 2x N4.
+  return {"pass12", "word34", "love99", "blue00", "cool77",
+          "abc",    "dog",    "cat",    "1234",   "9876"};
+}
+
+TEST(PatternDistribution, ProbabilitiesMatchCounts) {
+  PatternDistribution d;
+  for (const auto& pw : fixture_passwords()) d.add(pattern_of(pw));
+  d.finalize();
+  EXPECT_DOUBLE_EQ(d.prob("L4N2"), 0.5);
+  EXPECT_DOUBLE_EQ(d.prob("L3"), 0.3);
+  EXPECT_DOUBLE_EQ(d.prob("N4"), 0.2);
+  EXPECT_DOUBLE_EQ(d.prob("S9"), 0.0);
+  EXPECT_EQ(d.distinct(), 3u);
+  EXPECT_EQ(d.total(), 10u);
+}
+
+TEST(PatternDistribution, SortedDescending) {
+  PatternDistribution d;
+  for (const auto& pw : fixture_passwords()) d.add(pattern_of(pw));
+  d.finalize();
+  const auto& s = d.sorted();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].first, "L4N2");
+  EXPECT_EQ(s[1].first, "L3");
+  EXPECT_EQ(s[2].first, "N4");
+}
+
+TEST(PatternDistribution, TopKAndSegmentsFilter) {
+  PatternDistribution d;
+  for (const auto& pw : fixture_passwords()) d.add(pattern_of(pw));
+  d.finalize();
+  EXPECT_EQ(d.top_k(2).size(), 2u);
+  const auto one_seg = d.top_k_with_segments(10, 1);
+  ASSERT_EQ(one_seg.size(), 2u);
+  EXPECT_EQ(one_seg[0].first, "L3");
+  EXPECT_EQ(one_seg[1].first, "N4");
+  EXPECT_EQ(d.top_k_with_segments(10, 2).size(), 1u);
+}
+
+TEST(PatternDistribution, GuardsAgainstMisuse) {
+  PatternDistribution d;
+  EXPECT_THROW(d.prob("L1"), std::logic_error);
+  EXPECT_THROW(d.finalize(), std::logic_error);  // no observations
+  d.add("L1");
+  d.finalize();
+  EXPECT_THROW(d.add("L2"), std::logic_error);
+  EXPECT_THROW(d.finalize(), std::logic_error);
+}
+
+TEST(PatternDistribution, SampleFollowsProbabilities) {
+  PatternDistribution d;
+  d.add("L4", 80);
+  d.add("N4", 20);
+  d.finalize();
+  Rng rng(1);
+  int l4 = 0;
+  for (int i = 0; i < 5000; ++i)
+    if (d.sample(rng) == "L4") ++l4;
+  EXPECT_NEAR(double(l4) / 5000.0, 0.8, 0.03);
+}
+
+TEST(PatternDistribution, SaveLoadRoundTrip) {
+  PatternDistribution d;
+  for (const auto& pw : fixture_passwords()) d.add(pattern_of(pw));
+  d.finalize();
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  d.save(w);
+  BinaryReader r(ss);
+  const PatternDistribution e = PatternDistribution::load(r);
+  EXPECT_EQ(e.total(), d.total());
+  EXPECT_DOUBLE_EQ(e.prob("L4N2"), 0.5);
+  EXPECT_EQ(e.sorted(), d.sorted());
+}
+
+TEST(PcfgModel, TrainRejectsEmptyAndRetrain) {
+  PcfgModel m;
+  std::vector<std::string> none;
+  EXPECT_THROW(m.train(none), std::invalid_argument);
+  const auto pws = fixture_passwords();
+  PcfgModel m2;
+  m2.train(pws);
+  EXPECT_THROW(m2.train(pws), std::logic_error);
+}
+
+TEST(PcfgModel, SampleConformsToTrainingDistribution) {
+  PcfgModel m;
+  const auto pws = fixture_passwords();
+  m.train(pws);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::string s = m.sample(rng);
+    const std::string pat = pattern_of(s);
+    EXPECT_TRUE(pat == "L4N2" || pat == "L3" || pat == "N4") << s;
+  }
+}
+
+TEST(PcfgModel, SampleWithPatternHonoursPattern) {
+  PcfgModel m;
+  const auto pws = fixture_passwords();
+  m.train(pws);
+  Rng rng(3);
+  const auto segs = *parse_pattern("L4N2");
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(matches_pattern(m.sample_with_pattern(segs, rng), segs));
+}
+
+TEST(PcfgModel, SampleWithUnseenSpecFallsBackToUniform) {
+  PcfgModel m;
+  const auto pws = fixture_passwords();
+  m.train(pws);
+  Rng rng(4);
+  const auto segs = *parse_pattern("S2L1");  // S2 never seen in training
+  const std::string s = m.sample_with_pattern(segs, rng);
+  EXPECT_TRUE(matches_pattern(s, segs)) << s;
+}
+
+TEST(PcfgModel, LogProbConsistentWithComposition) {
+  PcfgModel m;
+  const auto pws = fixture_passwords();
+  m.train(pws);
+  // P("pass12") = P(L4N2) * P("pass"|L4) * P("12"|N2) = 0.5 * 0.2 * 0.2
+  EXPECT_NEAR(m.log_prob("pass12"), std::log(0.5 * 0.2 * 0.2), 1e-9);
+  // Unseen segment content.
+  EXPECT_LT(m.log_prob("zzzz99"), -1e29);
+  // Unseen pattern.
+  EXPECT_LT(m.log_prob("!!!!"), -1e29);
+}
+
+TEST(PcfgModel, EnumerateDescendingProbability) {
+  PcfgModel m;
+  std::vector<std::string> pws;
+  // Skewed corpus: "love" dominates L4, "12" dominates N2.
+  for (int i = 0; i < 6; ++i) pws.push_back("love12");
+  pws.push_back("love34");
+  pws.push_back("cool12");
+  pws.push_back("abc");
+  m.train(pws);
+  const auto out = m.enumerate(20);
+  ASSERT_FALSE(out.empty());
+  // Probabilities must be non-increasing.
+  double prev = 1e9;
+  for (const auto& pw : out) {
+    const double lp = m.log_prob(pw);
+    EXPECT_LE(lp, prev + 1e-9) << pw;
+    prev = lp;
+  }
+  // The single most likely guess is the dominant composition.
+  EXPECT_EQ(out[0], "love12");
+}
+
+TEST(PcfgModel, EnumerateProducesDistinctGuesses) {
+  PcfgModel m;
+  const auto pws = fixture_passwords();
+  m.train(pws);
+  const auto out = m.enumerate(100);
+  std::unordered_set<std::string> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size());
+}
+
+TEST(PcfgModel, EnumerateExhaustsFiniteSpace) {
+  PcfgModel m;
+  std::vector<std::string> pws = {"ab", "cd", "ab12", "cd34"};
+  m.train(pws);
+  // Space: patterns {L2, L2N2}; fillers L2∈{ab,cd}, N2∈{12,34}
+  // → 2 + 2*2 = 6 distinct guesses at most.
+  const auto out = m.enumerate(100);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(PcfgModel, EnumerationMatchesSampleSupport) {
+  PcfgModel m;
+  const auto pws = fixture_passwords();
+  m.train(pws);
+  const auto out = m.enumerate(1000);
+  // Every training password is reachable.
+  for (const auto& pw : pws)
+    EXPECT_NE(std::find(out.begin(), out.end(), pw), out.end()) << pw;
+}
+
+}  // namespace
+}  // namespace ppg::pcfg

@@ -1,0 +1,59 @@
+// Tests for the text-table renderer and number formatting used by every
+// bench binary (their output is the reproduction record, so formatting is
+// load-bearing).
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace ppg::eval {
+namespace {
+
+TEST(Pct, FormatsTwoDecimals) {
+  EXPECT_EQ(pct(0.12345), "12.35%");
+  EXPECT_EQ(pct(0.0), "0.00%");
+  EXPECT_EQ(pct(1.0), "100.00%");
+}
+
+TEST(Num, RespectsPrecision) {
+  EXPECT_EQ(num(3.14159, 2), "3.14");
+  EXPECT_EQ(num(3.0, 0), "3");
+}
+
+TEST(Count, FormatsIntegers) {
+  EXPECT_EQ(count(0), "0");
+  EXPECT_EQ(count(1234567), "1234567");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"Name", "Value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  ::testing::internal::CaptureStdout();
+  t.print("demo");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, HandlesShortRows) {
+  Table t({"A", "B", "C"});
+  t.add_row({"only-one"});
+  ::testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table t({"X"});
+  ::testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| X"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppg::eval

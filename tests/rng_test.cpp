@@ -1,0 +1,167 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppg {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NamedComponentDerivationDecorrelates) {
+  Rng a(7, "site-a"), b(7, "site-b");
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(55);
+  const auto first = a();
+  a.reseed(55);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_u64(17), 17u);
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformU64RejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(7);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(9);
+  const std::array<double, 3> w = {1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i)
+    counts[rng.discrete(std::span<const double>(w.data(), w.size()))]++;
+  EXPECT_NEAR(double(counts[0]) / n, 0.1, 0.02);
+  EXPECT_NEAR(double(counts[1]) / n, 0.2, 0.02);
+  EXPECT_NEAR(double(counts[2]) / n, 0.7, 0.02);
+}
+
+TEST(Rng, DiscreteRejectsEmptyAndZero) {
+  Rng rng(10);
+  std::vector<double> empty;
+  EXPECT_THROW(rng.discrete(empty), std::invalid_argument);
+  const std::array<double, 2> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.discrete(std::span<const double>(zeros.data(), 2)),
+               std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ZipfHeadHeavierThanTail) {
+  Rng rng(12);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 20000; ++i) counts[rng.zipf(10, 1.0)]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(ZipfTable, MatchesDirectZipfDistribution) {
+  Rng rng(13);
+  const ZipfTable table(50, 1.0);
+  std::array<int, 50> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[table.sample(rng)]++;
+  // Rank 0 should have about 1/H(50) of the mass ≈ 0.2225.
+  EXPECT_NEAR(double(counts[0]) / n, 0.2225, 0.02);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[40]);
+}
+
+TEST(ZipfTable, RejectsEmpty) {
+  EXPECT_THROW(ZipfTable(0, 1.0), std::invalid_argument);
+}
+
+TEST(Hash64, StableAndDistinct) {
+  EXPECT_EQ(hash64("rockyou"), hash64("rockyou"));
+  EXPECT_NE(hash64("rockyou"), hash64("linkedin"));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,130 @@
+#include "baselines/rules.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace ppg::baselines {
+namespace {
+
+std::string apply(const std::string& rule, const std::string& word) {
+  const auto parsed = Rule::parse(rule);
+  EXPECT_TRUE(parsed.has_value()) << rule;
+  return parsed ? parsed->apply(word) : "";
+}
+
+TEST(Rule, NoopPassesThrough) { EXPECT_EQ(apply(":", "Pass123"), "Pass123"); }
+
+TEST(Rule, CaseOperations) {
+  EXPECT_EQ(apply("l", "PaSs"), "pass");
+  EXPECT_EQ(apply("u", "PaSs"), "PASS");
+  EXPECT_EQ(apply("c", "pASS"), "Pass");
+  EXPECT_EQ(apply("C", "pass"), "pASS");
+  EXPECT_EQ(apply("t", "PaSs1"), "pAsS1");
+}
+
+TEST(Rule, StructuralOperations) {
+  EXPECT_EQ(apply("r", "abc"), "cba");
+  EXPECT_EQ(apply("d", "ab"), "abab");
+  EXPECT_EQ(apply("[", "abc"), "bc");
+  EXPECT_EQ(apply("]", "abc"), "ab");
+  EXPECT_EQ(apply("[", ""), "");
+  EXPECT_EQ(apply("]", ""), "");
+}
+
+TEST(Rule, AppendPrepend) {
+  EXPECT_EQ(apply("$1", "pass"), "pass1");
+  EXPECT_EQ(apply("$1$2$3", "pass"), "pass123");
+  EXPECT_EQ(apply("^x", "pass"), "xpass");
+  EXPECT_EQ(apply("^b^a", "c"), "abc");  // prepend order: each op prepends
+}
+
+TEST(Rule, SubstituteAndPurge) {
+  EXPECT_EQ(apply("sa@", "banana"), "b@n@n@");
+  EXPECT_EQ(apply("se3so0", "onehole"), "0n3h0l3");
+  EXPECT_EQ(apply("@a", "banana"), "bnn");
+}
+
+TEST(Rule, PositionalOperations) {
+  EXPECT_EQ(apply("T0", "pass"), "Pass");
+  EXPECT_EQ(apply("T2", "pass"), "paSs");
+  EXPECT_EQ(apply("T9", "pass"), "pass");  // out of range: no-op
+  EXPECT_EQ(apply("z2", "ab"), "aaab");
+  EXPECT_EQ(apply("Z2", "ab"), "abbb");
+}
+
+TEST(Rule, CompositionAppliesLeftToRight) {
+  EXPECT_EQ(apply("c$1$2$3", "password"), "Password123");
+  EXPECT_EQ(apply("se3 c", "test"), "T3st");
+}
+
+TEST(Rule, ParseRejectsMalformed) {
+  EXPECT_FALSE(Rule::parse("x").has_value());     // unknown op
+  EXPECT_FALSE(Rule::parse("$").has_value());     // missing operand
+  EXPECT_FALSE(Rule::parse("se").has_value());    // truncated substitute
+  EXPECT_FALSE(Rule::parse("Tx").has_value());    // non-digit position
+  EXPECT_FALSE(Rule::parse("z").has_value());
+}
+
+TEST(Rule, EmptyRuleIsIdentity) {
+  const auto rule = Rule::parse("");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->apply("abc"), "abc");
+}
+
+TEST(RuleAttack, CountsRejectedRules) {
+  const std::vector<std::string> lines = {":", "c", "BADRULE%", "$1"};
+  const RuleAttack attack(lines, {"word"});
+  EXPECT_EQ(attack.rule_count(), 3u);
+  EXPECT_EQ(attack.rejected_rules(), 1u);
+}
+
+TEST(RuleAttack, EnumeratesRuleMajor) {
+  const std::vector<std::string> lines = {":", "$1"};
+  const RuleAttack attack(lines, {"aa", "bb"});
+  const auto out = attack.enumerate(10);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "aa");
+  EXPECT_EQ(out[1], "bb");
+  EXPECT_EQ(out[2], "aa1");
+  EXPECT_EQ(out[3], "bb1");
+}
+
+TEST(RuleAttack, RespectsBudget) {
+  const std::vector<std::string> lines = {":", "c", "u"};
+  const RuleAttack attack(lines, {"one", "two", "three"});
+  EXPECT_EQ(attack.enumerate(5).size(), 5u);
+  EXPECT_EQ(attack.capacity(), 9u);
+}
+
+TEST(RuleAttack, SkipsEmptyTransformations) {
+  const std::vector<std::string> lines = {"[", ":"};
+  const RuleAttack attack(lines, {"a"});
+  // "[" on "a" yields "" which is skipped; only ":" output remains.
+  const auto out = attack.enumerate(10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "a");
+}
+
+TEST(RuleAttack, StockRulesAllParse) {
+  const auto lines = RuleAttack::stock_rules();
+  const RuleAttack attack(lines, {"password"});
+  EXPECT_EQ(attack.rejected_rules(), 0u);
+  EXPECT_GT(attack.rule_count(), 40u);
+}
+
+TEST(RuleAttack, StockRulesGenerateClassicMangles) {
+  const auto lines = RuleAttack::stock_rules();
+  const RuleAttack attack(lines, {"password", "monkey"});
+  const auto out = attack.enumerate(attack.capacity());
+  const std::unordered_set<std::string> set(out.begin(), out.end());
+  EXPECT_TRUE(set.contains("password"));
+  EXPECT_TRUE(set.contains("Password"));
+  EXPECT_TRUE(set.contains("password1"));
+  EXPECT_TRUE(set.contains("monkey123"));
+  EXPECT_TRUE(set.contains("p@ssword"));
+  EXPECT_TRUE(set.contains("passw0rd"));
+}
+
+}  // namespace
+}  // namespace ppg::baselines

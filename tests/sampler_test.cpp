@@ -1,0 +1,145 @@
+#include "gpt/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/masks.h"
+#include "tokenizer/tokenizer.h"
+
+namespace ppg::gpt {
+namespace {
+
+using tok::Tokenizer;
+
+TEST(SampleFromLogits, GreedyAtLowTemperature) {
+  const std::vector<float> logits = {0.f, 5.f, 1.f, -2.f};
+  SampleOptions opts;
+  opts.temperature = 0.01f;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(sample_from_logits(logits, rng, opts), 1);
+}
+
+TEST(SampleFromLogits, FollowsDistributionAtUnitTemperature) {
+  // Two tokens with logit gap log(3): expect ~75/25 split.
+  const std::vector<float> logits = {std::log(3.f), 0.f};
+  SampleOptions opts;
+  Rng rng(2);
+  int zero = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (sample_from_logits(logits, rng, opts) == 0) ++zero;
+  EXPECT_NEAR(double(zero) / n, 0.75, 0.02);
+}
+
+TEST(SampleFromLogits, TopKRestricts) {
+  const std::vector<float> logits = {5.f, 4.f, 3.f, 2.f, 1.f};
+  SampleOptions opts;
+  opts.top_k = 2;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const int s = sample_from_logits(logits, rng, opts);
+    EXPECT_TRUE(s == 0 || s == 1) << s;
+  }
+}
+
+TEST(SampleFromLogits, TopPRestrictsToNucleus) {
+  // Probabilities ~ {0.97, 0.01, ...}: top_p=0.9 keeps only token 0.
+  const std::vector<float> logits = {10.f, 5.4f, 5.3f, 5.2f, 5.1f};
+  SampleOptions opts;
+  opts.top_p = 0.9;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(sample_from_logits(logits, rng, opts), 0);
+}
+
+TEST(SampleFromLogits, MaskedTokensNeverSampled) {
+  std::vector<float> logits = {5.f, 4.f, 3.f};
+  logits[0] = -1e30f;
+  SampleOptions opts;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_NE(sample_from_logits(logits, rng, opts), 0);
+}
+
+TEST(SampleFromLogits, AllMaskedReturnsSentinel) {
+  const std::vector<float> logits = {-1e30f, -1e30f};
+  SampleOptions opts;
+  Rng rng(6);
+  EXPECT_EQ(sample_from_logits(logits, rng, opts), -1);
+}
+
+TEST(SamplePasswords, ReturnsRequestedCount) {
+  const GptModel m(Config::tiny(), 7);
+  Rng rng(8);
+  const std::vector<int> prefix = {Tokenizer::kBos};
+  SampleOptions opts;
+  opts.batch_size = 16;
+  SampleStats stats;
+  const auto pws = sample_passwords(m, prefix, 40, rng, opts, nullptr, &stats);
+  // An untrained model emits mostly-invalid sequences; the budget may stop
+  // short, but whatever is returned must decode to nonempty strings.
+  EXPECT_LE(pws.size(), 40u);
+  EXPECT_GE(stats.sequences_run, pws.size());
+  for (const auto& pw : pws) EXPECT_FALSE(pw.empty());
+}
+
+TEST(SamplePasswords, ZeroCountIsEmpty) {
+  const GptModel m(Config::tiny(), 9);
+  Rng rng(10);
+  const std::vector<int> prefix = {Tokenizer::kBos};
+  EXPECT_TRUE(sample_passwords(m, prefix, 0, rng).empty());
+}
+
+TEST(SamplePasswords, PatternMaskForcesConformance) {
+  const GptModel m(Config::tiny(), 11);  // untrained: worst case for masks
+  Rng rng(12);
+  const auto pattern = *pcfg::parse_pattern("L3N2");
+  const std::vector<int> prefix = {Tokenizer::kBos};
+  const auto mask = core::make_pattern_mask(pattern);
+  SampleOptions opts;
+  opts.batch_size = 8;
+  const auto pws = sample_passwords(m, prefix, 30, rng, opts, mask);
+  EXPECT_FALSE(pws.empty());
+  for (const auto& pw : pws)
+    EXPECT_TRUE(pcfg::matches_pattern(pw, pattern)) << pw;
+}
+
+TEST(SamplePasswords, MaskWithOffsetSkipsPrefixChars) {
+  const GptModel m(Config::tiny(), 13);
+  Rng rng(14);
+  const auto pattern = *pcfg::parse_pattern("L2N2");
+  // Prefix already contains "a": remaining suffix is L1N2.
+  std::vector<int> prefix = {Tokenizer::kBos, Tokenizer::char_token('a')};
+  const auto mask = core::make_pattern_mask(pattern, 1);
+  const auto pws = sample_passwords(m, prefix, 20, rng, {}, mask);
+  for (const auto& pw : pws) {
+    EXPECT_TRUE(pcfg::matches_pattern(pw, pattern)) << pw;
+    EXPECT_EQ(pw[0], 'a');
+  }
+}
+
+TEST(SamplePasswords, DeterministicForSameRngSeed) {
+  const GptModel m(Config::tiny(), 15);
+  const auto pattern = *pcfg::parse_pattern("L4");
+  const std::vector<int> prefix = {Tokenizer::kBos};
+  const auto mask = core::make_pattern_mask(pattern);
+  Rng r1(99), r2(99);
+  const auto a = sample_passwords(m, prefix, 10, r1, {}, mask);
+  const auto b = sample_passwords(m, prefix, 10, r2, {}, mask);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SamplePasswords, StatsCountInvalids) {
+  const GptModel m(Config::tiny(), 16);
+  Rng rng(17);
+  const std::vector<int> prefix = {Tokenizer::kBos};
+  SampleStats stats;
+  sample_passwords(m, prefix, 20, rng, {}, nullptr, &stats);
+  EXPECT_GT(stats.sequences_run, 0u);
+}
+
+}  // namespace
+}  // namespace ppg::gpt

@@ -1,0 +1,86 @@
+#include "common/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ppg {
+namespace {
+
+TEST(Serialize, PodRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write<std::int32_t>(-7);
+  w.write<double>(3.25);
+  w.write<std::uint8_t>(255);
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read<std::int32_t>(), -7);
+  EXPECT_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::uint8_t>(), 255);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_string("hello\0world");  // embedded NUL is truncated by literal
+  w.write_string("");
+  w.write_string(std::string("a\0b", 3));
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), std::string("a\0b", 3));
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_vector(std::vector<float>{1.f, -2.f, 0.5f});
+  w.write_vector(std::vector<std::int64_t>{});
+  BinaryReader r(ss);
+  const auto floats = r.read_vector<float>();
+  ASSERT_EQ(floats.size(), 3u);
+  EXPECT_EQ(floats[1], -2.f);
+  EXPECT_TRUE(r.read_vector<std::int64_t>().empty());
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write<std::int32_t>(1);
+  BinaryReader r(ss);
+  EXPECT_NO_THROW(r.read<std::int32_t>());
+  EXPECT_THROW(r.read<std::int32_t>(), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write<std::uint64_t>(100);  // claims 100 bytes, provides none
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), std::runtime_error);
+}
+
+TEST(Serialize, ImplausibleLengthRejected) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write<std::uint64_t>(1ULL << 40);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), std::runtime_error);
+}
+
+TEST(Serialize, InterleavedHeterogeneousStream) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write<std::uint32_t>(0xDEADBEEF);
+  w.write_string("checkpoint");
+  w.write_vector(std::vector<int>{1, 2, 3});
+  w.write<float>(1.5f);
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_string(), "checkpoint");
+  EXPECT_EQ(r.read_vector<int>(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(r.read<float>(), 1.5f);
+}
+
+}  // namespace
+}  // namespace ppg

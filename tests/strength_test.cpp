@@ -1,0 +1,138 @@
+#include "eval/strength.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/markov.h"
+#include "data/corpus.h"
+#include "pcfg/pcfg_model.h"
+
+namespace ppg::eval {
+namespace {
+
+/// A known closed-form model: passwords "p<k>" with P(k) ∝ geometric.
+/// Guess number of "p<k>" is exactly k+1 (descending-probability order).
+struct GeometricModel {
+  static constexpr int kMax = 64;
+  double prob(int k) const {
+    // P(k) = 0.5^{k+1}, truncated and renormalised over k in [0, kMax).
+    const double z = 1.0 - std::pow(0.5, kMax);
+    return std::pow(0.5, k + 1) / z;
+  }
+  std::string sample(Rng& rng) const {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (int k = 0; k < kMax; ++k) {
+      acc += prob(k);
+      if (u < acc) return "p" + std::to_string(k);
+    }
+    return "p" + std::to_string(kMax - 1);
+  }
+  double log_prob(std::string_view pw) const {
+    if (pw.size() < 2 || pw[0] != 'p') return -1e30;
+    const int k = std::atoi(std::string(pw.substr(1)).c_str());
+    if (k < 0 || k >= kMax) return -1e30;
+    return std::log(prob(k));
+  }
+};
+
+TEST(StrengthEstimator, MatchesClosedFormGuessNumbers) {
+  const GeometricModel model;
+  Rng rng(1);
+  const StrengthEstimator meter(
+      [&](Rng& r) { return model.sample(r); },
+      [&](std::string_view pw) { return model.log_prob(pw); }, 40000, rng);
+  // True guess number of "p<k>" is sum_{j<k} 1 rounded to ranks: k.
+  // Accept 30% relative error from Monte-Carlo noise.
+  for (const int k : {1, 3, 6, 9}) {
+    const double g = meter.guess_number("p" + std::to_string(k));
+    const double expected = k;  // k more-probable passwords precede it
+    EXPECT_NEAR(g, expected, std::max(1.0, expected * 0.3)) << "k=" << k;
+  }
+}
+
+TEST(StrengthEstimator, MonotoneInProbability) {
+  const GeometricModel model;
+  Rng rng(2);
+  const StrengthEstimator meter(
+      [&](Rng& r) { return model.sample(r); },
+      [&](std::string_view pw) { return model.log_prob(pw); }, 20000, rng);
+  double prev = 0.0;
+  for (int k = 0; k < 12; ++k) {
+    const double g = meter.guess_number("p" + std::to_string(k));
+    EXPECT_GE(g, prev) << "k=" << k;
+    prev = g;
+  }
+}
+
+TEST(StrengthEstimator, ZeroProbabilityIsEffectivelyInfinite) {
+  const GeometricModel model;
+  Rng rng(3);
+  const StrengthEstimator meter(
+      [&](Rng& r) { return model.sample(r); },
+      [&](std::string_view pw) { return model.log_prob(pw); }, 1000, rng);
+  EXPECT_GE(meter.guess_number("not-in-support"), 1e29);
+}
+
+TEST(StrengthEstimator, RejectsZeroSamples) {
+  const GeometricModel model;
+  Rng rng(4);
+  EXPECT_THROW(StrengthEstimator(
+                   [&](Rng& r) { return model.sample(r); },
+                   [&](std::string_view pw) { return model.log_prob(pw); }, 0,
+                   rng),
+               std::invalid_argument);
+}
+
+TEST(StrengthEstimator, RejectsInconsistentSamplerScorer) {
+  Rng rng(5);
+  EXPECT_THROW(
+      StrengthEstimator([](Rng&) { return std::string("x"); },
+                        [](std::string_view) { return -1e30; }, 100, rng),
+      std::runtime_error);
+}
+
+TEST(StrengthEstimator, WorksWithRealModels) {
+  data::SiteProfile profile;
+  profile.name = "strengthtest";
+  profile.unique_target = 2000;
+  const auto corpus = data::clean(data::generate_site(profile, 5));
+
+  pcfg::PcfgModel model;
+  model.train(corpus.passwords);
+  Rng rng(6);
+  const StrengthEstimator meter(
+      [&](Rng& r) { return model.sample(r); },
+      [&](std::string_view pw) { return model.log_prob(pw); }, 5000, rng);
+  // A very common structure should be far weaker than a rare structure.
+  const double common = meter.guess_number(corpus.passwords.front());
+  EXPECT_LT(common, 1e29);
+  const double rare = meter.guess_number("Zq9#xW2$uT7!");
+  EXPECT_GT(rare, common);
+}
+
+TEST(StrengthEstimator, MarkovIntegration) {
+  data::SiteProfile profile;
+  profile.name = "strengthmarkov";
+  profile.unique_target = 2000;
+  const auto corpus = data::clean(data::generate_site(profile, 6));
+  baselines::MarkovModel markov(2);
+  markov.train(corpus.passwords);
+  Rng rng(7);
+  const StrengthEstimator meter(
+      [&](Rng& r) { return markov.sample(r); },
+      [&](std::string_view pw) { return markov.log_prob(pw); }, 5000, rng);
+  EXPECT_GT(meter.sample_count(), 4000u);
+  EXPECT_GT(meter.guess_number("zzzzQQ##99"),
+            meter.guess_number(corpus.passwords.front()));
+}
+
+TEST(StrengthEstimator, BandsAreOrdered) {
+  EXPECT_NE(StrengthEstimator::band(1e3), StrengthEstimator::band(1e5));
+  EXPECT_NE(StrengthEstimator::band(1e5), StrengthEstimator::band(1e12));
+  EXPECT_NE(StrengthEstimator::band(1e12), StrengthEstimator::band(1e15));
+}
+
+}  // namespace
+}  // namespace ppg::eval

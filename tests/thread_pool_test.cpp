@@ -1,0 +1,68 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppg {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForSmallerThanPool) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(3, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPool, ManyTasksDrainBeforeDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 200; ++i)
+      futs.push_back(pool.submit([&done] { done++; }));
+    for (auto& f : futs) f.get();
+  }
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, DefaultPoolHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,171 @@
+#include "tokenizer/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppg::tok {
+namespace {
+
+TEST(Tokenizer, VocabularyLayoutMatchesPaper) {
+  // 5 specials + 36 pattern tokens + 94 characters (+1 reserved) = 136.
+  EXPECT_EQ(Tokenizer::kVocabSize, 136);
+  EXPECT_EQ(Tokenizer::kPatternBase, 5);
+  EXPECT_EQ(Tokenizer::kCharBase, 41);
+  EXPECT_EQ(Tokenizer::kCharBase + 94, 135);
+}
+
+TEST(Tokenizer, SpecialTokenNames) {
+  EXPECT_EQ(Tokenizer::token_name(Tokenizer::kBos), "<BOS>");
+  EXPECT_EQ(Tokenizer::token_name(Tokenizer::kSep), "<SEP>");
+  EXPECT_EQ(Tokenizer::token_name(Tokenizer::kEos), "<EOS>");
+  EXPECT_EQ(Tokenizer::token_name(Tokenizer::kUnk), "<UNK>");
+  EXPECT_EQ(Tokenizer::token_name(Tokenizer::kPad), "<PAD>");
+  EXPECT_EQ(Tokenizer::token_name(Tokenizer::kReserved), "<RES>");
+}
+
+TEST(Tokenizer, PatternTokensCoverAllThirtySix) {
+  int count = 0;
+  for (int id = 0; id < Tokenizer::kVocabSize; ++id)
+    if (Tokenizer::is_pattern_token(id)) ++count;
+  EXPECT_EQ(count, 36);
+}
+
+TEST(Tokenizer, PatternTokenRoundTrip) {
+  for (const auto cls : {pcfg::CharClass::kLetter, pcfg::CharClass::kDigit,
+                         pcfg::CharClass::kSpecial}) {
+    for (int len = 1; len <= 12; ++len) {
+      const int id = Tokenizer::pattern_token(cls, len);
+      EXPECT_TRUE(Tokenizer::is_pattern_token(id));
+      const auto seg = Tokenizer::token_segment(id);
+      EXPECT_EQ(seg.cls, cls);
+      EXPECT_EQ(seg.len, len);
+    }
+  }
+}
+
+TEST(Tokenizer, PatternTokenRejectsBadLength) {
+  EXPECT_THROW(Tokenizer::pattern_token(pcfg::CharClass::kLetter, 0),
+               std::out_of_range);
+  EXPECT_THROW(Tokenizer::pattern_token(pcfg::CharClass::kLetter, 13),
+               std::out_of_range);
+}
+
+TEST(Tokenizer, CharTokenRoundTrip) {
+  for (int c = 0x21; c <= 0x7e; ++c) {
+    const int id = Tokenizer::char_token(static_cast<char>(c));
+    EXPECT_TRUE(Tokenizer::is_char_token(id));
+    EXPECT_EQ(Tokenizer::token_char(id), static_cast<char>(c));
+  }
+}
+
+TEST(Tokenizer, OutOfUniverseCharIsUnk) {
+  EXPECT_EQ(Tokenizer::char_token(' '), Tokenizer::kUnk);
+  EXPECT_EQ(Tokenizer::char_token('\n'), Tokenizer::kUnk);
+  EXPECT_EQ(Tokenizer::char_token('\xff'), Tokenizer::kUnk);
+}
+
+TEST(Tokenizer, TokenCategoriesAreDisjoint) {
+  for (int id = 0; id < Tokenizer::kVocabSize; ++id) {
+    const int categories = (id < 5 ? 1 : 0) +
+                           (Tokenizer::is_pattern_token(id) ? 1 : 0) +
+                           (Tokenizer::is_char_token(id) ? 1 : 0) +
+                           (id == Tokenizer::kReserved ? 1 : 0);
+    EXPECT_EQ(categories, 1) << "token " << id;
+  }
+}
+
+TEST(Tokenizer, EncodeTrainingPaperExample) {
+  // "Pass123$" → <BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS> (paper Fig. 4).
+  const auto ids = Tokenizer::encode_training("Pass123$");
+  ASSERT_TRUE(ids.has_value());
+  EXPECT_EQ(Tokenizer::decode_debug(*ids),
+            "<BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS>");
+  ASSERT_EQ(ids->size(), 14u);
+  EXPECT_EQ((*ids)[0], Tokenizer::kBos);
+  EXPECT_EQ((*ids)[4], Tokenizer::kSep);
+  EXPECT_EQ(ids->back(), Tokenizer::kEos);
+}
+
+TEST(Tokenizer, EncodeTrainingRejectsBadInput) {
+  EXPECT_FALSE(Tokenizer::encode_training("").has_value());
+  EXPECT_FALSE(Tokenizer::encode_training("aaaaaaaaaaaaa").has_value());  // 13
+  EXPECT_FALSE(Tokenizer::encode_training("has space").has_value());
+  EXPECT_FALSE(Tokenizer::encode_training("p\xc3\xa4ss").has_value());
+}
+
+TEST(Tokenizer, EncodeGenerationPrefix) {
+  const auto segs = *pcfg::parse_pattern("L1N1");
+  const auto ids = Tokenizer::encode_generation_prefix(segs);
+  EXPECT_EQ(Tokenizer::decode_debug(ids), "<BOS> L1 N1 <SEP>");
+}
+
+TEST(Tokenizer, EncodeGenerationPrefixRejectsLongSegments) {
+  EXPECT_THROW(Tokenizer::encode_generation_prefix(
+                   {{pcfg::CharClass::kLetter, 13}}),
+               std::invalid_argument);
+}
+
+TEST(Tokenizer, EncodePasswordOnly) {
+  const auto ids = Tokenizer::encode_password_only("ab1");
+  ASSERT_TRUE(ids.has_value());
+  EXPECT_EQ(Tokenizer::decode_debug(*ids), "<BOS> a b 1 <EOS>");
+  EXPECT_FALSE(Tokenizer::encode_password_only("bad pw").has_value());
+}
+
+TEST(Tokenizer, DecodePasswordFromTrainingRule) {
+  const auto ids = Tokenizer::encode_training("Pass123$");
+  const auto pw = Tokenizer::decode_password(*ids);
+  ASSERT_TRUE(pw.has_value());
+  EXPECT_EQ(*pw, "Pass123$");
+}
+
+TEST(Tokenizer, DecodePasswordFromPasswordOnlyRule) {
+  const auto ids = Tokenizer::encode_password_only("hello1");
+  const auto pw = Tokenizer::decode_password(*ids);
+  ASSERT_TRUE(pw.has_value());
+  EXPECT_EQ(*pw, "hello1");
+}
+
+TEST(Tokenizer, DecodeFailsWithoutEos) {
+  std::vector<int> ids = {Tokenizer::kBos, Tokenizer::char_token('a')};
+  EXPECT_FALSE(Tokenizer::decode_password(ids).has_value());
+}
+
+TEST(Tokenizer, DecodeFailsOnNonCharInPassword) {
+  std::vector<int> ids = {Tokenizer::kBos, Tokenizer::kSep,
+                          Tokenizer::pattern_token(pcfg::CharClass::kDigit, 2),
+                          Tokenizer::kEos};
+  EXPECT_FALSE(Tokenizer::decode_password(ids).has_value());
+}
+
+TEST(Tokenizer, MaxRuleLenFitsPaperContext) {
+  // The longest rule for 12-char passwords must fit the 32-token window.
+  EXPECT_LE(Tokenizer::max_rule_len(12), 32);
+}
+
+// Property: encode/decode round-trips over random in-universe passwords.
+class TokenizerRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenizerRoundTrip, EncodeDecodeIdentity) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string pw;
+    const int len = static_cast<int>(1 + rng.uniform_u64(12));
+    for (int i = 0; i < len; ++i)
+      pw += static_cast<char>(0x21 + rng.uniform_u64(94));
+    const auto train = Tokenizer::encode_training(pw);
+    ASSERT_TRUE(train.has_value()) << pw;
+    EXPECT_LE(static_cast<int>(train->size()), Tokenizer::max_rule_len());
+    EXPECT_EQ(Tokenizer::decode_password(*train), pw);
+    const auto bare = Tokenizer::encode_password_only(pw);
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_EQ(Tokenizer::decode_password(*bare), pw);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerRoundTrip,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace ppg::tok

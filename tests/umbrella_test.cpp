@@ -1,0 +1,33 @@
+// Smoke test: the umbrella header compiles standalone and exposes the
+// complete public API surface referenced by the README.
+#include "ppg.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicTypesAreComplete) {
+  // Instantiate one object from each module to prove the umbrella header
+  // is self-sufficient.
+  ppg::Rng rng(1);
+  ppg::nn::Tensor tensor({2, 2});
+  ppg::nn::Graph graph;
+  const ppg::gpt::Config cfg = ppg::gpt::Config::tiny();
+  EXPECT_NO_THROW(cfg.validate());
+  const ppg::gpt::GptModel model(cfg, 1);
+  EXPECT_GT(model.params().count(), 0u);
+  const auto segs = ppg::pcfg::parse_pattern("L4N2");
+  ASSERT_TRUE(segs.has_value());
+  EXPECT_EQ(ppg::tok::Tokenizer::kVocabSize, 136);
+  const ppg::data::SiteProfile profile = ppg::data::rockyou_profile();
+  EXPECT_EQ(profile.name, "rockyou");
+  const ppg::core::DcGenConfig dc_cfg;
+  EXPECT_GT(dc_cfg.threshold, 0.0);
+  const ppg::baselines::MarkovModel markov(2);
+  EXPECT_EQ(markov.order(), 2);
+  const auto rule = ppg::baselines::Rule::parse("c$1");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->apply("pass"), "Pass1");
+}
+
+}  // namespace

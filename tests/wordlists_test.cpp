@@ -1,0 +1,79 @@
+// Sanity checks over the embedded vocabulary powering the synthetic-corpus
+// generator: the substitution argument (DESIGN.md §1) relies on these lists
+// being clean, in-universe, and frequency-ordered-ish.
+#include "data/wordlists.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "pcfg/pattern.h"
+
+namespace ppg::data {
+namespace {
+
+template <std::size_t N>
+void expect_all_in_universe(const std::string_view (&list)[N]) {
+  for (const auto& entry : list) {
+    EXPECT_FALSE(entry.empty());
+    for (const char c : entry)
+      EXPECT_TRUE(pcfg::in_universe(c))
+          << "'" << entry << "' has out-of-universe char";
+  }
+}
+
+TEST(Wordlists, CommonPasswordsClean) {
+  expect_all_in_universe(kCommonPasswords);
+}
+
+TEST(Wordlists, WordsCleanAndLowercase) {
+  expect_all_in_universe(kWords);
+  for (const auto& w : kWords)
+    for (const char c : w)
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << "'" << w << "' not lowercase";
+}
+
+TEST(Wordlists, NamesCleanAndLowercase) {
+  expect_all_in_universe(kNames);
+  for (const auto& n : kNames)
+    for (const char c : n)
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << "'" << n << "'";
+}
+
+TEST(Wordlists, KeyboardWalksClean) { expect_all_in_universe(kKeyboardWalks); }
+
+TEST(Wordlists, SpecialsAreExactlyTheSpecialClass) {
+  EXPECT_EQ(kSpecialsByPopularity.size(), 32u);
+  std::unordered_set<char> seen;
+  for (const char c : kSpecialsByPopularity) {
+    EXPECT_TRUE(pcfg::in_universe(c));
+    EXPECT_EQ(pcfg::classify(c), pcfg::CharClass::kSpecial) << c;
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate special " << c;
+  }
+}
+
+TEST(Wordlists, ListsAreLargeEnoughForZipfModelling) {
+  EXPECT_GE(std::size(kCommonPasswords), 100u);
+  EXPECT_GE(std::size(kWords), 300u);
+  EXPECT_GE(std::size(kNames), 120u);
+  EXPECT_GE(std::size(kKeyboardWalks), 30u);
+}
+
+TEST(Wordlists, WordsFitCleaningWindowWithSuffixRoom) {
+  // Word + 2-digit suffix must fit the 12-char cleaning cap for the
+  // dominant habit to survive cleaning.
+  std::size_t fitting = 0;
+  for (const auto& w : kWords)
+    if (w.size() <= 10) ++fitting;
+  EXPECT_GT(double(fitting) / double(std::size(kWords)), 0.95);
+}
+
+TEST(Wordlists, HeadContainsCanonicalLeakTop) {
+  // The very head of the common list must match what every real leak shows.
+  EXPECT_EQ(kCommonPasswords[0], "123456");
+  EXPECT_EQ(kCommonPasswords[1], "password");
+}
+
+}  // namespace
+}  // namespace ppg::data
