@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pattern_conditioning.dir/bench_ablation_pattern_conditioning.cpp.o"
+  "CMakeFiles/bench_ablation_pattern_conditioning.dir/bench_ablation_pattern_conditioning.cpp.o.d"
+  "bench_ablation_pattern_conditioning"
+  "bench_ablation_pattern_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pattern_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

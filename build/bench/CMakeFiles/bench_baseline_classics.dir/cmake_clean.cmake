@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_classics.dir/bench_baseline_classics.cpp.o"
+  "CMakeFiles/bench_baseline_classics.dir/bench_baseline_classics.cpp.o.d"
+  "bench_baseline_classics"
+  "bench_baseline_classics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_classics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

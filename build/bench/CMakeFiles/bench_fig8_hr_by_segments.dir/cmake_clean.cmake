@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hr_by_segments.dir/bench_fig8_hr_by_segments.cpp.o"
+  "CMakeFiles/bench_fig8_hr_by_segments.dir/bench_fig8_hr_by_segments.cpp.o.d"
+  "bench_fig8_hr_by_segments"
+  "bench_fig8_hr_by_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hr_by_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

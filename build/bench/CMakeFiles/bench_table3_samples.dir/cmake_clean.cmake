@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_samples.dir/bench_table3_samples.cpp.o"
+  "CMakeFiles/bench_table3_samples.dir/bench_table3_samples.cpp.o.d"
+  "bench_table3_samples"
+  "bench_table3_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_trawling.dir/bench_table4_trawling.cpp.o"
+  "CMakeFiles/bench_table4_trawling.dir/bench_table4_trawling.cpp.o.d"
+  "bench_table4_trawling"
+  "bench_table4_trawling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_trawling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

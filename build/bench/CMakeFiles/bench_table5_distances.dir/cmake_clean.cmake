@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_distances.dir/bench_table5_distances.cpp.o"
+  "CMakeFiles/bench_table5_distances.dir/bench_table5_distances.cpp.o.d"
+  "bench_table5_distances"
+  "bench_table5_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_cross_site.dir/bench_table6_cross_site.cpp.o"
+  "CMakeFiles/bench_table6_cross_site.dir/bench_table6_cross_site.cpp.o.d"
+  "bench_table6_cross_site"
+  "bench_table6_cross_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_cross_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

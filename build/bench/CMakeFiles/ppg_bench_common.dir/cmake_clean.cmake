@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ppg_bench_common.dir/common.cpp.o.d"
+  "libppg_bench_common.a"
+  "libppg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

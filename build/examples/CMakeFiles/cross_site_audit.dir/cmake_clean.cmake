@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_site_audit.dir/cross_site_audit.cpp.o"
+  "CMakeFiles/cross_site_audit.dir/cross_site_audit.cpp.o.d"
+  "cross_site_audit"
+  "cross_site_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_site_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

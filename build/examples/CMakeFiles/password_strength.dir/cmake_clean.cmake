@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/password_strength.dir/password_strength.cpp.o"
+  "CMakeFiles/password_strength.dir/password_strength.cpp.o.d"
+  "password_strength"
+  "password_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/password_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

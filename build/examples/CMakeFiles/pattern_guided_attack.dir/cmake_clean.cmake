@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_guided_attack.dir/pattern_guided_attack.cpp.o"
+  "CMakeFiles/pattern_guided_attack.dir/pattern_guided_attack.cpp.o.d"
+  "pattern_guided_attack"
+  "pattern_guided_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_guided_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trawling_attack.dir/trawling_attack.cpp.o"
+  "CMakeFiles/trawling_attack.dir/trawling_attack.cpp.o.d"
+  "trawling_attack"
+  "trawling_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trawling_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/markov.cpp" "src/baselines/CMakeFiles/ppg_baselines.dir/markov.cpp.o" "gcc" "src/baselines/CMakeFiles/ppg_baselines.dir/markov.cpp.o.d"
+  "/root/repo/src/baselines/passflow.cpp" "src/baselines/CMakeFiles/ppg_baselines.dir/passflow.cpp.o" "gcc" "src/baselines/CMakeFiles/ppg_baselines.dir/passflow.cpp.o.d"
+  "/root/repo/src/baselines/passgan.cpp" "src/baselines/CMakeFiles/ppg_baselines.dir/passgan.cpp.o" "gcc" "src/baselines/CMakeFiles/ppg_baselines.dir/passgan.cpp.o.d"
+  "/root/repo/src/baselines/passgpt.cpp" "src/baselines/CMakeFiles/ppg_baselines.dir/passgpt.cpp.o" "gcc" "src/baselines/CMakeFiles/ppg_baselines.dir/passgpt.cpp.o.d"
+  "/root/repo/src/baselines/rules.cpp" "src/baselines/CMakeFiles/ppg_baselines.dir/rules.cpp.o" "gcc" "src/baselines/CMakeFiles/ppg_baselines.dir/rules.cpp.o.d"
+  "/root/repo/src/baselines/vaepass.cpp" "src/baselines/CMakeFiles/ppg_baselines.dir/vaepass.cpp.o" "gcc" "src/baselines/CMakeFiles/ppg_baselines.dir/vaepass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpt/CMakeFiles/ppg_gpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/ppg_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcfg/CMakeFiles/ppg_pcfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_baselines.dir/markov.cpp.o"
+  "CMakeFiles/ppg_baselines.dir/markov.cpp.o.d"
+  "CMakeFiles/ppg_baselines.dir/passflow.cpp.o"
+  "CMakeFiles/ppg_baselines.dir/passflow.cpp.o.d"
+  "CMakeFiles/ppg_baselines.dir/passgan.cpp.o"
+  "CMakeFiles/ppg_baselines.dir/passgan.cpp.o.d"
+  "CMakeFiles/ppg_baselines.dir/passgpt.cpp.o"
+  "CMakeFiles/ppg_baselines.dir/passgpt.cpp.o.d"
+  "CMakeFiles/ppg_baselines.dir/rules.cpp.o"
+  "CMakeFiles/ppg_baselines.dir/rules.cpp.o.d"
+  "CMakeFiles/ppg_baselines.dir/vaepass.cpp.o"
+  "CMakeFiles/ppg_baselines.dir/vaepass.cpp.o.d"
+  "libppg_baselines.a"
+  "libppg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_core.dir/dcgen.cpp.o"
+  "CMakeFiles/ppg_core.dir/dcgen.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/pagpassgpt.cpp.o"
+  "CMakeFiles/ppg_core.dir/pagpassgpt.cpp.o.d"
+  "libppg_core.a"
+  "libppg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_data.dir/corpus.cpp.o"
+  "CMakeFiles/ppg_data.dir/corpus.cpp.o.d"
+  "libppg_data.a"
+  "libppg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

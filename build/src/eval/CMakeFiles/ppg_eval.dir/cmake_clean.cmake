@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_eval.dir/metrics.cpp.o"
+  "CMakeFiles/ppg_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/ppg_eval.dir/strength.cpp.o"
+  "CMakeFiles/ppg_eval.dir/strength.cpp.o.d"
+  "libppg_eval.a"
+  "libppg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpt/infer.cpp" "src/gpt/CMakeFiles/ppg_gpt.dir/infer.cpp.o" "gcc" "src/gpt/CMakeFiles/ppg_gpt.dir/infer.cpp.o.d"
+  "/root/repo/src/gpt/model.cpp" "src/gpt/CMakeFiles/ppg_gpt.dir/model.cpp.o" "gcc" "src/gpt/CMakeFiles/ppg_gpt.dir/model.cpp.o.d"
+  "/root/repo/src/gpt/sampler.cpp" "src/gpt/CMakeFiles/ppg_gpt.dir/sampler.cpp.o" "gcc" "src/gpt/CMakeFiles/ppg_gpt.dir/sampler.cpp.o.d"
+  "/root/repo/src/gpt/trainer.cpp" "src/gpt/CMakeFiles/ppg_gpt.dir/trainer.cpp.o" "gcc" "src/gpt/CMakeFiles/ppg_gpt.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ppg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/ppg_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcfg/CMakeFiles/ppg_pcfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_gpt.dir/infer.cpp.o"
+  "CMakeFiles/ppg_gpt.dir/infer.cpp.o.d"
+  "CMakeFiles/ppg_gpt.dir/model.cpp.o"
+  "CMakeFiles/ppg_gpt.dir/model.cpp.o.d"
+  "CMakeFiles/ppg_gpt.dir/sampler.cpp.o"
+  "CMakeFiles/ppg_gpt.dir/sampler.cpp.o.d"
+  "CMakeFiles/ppg_gpt.dir/trainer.cpp.o"
+  "CMakeFiles/ppg_gpt.dir/trainer.cpp.o.d"
+  "libppg_gpt.a"
+  "libppg_gpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_gpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

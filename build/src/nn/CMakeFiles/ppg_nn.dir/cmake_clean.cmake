@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_nn.dir/graph.cpp.o"
+  "CMakeFiles/ppg_nn.dir/graph.cpp.o.d"
+  "libppg_nn.a"
+  "libppg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

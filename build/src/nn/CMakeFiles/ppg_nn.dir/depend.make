@@ -1,0 +1,2 @@
+# Empty dependencies file for ppg_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_pcfg.dir/pcfg_model.cpp.o"
+  "CMakeFiles/ppg_pcfg.dir/pcfg_model.cpp.o.d"
+  "libppg_pcfg.a"
+  "libppg_pcfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_pcfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppg_pcfg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_tokenizer.dir/tokenizer.cpp.o"
+  "CMakeFiles/ppg_tokenizer.dir/tokenizer.cpp.o.d"
+  "libppg_tokenizer.a"
+  "libppg_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

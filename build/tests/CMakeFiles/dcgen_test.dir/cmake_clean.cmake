@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcgen_test.dir/dcgen_test.cpp.o"
+  "CMakeFiles/dcgen_test.dir/dcgen_test.cpp.o.d"
+  "dcgen_test"
+  "dcgen_test.pdb"
+  "dcgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

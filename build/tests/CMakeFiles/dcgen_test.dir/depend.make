@@ -1,0 +1,2 @@
+# Empty dependencies file for dcgen_test.
+# This may be replaced when dependencies are built.

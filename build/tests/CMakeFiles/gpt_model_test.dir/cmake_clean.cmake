@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt_model_test.dir/gpt_model_test.cpp.o"
+  "CMakeFiles/gpt_model_test.dir/gpt_model_test.cpp.o.d"
+  "gpt_model_test"
+  "gpt_model_test.pdb"
+  "gpt_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

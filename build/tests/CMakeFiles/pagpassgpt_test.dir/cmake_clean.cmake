@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagpassgpt_test.dir/pagpassgpt_test.cpp.o"
+  "CMakeFiles/pagpassgpt_test.dir/pagpassgpt_test.cpp.o.d"
+  "pagpassgpt_test"
+  "pagpassgpt_test.pdb"
+  "pagpassgpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagpassgpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

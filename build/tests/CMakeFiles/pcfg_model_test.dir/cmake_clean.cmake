@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcfg_model_test.dir/pcfg_model_test.cpp.o"
+  "CMakeFiles/pcfg_model_test.dir/pcfg_model_test.cpp.o.d"
+  "pcfg_model_test"
+  "pcfg_model_test.pdb"
+  "pcfg_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcfg_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/serialize_test.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/serialize_test.dir/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ppg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ppg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ppg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpt/CMakeFiles/ppg_gpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/ppg_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcfg/CMakeFiles/ppg_pcfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppg_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordlists_test.dir/wordlists_test.cpp.o"
+  "CMakeFiles/wordlists_test.dir/wordlists_test.cpp.o.d"
+  "wordlists_test"
+  "wordlists_test.pdb"
+  "wordlists_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordlists_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
