@@ -1,0 +1,44 @@
+// Validates that each file argument is non-empty, well-formed JSON.
+//
+// Used by the `obs_smoke_validate` ctest target to assert that a bench run
+// with --report=<file> and PPG_TRACE=<file> produced parseable artifacts
+// (catching truncation and interleaved writes). Exit code 0 iff all files
+// pass.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.empty()) {
+      std::fprintf(stderr, "%s: empty file\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::string error;
+    if (!ppg::obs::validate_json(text, &error)) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", argv[i], error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%zu bytes)\n", argv[i], text.size());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,10 +11,33 @@
 #include "common/logging.h"
 #include "core/dcgen.h"
 #include "eval/generator.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace ppg::bench {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Report destination for the atexit writer (set once in parse_env).
+std::string& report_path() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void write_report_at_exit() {
+  const std::string& path = report_path();
+  if (path.empty()) return;
+  if (obs::RunReport::global().write(path))
+    std::fprintf(stderr, "bench: run report written to %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "bench: FAILED to write run report %s\n",
+                 path.c_str());
+}
+
+}  // namespace
 
 std::vector<std::uint64_t> BenchEnv::ladder() const {
   std::vector<std::uint64_t> out;
@@ -25,8 +49,8 @@ std::vector<std::uint64_t> BenchEnv::ladder() const {
 }
 
 BenchEnv parse_env(int argc, char** argv) {
-  const Cli cli(argc, argv,
-                {"scale", "seed", "cache-dir", "epochs", "fresh", "train-cap"});
+  const Cli cli(argc, argv, {"scale", "seed", "cache-dir", "epochs", "fresh",
+                             "train-cap", "report"});
   BenchEnv env;
   env.scale = cli.get_double("scale", 1.0);
   env.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
@@ -34,17 +58,49 @@ BenchEnv parse_env(int argc, char** argv) {
   env.epochs = static_cast<int>(cli.get_int("epochs", 10));
   env.fresh = cli.get_bool("fresh");
   env.train_cap = static_cast<std::size_t>(cli.get_int("train-cap", 12000));
+  env.report = cli.get("report", "");
   fs::create_directories(env.cache_dir);
+
+  // Run-report plumbing: echo the effective config, turn on timed
+  // instrumentation so latency histograms populate, and defer the actual
+  // write to process exit so every bench gets it without per-main code.
+  auto& report = obs::RunReport::global();
+  std::string name = argc > 0 ? fs::path(argv[0]).filename().string() : "bench";
+  report.set_name(name);
+  report.add_config("bench", name);
+  report.add_config("scale", env.scale);
+  report.add_config("seed", std::uint64_t{env.seed});
+  report.add_config("cache_dir", env.cache_dir);
+  report.add_config("epochs", std::uint64_t(env.epochs));
+  report.add_config("fresh", std::string(env.fresh ? "true" : "false"));
+  report.add_config("train_cap", std::uint64_t{env.train_cap});
+  report.add_config("model.d_model", std::uint64_t(env.model_cfg.d_model));
+  report.add_config("model.n_layers", std::uint64_t(env.model_cfg.n_layers));
+  report.add_config("model.n_heads", std::uint64_t(env.model_cfg.n_heads));
+  report.add_config("model.context", std::uint64_t(env.model_cfg.context));
+  if (!env.report.empty()) {
+    obs::set_timing_enabled(true);
+    report_path() = env.report;
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(write_report_at_exit);
+    }
+  }
+  // Touching trace_enabled() here picks up PPG_TRACE before any work runs.
+  if (obs::trace_enabled()) obs::trace_instant("bench/start", "bench");
   return env;
 }
 
 SiteData load_site(const BenchEnv& env, data::SiteProfile profile) {
+  obs::StageTimer stage("data/load_site_" + profile.name);
   profile.unique_target = static_cast<std::size_t>(
       double(profile.unique_target) * env.scale * env.corpus_frac);
   profile.unique_target = std::max<std::size_t>(profile.unique_target, 500);
   SiteData site;
   site.corpus = data::clean(data::generate_site(profile, env.seed));
   site.split = data::split_712(site.corpus.passwords, env.seed);
+  stage.set_items(double(site.corpus.passwords.size()));
   return site;
 }
 
@@ -85,10 +141,12 @@ std::unique_ptr<core::PagPassGPT> get_pagpassgpt(const BenchEnv& env,
                                                   env.seed ^ hash64("pag"));
   const std::string path = checkpoint_path(env, "pag", site);
   if (!env.fresh && fs::exists(path)) {
+    obs::StageTimer stage("load/pag_" + site);
     log_info("bench: loading cached PagPassGPT %s", path.c_str());
     model->load(path);
     return model;
   }
+  obs::StageTimer stage("train/pag_" + site);
   log_info("bench: training PagPassGPT on %s (%d epochs)...", site.c_str(),
            env.epochs);
   model->train(capped_train(env, data.split.train), data.split.valid,
@@ -104,10 +162,12 @@ std::unique_ptr<baselines::PassGpt> get_passgpt(const BenchEnv& env,
       env.model_cfg, env.seed ^ hash64("passgpt"));
   const std::string path = checkpoint_path(env, "passgpt", site);
   if (!env.fresh && fs::exists(path)) {
+    obs::StageTimer stage("load/passgpt_" + site);
     log_info("bench: loading cached PassGPT %s", path.c_str());
     model->load(path);
     return model;
   }
+  obs::StageTimer stage("train/passgpt_" + site);
   log_info("bench: training PassGPT on %s (%d epochs)...", site.c_str(),
            env.epochs);
   model->train(capped_train(env, data.split.train), data.split.valid,
@@ -125,10 +185,12 @@ std::unique_ptr<baselines::PassGan> get_passgan(const BenchEnv& env,
       std::make_unique<baselines::PassGan>(cfg, env.seed ^ hash64("passgan"));
   const std::string path = checkpoint_path(env, "passgan", data.corpus.name);
   if (!env.fresh && fs::exists(path)) {
+    obs::StageTimer stage("load/passgan_" + data.corpus.name);
     log_info("bench: loading cached PassGAN %s", path.c_str());
     model->load(path);
     return model;
   }
+  obs::StageTimer stage("train/passgan_" + data.corpus.name);
   log_info("bench: training PassGAN (%d generator steps)...", cfg.steps);
   model->train(capped_train(env, data.split.train));
   model->save(path);
@@ -143,10 +205,12 @@ std::unique_ptr<baselines::VaePass> get_vaepass(const BenchEnv& env,
       std::make_unique<baselines::VaePass>(cfg, env.seed ^ hash64("vaepass"));
   const std::string path = checkpoint_path(env, "vaepass", data.corpus.name);
   if (!env.fresh && fs::exists(path)) {
+    obs::StageTimer stage("load/vaepass_" + data.corpus.name);
     log_info("bench: loading cached VAEPass %s", path.c_str());
     model->load(path);
     return model;
   }
+  obs::StageTimer stage("train/vaepass_" + data.corpus.name);
   log_info("bench: training VAEPass (%d epochs)...", cfg.epochs);
   model->train(capped_train(env, data.split.train));
   model->save(path);
@@ -161,10 +225,12 @@ std::unique_ptr<baselines::PassFlow> get_passflow(const BenchEnv& env,
       std::make_unique<baselines::PassFlow>(cfg, env.seed ^ hash64("passflow"));
   const std::string path = checkpoint_path(env, "passflow", data.corpus.name);
   if (!env.fresh && fs::exists(path)) {
+    obs::StageTimer stage("load/passflow_" + data.corpus.name);
     log_info("bench: loading cached PassFlow %s", path.c_str());
     model->load(path);
     return model;
   }
+  obs::StageTimer stage("train/passflow_" + data.corpus.name);
   log_info("bench: training PassFlow (%d epochs)...", cfg.epochs);
   model->train(capped_train(env, data.split.train));
   model->save(path);
@@ -225,6 +291,7 @@ bool load_sweep(const std::string& path, const BenchEnv& env,
 }  // namespace
 
 SweepResult trawling_sweep(const BenchEnv& env) {
+  obs::StageTimer sweep_stage("sweep/trawling");
   SweepResult sweep;
   const std::string path = sweep_path(env);
   if (!env.fresh && load_sweep(path, env, sweep)) {
@@ -267,19 +334,27 @@ SweepResult trawling_sweep(const BenchEnv& env) {
 
   for (const auto& gen : generators) {
     log_info("bench: sweeping %s...", gen.name.c_str());
+    obs::StageTimer stage("generate/" + gen.name);
     Rng rng(env.seed, "sweep-" + gen.name);
     eval::GuessCurve curve(test);
     Curve points;
+    std::uint64_t fed = 0;
     eval::run_guess_ladder(
         gen, sweep.ladder, kChunk, rng,
-        [&](const std::vector<std::string>& chunk) { curve.feed(chunk); },
+        [&](const std::vector<std::string>& chunk) {
+          curve.feed(chunk);
+          fed += chunk.size();
+        },
         [&](std::uint64_t) { points.push_back(curve.snapshot()); });
+    stage.set_items(double(fed));
     sweep.curves[gen.name] = std::move(points);
   }
 
   // PagPassGPT-D&C: task allocation depends on the total budget, so each
   // ladder point is an independent run (as in the paper).
   {
+    obs::StageTimer stage("generate/PagPassGPT-D&C");
+    std::uint64_t generated = 0;
     Curve points;
     for (const std::uint64_t budget : sweep.ladder) {
       log_info("bench: D&C-GEN run at budget %" PRIu64 "...", budget);
@@ -290,10 +365,12 @@ SweepResult trawling_sweep(const BenchEnv& env) {
       const auto guesses =
           core::dc_generate(pag->model(), pag->patterns(), cfg,
                             env.seed ^ hash64("sweep-dc"));
+      generated += guesses.size();
       eval::GuessCurve curve(test);
       curve.feed(guesses);
       points.push_back(curve.snapshot());
     }
+    stage.set_items(double(generated));
     sweep.curves["PagPassGPT-D&C"] = std::move(points);
   }
 

@@ -12,6 +12,11 @@
 //   --cache-dir=<p>  checkpoint/sweep cache (default ./bench_cache)
 //   --epochs=<n>     GPT training epochs (default 10)
 //   --fresh          ignore caches, retrain/regenerate everything
+//   --report=<file>  write a structured JSON run report (config echo, stage
+//                    wall-clocks, metrics snapshot) at process exit; also
+//                    enables timed instrumentation (obs::set_timing_enabled)
+// Setting PPG_TRACE=<file> additionally records a Chrome-trace timeline of
+// the run (open in chrome://tracing or Perfetto).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +42,8 @@ struct BenchEnv {
   std::string cache_dir = "bench_cache";
   int epochs = 10;
   bool fresh = false;
+  /// Destination for the structured JSON run report (empty = no report).
+  std::string report;
   /// Cap on training passwords per model (wall-clock guard; the remainder
   /// of the split is simply unused).
   std::size_t train_cap = 12000;

@@ -1,14 +1,24 @@
 // Minimal leveled logger used by trainers and benches.
 //
-// Not thread-aware beyond line-atomic writes; benches are effectively
-// single-threaded on this target. Level is process-global and settable via
-// the PPG_LOG_LEVEL environment variable (error|warn|info|debug).
+// Each message is formatted into a single buffer and written with one
+// stdio call, so concurrent callers (e.g. D&C-GEN leaf workers) never
+// interleave mid-line. Every line carries an ISO-8601 UTC timestamp and
+// the elapsed milliseconds since the first log call:
+//
+//   2026-08-06T12:34:56Z +1234ms [I] message
+//
+// Level is process-global and settable via the PPG_LOG_LEVEL environment
+// variable, by name (error|warn|info|debug) or numerically (0..3).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <string_view>
+
+#include "obs/clock.h"
 
 namespace ppg {
 
@@ -22,10 +32,39 @@ inline LogLevel& log_level_ref() {
     const std::string_view v(env);
     if (v == "error") return LogLevel::kError;
     if (v == "warn") return LogLevel::kWarn;
+    if (v == "info") return LogLevel::kInfo;
     if (v == "debug") return LogLevel::kDebug;
+    // Numeric form: PPG_LOG_LEVEL=0..3 (clamped).
+    if (!v.empty() && (std::isdigit(static_cast<unsigned char>(v[0])) ||
+                       (v[0] == '-' && v.size() > 1))) {
+      long n = std::strtol(env, nullptr, 10);
+      if (n < 0) n = 0;
+      if (n > 3) n = 3;
+      return static_cast<LogLevel>(n);
+    }
     return LogLevel::kInfo;
   }();
   return level;
+}
+
+/// Writes one fully formatted line prefix + message atomically to stderr.
+inline void log_emit(LogLevel level, const char* msg) {
+  const char* tag = level == LogLevel::kError  ? "E"
+                    : level == LogLevel::kWarn ? "W"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "D";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  const long long elapsed_ms = obs::now_ns() / 1000000;
+  char line[1536];
+  std::snprintf(line, sizeof line, "%s +%lldms [%s] %s\n", stamp, elapsed_ms,
+                tag, msg);
+  // One stdio call per line: stdio locks the stream internally, so lines
+  // from concurrent threads never interleave.
+  std::fputs(line, stderr);
 }
 }  // namespace detail
 
@@ -39,16 +78,12 @@ inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
 template <typename... Args>
 void log(LogLevel level, const char* fmt, Args... args) {
   if (static_cast<int>(level) > static_cast<int>(log_level())) return;
-  const char* tag = level == LogLevel::kError  ? "E"
-                    : level == LogLevel::kWarn ? "W"
-                    : level == LogLevel::kInfo ? "I"
-                                               : "D";
-  std::fprintf(stderr, "[%s] ", tag);
+  char msg[1200];
   if constexpr (sizeof...(Args) == 0)
-    std::fprintf(stderr, "%s", fmt);
+    std::snprintf(msg, sizeof msg, "%s", fmt);
   else
-    std::fprintf(stderr, fmt, args...);
-  std::fputc('\n', stderr);
+    std::snprintf(msg, sizeof msg, fmt, args...);
+  detail::log_emit(level, msg);
 }
 
 template <typename... Args>

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ppg {
 
 /// A simple work-queue thread pool. Tasks are std::function<void()>.
@@ -58,6 +60,7 @@ class ThreadPool {
     {
       std::lock_guard lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
+      metrics().queue_depth.set(static_cast<double>(queue_.size()));
     }
     cv_.notify_one();
     return result;
@@ -88,6 +91,20 @@ class ThreadPool {
   }
 
  private:
+  /// Process-wide pool metrics, shared by every pool instance (queue depth
+  /// is a last-writer-wins gauge; counters are exact totals).
+  struct Metrics {
+    obs::Counter& tasks;
+    obs::Gauge& queue_depth;
+    obs::Counter& busy_us;
+  };
+  static Metrics& metrics() {
+    static Metrics m{obs::Registry::global().counter("thread_pool.tasks"),
+                     obs::Registry::global().gauge("thread_pool.queue_depth"),
+                     obs::Registry::global().counter("thread_pool.busy_us")};
+    return m;
+  }
+
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
@@ -100,8 +117,17 @@ class ThreadPool {
         }
         task = std::move(queue_.front());
         queue_.pop_front();
+        metrics().queue_depth.set(static_cast<double>(queue_.size()));
       }
-      task();
+      if (obs::timing_enabled()) {
+        const std::int64_t start = obs::now_ns();
+        task();
+        metrics().busy_us.inc(
+            static_cast<std::uint64_t>((obs::now_ns() - start) / 1000));
+      } else {
+        task();
+      }
+      metrics().tasks.inc();
     }
   }
 

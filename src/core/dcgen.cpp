@@ -9,6 +9,8 @@
 #include "common/thread_pool.h"
 #include "core/masks.h"
 #include "gpt/infer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tokenizer/tokenizer.h"
 
 namespace ppg::core {
@@ -16,6 +18,32 @@ namespace ppg::core {
 namespace {
 
 using tok::Tokenizer;
+
+/// Process-wide D&C-GEN metrics. The per-run DcGenStats struct stays the
+/// caller-facing snapshot; these accumulate across runs and are exact for
+/// any DcGenConfig::threads (the thread-invariance test relies on it).
+struct DcMetrics {
+  obs::Counter& runs;
+  obs::Counter& divisions;
+  obs::Counter& model_calls;
+  obs::Counter& leaves;
+  obs::Counter& dropped;
+  obs::Counter& forced;
+  obs::Counter& emitted;
+  obs::Gauge& capacity_capped;
+  static DcMetrics& get() {
+    auto& r = obs::Registry::global();
+    static DcMetrics m{r.counter("dcgen.runs"),
+                       r.counter("dcgen.divisions"),
+                       r.counter("dcgen.model_calls"),
+                       r.counter("dcgen.leaves"),
+                       r.counter("dcgen.dropped"),
+                       r.counter("dcgen.forced"),
+                       r.counter("dcgen.emitted"),
+                       r.gauge("dcgen.capacity_capped")};
+    return m;
+  }
+};
 
 /// One pending unit of work: generate `n` passwords whose rule starts with
 /// `prefix` (token form) under `pattern`, `chars_done` characters of which
@@ -48,6 +76,9 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
                                      std::uint64_t seed, DcGenStats* stats) {
   if (cfg.total <= 0 || cfg.threshold <= 0)
     throw std::invalid_argument("dc_generate: total and threshold must be > 0");
+  obs::Span run_span("dcgen/run", "dcgen");
+  DcMetrics& metrics = DcMetrics::get();
+  metrics.runs.inc();
   DcGenStats local;
 
   // Parsed pattern storage must be address-stable for Task::pattern.
@@ -116,6 +147,7 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
   const auto& class_sets = ClassTokenSets::instance();
   std::vector<int> feed;
   while (!pending.empty()) {
+    obs::Span division_span("dcgen/division_batch", "dcgen");
     auto bucket_it = pending.begin();
     auto& bucket = bucket_it->second;
     const std::size_t take = std::min(cfg.division_batch, bucket.size());
@@ -172,6 +204,7 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
   local.leaves = leaves.size();
   std::vector<std::vector<std::string>> leaf_out(leaves.size());
   const auto run_leaf = [&](std::size_t leaf_idx) {
+    obs::Span leaf_span("dcgen/leaf", "dcgen");
     const Task& t = leaves[leaf_idx];
     const auto count = static_cast<std::size_t>(std::llround(t.n));
     if (count == 0) return;
@@ -181,13 +214,28 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
                           : gpt::LogitMask{};
     leaf_out[leaf_idx] =
         gpt::sample_passwords(model, t.prefix, count, rng, cfg.sample, mask);
+    DcMetrics::get().emitted.inc(leaf_out[leaf_idx].size());
   };
-  if (cfg.threads > 1 && leaves.size() > 1) {
-    ThreadPool pool(static_cast<std::size_t>(cfg.threads));
-    pool.parallel_for(leaves.size(), run_leaf);
-  } else {
-    for (std::size_t i = 0; i < leaves.size(); ++i) run_leaf(i);
+  {
+    obs::Span leaves_span("dcgen/leaves", "dcgen");
+    if (cfg.threads > 1 && leaves.size() > 1) {
+      ThreadPool pool(static_cast<std::size_t>(cfg.threads));
+      pool.parallel_for(leaves.size(), run_leaf);
+    } else {
+      for (std::size_t i = 0; i < leaves.size(); ++i) run_leaf(i);
+    }
   }
+  // Mirror the per-run snapshot into the process-wide registry. The counts
+  // were accumulated single-threaded during division (route/model loop);
+  // emitted passwords were counted atomically inside the leaf workers.
+  metrics.divisions.inc(local.divisions);
+  metrics.model_calls.inc(local.model_calls);
+  metrics.leaves.inc(local.leaves);
+  metrics.dropped.inc(local.dropped);
+  metrics.forced.inc(local.forced);
+  metrics.emitted.inc(forced.size());
+  metrics.capacity_capped.add(local.capacity_capped);
+
   std::vector<std::string> out = std::move(forced);
   for (auto& pws : leaf_out)
     out.insert(out.end(), std::make_move_iterator(pws.begin()),

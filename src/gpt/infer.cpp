@@ -4,10 +4,30 @@
 #include <stdexcept>
 
 #include "nn/kernels.h"
+#include "obs/metrics.h"
 
 namespace ppg::gpt {
 
 namespace {
+
+/// Inference metrics, registered once (lock-free updates thereafter).
+struct InferMetrics {
+  obs::Counter& steps;
+  obs::Counter& tokens;
+  obs::Gauge& batch;
+  obs::Gauge& cache_bytes;
+  obs::Histogram& step_us;
+  obs::Histogram& prime_us;
+  static InferMetrics& get() {
+    static InferMetrics m{obs::Registry::global().counter("infer.steps"),
+                          obs::Registry::global().counter("infer.tokens"),
+                          obs::Registry::global().gauge("infer.batch"),
+                          obs::Registry::global().gauge("infer.cache_bytes"),
+                          obs::Registry::global().histogram("infer.step_us"),
+                          obs::Registry::global().histogram("infer.prime_us")};
+    return m;
+  }
+};
 
 /// y[i,:] = layernorm(x[i,:]) * gain + bias, rows of width d.
 void layernorm_rows(Index rows, Index d, const float* x, const float* gain,
@@ -53,9 +73,21 @@ void InferenceSession::reset(Index batch) {
   att_.assign(batch * c.d_model, 0.f);
   ff_.assign(batch * c.d_ff(), 0.f);
   logits_.assign(batch * c.vocab, 0.f);
+
+  InferMetrics& m = InferMetrics::get();
+  m.batch.set(static_cast<double>(batch));
+  const double scratch = static_cast<double>(
+      x_.size() + h_.size() + qkv_.size() + att_.size() + ff_.size() +
+      logits_.size());
+  m.cache_bytes.set((2.0 * double(c.n_layers) * double(cache) + scratch) *
+                    sizeof(float));
 }
 
 std::span<const float> InferenceSession::step(std::span<const int> tokens) {
+  InferMetrics& m = InferMetrics::get();
+  m.steps.inc();
+  m.tokens.inc(static_cast<std::uint64_t>(tokens.size()));
+  obs::ScopedLatency latency(m.step_us);
   const Config& c = model_->config();
   if (batch_ == 0)
     throw std::logic_error("InferenceSession::step before reset()");
@@ -157,6 +189,7 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
 std::span<const float> InferenceSession::prime(std::span<const int> prefix) {
   if (prefix.empty())
     throw std::invalid_argument("InferenceSession::prime: empty prefix");
+  obs::ScopedLatency latency(InferMetrics::get().prime_us);
   std::vector<int> broadcast(static_cast<std::size_t>(batch_));
   std::span<const float> out;
   for (const int tok : prefix) {

@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppg::gpt {
 
@@ -49,10 +51,19 @@ TrainReport train_lm(GptModel& model,
   const std::size_t warmup_steps = std::max<std::size_t>(
       1, static_cast<std::size_t>(cfg.warmup_frac * double(total_steps)));
 
+  // Registry metrics (cached references; see src/obs/metrics.h).
+  auto& obs_reg = obs::Registry::global();
+  obs::Counter& m_steps = obs_reg.counter("train.steps");
+  obs::Counter& m_tokens = obs_reg.counter("train.tokens");
+  obs::Gauge& m_loss = obs_reg.gauge("train.loss");
+  obs::Gauge& m_grad_norm = obs_reg.gauge("train.grad_norm");
+  obs::Histogram& m_step_ms = obs_reg.histogram("train.step_ms");
+
   TrainReport report;
   nn::Graph g;
   std::size_t step = 0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span("train/epoch", "train");
     shuffle_rng.shuffle(usable);
     double epoch_loss = 0.0;
     std::size_t epoch_batches = 0;
@@ -87,15 +98,24 @@ TrainReport train_lm(GptModel& model,
       }
       opt.lr() = static_cast<float>(cfg.lr * lr_scale);
 
+      const std::int64_t step_start =
+          obs::timing_enabled() ? obs::now_ns() : 0;
       g.clear();
       const nn::Tensor loss =
           model.loss(g, inputs, targets, batch, time, -1, nullptr);
       g.backward(loss);
-      model.params().clip_grad_norm(cfg.grad_clip);
+      const double grad_norm = model.params().clip_grad_norm(cfg.grad_clip);
       opt.step();
       epoch_loss += double(loss.at(0));
       ++epoch_batches;
       ++step;
+      m_steps.inc();
+      m_tokens.inc(static_cast<std::uint64_t>(batch) *
+                   static_cast<std::uint64_t>(time));
+      m_loss.set(double(loss.at(0)));
+      m_grad_norm.set(grad_norm);
+      if (step_start != 0)
+        m_step_ms.observe(double(obs::now_ns() - step_start) * 1e-6);
       if (cfg.log_every > 0 && step % static_cast<std::size_t>(cfg.log_every) == 0)
         log_info("train_lm: step %zu/%zu loss=%.4f lr=%.2e", step, total_steps,
                  loss.at(0), double(opt.lr()));
@@ -106,6 +126,7 @@ TrainReport train_lm(GptModel& model,
     report.epoch_loss.push_back(mean_loss);
     double vnll = 0.0;
     if (!valid_seqs.empty()) {
+      obs::Span valid_span("train/validate", "train");
       vnll = model.evaluate_nll(valid_seqs, cfg.batch_size, pad_token);
       report.valid_nll.push_back(vnll);
     }

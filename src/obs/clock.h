@@ -1,0 +1,31 @@
+// Monotonic clock wrapper for the observability subsystem.
+//
+// All obs timestamps come from one steady clock so span timings, stage
+// wall-clocks, and latency histograms are mutually comparable. The process
+// epoch is captured the first time any obs component asks for the time, so
+// trace timestamps start near zero and fit comfortably in a double.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ppg::obs {
+
+/// Nanoseconds on the process-local monotonic timeline (0 = first use).
+inline std::int64_t now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+/// Microseconds on the same timeline (Chrome trace events use µs).
+inline std::int64_t now_us() noexcept { return now_ns() / 1000; }
+
+/// Seconds on the same timeline, as a double (stage wall-clocks).
+inline double now_seconds() noexcept {
+  return static_cast<double>(now_ns()) * 1e-9;
+}
+
+}  // namespace ppg::obs

@@ -1,0 +1,59 @@
+// Minimal JSON emitter and validator for the observability subsystem.
+//
+// The exporters (metrics snapshot, trace events, run reports) only need to
+// *produce* JSON; nothing in the hot path parses it. The validator exists so
+// tests and the ctest smoke target can assert that emitted files are
+// well-formed without pulling in an external JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppg::obs {
+
+/// Escapes a string for use inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON builder with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.begin_object().key("n").value(3).end_object();
+///   w.str();  // {"n":3}
+/// Callers are responsible for balanced begin/end calls; the writer asserts
+/// nothing and simply emits what it is told.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Emits `"name":` (with any needed comma). Must be followed by a value
+  /// or a begin_object/begin_array.
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_{true};
+  bool after_key_ = false;
+};
+
+/// Validates that `text` is exactly one well-formed JSON value (RFC 8259
+/// subset: objects, arrays, strings with escapes, numbers, literals).
+/// On failure returns false and, if `error` is non-null, stores a short
+/// message with the byte offset of the problem.
+bool validate_json(std::string_view text, std::string* error = nullptr);
+
+}  // namespace ppg::obs

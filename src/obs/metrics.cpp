@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace ppg::obs {
+
+namespace {
+
+/// Atomic min/max update via CAS (no std::atomic<double>::fetch_min).
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the first bucket
+  int e = 0;
+  std::frexp(v, &e);  // v = m·2^e, m ∈ [0.5, 1)  ⇒  2^(e-1) ≤ v < 2^e
+  const int idx = e + kSubUnit;
+  if (idx < 0) return 0;
+  if (idx >= kBuckets) return kBuckets - 1;
+  return idx;
+}
+
+double Histogram::bucket_upper_bound(int i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i - kSubUnit);
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  std::uint64_t buckets[kBuckets];
+  for (int i = 0; i < kBuckets; ++i)
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) s.count += buckets[i];
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  const auto quantile = [&](double q) {
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(s.count)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank && buckets[i] > 0) {
+        const double ub = bucket_upper_bound(i);
+        // The top bucket has no finite bound; the observed max does.
+        return std::isfinite(ub) ? std::min(ub, s.max) : s.max;
+      }
+    }
+    return s.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  // Leaked intentionally: instrumented code (thread pools, atexit report
+  // writers) may touch metrics during static destruction.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::string Registry::to_text() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof buf, "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, "gauge %s %.6g\n", name.c_str(),
+                  g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->summary();
+    std::snprintf(buf, sizeof buf,
+                  "histogram %s count=%llu sum=%.6g p50=%.6g p95=%.6g "
+                  "max=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.sum, s.p50, s.p95, s.max);
+    out += buf;
+  }
+  return out;
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  std::lock_guard lock(mu_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->summary();
+    w.key(name).begin_object();
+    w.key("count").value(s.count);
+    w.key("sum").value(s.sum);
+    w.key("min").value(s.min);
+    w.key("max").value(s.max);
+    w.key("mean").value(s.mean());
+    w.key("p50").value(s.p50);
+    w.key("p95").value(s.p95);
+    w.key("p99").value(s.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+std::atomic<bool>& timing_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("PPG_METRICS");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool timing_enabled() noexcept {
+  return timing_flag().load(std::memory_order_relaxed);
+}
+
+void set_timing_enabled(bool on) noexcept {
+  timing_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace ppg::obs

@@ -1,0 +1,105 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppg::obs {
+
+RunReport& RunReport::global() {
+  // Leaked: the bench atexit writer runs during shutdown.
+  static RunReport* instance = new RunReport();
+  return *instance;
+}
+
+void RunReport::set_name(std::string name) {
+  std::lock_guard lock(mu_);
+  name_ = std::move(name);
+}
+
+void RunReport::add_config(const std::string& key, std::string value) {
+  std::lock_guard lock(mu_);
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  config_.emplace_back(key, std::move(value));
+}
+
+void RunReport::add_config(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  add_config(key, std::string(buf));
+}
+
+void RunReport::add_config(const std::string& key, std::uint64_t value) {
+  add_config(key, std::to_string(value));
+}
+
+void RunReport::add_stage(std::string name, double seconds, double items) {
+  std::lock_guard lock(mu_);
+  stages_.push_back({std::move(name), seconds, items});
+}
+
+std::string RunReport::to_json(const Registry* registry) const {
+  JsonWriter w;
+  {
+    std::lock_guard lock(mu_);
+    w.begin_object();
+    w.key("name").value(name_.empty() ? "unnamed" : name_);
+    w.key("schema").value(std::uint64_t{1});
+    w.key("config").begin_object();
+    for (const auto& [k, v] : config_) w.key(k).value(v);
+    w.end_object();
+    w.key("stages").begin_array();
+    for (const auto& s : stages_) {
+      w.begin_object();
+      w.key("name").value(s.name);
+      w.key("seconds").value(s.seconds);
+      w.key("items").value(s.items);
+      if (s.items > 0.0 && s.seconds > 0.0)
+        w.key("items_per_sec").value(s.items / s.seconds);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+  }
+  // Registry snapshot outside our own lock (independent mutex).
+  (registry != nullptr ? *registry : Registry::global()).write_json(w);
+  w.end_object();
+  return w.take();
+}
+
+bool RunReport::write(const std::string& path, const Registry* registry) const {
+  const std::string json = to_json(registry);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << json << '\n';
+  return static_cast<bool>(out);
+}
+
+void RunReport::clear() {
+  std::lock_guard lock(mu_);
+  name_.clear();
+  config_.clear();
+  stages_.clear();
+}
+
+StageTimer::StageTimer(std::string name, RunReport& report)
+    : report_(report), name_(std::move(name)), start_(now_seconds()) {}
+
+StageTimer::~StageTimer() {
+  const double end = now_seconds();
+  if (trace_enabled())
+    trace_emit_complete(name_.c_str(), "stage",
+                        static_cast<std::int64_t>(start_ * 1e6),
+                        static_cast<std::int64_t>((end - start_) * 1e6));
+  report_.add_stage(std::move(name_), end - start_, items_);
+}
+
+}  // namespace ppg::obs

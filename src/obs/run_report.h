@@ -1,0 +1,84 @@
+// Structured run reports: one JSON file per bench/training run.
+//
+// A RunReport accumulates the run's identity (name), a config echo
+// (key/value strings), and named stage timings, then serialises them
+// together with a metrics-registry snapshot into a single JSON document:
+//
+//   {"name":…, "schema":1, "config":{…},
+//    "stages":[{"name":…,"seconds":…,"items":…,"items_per_sec":…},…],
+//    "metrics":{"counters":{…},"gauges":{…},"histograms":{…}}}
+//
+// Benches feed the global() report (bench/common.cpp installs an atexit
+// writer when --report=<file> is passed); tests build local instances.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace ppg::obs {
+
+class Registry;
+
+class RunReport {
+ public:
+  /// The process-wide report used by the bench harness.
+  static RunReport& global();
+
+  void set_name(std::string name);
+
+  /// Records one config key. Later writes to the same key win.
+  void add_config(const std::string& key, std::string value);
+  void add_config(const std::string& key, double value);
+  void add_config(const std::string& key, std::uint64_t value);
+
+  /// Records a completed stage. `items` (optional) is a work count for the
+  /// stage — guesses generated, tokens trained — from which the report
+  /// derives items_per_sec.
+  void add_stage(std::string name, double seconds, double items = 0.0);
+
+  /// Serialises the report plus a snapshot of `registry` (the global
+  /// registry by default).
+  std::string to_json(const Registry* registry = nullptr) const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path, const Registry* registry = nullptr) const;
+
+  /// Drops all recorded state (tests).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  struct Stage {
+    std::string name;
+    double seconds;
+    double items;
+  };
+  std::vector<Stage> stages_;
+};
+
+/// RAII stage clock: measures wall-clock from construction to destruction
+/// and records it into the report (also emitting a trace span with the
+/// same name). Call set_items() before scope exit to get a throughput.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string name, RunReport& report = RunReport::global());
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer();
+
+  void set_items(double items) { items_ = items; }
+
+ private:
+  RunReport& report_;
+  std::string name_;
+  double start_;
+  double items_ = 0.0;
+};
+
+}  // namespace ppg::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace ppg::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_trace_env_checked{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceState {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  bool any_event = false;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  // Leaked: spans may fire from atexit handlers and detached threads.
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+/// Stable small id for the calling thread (Chrome wants an integer tid).
+int thread_tid() {
+  static std::atomic<int> next{1};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void close_locked(TraceState& s) {
+  if (s.file == nullptr) return;
+  std::fputs("\n]}\n", s.file);
+  std::fclose(s.file);
+  s.file = nullptr;
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void emit(const char* name, const char* cat, const char* ph,
+          std::int64_t ts_us, std::int64_t dur_us, bool has_dur) {
+  TraceState& s = state();
+  std::lock_guard lock(s.mu);
+  if (s.file == nullptr) return;
+  const std::string ename = json_escape(name);
+  const std::string ecat = json_escape(cat && cat[0] ? cat : "ppg");
+  if (has_dur) {
+    std::fprintf(s.file,
+                 "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                 "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%d}",
+                 s.any_event ? ",\n" : "\n", ename.c_str(), ecat.c_str(), ph,
+                 static_cast<long long>(ts_us),
+                 static_cast<long long>(dur_us), thread_tid());
+  } else {
+    std::fprintf(s.file,
+                 "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                 "\"ts\":%lld,\"s\":\"t\",\"pid\":1,\"tid\":%d}",
+                 s.any_event ? ",\n" : "\n", ename.c_str(), ecat.c_str(), ph,
+                 static_cast<long long>(ts_us), thread_tid());
+  }
+  s.any_event = true;
+}
+
+}  // namespace
+
+namespace detail {
+
+void trace_env_init() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("PPG_TRACE");
+    if (path != nullptr && path[0] != '\0') trace_start(path);
+    g_trace_env_checked.store(true, std::memory_order_release);
+  });
+}
+
+}  // namespace detail
+
+bool trace_start(const std::string& path) {
+  TraceState& s = state();
+  std::lock_guard lock(s.mu);
+  close_locked(s);
+  s.file = std::fopen(path.c_str(), "w");
+  if (s.file == nullptr) return false;
+  std::fputs("{\"traceEvents\":[", s.file);
+  s.any_event = false;
+  if (!s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit([] {
+      TraceState& st = state();
+      std::lock_guard l(st.mu);
+      close_locked(st);
+    });
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+  detail::g_trace_env_checked.store(true, std::memory_order_release);
+  return true;
+}
+
+void trace_stop() {
+  TraceState& s = state();
+  std::lock_guard lock(s.mu);
+  close_locked(s);
+}
+
+void trace_emit_complete(const char* name, const char* cat,
+                         std::int64_t ts_us, std::int64_t dur_us) {
+  emit(name, cat, "X", ts_us, dur_us, /*has_dur=*/true);
+}
+
+void trace_instant(const char* name, const char* cat) {
+  if (!trace_enabled()) return;
+  emit(name, cat, "i", now_us(), 0, /*has_dur=*/false);
+}
+
+}  // namespace ppg::obs

@@ -1,0 +1,80 @@
+// Scoped trace spans emitting Chrome trace-event JSON.
+//
+// When tracing is enabled — `PPG_TRACE=<file>` in the environment, or an
+// explicit trace_start(path) — every Span constructed anywhere in the
+// process appends one complete ("ph":"X") event to the file, which loads
+// directly into chrome://tracing or https://ui.perfetto.dev. When disabled,
+// a Span costs one relaxed atomic load and a branch: no clock read, no
+// allocation, no lock.
+//
+// Events are written under a mutex as single fprintf calls, so concurrent
+// spans from worker threads interleave at event granularity and the file is
+// always well-formed once trace_stop() (or process exit) closes the array.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/clock.h"
+
+namespace ppg::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+/// Reads PPG_TRACE once and opens the file if set. Called from the first
+/// enabled-check; idempotent and thread-safe.
+void trace_env_init();
+extern std::atomic<bool> g_trace_env_checked;
+}  // namespace detail
+
+/// True when a trace file is open. First call picks up PPG_TRACE.
+inline bool trace_enabled() noexcept {
+  if (!detail::g_trace_env_checked.load(std::memory_order_acquire))
+    detail::trace_env_init();
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Opens `path` for writing and starts recording (replacing any previous
+/// trace). Registers an atexit flush so the file is valid JSON on any
+/// normal exit, even if the caller never reaches trace_stop(); death by
+/// signal leaves an empty or truncated file. Returns false if the file
+/// cannot be opened.
+bool trace_start(const std::string& path);
+
+/// Closes the event array and the file. Safe to call when not tracing.
+void trace_stop();
+
+/// Appends a complete event (begin timestamp `ts_us`, duration `dur_us`,
+/// both in µs on the obs monotonic timeline). No-op when disabled.
+void trace_emit_complete(const char* name, const char* cat,
+                         std::int64_t ts_us, std::int64_t dur_us);
+
+/// Appends an instant event at the current time. No-op when disabled.
+void trace_instant(const char* name, const char* cat = "");
+
+/// RAII span: marks the enclosed scope as one trace event. `name` and
+/// `cat` must outlive the span (string literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "") noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_us_ = now_us();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (name_ != nullptr)
+      trace_emit_complete(name_, cat_, start_us_, now_us() - start_us_);
+  }
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace ppg::obs

@@ -9,6 +9,7 @@
 #include "core/pagpassgpt.h"
 #include "data/corpus.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 
 namespace ppg::core {
 namespace {
@@ -188,6 +189,51 @@ TEST(DcGen, ThreadCountDoesNotChangeOutput) {
   const auto a = dc_generate(m.model(), m.patterns(), serial, 13);
   const auto b = dc_generate(m.model(), m.patterns(), threaded, 13);
   EXPECT_EQ(a, b);
+}
+
+TEST(DcGen, RegistryMetricsInvariantUnderThreadCount) {
+  // The process-wide registry counters must be exact for any worker-thread
+  // count: leaf counts and emitted totals from threads=4 have to equal the
+  // serial run's, or a counter update raced.
+  const auto& m = shared_model();
+  auto& reg = obs::Registry::global();
+  struct Snapshot {
+    std::uint64_t leaves, emitted, divisions, dropped, forced, model_calls;
+  };
+  const auto snapshot = [&reg] {
+    return Snapshot{reg.counter("dcgen.leaves").value(),
+                    reg.counter("dcgen.emitted").value(),
+                    reg.counter("dcgen.divisions").value(),
+                    reg.counter("dcgen.dropped").value(),
+                    reg.counter("dcgen.forced").value(),
+                    reg.counter("dcgen.model_calls").value()};
+  };
+  const auto run = [&](int threads) {
+    DcGenConfig cfg;
+    cfg.total = 1500;
+    cfg.threshold = 30;
+    cfg.threads = threads;
+    const Snapshot before = snapshot();
+    const auto pws = dc_generate(m.model(), m.patterns(), cfg, 21);
+    const Snapshot after = snapshot();
+    EXPECT_EQ(after.emitted - before.emitted, pws.size());
+    return Snapshot{after.leaves - before.leaves,
+                    after.emitted - before.emitted,
+                    after.divisions - before.divisions,
+                    after.dropped - before.dropped,
+                    after.forced - before.forced,
+                    after.model_calls - before.model_calls};
+  };
+  const Snapshot serial = run(1);
+  const Snapshot threaded = run(4);
+  EXPECT_GT(serial.leaves, 0u);
+  EXPECT_GT(serial.emitted, 0u);
+  EXPECT_EQ(serial.leaves, threaded.leaves);
+  EXPECT_EQ(serial.emitted, threaded.emitted);
+  EXPECT_EQ(serial.divisions, threaded.divisions);
+  EXPECT_EQ(serial.dropped, threaded.dropped);
+  EXPECT_EQ(serial.forced, threaded.forced);
+  EXPECT_EQ(serial.model_calls, threaded.model_calls);
 }
 
 TEST(DcGen, StatsAreConsistent) {
