@@ -2,22 +2,68 @@
 //
 // Used by the `obs_smoke_validate` ctest target to assert that a bench run
 // with --report=<file> and PPG_TRACE=<file> produced parseable artifacts
-// (catching truncation and interleaved writes). Exit code 0 iff all files
-// pass.
+// (catching truncation and interleaved writes), and — with --ndjson — by
+// the serve smoke test to validate newline-delimited JSON response
+// streams, where every non-empty line must be one well-formed value.
+// Exit code 0 iff all files pass.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "obs/json.h"
 
+namespace {
+
+bool check_whole_file(const char* path, const std::string& text) {
+  std::string error;
+  if (!ppg::obs::validate_json(text, &error)) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path, error.c_str());
+    return false;
+  }
+  std::printf("%s: ok (%zu bytes)\n", path, text.size());
+  return true;
+}
+
+bool check_ndjson(const char* path, const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0, checked = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string error;
+    if (!ppg::obs::validate_json(line, &error)) {
+      std::fprintf(stderr, "%s:%zu: invalid JSON line: %s\n", path, lineno,
+                   error.c_str());
+      return false;
+    }
+    ++checked;
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "%s: no JSON lines\n", path);
+    return false;
+  }
+  std::printf("%s: ok (%zu NDJSON lines)\n", path, checked);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
+  bool ndjson = false;
+  int first_file = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--ndjson") == 0) {
+    ndjson = true;
+    first_file = 2;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: %s [--ndjson] <file.json>...\n", argv[0]);
     return 2;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     std::ifstream in(argv[i], std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "%s: cannot open\n", argv[i]);
@@ -32,13 +78,9 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    std::string error;
-    if (!ppg::obs::validate_json(text, &error)) {
-      std::fprintf(stderr, "%s: invalid JSON: %s\n", argv[i], error.c_str());
+    if (!(ndjson ? check_ndjson(argv[i], text)
+                 : check_whole_file(argv[i], text)))
       ++failures;
-      continue;
-    }
-    std::printf("%s: ok (%zu bytes)\n", argv[i], text.size());
   }
   return failures == 0 ? 0 : 1;
 }

@@ -20,7 +20,8 @@
 namespace ppg {
 
 /// A simple work-queue thread pool. Tasks are std::function<void()>.
-/// The destructor drains outstanding tasks before joining.
+/// drain() waits for outstanding work without ending the pool; stop()
+/// drains and joins (the destructor calls it).
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
@@ -39,19 +40,34 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() { stop(); }
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Blocks until the queue is empty and no worker is mid-task, then
+  /// returns with the pool still running. Tasks submitted concurrently with
+  /// drain() extend the wait (the predicate is re-checked), so callers that
+  /// need a quiescent point must stop their producers first.
+  void drain() {
+    std::unique_lock lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+  /// Drains outstanding tasks and joins the workers. Afterwards the pool is
+  /// inert: submit() throws. Idempotent; the destructor calls it.
+  void stop() {
     {
       std::lock_guard lock(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
-    for (auto& w : workers_) w.join();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
   }
 
-  /// Number of worker threads.
-  std::size_t size() const noexcept { return workers_.size(); }
-
-  /// Enqueues a task and returns a future for its result.
+  /// Enqueues a task and returns a future for its result. Throws
+  /// std::runtime_error after stop().
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -59,6 +75,8 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard lock(mu_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool::submit after stop()");
       queue_.emplace_back([task] { (*task)(); });
       metrics().queue_depth.set(static_cast<double>(queue_.size()));
     }
@@ -117,6 +135,7 @@ class ThreadPool {
         }
         task = std::move(queue_.front());
         queue_.pop_front();
+        ++active_;
         metrics().queue_depth.set(static_cast<double>(queue_.size()));
       }
       if (obs::timing_enabled()) {
@@ -128,13 +147,20 @@ class ThreadPool {
         task();
       }
       metrics().tasks.inc();
+      {
+        std::lock_guard lock(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      }
     }
   }
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  ///< tasks currently executing
   bool stopping_ = false;
 };
 

@@ -64,22 +64,32 @@ void InferenceSession::reset(Index batch) {
   const Config& c = model_->config();
   batch_ = batch;
   pos_ = 0;
-  const std::size_t cache = static_cast<std::size_t>(batch * c.context * c.d_model);
-  kcache_.assign(c.n_layers, std::vector<float>(cache, 0.f));
-  vcache_.assign(c.n_layers, std::vector<float>(cache, 0.f));
-  x_.assign(batch * c.d_model, 0.f);
-  h_.assign(batch * c.d_model, 0.f);
-  qkv_.assign(batch * 3 * c.d_model, 0.f);
-  att_.assign(batch * c.d_model, 0.f);
-  ff_.assign(batch * c.d_ff(), 0.f);
-  logits_.assign(batch * c.vocab, 0.f);
+  // Every buffer is indexed with a per-row stride, so a batch that fits the
+  // existing allocation reuses it as-is: rows < batch_ are fully rewritten
+  // before being read (the KV caches only ever read positions <= pos_, all
+  // written since this reset), and stale rows >= batch_ are never touched.
+  if (batch > capacity_) {
+    const std::size_t cache =
+        static_cast<std::size_t>(batch * c.context * c.d_model);
+    kcache_.assign(c.n_layers, std::vector<float>(cache, 0.f));
+    vcache_.assign(c.n_layers, std::vector<float>(cache, 0.f));
+    x_.assign(batch * c.d_model, 0.f);
+    h_.assign(batch * c.d_model, 0.f);
+    qkv_.assign(batch * 3 * c.d_model, 0.f);
+    att_.assign(batch * c.d_model, 0.f);
+    ff_.assign(batch * c.d_ff(), 0.f);
+    logits_.assign(batch * c.vocab, 0.f);
+    capacity_ = batch;
+  }
 
   InferMetrics& m = InferMetrics::get();
   m.batch.set(static_cast<double>(batch));
   const double scratch = static_cast<double>(
       x_.size() + h_.size() + qkv_.size() + att_.size() + ff_.size() +
       logits_.size());
-  m.cache_bytes.set((2.0 * double(c.n_layers) * double(cache) + scratch) *
+  m.cache_bytes.set((2.0 * double(c.n_layers) *
+                         double(capacity_ * c.context * c.d_model) +
+                     scratch) *
                     sizeof(float));
 }
 
@@ -110,7 +120,9 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
     for (Index j = 0; j < d; ++j) xr[j] = te[j] + wpe_row[j];
   }
 
-  std::vector<float> scores(pos_ + 1);
+  if (scores_.size() < static_cast<std::size_t>(pos_ + 1))
+    scores_.resize(static_cast<std::size_t>(c.context));
+  float* const scores = scores_.data();
   for (Index l = 0; l < c.n_layers; ++l) {
     const Block& blk = model_->blocks()[static_cast<std::size_t>(l)];
     // Attention: h = ln1(x); qkv = h·Wqkv+b; cache k,v; attend; x += proj.
@@ -170,7 +182,9 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
     nn::kernels::affine(batch_, c.d_ff(), d, h_.data(),
                         blk.fc1.weight().data().data(),
                         blk.fc1.bias().data().data(), ff_.data());
-    for (auto& v : ff_) v = gelu1(v);
+    // Only the live batch's rows — ff_ may be capacity-sized (reset reuse).
+    const Index ffn = batch_ * c.d_ff();
+    for (Index idx = 0; idx < ffn; ++idx) ff_[idx] = gelu1(ff_[idx]);
     nn::kernels::affine(batch_, d, c.d_ff(), ff_.data(),
                         blk.fc2.weight().data().data(),
                         blk.fc2.bias().data().data(), h_.data());
@@ -183,7 +197,7 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
                       model_->lm_head().weight().data().data(),
                       model_->lm_head().bias().data().data(), logits_.data());
   ++pos_;
-  return {logits_.data(), logits_.size()};
+  return {logits_.data(), static_cast<std::size_t>(batch_ * c.vocab)};
 }
 
 std::span<const float> InferenceSession::prime(std::span<const int> prefix) {

@@ -24,7 +24,10 @@ class InferenceSession {
   /// Binds to a model. Buffers are sized lazily at reset().
   explicit InferenceSession(const GptModel& model);
 
-  /// Starts `batch` fresh sequences at position 0.
+  /// Starts `batch` fresh sequences at position 0. Buffers are reused when
+  /// `batch` fits the largest batch this session has seen, so schedulers
+  /// whose tail batches shrink (D&C-GEN, the serve layer) pay no
+  /// reallocation; only a growing batch allocates.
   void reset(Index batch);
 
   /// Feeds one token per sequence (tokens.size() == batch()) and returns
@@ -52,11 +55,13 @@ class InferenceSession {
  private:
   const GptModel* model_;
   Index batch_ = 0;
+  Index capacity_ = 0;  ///< largest batch the buffers are sized for
   Index pos_ = 0;
   // Per layer: K and V caches, [batch, context, d_model] flattened.
   std::vector<std::vector<float>> kcache_, vcache_;
   // Scratch buffers reused across steps.
   std::vector<float> x_, h_, qkv_, att_, ff_, logits_;
+  std::vector<float> scores_;  ///< attention-score scratch, one row
 };
 
 /// One-shot convenience: next-token distribution (softmax of logits) after

@@ -1,6 +1,7 @@
 #include "gpt/model.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -148,25 +149,66 @@ void GptModel::save(const std::string& path) const {
 }
 
 void GptModel::load(const std::string& path) {
+  // Serving loads checkpoints from operator-supplied paths, so every
+  // corruption mode must surface as a descriptive error — never as garbage
+  // weights. Each phase names what it found; truncation errors from the
+  // reader are wrapped with the file path and the phase they hit.
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("GptModel::load: cannot open " + path);
   BinaryReader r(in);
-  if (r.read<std::uint32_t>() != kMagic)
-    throw std::runtime_error("GptModel::load: bad magic in " + path);
-  if (r.read<std::uint32_t>() != kVersion)
-    throw std::runtime_error("GptModel::load: unsupported version in " + path);
-  Config stored;
-  stored.vocab = r.read<Index>();
-  stored.d_model = r.read<Index>();
-  stored.n_layers = r.read<Index>();
-  stored.n_heads = r.read<Index>();
-  stored.context = r.read<Index>();
-  stored.dropout = r.read<float>();
-  if (stored.vocab != cfg_.vocab || stored.d_model != cfg_.d_model ||
-      stored.n_layers != cfg_.n_layers || stored.n_heads != cfg_.n_heads ||
-      stored.context != cfg_.context)
-    throw std::runtime_error("GptModel::load: config mismatch in " + path);
-  params_.load(r);
+  const auto fail = [&path](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("GptModel::load: " + path + ": " + what);
+  };
+  try {
+    const auto magic = r.read<std::uint32_t>();
+    if (magic != kMagic)
+      throw fail("bad magic 0x" + [magic] {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%08x", magic);
+        return std::string(buf);
+      }() + " (not a PagPassGPT checkpoint)");
+    const auto version = r.read<std::uint32_t>();
+    if (version != kVersion)
+      throw fail("unsupported checkpoint version " + std::to_string(version) +
+                 " (this build reads version " + std::to_string(kVersion) +
+                 ")");
+    Config stored;
+    stored.vocab = r.read<Index>();
+    stored.d_model = r.read<Index>();
+    stored.n_layers = r.read<Index>();
+    stored.n_heads = r.read<Index>();
+    stored.context = r.read<Index>();
+    stored.dropout = r.read<float>();
+    try {
+      stored.validate();
+    } catch (const std::exception& e) {
+      throw fail(std::string("corrupt config block: ") + e.what());
+    }
+    if (stored.vocab != cfg_.vocab || stored.d_model != cfg_.d_model ||
+        stored.n_layers != cfg_.n_layers || stored.n_heads != cfg_.n_heads ||
+        stored.context != cfg_.context)
+      throw fail("config mismatch: checkpoint has vocab=" +
+                 std::to_string(stored.vocab) +
+                 " d_model=" + std::to_string(stored.d_model) +
+                 " n_layers=" + std::to_string(stored.n_layers) +
+                 " n_heads=" + std::to_string(stored.n_heads) +
+                 " context=" + std::to_string(stored.context) +
+                 ", this model expects vocab=" + std::to_string(cfg_.vocab) +
+                 " d_model=" + std::to_string(cfg_.d_model) +
+                 " n_layers=" + std::to_string(cfg_.n_layers) +
+                 " n_heads=" + std::to_string(cfg_.n_heads) +
+                 " context=" + std::to_string(cfg_.context));
+    try {
+      params_.load(r);
+    } catch (const std::exception& e) {
+      throw fail(std::string("tensor data: ") + e.what());
+    }
+  } catch (const std::runtime_error& e) {
+    // Reader truncation errors carry no file context; wrap them once.
+    const std::string msg = e.what();
+    if (msg.rfind("GptModel::load:", 0) == 0) throw;
+    throw fail(msg);
+  }
 }
 
 }  // namespace ppg::gpt

@@ -13,10 +13,50 @@ namespace ppg::nn::kernels {
 
 using Index = std::int64_t;
 
-/// C[m,n] += A[m,k] · B[k,n]  (ikj order).
-inline void gemm_nn(Index m, Index n, Index k, const float* a, const float* b,
-                    float* c) {
-  for (Index i = 0; i < m; ++i) {
+/// C[m,n] += A[m,k] · B[k,n]  (ikj order, 4-row register blocking).
+///
+/// Rows are processed four at a time so each streamed B row feeds four
+/// output rows: B (the weight matrix in every inference/affine call) is
+/// read m/4 times instead of m, and each pass over the C rows retires 4×
+/// the MACs. That amortisation is what makes batched inference cheaper per
+/// row than repeated single-row calls (the serve layer's dynamic batching
+/// and the bench_serve_throughput speedup rest on it). Per output element
+/// the accumulation order over p is unchanged, so results are identical to
+/// the unblocked form.
+///
+/// The innermost j-loops are the throughput-critical streams; they MUST
+/// vectorise. GCC's -O2 default "very-cheap" vector cost model refuses
+/// loops whose trip count isn't a compile-time constant, silently dropping
+/// them to scalar (~10x) — the build sets -fvect-cost-model=dynamic to
+/// restore SIMD. Keep the j-loops branch-free, the pointers __restrict,
+/// and the row pointers as distinct named locals (an array of row pointers
+/// measured ~10x slower: the vectoriser gives up on it).
+inline void gemm_nn(Index m, Index n, Index k, const float* __restrict a,
+                    const float* __restrict b, float* __restrict c) {
+  Index i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    for (Index p = 0; p < k; ++p) {
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      if (v0 == 0.f && v1 == 0.f && v2 == 0.f && v3 == 0.f) continue;
+      const float* brow = b + p * n;
+      for (Index j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        c0[j] += v0 * bv;
+        c1[j] += v1 * bv;
+        c2[j] += v2 * bv;
+        c3[j] += v3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
     float* crow = c + i * n;
     const float* arow = a + i * k;
     for (Index p = 0; p < k; ++p) {
@@ -29,8 +69,8 @@ inline void gemm_nn(Index m, Index n, Index k, const float* a, const float* b,
 }
 
 /// C[m,n] += A[m,k] · B[n,k]ᵀ  (dot-product form).
-inline void gemm_nt(Index m, Index n, Index k, const float* a, const float* b,
-                    float* c) {
+inline void gemm_nt(Index m, Index n, Index k, const float* __restrict a,
+                    const float* __restrict b, float* __restrict c) {
   for (Index i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
@@ -44,8 +84,8 @@ inline void gemm_nt(Index m, Index n, Index k, const float* a, const float* b,
 }
 
 /// C[m,n] += A[k,m]ᵀ · B[k,n]  (rank-1 update form).
-inline void gemm_tn(Index m, Index n, Index k, const float* a, const float* b,
-                    float* c) {
+inline void gemm_tn(Index m, Index n, Index k, const float* __restrict a,
+                    const float* __restrict b, float* __restrict c) {
   for (Index p = 0; p < k; ++p) {
     const float* arow = a + p * m;
     const float* brow = b + p * n;

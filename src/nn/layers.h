@@ -72,16 +72,26 @@ class ParamList {
     }
   }
 
-  /// Restores parameter values; names and sizes must match exactly.
+  /// Restores parameter values; names and sizes must match exactly. Errors
+  /// name the offending parameter so corrupt checkpoints are diagnosable.
   void load(BinaryReader& r) {
     const auto n = r.read<std::uint64_t>();
     if (n != params_.size())
-      throw std::runtime_error("ParamList::load: parameter count mismatch");
+      throw std::runtime_error(
+          "ParamList::load: parameter count mismatch (stored " +
+          std::to_string(n) + ", model has " +
+          std::to_string(params_.size()) + ")");
     for (auto& p : params_) {
       const std::string name = r.read_string();
+      if (name != p.name)
+        throw std::runtime_error("ParamList::load: expected parameter '" +
+                                 p.name + "', found '" + name + "'");
       const auto values = r.read_vector<float>();
-      if (name != p.name || values.size() != p.tensor.numel())
-        throw std::runtime_error("ParamList::load: layout mismatch at " + name);
+      if (values.size() != p.tensor.numel())
+        throw std::runtime_error(
+            "ParamList::load: parameter '" + name + "' has " +
+            std::to_string(values.size()) + " values, model expects " +
+            std::to_string(p.tensor.numel()));
       auto dst = p.tensor.data();
       std::copy(values.begin(), values.end(), dst.begin());
     }

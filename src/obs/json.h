@@ -1,14 +1,20 @@
-// Minimal JSON emitter and validator for the observability subsystem.
+// Minimal JSON emitter, validator, and DOM parser for the observability
+// and serving subsystems.
 //
 // The exporters (metrics snapshot, trace events, run reports) only need to
 // *produce* JSON; nothing in the hot path parses it. The validator exists so
-// tests and the ctest smoke target can assert that emitted files are
-// well-formed without pulling in an external JSON library.
+// tests and the ctest smoke targets can assert that emitted files are
+// well-formed, and the small DOM parser backs the serve layer's
+// newline-delimited JSON request protocol — all without pulling in an
+// external JSON library.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ppg::obs {
@@ -55,5 +61,38 @@ class JsonWriter {
 /// On failure returns false and, if `error` is non-null, stores a short
 /// message with the byte offset of the problem.
 bool validate_json(std::string_view text, std::string* error = nullptr);
+
+/// Parsed JSON value (small DOM). Objects keep insertion order; find()
+/// scans from the back, so on duplicate keys the last occurrence wins.
+/// Numbers are doubles — ample for the wire protocol's counts and timeouts.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const noexcept { return type == Type::kNull; }
+  bool is_object() const noexcept { return type == Type::kObject; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Typed member accessors (wire-protocol convenience): the value when the
+  // key is present with the matching type, std::nullopt when absent or
+  // mistyped (use find() to distinguish the two).
+  std::optional<std::string> get_string(std::string_view key) const;
+  std::optional<double> get_number(std::string_view key) const;
+  std::optional<bool> get_bool(std::string_view key) const;
+};
+
+/// Parses exactly one JSON value (same grammar the validator accepts).
+/// Returns std::nullopt on malformed input and, if `error` is non-null,
+/// stores a short message with the byte offset of the problem.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace ppg::obs

@@ -1,0 +1,210 @@
+// ppg_serve: password-guess server speaking the NDJSON wire protocol
+// (serve/wire.h) over stdin/stdout, or over localhost TCP with --port.
+//
+// With --model it serves a trained PagPassGPT checkpoint (weights +
+// pattern distribution, as written by PagPassGPT::save); without one it
+// serves a random-init model over a builtin pattern list — strict masks
+// still force every guess to conform, which is all the smoke tests and
+// load benches need.
+//
+// All diagnostics go to stderr; stdout carries only protocol lines.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/pagpassgpt.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace ppg;
+
+gpt::Config config_by_name(const std::string& name) {
+  if (name == "tiny") return gpt::Config::tiny();
+  if (name == "small") return gpt::Config::small();
+  if (name == "bench") return gpt::Config::bench();
+  if (name == "paper") return gpt::Config::paper();
+  throw std::invalid_argument("unknown --config '" + name +
+                              "' (tiny|small|bench|paper)");
+}
+
+pcfg::PatternDistribution builtin_patterns(const std::string& csv) {
+  pcfg::PatternDistribution dist;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) dist.add(item);
+  dist.finalize();
+  return dist;
+}
+
+/// Unbuffered-read / write-through streambuf over a file descriptor, so a
+/// TCP connection can be driven by the same std::iostream loop as stdio.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) { setg(ibuf_, ibuf_, ibuf_); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, ibuf_, sizeof(ibuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(ibuf_, ibuf_, ibuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize done = 0;
+    while (done < n) {
+      const ssize_t w = ::write(fd_, s + done, static_cast<size_t>(n - done));
+      if (w <= 0) return done;
+      done += w;
+    }
+    return done;
+  }
+  int_type overflow(int_type ch) override {
+    if (ch == traits_type::eof()) return ch;
+    const char c = traits_type::to_char_type(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+ private:
+  int fd_;
+  char ibuf_[4096];
+};
+
+int run_tcp(serve::GuessService& svc, int port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("ppg_serve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::perror("ppg_serve: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "ppg_serve: listening on 127.0.0.1:%d\n", port);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> conns;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !stop.load()) continue;
+      break;  // listen socket closed by a shutdown op (or hard error)
+    }
+    conns.emplace_back([&svc, &stop, fd, listen_fd] {
+      FdStreamBuf buf(fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      if (serve::serve_stream(svc, in, out)) {
+        stop.store(true);
+        ::shutdown(listen_fd, SHUT_RDWR);  // unblocks accept()
+      }
+      ::close(fd);
+    });
+  }
+  ::close(listen_fd);
+  for (auto& t : conns)
+    if (t.joinable()) t.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv,
+            {"config", "seed", "model", "patterns", "workers", "max-queue",
+             "max-batch", "max-count", "no-batching", "attempt-factor",
+             "port", "help"});
+    if (cli.get_bool("help")) {
+      std::fprintf(
+          stderr,
+          "ppg_serve: NDJSON password-guess server (see src/serve/wire.h)\n"
+          "  --model PATH        PagPassGPT checkpoint (PagPassGPT::save)\n"
+          "  --config NAME       tiny|small|bench|paper (default tiny;\n"
+          "                      must match the checkpoint when --model)\n"
+          "  --seed N            random-init seed without --model\n"
+          "  --patterns CSV      builtin pattern list without --model\n"
+          "  --workers N         worker threads (default 1)\n"
+          "  --max-queue N       admission-queue capacity (default 256)\n"
+          "  --max-batch N       rows per model call (default 64)\n"
+          "  --max-count N       per-request count cap (default 4096)\n"
+          "  --no-batching       one request per model call\n"
+          "  --attempt-factor N  retry budget multiplier (default 4)\n"
+          "  --port N            serve localhost TCP instead of stdio\n");
+      return 0;
+    }
+
+    const auto config = config_by_name(cli.get("config", "tiny"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+
+    // Model + pattern sources: trained checkpoint, or random-init fallback.
+    std::optional<core::PagPassGPT> trained;
+    std::optional<gpt::GptModel> random_init;
+    pcfg::PatternDistribution own_patterns;
+    const gpt::GptModel* model = nullptr;
+    const pcfg::PatternDistribution* patterns = nullptr;
+    if (cli.has("model")) {
+      trained.emplace(config, seed);
+      trained->load(cli.get("model"));
+      model = &trained->model();
+      patterns = &trained->patterns();
+      std::fprintf(stderr, "ppg_serve: loaded checkpoint %s (%zu patterns)\n",
+                   cli.get("model").c_str(), patterns->distinct());
+    } else {
+      random_init.emplace(config, seed);
+      own_patterns = builtin_patterns(
+          cli.get("patterns", "L6N2,L8,N6,L4N4,N4L4,L1N6,S1L6N2"));
+      model = &*random_init;
+      patterns = &own_patterns;
+      std::fprintf(stderr,
+                   "ppg_serve: random-init model (config=%s seed=%llu, "
+                   "%zu builtin patterns)\n",
+                   cli.get("config", "tiny").c_str(),
+                   static_cast<unsigned long long>(seed),
+                   patterns->distinct());
+    }
+
+    serve::ServiceConfig scfg;
+    scfg.workers = static_cast<std::size_t>(cli.get_int("workers", 1));
+    scfg.max_queue = static_cast<std::size_t>(cli.get_int("max-queue", 256));
+    scfg.max_batch = static_cast<std::size_t>(cli.get_int("max-batch", 64));
+    scfg.max_count = static_cast<std::size_t>(cli.get_int("max-count", 4096));
+    scfg.batching = !cli.get_bool("no-batching");
+    scfg.max_attempt_factor =
+        static_cast<int>(cli.get_int("attempt-factor", 4));
+    serve::GuessService svc(*model, *patterns, scfg);
+
+    if (cli.has("port"))
+      return run_tcp(svc, static_cast<int>(cli.get_int("port", 0)));
+    serve::serve_stream(svc, std::cin, std::cout);
+    svc.shutdown();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppg_serve: %s\n", e.what());
+    return 1;
+  }
+}

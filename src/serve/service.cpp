@@ -1,0 +1,478 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/masks.h"
+#include "gpt/infer.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pcfg/pattern.h"
+#include "tokenizer/tokenizer.h"
+
+namespace ppg::serve {
+
+namespace {
+
+using tok::Tokenizer;
+
+/// Process-wide serving metrics (registered once, lock-free updates).
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& admitted;
+  obs::Counter& rejected;
+  obs::Counter& timeouts;
+  obs::Counter& completed;
+  obs::Counter& batches;
+  obs::Counter& rows;
+  obs::Counter& guesses;
+  obs::Counter& invalid;
+  obs::Gauge& queue_depth;
+  obs::Histogram& batch_rows;
+  obs::Histogram& request_ms;
+  static ServeMetrics& get() {
+    auto& r = obs::Registry::global();
+    static ServeMetrics m{r.counter("serve.submitted"),
+                          r.counter("serve.admitted"),
+                          r.counter("serve.rejected"),
+                          r.counter("serve.timeouts"),
+                          r.counter("serve.completed"),
+                          r.counter("serve.batches"),
+                          r.counter("serve.rows"),
+                          r.counter("serve.guesses"),
+                          r.counter("serve.invalid"),
+                          r.gauge("serve.queue_depth"),
+                          r.histogram("serve.batch_rows"),
+                          r.histogram("serve.request_ms")};
+    return m;
+  }
+};
+
+ServiceConfig normalized(ServiceConfig cfg) {
+  cfg.workers = std::max<std::size_t>(cfg.workers, 1);
+  cfg.max_queue = std::max<std::size_t>(cfg.max_queue, 1);
+  cfg.max_batch = std::max<std::size_t>(cfg.max_batch, 1);
+  cfg.max_count = std::max<std::size_t>(cfg.max_count, 1);
+  cfg.max_attempt_factor = std::max(cfg.max_attempt_factor, 1);
+  return cfg;
+}
+
+}  // namespace
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+const char* reject_name(Reject r) noexcept {
+  switch (r) {
+    case Reject::kNone: return "";
+    case Reject::kQueueFull: return "queue_full";
+    case Reject::kShuttingDown: return "shutting_down";
+    case Reject::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+/// One admitted request's full lifecycle state. Owned jointly by the
+/// queue and by the batch rows currently in flight for it.
+struct GuessService::Pending {
+  std::uint64_t id = 0;
+  std::vector<int> prefix;  ///< token prefix shared by every row
+  gpt::LogitMask mask;      ///< conformance mask (may be empty)
+  std::size_t target = 0;
+  std::size_t unassigned = 0;    ///< rows not yet scheduled into a batch
+  std::size_t inflight = 0;      ///< rows currently inside a batch
+  std::size_t retries_left = 0;  ///< invalid rows that may still be retried
+  std::size_t next_row = 0;      ///< next rng-stream index
+  std::uint64_t seed = 0;
+  std::int64_t enqueue_us = 0;
+  std::int64_t first_schedule_us = -1;
+  std::int64_t deadline_us = -1;  ///< obs timeline; -1 = none
+  bool in_queue = false;
+  bool done = false;
+  Response resp;
+  std::promise<Response> promise;
+};
+
+GuessService::GuessService(const gpt::GptModel& model,
+                           const pcfg::PatternDistribution& patterns,
+                           ServiceConfig cfg)
+    : model_(model), patterns_(patterns), cfg_(normalized(cfg)) {
+  workers_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+GuessService::~GuessService() { shutdown(); }
+
+std::future<Response> GuessService::reject(Request&&, Reject why,
+                                           std::string detail) {
+  ServeMetrics::get().rejected.inc();
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+  Response resp;
+  resp.status = Status::kRejected;
+  resp.reject = why;
+  resp.error = std::move(detail);
+  promise.set_value(std::move(resp));
+  return fut;
+}
+
+std::future<Response> GuessService::submit(Request req) {
+  ServeMetrics& m = ServeMetrics::get();
+  m.submitted.inc();
+
+  if (req.count == 0)
+    return reject(std::move(req), Reject::kBadRequest, "count must be > 0");
+  if (req.count > cfg_.max_count)
+    return reject(std::move(req), Reject::kBadRequest,
+                  "count " + std::to_string(req.count) + " exceeds max_count " +
+                      std::to_string(cfg_.max_count));
+
+  auto p = std::make_shared<Pending>();
+  p->prefix.push_back(Tokenizer::kBos);
+  if (req.kind != RequestKind::kFree) {
+    std::string pattern_str = req.pattern;
+    if (pattern_str.empty()) {
+      if (req.kind == RequestKind::kPrefix || patterns_.distinct() == 0)
+        return reject(std::move(req), Reject::kBadRequest,
+                      "request needs a pattern");
+      Rng rng(req.seed, "serve.pattern");
+      try {
+        pattern_str = patterns_.sample(rng);
+      } catch (const std::exception& e) {
+        return reject(std::move(req), Reject::kBadRequest,
+                      std::string("pattern distribution unusable: ") +
+                          e.what());
+      }
+    }
+    auto parsed = pcfg::parse_pattern(pattern_str);
+    if (!parsed)
+      return reject(std::move(req), Reject::kBadRequest,
+                    "unparseable pattern '" + pattern_str + "'");
+    for (const auto& seg : *parsed)
+      if (seg.len > Tokenizer::kMaxSegmentLen)
+        return reject(std::move(req), Reject::kBadRequest,
+                      "pattern segment longer than " +
+                          std::to_string(Tokenizer::kMaxSegmentLen));
+    p->prefix = Tokenizer::encode_generation_prefix(*parsed);
+    int offset = 0;
+    if (req.kind == RequestKind::kPrefix) {
+      if (req.prefix.empty())
+        return reject(std::move(req), Reject::kBadRequest,
+                      "prefix request needs a non-empty prefix");
+      if (req.prefix.size() >
+          static_cast<std::size_t>(pcfg::pattern_length(*parsed)))
+        return reject(std::move(req), Reject::kBadRequest,
+                      "prefix longer than its pattern");
+      for (std::size_t i = 0; i < req.prefix.size(); ++i) {
+        const char ch = req.prefix[i];
+        const int tok_id = Tokenizer::char_token(ch);
+        if (tok_id == Tokenizer::kUnk)
+          return reject(std::move(req), Reject::kBadRequest,
+                        "prefix contains an out-of-universe character");
+        const auto cls = pcfg::class_at(*parsed, static_cast<int>(i));
+        if (!cls || pcfg::classify(ch) != *cls)
+          return reject(std::move(req), Reject::kBadRequest,
+                        "prefix does not conform to the pattern");
+        p->prefix.push_back(tok_id);
+      }
+      offset = static_cast<int>(req.prefix.size());
+    }
+    if (req.strict) p->mask = core::make_pattern_mask(std::move(*parsed), offset);
+  }
+  if (static_cast<gpt::Index>(p->prefix.size()) >= model_.config().context)
+    return reject(std::move(req), Reject::kBadRequest,
+                  "prefix fills the whole context window");
+
+  p->target = req.count;
+  p->unassigned = req.count;
+  p->retries_left =
+      req.count * static_cast<std::size_t>(cfg_.max_attempt_factor - 1);
+  p->seed = req.seed;
+  p->enqueue_us = obs::now_us();
+  if (req.timeout_ms > 0)
+    p->deadline_us =
+        p->enqueue_us + static_cast<std::int64_t>(
+                            std::llround(req.timeout_ms * 1000.0));
+
+  std::future<Response> fut = p->promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (!accepting_) {
+      m.rejected.inc();
+      p->resp.status = Status::kRejected;
+      p->resp.reject = Reject::kShuttingDown;
+      p->resp.error = "service is shutting down";
+      p->promise.set_value(std::move(p->resp));
+      return fut;
+    }
+    if (queue_.size() >= cfg_.max_queue) {
+      m.rejected.inc();
+      p->resp.status = Status::kRejected;
+      p->resp.reject = Reject::kQueueFull;
+      p->resp.error = "admission queue is full (" +
+                      std::to_string(cfg_.max_queue) + " requests)";
+      p->promise.set_value(std::move(p->resp));
+      return fut;
+    }
+    p->id = next_id_++;
+    queue_.push_back(p);
+    p->in_queue = true;
+    m.admitted.inc();
+    m.queue_depth.set(static_cast<double>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+void GuessService::complete_locked(Pending& p, Status s) {
+  ServeMetrics& m = ServeMetrics::get();
+  p.done = true;
+  p.resp.status = s;
+  const std::int64_t now = obs::now_us();
+  p.resp.total_ms = static_cast<double>(now - p.enqueue_us) / 1000.0;
+  p.resp.queue_ms =
+      static_cast<double>(
+          (p.first_schedule_us < 0 ? now : p.first_schedule_us) -
+          p.enqueue_us) /
+      1000.0;
+  if (s == Status::kTimeout)
+    m.timeouts.inc();
+  else
+    m.completed.inc();
+  m.guesses.inc(p.resp.passwords.size());
+  m.invalid.inc(p.resp.invalid);
+  if (obs::timing_enabled()) m.request_ms.observe(p.resp.total_ms);
+  obs::trace_emit_complete("serve/request", "serve", p.enqueue_us,
+                           now - p.enqueue_us);
+  p.promise.set_value(std::move(p.resp));
+}
+
+void GuessService::assemble_batch_locked(std::vector<RowRef>& rows) {
+  const std::int64_t now = obs::now_us();
+  // Expire or discard requests until the front is runnable.
+  while (!queue_.empty()) {
+    auto& front = queue_.front();
+    if (front->done) {
+      front->in_queue = false;
+      queue_.pop_front();
+      continue;
+    }
+    if (front->deadline_us >= 0 && now >= front->deadline_us) {
+      complete_locked(*front, Status::kTimeout);
+      front->in_queue = false;
+      queue_.pop_front();
+      continue;
+    }
+    break;
+  }
+  if (queue_.empty() || rows.size() >= cfg_.max_batch) {
+    ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+    return;
+  }
+
+  const auto take = [&](const std::shared_ptr<Pending>& p) {
+    const std::size_t k =
+        std::min(cfg_.max_batch - rows.size(), p->unassigned);
+    for (std::size_t i = 0; i < k; ++i) rows.push_back({p, p->next_row++});
+    p->unassigned -= k;
+    p->inflight += k;
+    if (p->first_schedule_us < 0) p->first_schedule_us = now;
+  };
+
+  auto it = queue_.begin();
+  std::size_t len;
+  if (rows.empty()) {
+    // Fresh batch: the front request sets the batch's prefix length.
+    len = (*it)->prefix.size();
+    take(*it);
+    it = (*it)->unassigned == 0 ? ((*it)->in_queue = false, queue_.erase(it))
+                                : std::next(it);
+  } else {
+    // Top-up after a formation-window wait: only matching lengths join.
+    len = rows[0].req->prefix.size();
+  }
+  if (cfg_.batching) {
+    // Coalesce further requests with the same prefix length (lockstep
+    // compatibility) until the batch is full.
+    while (it != queue_.end() && rows.size() < cfg_.max_batch) {
+      auto& p = *it;
+      if (p->done) {
+        p->in_queue = false;
+        it = queue_.erase(it);
+        continue;
+      }
+      if (p->deadline_us >= 0 && now >= p->deadline_us) {
+        complete_locked(*p, Status::kTimeout);
+        p->in_queue = false;
+        it = queue_.erase(it);
+        continue;
+      }
+      if (p->prefix.size() != len) {
+        ++it;
+        continue;
+      }
+      take(p);
+      if (p->unassigned == 0) {
+        p->in_queue = false;
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+}
+
+void GuessService::execute_batch(gpt::InferenceSession& session,
+                                 const std::vector<RowRef>& rows) {
+  obs::Span span("serve/batch", "serve");
+  ServeMetrics& m = ServeMetrics::get();
+  m.batches.inc();
+  m.rows.inc(rows.size());
+  if (obs::timing_enabled())
+    m.batch_rows.observe(static_cast<double>(rows.size()));
+
+  const auto& c = model_.config();
+  const auto n = static_cast<gpt::Index>(rows.size());
+  const std::size_t len = rows[0].req->prefix.size();
+  session.reset(n);
+  std::vector<int> feed(rows.size());
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      feed[i] = rows[i].req->prefix[pos];
+    session.step(feed);
+  }
+
+  // Per-row deterministic RNG streams: independent of batch composition,
+  // worker count, and batching mode.
+  std::vector<Rng> rngs;
+  rngs.reserve(rows.size());
+  for (const RowRef& r : rows)
+    rngs.emplace_back(r.req->seed,
+                      "serve.row/" + std::to_string(r.row_index));
+
+  std::vector<std::vector<int>> generated(rows.size());
+  std::vector<char> active(rows.size(), 1);
+  std::vector<int> next(rows.size(), Tokenizer::kPad);
+  std::vector<float> row_logits(static_cast<std::size_t>(c.vocab));
+  gpt::Index alive = n;
+  const gpt::Index max_new = c.context - static_cast<gpt::Index>(len);
+  for (gpt::Index step = 0; step < max_new && alive > 0; ++step) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (!active[i]) {
+        next[i] = Tokenizer::kPad;
+        continue;
+      }
+      const auto logits = session.logits_row(static_cast<gpt::Index>(i));
+      std::copy(logits.begin(), logits.end(), row_logits.begin());
+      if (rows[i].req->mask) rows[i].req->mask(step, row_logits);
+      const int tok_id = sample_from_logits(row_logits, rngs[i], cfg_.sample);
+      if (tok_id < 0 || tok_id == Tokenizer::kEos) {
+        if (tok_id == Tokenizer::kEos) generated[i].push_back(tok_id);
+        active[i] = 0;
+        --alive;
+        next[i] = Tokenizer::kPad;
+        continue;
+      }
+      generated[i].push_back(tok_id);
+      next[i] = tok_id;
+    }
+    if (alive > 0 && session.position() < c.context)
+      session.step(next);
+    else
+      break;
+  }
+
+  // Deliver rows and complete finished requests.
+  bool new_work = false;
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      Pending& p = *rows[i].req;
+      --p.inflight;
+      if (p.done) continue;
+      std::vector<int> full = p.prefix;
+      full.insert(full.end(), generated[i].begin(), generated[i].end());
+      const auto pw = Tokenizer::decode_password(full);
+      if (pw.has_value() && !pw->empty()) {
+        p.resp.passwords.push_back(*pw);
+      } else {
+        ++p.resp.invalid;
+        if (p.retries_left > 0) {
+          --p.retries_left;
+          ++p.unassigned;
+          if (!p.in_queue) {
+            queue_.push_back(rows[i].req);
+            p.in_queue = true;
+            new_work = true;
+          }
+        }
+      }
+      if (!p.done && p.unassigned == 0 && p.inflight == 0)
+        complete_locked(p, Status::kOk);
+    }
+  }
+  if (new_work) work_cv_.notify_one();
+}
+
+void GuessService::worker_loop(std::size_t) {
+  gpt::InferenceSession session(model_);
+  for (;;) {
+    std::vector<RowRef> rows;
+    {
+      std::unique_lock lock(mu_);
+      for (;;) {
+        assemble_batch_locked(rows);
+        if (!rows.empty()) break;
+        if (draining_ && queue_.empty()) return;
+        work_cv_.wait(lock);
+      }
+      // Batch-formation window: hold a partial batch briefly so
+      // same-shape arrivals join it instead of convoying behind a full
+      // generation pass. Every wake-up (new submit, retry, shutdown)
+      // tops the batch up; a full batch or the deadline ends the wait.
+      if (cfg_.batching && cfg_.batch_window_us > 0 &&
+          rows.size() < cfg_.max_batch && !draining_) {
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::microseconds(cfg_.batch_window_us);
+        while (rows.size() < cfg_.max_batch && !draining_) {
+          if (work_cv_.wait_until(lock, until) == std::cv_status::timeout)
+            break;
+          assemble_batch_locked(rows);
+        }
+        assemble_batch_locked(rows);
+      }
+    }
+    execute_batch(session, rows);
+  }
+}
+
+void GuessService::shutdown() {
+  std::lock_guard shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+std::size_t GuessService::queued() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace ppg::serve

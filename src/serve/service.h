@@ -1,0 +1,181 @@
+// GuessService: the password-guess serving layer.
+//
+// Wraps one trained GptModel + PatternDistribution behind a submit/await
+// API sized for many small concurrent guess requests:
+//
+//  * bounded admission queue with explicit backpressure — submit() never
+//    blocks and never grows without bound; a full queue (or a draining
+//    service) rejects immediately with a reason;
+//  * dynamic batching — worker threads coalesce pending requests whose
+//    token prefixes have equal length into single lockstep
+//    InferenceSession batches (the same grouping D&C-GEN's divider uses),
+//    so sixteen count-1 requests cost one model call, not sixteen;
+//  * per-worker sessions — each worker owns one InferenceSession whose
+//    buffers persist across batches (reset() reuse keeps shrinking tail
+//    batches allocation-free);
+//  * deadline enforcement — a request whose deadline passed while queued
+//    completes with Status::kTimeout instead of occupying batch slots;
+//  * graceful shutdown — shutdown() stops admission (late submits are
+//    rejected with Reject::kShuttingDown), drains every admitted request,
+//    and joins the workers; every submitted request resolves its future
+//    exactly once.
+//
+// Results are deterministic in (model, request): row r of a request draws
+// from Rng(seed, "serve.row/r"), so the same request returns the same
+// passwords whatever the batch composition, worker count, or batching
+// mode. Password *order* within a response follows batch completion order
+// and is only deterministic with a single worker.
+//
+// Observability: queue-depth gauge, admit/reject/timeout/complete
+// counters, batch-occupancy and request-latency histograms in the global
+// obs registry ("serve.*"), plus one "serve/request" trace span per
+// completed request and a "serve/batch" span per model call.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpt/model.h"
+#include "gpt/sampler.h"
+#include "pcfg/pcfg_model.h"
+
+namespace ppg::serve {
+
+/// What the request conditions generation on.
+enum class RequestKind {
+  kPattern,  ///< <BOS> pattern <SEP>; empty pattern = sample one from the
+             ///< service's PatternDistribution (seeded by the request)
+  kPrefix,   ///< <BOS> pattern <SEP> chars: continue a fixed password prefix
+  kFree,     ///< bare <BOS>: the model emits pattern, <SEP>, password itself
+};
+
+/// One guess request.
+struct Request {
+  RequestKind kind = RequestKind::kPattern;
+  std::string pattern;  ///< PCFG pattern string, e.g. "L6N2"
+  std::string prefix;   ///< fixed password prefix (kPrefix only)
+  std::size_t count = 1;
+  std::uint64_t seed = 0;
+  double timeout_ms = 0.0;  ///< 0 = no deadline
+  bool strict = true;       ///< conformance mask (pattern kinds)
+};
+
+/// Terminal request status. Every submitted request gets exactly one.
+enum class Status {
+  kOk,        ///< completed (passwords may be < count if attempts ran out)
+  kRejected,  ///< never admitted; see Response::reject
+  kTimeout,   ///< deadline passed while queued; partial passwords returned
+};
+
+/// Why a request was rejected at admission.
+enum class Reject {
+  kNone,
+  kQueueFull,      ///< backpressure: admission queue at capacity
+  kShuttingDown,   ///< service is draining
+  kBadRequest,     ///< unparseable pattern/prefix, zero or over-limit count
+};
+
+const char* status_name(Status s) noexcept;
+const char* reject_name(Reject r) noexcept;
+
+/// One guess response.
+struct Response {
+  Status status = Status::kOk;
+  Reject reject = Reject::kNone;
+  std::string error;  ///< human-readable detail for kRejected
+  std::vector<std::string> passwords;
+  std::size_t invalid = 0;  ///< attempts that decoded to no password
+  double queue_ms = 0.0;    ///< admission -> first row scheduled
+  double total_ms = 0.0;    ///< admission -> terminal status
+};
+
+/// Service knobs.
+struct ServiceConfig {
+  std::size_t workers = 1;
+  std::size_t max_queue = 256;  ///< admitted-but-unfinished request cap
+  std::size_t max_count = 4096; ///< per-request count cap
+  std::size_t max_batch = 64;   ///< rows per model call
+  /// When false every model call serves exactly one request (the
+  /// comparison baseline for bench_serve_throughput).
+  bool batching = true;
+  /// Give up on a request after count*max_attempt_factor generation rows.
+  int max_attempt_factor = 4;
+  /// Batch-formation window: a worker holding a partial batch waits up to
+  /// this long for same-shape arrivals before running it. Trades a little
+  /// head-of-line latency for occupancy — without it, a straggler that
+  /// misses a batch by a microsecond convoys behind a full generation
+  /// pass. 0 disables; ignored when batching is off.
+  std::int64_t batch_window_us = 2000;
+  /// Sampling knobs for all requests (batch_size is ignored; the
+  /// scheduler owns batch geometry).
+  gpt::SampleOptions sample{};
+};
+
+/// The serving engine. The model and pattern distribution must outlive it.
+class GuessService {
+ public:
+  GuessService(const gpt::GptModel& model,
+               const pcfg::PatternDistribution& patterns, ServiceConfig cfg);
+  ~GuessService();  ///< calls shutdown()
+
+  GuessService(const GuessService&) = delete;
+  GuessService& operator=(const GuessService&) = delete;
+
+  /// Admits (or rejects) a request. Never blocks: on rejection the
+  /// returned future is already satisfied with Status::kRejected.
+  std::future<Response> submit(Request req);
+
+  /// Convenience: submit and block for the response.
+  Response submit_and_wait(Request req) { return submit(std::move(req)).get(); }
+
+  /// Stops admission, drains every admitted request, joins the workers.
+  /// Idempotent; safe to call concurrently with submitters.
+  void shutdown();
+
+  /// Requests admitted and not yet scheduled to their last batch.
+  std::size_t queued() const;
+
+  const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Pending;
+  struct RowRef {
+    std::shared_ptr<Pending> req;
+    std::size_t row_index;  ///< rng-stream index of this row
+  };
+
+  std::future<Response> reject(Request&& req, Reject why, std::string detail);
+  void worker_loop(std::size_t worker_id);
+  /// Pops expired/finished requests and appends runnable rows to `rows`
+  /// (up to max_batch). When `rows` is non-empty it only tops up with
+  /// requests matching the batch's prefix length. Caller holds mu_.
+  void assemble_batch_locked(std::vector<RowRef>& rows);
+  /// Completes `p` with `s` now. Caller holds mu_.
+  void complete_locked(Pending& p, Status s);
+  /// Runs one assembled batch on `session` and delivers its rows.
+  void execute_batch(gpt::InferenceSession& session,
+                     const std::vector<RowRef>& rows);
+
+  const gpt::GptModel& model_;
+  const pcfg::PatternDistribution& patterns_;
+  const ServiceConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::mutex shutdown_mu_;  ///< serialises concurrent shutdown() calls
+  std::condition_variable work_cv_;
+  std::list<std::shared_ptr<Pending>> queue_;
+  std::uint64_t next_id_ = 1;
+  bool accepting_ = true;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ppg::serve

@@ -1,0 +1,261 @@
+#include "serve/wire.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ppg::serve {
+
+namespace {
+
+void set_error(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+}
+
+/// Reads an optional non-negative integer field; false (with *error set)
+/// when the field is present but not a usable integer.
+bool read_uint_field(const obs::JsonValue& v, std::string_view key,
+                     double max, std::uint64_t* out, std::string* error) {
+  if (!v.find(key)) return true;
+  const auto n = v.get_number(key);
+  if (!n || *n < 0 || *n != std::floor(*n) || *n > max) {
+    set_error(error, "field '" + std::string(key) +
+                         "' must be a non-negative integer");
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(*n);
+  return true;
+}
+
+bool read_string_field(const obs::JsonValue& v, std::string_view key,
+                       std::string* out, std::string* error) {
+  if (!v.find(key)) return true;
+  const auto s = v.get_string(key);
+  if (!s) {
+    set_error(error, "field '" + std::string(key) + "' must be a string");
+    return false;
+  }
+  *out = *s;
+  return true;
+}
+
+}  // namespace
+
+std::optional<WireRequest> parse_request_line(std::string_view line,
+                                              std::string* error) {
+  std::string parse_err;
+  const auto v = obs::parse_json(line, &parse_err);
+  if (!v) {
+    set_error(error, "malformed JSON: " + parse_err);
+    return std::nullopt;
+  }
+  if (!v->is_object()) {
+    set_error(error, "request must be a JSON object");
+    return std::nullopt;
+  }
+
+  WireRequest req;
+  if (!read_string_field(*v, "id", &req.id, error)) return std::nullopt;
+  std::string op = "guess";
+  if (!read_string_field(*v, "op", &op, error)) return std::nullopt;
+  if (op == "stats") {
+    req.op = WireRequest::Op::kStats;
+    return req;
+  }
+  if (op == "shutdown") {
+    req.op = WireRequest::Op::kShutdown;
+    return req;
+  }
+  if (op != "guess") {
+    set_error(error, "unknown op '" + op + "'");
+    return std::nullopt;
+  }
+
+  req.op = WireRequest::Op::kGuess;
+  std::string kind = "pattern";
+  if (!read_string_field(*v, "kind", &kind, error)) return std::nullopt;
+  if (kind == "pattern")
+    req.guess.kind = RequestKind::kPattern;
+  else if (kind == "prefix")
+    req.guess.kind = RequestKind::kPrefix;
+  else if (kind == "free")
+    req.guess.kind = RequestKind::kFree;
+  else {
+    set_error(error, "unknown kind '" + kind + "'");
+    return std::nullopt;
+  }
+  if (!read_string_field(*v, "pattern", &req.guess.pattern, error))
+    return std::nullopt;
+  if (!read_string_field(*v, "prefix", &req.guess.prefix, error))
+    return std::nullopt;
+
+  std::uint64_t count = req.guess.count;
+  if (!read_uint_field(*v, "count", 1e15, &count, error)) return std::nullopt;
+  req.guess.count = static_cast<std::size_t>(count);
+  std::uint64_t seed = 0;
+  if (!read_uint_field(*v, "seed", 1.8e19, &seed, error)) return std::nullopt;
+  req.guess.seed = seed;
+  if (v->find("timeout_ms")) {
+    const auto n = v->get_number("timeout_ms");
+    if (!n || *n < 0 || !std::isfinite(*n)) {
+      set_error(error, "field 'timeout_ms' must be a non-negative number");
+      return std::nullopt;
+    }
+    req.guess.timeout_ms = *n;
+  }
+  if (v->find("strict")) {
+    const auto b = v->get_bool("strict");
+    if (!b) {
+      set_error(error, "field 'strict' must be a boolean");
+      return std::nullopt;
+    }
+    req.guess.strict = *b;
+  }
+  return req;
+}
+
+std::string format_response(const std::string& id, const Response& resp) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("status").value(status_name(resp.status));
+  if (resp.status == Status::kRejected) {
+    w.key("reject").value(reject_name(resp.reject));
+    w.key("error").value(resp.error);
+  } else {
+    w.key("passwords").begin_array();
+    for (const auto& pw : resp.passwords) w.value(pw);
+    w.end_array();
+    w.key("invalid").value(static_cast<std::uint64_t>(resp.invalid));
+    w.key("queue_ms").value(resp.queue_ms);
+    w.key("total_ms").value(resp.total_ms);
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string format_error_line(const std::string& id, std::string_view error) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("status").value(status_name(Status::kRejected));
+  w.key("reject").value(reject_name(Reject::kBadRequest));
+  w.key("error").value(error);
+  w.end_object();
+  return w.take();
+}
+
+std::string format_stats_line(const std::string& id, const GuessService& svc) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("status").value("ok");
+  w.key("op").value("stats");
+  w.key("queued").value(static_cast<std::uint64_t>(svc.queued()));
+  w.key("batching").value(svc.config().batching);
+  w.key("metrics");
+  obs::Registry::global().write_json(w);
+  w.end_object();
+  return w.take();
+}
+
+bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out) {
+  // FIFO of outgoing lines: pre-formatted text, or a guess future the
+  // writer resolves in order. Keeps responses in request order while the
+  // reader stays free to admit (and the service to batch) ahead.
+  struct Outgoing {
+    std::string id;
+    std::string line;
+    std::future<Response> fut;  ///< valid() => format on resolution
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Outgoing> fifo;
+  bool closed = false;
+
+  const auto push = [&](Outgoing o) {
+    {
+      std::lock_guard lock(mu);
+      fifo.push_back(std::move(o));
+    }
+    cv.notify_one();
+  };
+
+  std::thread writer([&] {
+    for (;;) {
+      Outgoing o;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return !fifo.empty() || closed; });
+        if (fifo.empty()) return;
+        o = std::move(fifo.front());
+        fifo.pop_front();
+      }
+      if (o.fut.valid()) o.line = format_response(o.id, o.fut.get());
+      out << o.line << '\n' << std::flush;
+    }
+  });
+
+  bool did_shutdown = false;
+  std::string line;
+  while (!did_shutdown && std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string err;
+    auto req = parse_request_line(line, &err);
+    if (!req) {
+      Outgoing o;
+      o.line = format_error_line("", err);
+      push(std::move(o));
+      continue;
+    }
+    switch (req->op) {
+      case WireRequest::Op::kGuess: {
+        Outgoing o;
+        o.id = req->id;
+        o.fut = svc.submit(std::move(req->guess));
+        push(std::move(o));
+        break;
+      }
+      case WireRequest::Op::kStats: {
+        Outgoing o;
+        o.id = req->id;
+        o.line = format_stats_line(req->id, svc);
+        push(std::move(o));
+        break;
+      }
+      case WireRequest::Op::kShutdown: {
+        did_shutdown = true;
+        svc.shutdown();  // drains every admitted request first
+        obs::JsonWriter w;
+        w.begin_object();
+        w.key("id").value(req->id);
+        w.key("status").value("ok");
+        w.key("op").value("shutdown");
+        w.end_object();
+        Outgoing o;
+        o.id = req->id;
+        o.line = w.take();
+        push(std::move(o));
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard lock(mu);
+    closed = true;
+  }
+  cv.notify_all();
+  writer.join();
+  return did_shutdown;
+}
+
+}  // namespace ppg::serve

@@ -1,0 +1,62 @@
+// Newline-delimited JSON wire protocol for ppg_serve.
+//
+// Requests, one JSON object per line:
+//   {"op":"guess","id":"r1","kind":"pattern","pattern":"L6N2","count":10,
+//    "seed":42,"timeout_ms":500,"strict":true}
+//   {"op":"stats","id":"s1"}
+//   {"op":"shutdown","id":"x1"}
+// Fields: `op` defaults to "guess", `kind` to "pattern" ("prefix" and
+// "free" select the other request kinds), `count` to 1, `seed` to 0,
+// `timeout_ms` to 0 (no deadline), `strict` to true. `id` is an opaque
+// client string echoed back in the response.
+//
+// Responses, one JSON object per line, strictly in request order:
+//   {"id":"r1","status":"ok","passwords":[...],"invalid":0,
+//    "queue_ms":...,"total_ms":...}
+//   {"id":"r1","status":"rejected","reject":"queue_full","error":"..."}
+//   {"id":"r1","status":"timeout","passwords":[...],...}
+// A malformed line yields a bad_request rejection line (id "" when the
+// line was not even an object), so every input line gets exactly one
+// response line. A shutdown op drains the service and acknowledges last.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/service.h"
+
+namespace ppg::serve {
+
+/// One parsed request line.
+struct WireRequest {
+  enum class Op { kGuess, kStats, kShutdown };
+  Op op = Op::kGuess;
+  std::string id;  ///< client-chosen correlation id, echoed back
+  Request guess;   ///< payload for Op::kGuess
+};
+
+/// Parses one request line. On malformed input returns std::nullopt and,
+/// if `error` is non-null, a human-readable reason.
+std::optional<WireRequest> parse_request_line(std::string_view line,
+                                              std::string* error = nullptr);
+
+/// Formats a guess response line (no trailing newline).
+std::string format_response(const std::string& id, const Response& resp);
+
+/// Formats a bad_request rejection line for a malformed input line.
+std::string format_error_line(const std::string& id, std::string_view error);
+
+/// Formats a stats line: queue depth plus a metrics-registry snapshot.
+std::string format_stats_line(const std::string& id, const GuessService& svc);
+
+/// Runs the NDJSON loop: reads request lines from `in`, writes one response
+/// line per input line to `out`, in input order (a FIFO writer thread waits
+/// on each guess future while the reader keeps admitting, so the service
+/// batches freely underneath). Returns when `in` ends or a shutdown op is
+/// read; a shutdown op also drains the service (GuessService::shutdown)
+/// before its acknowledgement is written. Returns true iff shutdown ran.
+bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out);
+
+}  // namespace ppg::serve

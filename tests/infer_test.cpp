@@ -149,6 +149,46 @@ TEST(InferenceSession, ResetRestartsPosition) {
   EXPECT_EQ(s.batch(), 4);
 }
 
+TEST(InferenceSession, ShrinkingResetReusesBuffers) {
+  const GptModel m(Config::tiny(), 54);
+  InferenceSession s(m);
+  s.reset(8);
+  const std::vector<int> t8(8, 3);
+  const float* buf = s.step(t8).data();
+  // A smaller batch must not reallocate: the logits span aliases the same
+  // storage and is sized to the new batch.
+  s.reset(3);
+  const std::vector<int> t3(3, 5);
+  const auto sp = s.step(t3);
+  EXPECT_EQ(sp.data(), buf);
+  EXPECT_EQ(sp.size(), static_cast<std::size_t>(3 * m.config().vocab));
+  // Same-size reset reuses too.
+  s.reset(8);
+  EXPECT_EQ(s.step(t8).data(), buf);
+}
+
+TEST(InferenceSession, ShrunkBatchMatchesFreshSession) {
+  const GptModel m(Config::tiny(), 55);
+  InferenceSession reused(m);
+  reused.reset(8);
+  const std::vector<int> warm(8, 7);
+  reused.step(warm);
+  reused.step(warm);
+  // Shrink and decode a different sequence; any stale-state leak from the
+  // earlier batch-8 run would show up against a fresh session.
+  const std::vector<int> seq = {0, 17, 41};
+  InferenceSession fresh(m);
+  reused.reset(2);
+  fresh.reset(2);
+  for (const int t : seq) {
+    const std::vector<int> toks(2, t);
+    const auto a = reused.step(toks);
+    const auto b = fresh.step(toks);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
 TEST(SequenceLogProb, MatchesManualChainRule) {
   const GptModel m(Config::tiny(), 51);
   const std::vector<int> seq = {0, 41, 55, 2};

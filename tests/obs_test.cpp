@@ -172,6 +172,73 @@ TEST(Json, ValidatorAcceptsAndRejects) {
   EXPECT_FALSE(validate_json("\"unterminated"));
 }
 
+TEST(JsonParse, ParsesScalarsAndContainers) {
+  auto v = parse_json(R"({"a":1.5,"b":"hi","c":true,"d":null,)"
+                      R"("e":[1,2,3],"f":{"g":-2e2}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->get_number("a"), 1.5);
+  EXPECT_EQ(v->get_string("b"), "hi");
+  EXPECT_EQ(v->get_bool("c"), true);
+  ASSERT_NE(v->find("d"), nullptr);
+  EXPECT_TRUE(v->find("d")->is_null());
+  ASSERT_NE(v->find("e"), nullptr);
+  ASSERT_EQ(v->find("e")->array.size(), 3u);
+  EXPECT_EQ(v->find("e")->array[2].number, 3.0);
+  ASSERT_NE(v->find("f"), nullptr);
+  EXPECT_EQ(v->find("f")->get_number("g"), -200.0);
+}
+
+TEST(JsonParse, DecodesEscapesAndUnicode) {
+  auto v = parse_json(R"("q\" b\\ s\/ n\n t\t ué pair😀")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string,
+            "q\" b\\ s/ n\n t\t u\xc3\xa9 pair\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, TypedAccessorsDistinguishAbsentFromMistyped) {
+  const auto v = parse_json(R"({"n":"not a number","s":5})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->get_number("n").has_value());   // mistyped
+  EXPECT_NE(v->find("n"), nullptr);               // ...but present
+  EXPECT_FALSE(v->get_string("s").has_value());
+  EXPECT_FALSE(v->get_number("missing").has_value());
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  const auto v = parse_json(R"({"k":1,"k":2})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_number("k"), 2.0);
+}
+
+TEST(JsonParse, RejectsWhatTheValidatorRejects) {
+  for (const char* bad :
+       {"", "{", "[1,2", "{\"k\":}", "{} trailing", "{'k':1}", "nul",
+        "\"unterminated", "\"bad \\u12 escape\"", "+1"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(validate_json(bad)) << bad;  // parser and validator agree
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("quote \" backslash \\ newline \n");
+  w.key("arr").begin_array().value(std::int64_t{-7}).null().end_array();
+  w.end_object();
+  std::string error;
+  const auto v = parse_json(w.str(), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->get_string("s"), "quote \" backslash \\ newline \n");
+  ASSERT_NE(v->find("arr"), nullptr);
+  ASSERT_EQ(v->find("arr")->array.size(), 2u);
+  EXPECT_EQ(v->find("arr")->array[0].number, -7.0);
+  EXPECT_TRUE(v->find("arr")->array[1].is_null());
+}
+
 TEST(Timing, ScopedLatencyRespectsToggle) {
   const bool saved = timing_enabled();
   Histogram h;

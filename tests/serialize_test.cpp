@@ -1,8 +1,17 @@
 #include "common/serialize.h"
 
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "gpt/model.h"
 
 namespace ppg {
 namespace {
@@ -66,6 +75,106 @@ TEST(Serialize, ImplausibleLengthRejected) {
   w.write<std::uint64_t>(1ULL << 40);
   BinaryReader r(ss);
   EXPECT_THROW(r.read_string(), std::runtime_error);
+}
+
+// --- Corrupted-checkpoint behaviour of GptModel::load -----------------------
+// Serving loads operator-supplied checkpoint files; every corruption mode
+// must produce a descriptive error instead of garbage weights.
+
+class CorruptCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ppg_ckpt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "model.ckpt").string();
+    gpt::GptModel m(gpt::Config::tiny(), 11);
+    m.save(path_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<char> read_bytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void write_bytes(const std::vector<char>& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  /// Expects load() to throw a runtime_error whose message contains `needle`.
+  void expect_load_error(const std::string& needle) const {
+    gpt::GptModel fresh(gpt::Config::tiny(), 12);
+    try {
+      fresh.load(path_);
+      FAIL() << "load() accepted a corrupt checkpoint";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "error was: " << e.what();
+      EXPECT_NE(std::string(e.what()).find(path_), std::string::npos)
+          << "error lacks the file path: " << e.what();
+    }
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(CorruptCheckpoint, IntactRoundTrip) {
+  gpt::GptModel fresh(gpt::Config::tiny(), 12);
+  EXPECT_NO_THROW(fresh.load(path_));
+}
+
+TEST_F(CorruptCheckpoint, BadMagic) {
+  auto bytes = read_bytes();
+  bytes[0] ^= 0x5a;
+  write_bytes(bytes);
+  expect_load_error("bad magic");
+}
+
+TEST_F(CorruptCheckpoint, UnsupportedVersion) {
+  auto bytes = read_bytes();
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  write_bytes(bytes);
+  expect_load_error("unsupported checkpoint version 99");
+}
+
+TEST_F(CorruptCheckpoint, TruncatedHeader) {
+  auto bytes = read_bytes();
+  bytes.resize(6);
+  write_bytes(bytes);
+  expect_load_error("truncated");
+}
+
+TEST_F(CorruptCheckpoint, TruncatedTensorData) {
+  auto bytes = read_bytes();
+  bytes.resize(bytes.size() / 2);
+  write_bytes(bytes);
+  expect_load_error("tensor data");
+}
+
+TEST_F(CorruptCheckpoint, CorruptConfigBlock) {
+  auto bytes = read_bytes();
+  // vocab is the first Index after magic+version; zero it out.
+  for (int i = 8; i < 12; ++i) bytes[static_cast<std::size_t>(i)] = 0;
+  write_bytes(bytes);
+  expect_load_error("corrupt config block");
+}
+
+TEST_F(CorruptCheckpoint, ConfigMismatch) {
+  gpt::GptModel small(gpt::Config::small(), 13);
+  try {
+    small.load(path_);
+    FAIL() << "load() accepted a checkpoint for a different config";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("config mismatch"), std::string::npos)
+        << "error was: " << e.what();
+  }
+}
+
+TEST_F(CorruptCheckpoint, MissingFile) {
+  gpt::GptModel fresh(gpt::Config::tiny(), 12);
+  EXPECT_THROW(fresh.load((dir_ / "nope.ckpt").string()), std::runtime_error);
 }
 
 TEST(Serialize, InterleavedHeterogeneousStream) {

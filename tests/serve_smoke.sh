@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for ppg_serve's stdio NDJSON mode.
+#
+# Drives one server process with a mixed batch of request lines — valid
+# guesses of all three kinds, an instant-deadline timeout, rejects
+# (malformed line, count over cap, unknown pattern), stats, shutdown —
+# and asserts the protocol contract: exactly one response line per input
+# line, every line well-formed JSON (validated by ppg_check_json
+# --ndjson), and the expected terminal status per request id.
+#
+# Usage: serve_smoke.sh <ppg_serve-binary> <ppg_check_json-binary>
+set -u
+
+serve_bin="$1"
+check_json_bin="$2"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+requests="$workdir/requests.ndjson"
+responses="$workdir/responses.ndjson"
+
+# The warm request runs a real batch (count=64) so the server exercises
+# the scheduler, not just admission. timeout_ms=0.000001 rounds to a
+# zero-length deadline: already expired whenever the scheduler looks, so
+# the timeout path is deterministic.
+cat > "$requests" <<'EOF'
+{"op":"guess","id":"warm","kind":"pattern","pattern":"L6N2","count":64,"seed":1}
+{"op":"guess","id":"t1","kind":"pattern","pattern":"L8","count":4,"seed":2,"timeout_ms":0.000001}
+{"op":"guess","id":"g1","kind":"pattern","pattern":"N4L4","count":3,"seed":7}
+this line is not json
+{"op":"guess","id":"big","kind":"pattern","pattern":"L6N2","count":999999}
+{"op":"guess","id":"bad","kind":"pattern","pattern":"Z9","count":1}
+{"op":"guess","id":"p1","kind":"prefix","pattern":"L4N2","prefix":"Ab","count":2,"seed":3}
+{"op":"guess","id":"f1","kind":"free","count":2,"seed":9}
+{"op":"stats","id":"s1"}
+{"op":"shutdown","id":"end"}
+EOF
+
+"$serve_bin" --config=tiny --seed=21 --patterns=L6N2,L8,N6 \
+  < "$requests" > "$responses" 2> "$workdir/stderr.log"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: ppg_serve exited $status" >&2
+  cat "$workdir/stderr.log" >&2
+  exit 1
+fi
+
+fail=0
+check() {
+  # check <description> <grep-pattern>
+  if ! grep -q "$2" "$responses"; then
+    echo "FAIL: $1 (pattern not found: $2)" >&2
+    fail=1
+  fi
+}
+
+lines=$(wc -l < "$responses")
+if [ "$lines" -ne 10 ]; then
+  echo "FAIL: expected 10 response lines (one per request), got $lines" >&2
+  cat "$responses" >&2
+  fail=1
+fi
+
+if ! "$check_json_bin" --ndjson "$responses" >/dev/null; then
+  echo "FAIL: response stream is not valid NDJSON" >&2
+  fail=1
+fi
+
+check "warm guess completes"        '"id":"warm","status":"ok"'
+check "instant deadline times out"  '"id":"t1","status":"timeout"'
+check "pattern guess completes"     '"id":"g1","status":"ok"'
+check "malformed line rejected"     '"id":"","status":"rejected","reject":"bad_request"'
+check "count over cap rejected"     '"id":"big","status":"rejected"'
+check "unknown pattern rejected"    '"id":"bad","status":"rejected"'
+check "prefix guess completes"      '"id":"p1","status":"ok"'
+check "prefix is continued"         '"id":"p1","status":"ok","passwords":\["Ab'
+check "free guess completes"        '"id":"f1","status":"ok"'
+check "stats line answers"          '"id":"s1","status":"ok","op":"stats"'
+check "stats carries metrics"       '"serve.submitted"'
+check "shutdown acknowledged"       '"id":"end","status":"ok","op":"shutdown"'
+
+# FIFO contract: the shutdown ack is the last line.
+if [ "$(tail -n 1 "$responses")" != '{"id":"end","status":"ok","op":"shutdown"}' ]; then
+  echo "FAIL: shutdown ack is not the final line" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "--- responses ---" >&2
+  cat "$responses" >&2
+  exit 1
+fi
+echo "serve_smoke: ok ($lines response lines)"

@@ -1,0 +1,373 @@
+// GuessService + wire-protocol tests: admission/backpressure, dynamic
+// batching determinism, deadline enforcement, and the graceful-shutdown
+// acceptance property (every request gets exactly one terminal status).
+#include "serve/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pcfg/pattern.h"
+#include "serve/wire.h"
+
+namespace ppg {
+namespace {
+
+using serve::GuessService;
+using serve::Reject;
+using serve::Request;
+using serve::RequestKind;
+using serve::Response;
+using serve::ServiceConfig;
+using serve::Status;
+
+/// Shared tiny model/patterns fixture; random-init weights are fine because
+/// strict masks force conformance and decodability.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new gpt::GptModel(gpt::Config::tiny(), 21);
+    patterns_ = new pcfg::PatternDistribution();
+    patterns_->add("L6N2", 3);
+    patterns_->add("L4N4", 2);
+    patterns_->add("N6", 1);
+    patterns_->finalize();
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete patterns_;
+    patterns_ = nullptr;
+  }
+
+  static Request pattern_req(std::string pattern, std::size_t count,
+                             std::uint64_t seed) {
+    Request r;
+    r.kind = RequestKind::kPattern;
+    r.pattern = std::move(pattern);
+    r.count = count;
+    r.seed = seed;
+    return r;
+  }
+
+  static gpt::GptModel* model_;
+  static pcfg::PatternDistribution* patterns_;
+};
+
+gpt::GptModel* ServeTest::model_ = nullptr;
+pcfg::PatternDistribution* ServeTest::patterns_ = nullptr;
+
+TEST_F(ServeTest, PatternRequestsConform) {
+  GuessService svc(*model_, *patterns_, {});
+  const Response r = svc.submit_and_wait(pattern_req("L4N2S1", 8, 42));
+  ASSERT_EQ(r.status, Status::kOk);
+  ASSERT_EQ(r.passwords.size(), 8u);
+  const auto segs = *pcfg::parse_pattern("L4N2S1");
+  for (const auto& pw : r.passwords)
+    EXPECT_TRUE(pcfg::matches_pattern(pw, segs)) << pw;
+  EXPECT_GE(r.total_ms, r.queue_ms);
+}
+
+TEST_F(ServeTest, EmptyPatternSamplesFromDistribution) {
+  GuessService svc(*model_, *patterns_, {});
+  const Response r = svc.submit_and_wait(pattern_req("", 4, 7));
+  ASSERT_EQ(r.status, Status::kOk);
+  ASSERT_EQ(r.passwords.size(), 4u);
+  // All rows share the request's (sampled) pattern.
+  const auto segs = pcfg::segment(r.passwords[0]);
+  ASSERT_FALSE(segs.empty());
+  for (const auto& pw : r.passwords)
+    EXPECT_TRUE(pcfg::matches_pattern(pw, segs)) << pw;
+}
+
+TEST_F(ServeTest, PrefixRequestContinuesPrefix) {
+  GuessService svc(*model_, *patterns_, {});
+  Request r;
+  r.kind = RequestKind::kPrefix;
+  r.pattern = "L4N2";
+  r.prefix = "Ab";
+  r.count = 5;
+  r.seed = 3;
+  const Response resp = svc.submit_and_wait(std::move(r));
+  ASSERT_EQ(resp.status, Status::kOk);
+  ASSERT_EQ(resp.passwords.size(), 5u);
+  const auto segs = *pcfg::parse_pattern("L4N2");
+  for (const auto& pw : resp.passwords) {
+    EXPECT_EQ(pw.substr(0, 2), "Ab") << pw;
+    EXPECT_TRUE(pcfg::matches_pattern(pw, segs)) << pw;
+  }
+}
+
+TEST_F(ServeTest, ResultsIndependentOfBatchGeometry) {
+  // The same requests must yield identical responses whatever the batch
+  // size or batching mode: row r draws from Rng(seed, "serve.row/r").
+  const auto run = [&](std::size_t max_batch, bool batching) {
+    ServiceConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.batching = batching;
+    GuessService svc(*model_, *patterns_, cfg);
+    std::vector<std::future<Response>> futs;
+    for (int i = 0; i < 6; ++i)
+      futs.push_back(svc.submit(pattern_req("L6N2", 7, 100 + i)));
+    std::vector<std::vector<std::string>> out;
+    for (auto& f : futs) {
+      Response r = f.get();
+      EXPECT_EQ(r.status, Status::kOk);
+      out.push_back(std::move(r.passwords));
+    }
+    return out;
+  };
+  const auto small_batched = run(4, true);
+  const auto large_batched = run(64, true);
+  const auto unbatched = run(64, false);
+  EXPECT_EQ(small_batched, large_batched);
+  EXPECT_EQ(small_batched, unbatched);
+}
+
+TEST_F(ServeTest, BadRequestsRejectImmediately) {
+  GuessService svc(*model_, *patterns_, {});
+  const auto expect_bad = [&](Request r) {
+    const Response resp = svc.submit_and_wait(std::move(r));
+    EXPECT_EQ(resp.status, Status::kRejected);
+    EXPECT_EQ(resp.reject, Reject::kBadRequest);
+    EXPECT_FALSE(resp.error.empty());
+  };
+  expect_bad(pattern_req("L4", 0, 1));          // zero count
+  expect_bad(pattern_req("Z9", 1, 1));          // unknown class tag
+  expect_bad(pattern_req("L99", 1, 1));         // segment > 12
+  expect_bad(pattern_req("L4", 1 << 20, 1));    // over max_count
+  Request p;
+  p.kind = RequestKind::kPrefix;
+  p.pattern = "L4";
+  p.prefix = "a1";  // digit where the pattern wants a letter
+  expect_bad(std::move(p));
+  Request q;
+  q.kind = RequestKind::kPrefix;
+  q.pattern = "L4";
+  q.prefix = "";  // prefix kind without a prefix
+  expect_bad(std::move(q));
+}
+
+TEST_F(ServeTest, QueueFullBackpressure) {
+  ServiceConfig cfg;
+  cfg.max_queue = 2;
+  GuessService svc(*model_, *patterns_, cfg);
+  // Saturate: the first request may be picked up instantly, but the queue
+  // holds at most 2, so among many instant submits some must bounce.
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 16; ++i)
+    futs.push_back(svc.submit(pattern_req("L6N2", 32, i)));
+  std::size_t ok = 0, queue_full = 0;
+  for (auto& f : futs) {
+    const Response r = f.get();
+    if (r.status == Status::kOk) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status, Status::kRejected);
+      EXPECT_EQ(r.reject, Reject::kQueueFull);
+      ++queue_full;
+    }
+  }
+  EXPECT_GT(queue_full, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + queue_full, 16u);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineTimesOutInQueue) {
+  GuessService svc(*model_, *patterns_, {});
+  Request heavy = pattern_req("L6N2", 64, 1);  // keeps the worker busy
+  auto heavy_fut = svc.submit(std::move(heavy));
+  Request doomed = pattern_req("L6N2", 4, 2);
+  doomed.timeout_ms = 1e-6;  // sub-µs: expired by any later clock read
+  const Response r = svc.submit_and_wait(std::move(doomed));
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_TRUE(r.passwords.empty());
+  EXPECT_EQ(heavy_fut.get().status, Status::kOk);
+}
+
+TEST_F(ServeTest, SubmitAfterShutdownRejects) {
+  GuessService svc(*model_, *patterns_, {});
+  svc.shutdown();
+  const Response r = svc.submit_and_wait(pattern_req("L4", 1, 1));
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(r.reject, Reject::kShuttingDown);
+  svc.shutdown();  // idempotent
+}
+
+// Acceptance test: under concurrent submitters, shutdown() drains every
+// admitted request, rejects late ones, and no request is ever lost or
+// double-resolved — every future resolves with exactly one terminal status.
+TEST_F(ServeTest, ShutdownDrainsAndRejectsLate) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue = 64;
+  GuessService svc(*model_, *patterns_, cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::future<Response>> futs[kThreads];
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t)
+    submitters.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i)
+        futs[t].push_back(
+            svc.submit(pattern_req("L6N2", 2, 1000 * t + i)));
+    });
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  svc.shutdown();  // concurrent with submitters
+  for (auto& t : submitters) t.join();
+
+  std::size_t ok = 0, rejected = 0;
+  for (auto& per_thread : futs)
+    for (auto& f : per_thread) {
+      ASSERT_TRUE(f.valid());
+      const Response r = f.get();  // resolves exactly once, no deadlock
+      switch (r.status) {
+        case Status::kOk:
+          EXPECT_EQ(r.passwords.size(), 2u);
+          ++ok;
+          break;
+        case Status::kRejected:
+          EXPECT_TRUE(r.reject == Reject::kShuttingDown ||
+                      r.reject == Reject::kQueueFull)
+              << static_cast<int>(r.reject);
+          ++rejected;
+          break;
+        case Status::kTimeout:
+          ADD_FAILURE() << "no deadlines were set";
+          break;
+      }
+    }
+  EXPECT_EQ(ok + rejected, std::size_t(kThreads * kPerThread));
+  // Everything admitted must have drained: nothing is left queued.
+  EXPECT_EQ(svc.queued(), 0u);
+}
+
+TEST_F(ServeTest, PartialResultsWhenAttemptsExhausted) {
+  // Free-running on a random-init model rarely decodes; with a tight
+  // attempt budget the request still completes (kOk, partial passwords).
+  ServiceConfig cfg;
+  cfg.max_attempt_factor = 1;  // no retries at all
+  GuessService svc(*model_, *patterns_, cfg);
+  Request r;
+  r.kind = RequestKind::kFree;
+  r.count = 4;
+  r.seed = 5;
+  const Response resp = svc.submit_and_wait(std::move(r));
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.passwords.size() + resp.invalid, 4u);
+}
+
+// --- Wire protocol ----------------------------------------------------------
+
+TEST(ServeWire, ParsesFullGuessRequest) {
+  std::string err;
+  const auto req = serve::parse_request_line(
+      R"({"op":"guess","id":"r1","kind":"prefix","pattern":"L4N2",)"
+      R"("prefix":"Ab","count":10,"seed":42,"timeout_ms":250.5,"strict":false})",
+      &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->op, serve::WireRequest::Op::kGuess);
+  EXPECT_EQ(req->id, "r1");
+  EXPECT_EQ(req->guess.kind, RequestKind::kPrefix);
+  EXPECT_EQ(req->guess.pattern, "L4N2");
+  EXPECT_EQ(req->guess.prefix, "Ab");
+  EXPECT_EQ(req->guess.count, 10u);
+  EXPECT_EQ(req->guess.seed, 42u);
+  EXPECT_DOUBLE_EQ(req->guess.timeout_ms, 250.5);
+  EXPECT_FALSE(req->guess.strict);
+}
+
+TEST(ServeWire, DefaultsAndOtherOps) {
+  auto req = serve::parse_request_line(R"({"pattern":"L8"})");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->op, serve::WireRequest::Op::kGuess);
+  EXPECT_EQ(req->guess.kind, RequestKind::kPattern);
+  EXPECT_EQ(req->guess.count, 1u);
+  EXPECT_TRUE(req->guess.strict);
+  req = serve::parse_request_line(R"({"op":"stats","id":"s"})");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->op, serve::WireRequest::Op::kStats);
+  req = serve::parse_request_line(R"({"op":"shutdown"})");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->op, serve::WireRequest::Op::kShutdown);
+}
+
+TEST(ServeWire, RejectsMalformedLines) {
+  const char* bad[] = {
+      "not json",
+      "[1,2,3]",                               // not an object
+      R"({"op":"frobnicate"})",                // unknown op
+      R"({"kind":"sideways"})",                // unknown kind
+      R"({"count":-3})",                       // negative count
+      R"({"count":1.5})",                      // fractional count
+      R"({"count":"many"})",                   // mistyped count
+      R"({"timeout_ms":-1})",                  // negative deadline
+      R"({"strict":"yes"})",                   // mistyped bool
+      R"({"pattern":7})",                      // mistyped string
+  };
+  for (const char* line : bad) {
+    std::string err;
+    EXPECT_FALSE(serve::parse_request_line(line, &err).has_value()) << line;
+    EXPECT_FALSE(err.empty()) << line;
+  }
+}
+
+TEST(ServeWire, FormatsResponses) {
+  Response ok;
+  ok.status = Status::kOk;
+  ok.passwords = {"abc1", "x\"y\\z"};
+  ok.invalid = 1;
+  ok.queue_ms = 0.5;
+  ok.total_ms = 2.0;
+  const std::string line = serve::format_response("r9", ok);
+  EXPECT_NE(line.find("\"id\":\"r9\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(line.find("x\\\"y\\\\z"), std::string::npos);
+
+  Response rej;
+  rej.status = Status::kRejected;
+  rej.reject = Reject::kQueueFull;
+  rej.error = "admission queue is full";
+  const std::string rline = serve::format_response("r2", rej);
+  EXPECT_NE(rline.find("\"reject\":\"queue_full\""), std::string::npos);
+  EXPECT_NE(rline.find("admission queue is full"), std::string::npos);
+}
+
+TEST(ServeWire, StreamLoopAnswersEveryLineInOrder) {
+  gpt::GptModel model(gpt::Config::tiny(), 31);
+  pcfg::PatternDistribution patterns;
+  patterns.add("L4N2");
+  patterns.finalize();
+  GuessService svc(model, patterns, {});
+  std::istringstream in(
+      "{\"op\":\"guess\",\"id\":\"a\",\"pattern\":\"L4N2\",\"count\":2}\n"
+      "garbage\n"
+      "{\"op\":\"stats\",\"id\":\"b\"}\n"
+      "{\"op\":\"shutdown\",\"id\":\"c\"}\n"
+      "{\"op\":\"guess\",\"id\":\"never-read\"}\n");
+  std::ostringstream out;
+  EXPECT_TRUE(serve::serve_stream(svc, in, out));
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // shutdown stops the reader
+  EXPECT_NE(lines[0].find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(lines[1].find("bad_request"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"op\":\"stats\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"op\":\"shutdown\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -52,6 +54,49 @@ TEST(ThreadPool, ManyTasksDrainBeforeDestruction) {
     for (auto& f : futs) f.get();
   }
   EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, DrainWaitsForOutstandingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      done++;
+    });
+  pool.drain();
+  EXPECT_EQ(done.load(), 64);
+  // The pool is still usable after drain().
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, DrainWhileEnqueueing) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 300;
+  std::thread producer([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&done] { done++; });
+      if (i % 50 == 0) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  // Drain concurrently with the producer: must not deadlock, and every task
+  // submitted before the drain that finally observes an empty pool is done.
+  for (int i = 0; i < 5; ++i) pool.drain();
+  producer.join();
+  pool.drain();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, StopIsIdempotentAndRejectsLateSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) pool.submit([&done] { done++; });
+  pool.stop();
+  EXPECT_EQ(done.load(), 32);  // stop() drains outstanding tasks
+  pool.stop();                 // second stop is a no-op
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
 }
 
 TEST(ThreadPool, SizeReflectsWorkerCount) {
