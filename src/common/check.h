@@ -1,0 +1,81 @@
+// PPG_CHECK / PPG_DCHECK: the invariant layer of the codebase.
+//
+// Policy (see DESIGN.md §9):
+//  * PPG_CHECK(cond, fmt, ...) — always on, in every build type. For
+//    invariants whose violation means the process state is already corrupt
+//    (double-completion of a request, impossible queue accounting, a tape
+//    closure that vanished). Prints one diagnostic line to stderr and
+//    aborts; there is no recovery path on purpose — continuing would turn
+//    a loud bug into silently wrong guesses, which is worse (the paper's
+//    numbers are only meaningful if generation is bit-correct).
+//  * PPG_DCHECK(cond, fmt, ...) — compiled only when PPG_ENABLE_DCHECKS is
+//    defined (Debug builds and every PPG_SANITIZE build; see the top-level
+//    CMakeLists). For per-element hot-path checks (Tensor::at bounds,
+//    kernel shape arguments) that must cost zero in release benchmarks.
+//  * API misuse by callers (bad shapes passed to Graph ops, invalid
+//    requests) keeps throwing std::invalid_argument — those are caller
+//    errors, recoverable and testable, not corrupt-state invariants.
+//
+// The formatted message is optional: PPG_CHECK(p != nullptr) works, as does
+// PPG_CHECK(i < n, "row %lld out of %lld", i, n). kDchecksEnabled lets
+// non-macro code (e.g. the trainer's finite-values sweep) compile whole
+// debug-only blocks out with `if constexpr`.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppg {
+
+#if defined(PPG_ENABLE_DCHECKS)
+inline constexpr bool kDchecksEnabled = true;
+#else
+inline constexpr bool kDchecksEnabled = false;
+#endif
+
+namespace detail {
+
+/// Formats and emits the failure line in one stdio call (concurrent
+/// failing threads must not interleave mid-line), then aborts.
+[[noreturn]] __attribute__((format(printf, 5, 6))) inline void check_fail(
+    const char* kind, const char* expr, const char* file, int line,
+    const char* fmt = nullptr, ...) {
+  char msg[512];
+  msg[0] = '\0';
+  if (fmt != nullptr) {
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(msg, sizeof msg, fmt, args);
+    va_end(args);
+  }
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, "%s failed: %s at %s:%d%s%s\n", kind, expr,
+                file, line, msg[0] ? ": " : "", msg);
+  std::fputs(buf, stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace ppg
+
+/// Always-on fatal invariant. Evaluates `cond` exactly once.
+#define PPG_CHECK(cond, ...)                                             \
+  (static_cast<bool>(cond)                                               \
+       ? static_cast<void>(0)                                            \
+       : ::ppg::detail::check_fail("PPG_CHECK", #cond, __FILE__,         \
+                                   __LINE__ __VA_OPT__(, ) __VA_ARGS__))
+
+/// Debug/sanitize-only fatal invariant. Compiles to nothing (condition
+/// unevaluated) in plain release builds, so hot-path bounds checks are
+/// benchmark-neutral.
+#if defined(PPG_ENABLE_DCHECKS)
+#define PPG_DCHECK(cond, ...)                                            \
+  (static_cast<bool>(cond)                                               \
+       ? static_cast<void>(0)                                            \
+       : ::ppg::detail::check_fail("PPG_DCHECK", #cond, __FILE__,        \
+                                   __LINE__ __VA_OPT__(, ) __VA_ARGS__))
+#else
+#define PPG_DCHECK(cond, ...) static_cast<void>(0)
+#endif

@@ -53,7 +53,8 @@ inline void log_emit(LogLevel level, const char* msg) {
                     : level == LogLevel::kWarn ? "W"
                     : level == LogLevel::kInfo ? "I"
                                                : "D";
-  const std::time_t now = std::time(nullptr);
+  // Wall clock for the human-readable stamp only — never generation state.
+  const std::time_t now = std::time(nullptr);  // ppg-lint: allow(nondeterministic-random)
   std::tm tm_utc{};
   gmtime_r(&now, &tm_utc);
   char stamp[32];

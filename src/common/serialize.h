@@ -79,7 +79,10 @@ class BinaryReader {
   std::vector<T> read_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto n = read<std::uint64_t>();
-    check_size(n * sizeof(T));
+    // Divide instead of multiplying: n * sizeof(T) can wrap around for a
+    // corrupt length field, sailing straight past the cap.
+    if (n > kMaxBytes / sizeof(T))
+      throw std::runtime_error("BinaryReader: implausible length field");
     std::vector<T> v(n);
     in_.read(reinterpret_cast<char*>(v.data()),
              static_cast<std::streamsize>(n * sizeof(T)));
@@ -88,9 +91,11 @@ class BinaryReader {
   }
 
  private:
+  /// Sanity cap: refuse absurd lengths from corrupt files (4 GiB).
+  static constexpr std::uint64_t kMaxBytes = 1ULL << 32;
+
   static void check_size(std::uint64_t bytes) {
-    // Sanity cap: refuse absurd lengths from corrupt files (4 GiB).
-    if (bytes > (1ULL << 32))
+    if (bytes > kMaxBytes)
       throw std::runtime_error("BinaryReader: implausible length field");
   }
   std::istream& in_;

@@ -5,12 +5,42 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace ppg::gpt {
+
+namespace {
+
+/// Debug/sanitize-only numerics tripwire: after forward+backward every
+/// parameter value and gradient must be finite. A NaN that enters the
+/// optimizer state poisons all subsequent steps silently (AdamW moments
+/// never recover), so catching it at the step that produced it — with the
+/// parameter's name — is worth the full sweep. Release builds skip the
+/// whole loop (kDchecksEnabled is constexpr-false); note -ffast-math
+/// builds also can't run it meaningfully, which is one reason sanitized
+/// builds drop -ffast-math (see the top-level CMakeLists).
+void dcheck_finite_params(const nn::ParamList& params, std::size_t step) {
+  if constexpr (!ppg::kDchecksEnabled) {
+    (void)params;
+    (void)step;
+  } else {
+    for (const auto& p : params.items()) {
+      for (const float v : p.tensor.data())
+        PPG_CHECK(std::isfinite(v), "non-finite value in '%s' after step %zu",
+                  p.name.c_str(), step);
+      for (const float g : p.tensor.grad())
+        PPG_CHECK(std::isfinite(g),
+                  "non-finite gradient in '%s' after step %zu", p.name.c_str(),
+                  step);
+    }
+  }
+}
+
+}  // namespace
 
 TrainReport train_lm(GptModel& model,
                      const std::vector<std::vector<int>>& train_seqs,
@@ -104,8 +134,13 @@ TrainReport train_lm(GptModel& model,
       const nn::Tensor loss =
           model.loss(g, inputs, targets, batch, time, -1, nullptr);
       g.backward(loss);
+      PPG_DCHECK(std::isfinite(loss.at(0)), "loss diverged at step %zu: %f",
+                 step, double(loss.at(0)));
       const double grad_norm = model.params().clip_grad_norm(cfg.grad_clip);
+      PPG_DCHECK(std::isfinite(grad_norm),
+                 "gradient norm diverged at step %zu", step);
       opt.step();
+      dcheck_finite_params(model.params(), step);
       epoch_loss += double(loss.at(0));
       ++epoch_batches;
       ++step;

@@ -577,10 +577,17 @@ Tensor Graph::cross_entropy(const Tensor& logits,
 // ---- engine ------------------------------------------------------------
 
 void Graph::backward(const Tensor& loss) {
+  // A null loss handle means the caller never ran a forward pass on this
+  // graph — replaying the tape would scribble gradients into freed or
+  // unrelated storage, so this is a fatal invariant, not an API throw.
+  PPG_CHECK(loss.valid(), "Graph::backward: loss tensor has no storage");
   if (loss.numel() != 1)
     throw std::invalid_argument("Graph::backward: loss must be a scalar");
   loss.grad()[0] += 1.f;
-  for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) (*it)();
+  for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) {
+    PPG_DCHECK(*it != nullptr, "tape entry lost its closure");
+    (*it)();
+  }
 }
 
 }  // namespace ppg::nn

@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "nn/tensor.h"
 
@@ -132,7 +133,10 @@ class Graph {
   std::size_t size() const noexcept { return tape_.size(); }
 
  private:
-  void record(std::function<void()> fn) { tape_.push_back(std::move(fn)); }
+  void record(std::function<void()> fn) {
+    PPG_DCHECK(fn != nullptr, "recording an empty backward closure");
+    tape_.push_back(std::move(fn));
+  }
 
   std::vector<std::function<void()>> tape_;
 };

@@ -9,9 +9,30 @@
 
 #include <cstdint>
 
+#include "common/check.h"
+
 namespace ppg::nn::kernels {
 
 using Index = std::int64_t;
+
+/// Shared argument DCHECKs for the GEMM family: dimensions non-negative,
+/// buffers present whenever their extent is non-zero. Callers (graph.cpp,
+/// infer.cpp) own shape *compatibility*; what a raw-pointer kernel can
+/// still verify is that nobody handed it a null or negative-extent view.
+inline void dcheck_gemm_args([[maybe_unused]] Index m,
+                             [[maybe_unused]] Index n,
+                             [[maybe_unused]] Index k,
+                             [[maybe_unused]] const float* a,
+                             [[maybe_unused]] const float* b,
+                             [[maybe_unused]] const float* c) {
+  PPG_DCHECK(m >= 0 && n >= 0 && k >= 0,
+             "gemm: negative extent m=%lld n=%lld k=%lld",
+             static_cast<long long>(m), static_cast<long long>(n),
+             static_cast<long long>(k));
+  PPG_DCHECK(a != nullptr || m * k == 0, "gemm: null A with m*k > 0");
+  PPG_DCHECK(b != nullptr || n * k == 0, "gemm: null B with n*k > 0");
+  PPG_DCHECK(c != nullptr || m * n == 0, "gemm: null C with m*n > 0");
+}
 
 /// C[m,n] += A[m,k] · B[k,n]  (ikj order, 4-row register blocking).
 ///
@@ -33,6 +54,7 @@ using Index = std::int64_t;
 /// measured ~10x slower: the vectoriser gives up on it).
 inline void gemm_nn(Index m, Index n, Index k, const float* __restrict a,
                     const float* __restrict b, float* __restrict c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   Index i = 0;
   for (; i + 4 <= m; i += 4) {
     const float* a0 = a + i * k;
@@ -71,6 +93,7 @@ inline void gemm_nn(Index m, Index n, Index k, const float* __restrict a,
 /// C[m,n] += A[m,k] · B[n,k]ᵀ  (dot-product form).
 inline void gemm_nt(Index m, Index n, Index k, const float* __restrict a,
                     const float* __restrict b, float* __restrict c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   for (Index i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
@@ -86,6 +109,7 @@ inline void gemm_nt(Index m, Index n, Index k, const float* __restrict a,
 /// C[m,n] += A[k,m]ᵀ · B[k,n]  (rank-1 update form).
 inline void gemm_tn(Index m, Index n, Index k, const float* __restrict a,
                     const float* __restrict b, float* __restrict c) {
+  dcheck_gemm_args(m, n, k, a, b, c);
   for (Index p = 0; p < k; ++p) {
     const float* arow = a + p * m;
     const float* brow = b + p * n;
@@ -101,6 +125,8 @@ inline void gemm_tn(Index m, Index n, Index k, const float* __restrict a,
 /// y[m,n] = x[m,k] · W[k,n] + bias[n] (no accumulate; bias broadcast).
 inline void affine(Index m, Index n, Index k, const float* x, const float* w,
                    const float* bias, float* y) {
+  dcheck_gemm_args(m, n, k, x, w, y);
+  PPG_DCHECK(bias != nullptr || n == 0, "affine: null bias with n > 0");
   for (Index i = 0; i < m; ++i) {
     float* yrow = y + i * n;
     for (Index j = 0; j < n; ++j) yrow[j] = bias[j];

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace ppg::nn {
@@ -62,8 +63,12 @@ class Tensor {
   /// Tensor rank.
   std::size_t rank() const noexcept { return shape_.size(); }
 
-  /// Extent of dimension i (supports negative-free simple access).
-  Index dim(std::size_t i) const { return shape_.at(i); }
+  /// Extent of dimension i.
+  Index dim(std::size_t i) const {
+    PPG_CHECK(i < shape_.size(), "dim %zu of a rank-%zu tensor", i,
+              shape_.size());
+    return shape_[i];
+  }
 
   /// Total element count.
   std::size_t numel() const noexcept { return data_ ? data_->size() : 0; }
@@ -83,13 +88,29 @@ class Tensor {
     return {grad_->data(), grad_->size()};
   }
 
+  // The at() accessors carry rank and bounds DCHECKs: free in release
+  // builds (the macros compile out; bench_micro_nn confirmed identical
+  // numbers), fatal with a precise diagnostic in Debug/sanitize builds —
+  // an out-of-range offset here would otherwise read another tensor's
+  // storage and surface as silently wrong numerics far away.
+
   /// Element access for rank-2 tensors.
   float& at(Index r, Index c) const {
+    PPG_DCHECK(rank() == 2, "at(r,c) on a rank-%zu tensor", rank());
+    PPG_DCHECK(r >= 0 && r < shape_[0], "row %lld outside [0, %lld)",
+               static_cast<long long>(r), static_cast<long long>(shape_[0]));
+    PPG_DCHECK(c >= 0 && c < shape_[1], "col %lld outside [0, %lld)",
+               static_cast<long long>(c), static_cast<long long>(shape_[1]));
     return (*data_)[static_cast<std::size_t>(r * shape_[1] + c)];
   }
 
   /// Element access for rank-1 tensors.
-  float& at(Index i) const { return (*data_)[static_cast<std::size_t>(i)]; }
+  float& at(Index i) const {
+    PPG_DCHECK(rank() == 1, "at(i) on a rank-%zu tensor", rank());
+    PPG_DCHECK(i >= 0 && i < shape_[0], "index %lld outside [0, %lld)",
+               static_cast<long long>(i), static_cast<long long>(shape_[0]));
+    return (*data_)[static_cast<std::size_t>(i)];
+  }
 
   /// Zeroes the gradient buffer.
   void zero_grad() const noexcept {

@@ -107,7 +107,8 @@ int run_tcp(serve::GuessService& svc, int port) {
   std::fprintf(stderr, "ppg_serve: listening on 127.0.0.1:%d\n", port);
 
   std::atomic<bool> stop{false};
-  std::vector<std::thread> conns;
+  // One thread per accepted connection, joined on shutdown below.
+  std::vector<std::thread> conns;  // ppg-lint: allow(naked-thread)
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/check.h"
 #include "core/masks.h"
 #include "gpt/infer.h"
 #include "obs/clock.h"
@@ -236,6 +237,10 @@ std::future<Response> GuessService::submit(Request req) {
 }
 
 void GuessService::complete_locked(Pending& p, Status s) {
+  // Completing twice would set the promise twice (UB-adjacent throw) and
+  // double-count metrics; `done` is only ever flipped here, under mu_.
+  PPG_CHECK(!p.done, "request %llu completed twice",
+            static_cast<unsigned long long>(p.id));
   ServeMetrics& m = ServeMetrics::get();
   p.done = true;
   p.resp.status = s;
@@ -282,11 +287,19 @@ void GuessService::assemble_batch_locked(std::vector<RowRef>& rows) {
   }
 
   const auto take = [&](const std::shared_ptr<Pending>& p) {
+    PPG_DCHECK(p->unassigned > 0, "scheduling a request with no rows left");
     const std::size_t k =
         std::min(cfg_.max_batch - rows.size(), p->unassigned);
     for (std::size_t i = 0; i < k; ++i) rows.push_back({p, p->next_row++});
     p->unassigned -= k;
     p->inflight += k;
+    // Attempt accounting: rows ever scheduled never exceed the admission
+    // budget of count * max_attempt_factor.
+    PPG_DCHECK(p->next_row <= p->target * static_cast<std::size_t>(
+                                              cfg_.max_attempt_factor),
+               "request %llu scheduled %zu rows, budget %zu",
+               static_cast<unsigned long long>(p->id), p->next_row,
+               p->target * static_cast<std::size_t>(cfg_.max_attempt_factor));
     if (p->first_schedule_us < 0) p->first_schedule_us = now;
   };
 
@@ -346,6 +359,14 @@ void GuessService::execute_batch(gpt::InferenceSession& session,
   const auto& c = model_.config();
   const auto n = static_cast<gpt::Index>(rows.size());
   const std::size_t len = rows[0].req->prefix.size();
+#if defined(PPG_ENABLE_DCHECKS)
+  // Lockstep decoding requires a shape-homogeneous batch; a mixed batch
+  // would feed one request's pattern tokens into another's rows.
+  for (const RowRef& r : rows)
+    PPG_DCHECK(r.req->prefix.size() == len,
+               "mixed prefix lengths in one batch (%zu vs %zu)",
+               r.req->prefix.size(), len);
+#endif
   session.reset(n);
   std::vector<int> feed(rows.size());
   for (std::size_t pos = 0; pos < len; ++pos) {
@@ -400,6 +421,7 @@ void GuessService::execute_batch(gpt::InferenceSession& session,
     std::lock_guard lock(mu_);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       Pending& p = *rows[i].req;
+      PPG_DCHECK(p.inflight > 0, "delivering a row the scheduler never issued");
       --p.inflight;
       if (p.done) continue;
       std::vector<int> full = p.prefix;
@@ -454,6 +476,8 @@ void GuessService::worker_loop(std::size_t) {
         assemble_batch_locked(rows);
       }
     }
+    PPG_DCHECK(rows.size() <= cfg_.max_batch, "batch of %zu exceeds max %zu",
+               rows.size(), cfg_.max_batch);
     execute_batch(session, rows);
   }
 }

@@ -175,7 +175,9 @@ class GuessService {
   std::uint64_t next_id_ = 1;
   bool accepting_ = true;
   bool draining_ = false;
-  std::vector<std::thread> workers_;
+  // Workers own per-thread InferenceSessions and a drain-then-join
+  // lifecycle that a generic pool cannot express.
+  std::vector<std::thread> workers_;  // ppg-lint: allow(naked-thread)
 };
 
 }  // namespace ppg::serve

@@ -190,7 +190,9 @@ bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out) {
     cv.notify_one();
   };
 
-  std::thread writer([&] {
+  // Dedicated writer so response serialization never blocks request
+  // parsing; joined below before the session returns.
+  std::thread writer([&] {  // ppg-lint: allow(naked-thread)
     for (;;) {
       Outgoing o;
       {

@@ -1,0 +1,74 @@
+// PPG_CHECK / PPG_DCHECK contract tests: pass-through on true conditions,
+// diagnostic + abort on false ones, and — the property the release
+// benchmarks rely on — DCHECK conditions are never even evaluated when
+// PPG_ENABLE_DCHECKS is off.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace ppg {
+namespace {
+
+TEST(Check, TrueConditionIsANoop) {
+  int evaluations = 0;
+  PPG_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  PPG_CHECK(1 + 1 == 2, "arithmetic still works: %d", 2);
+  EXPECT_EQ(evaluations, 1);  // evaluated exactly once
+}
+
+TEST(CheckDeathTest, FalseConditionAbortsWithMessage) {
+  EXPECT_DEATH(PPG_CHECK(false, "queue had %d rows", 7),
+               "PPG_CHECK failed: false .*check_test.*queue had 7 rows");
+}
+
+TEST(CheckDeathTest, BareFormIncludesExpression) {
+  const int* p = nullptr;
+  EXPECT_DEATH(PPG_CHECK(p != nullptr), "PPG_CHECK failed: p != nullptr");
+}
+
+TEST(Check, DcheckEvaluationTracksBuildMode) {
+  int evaluations = 0;
+  [[maybe_unused]] const auto count_and_pass = [&] {
+    ++evaluations;
+    return true;
+  };
+  PPG_DCHECK(count_and_pass(), "never fires");
+  EXPECT_EQ(evaluations, kDchecksEnabled ? 1 : 0);
+}
+
+TEST(CheckDeathTest, DcheckFatalWhenEnabled) {
+  if constexpr (kDchecksEnabled) {
+    EXPECT_DEATH(PPG_DCHECK(false, "dcheck fired"),
+                 "PPG_DCHECK failed: false .*dcheck fired");
+  } else {
+    PPG_DCHECK(false, "compiled out");  // must be a no-op
+  }
+}
+
+TEST(CheckDeathTest, TensorAtBoundsAreDchecked) {
+  nn::Tensor t({2, 3});
+  t.at(1, 2) = 1.f;  // in range: fine in every build mode
+  EXPECT_EQ(t.at(1, 2), 1.f);
+  if constexpr (kDchecksEnabled) {
+    EXPECT_DEATH(t.at(2, 0), "row 2 outside");
+    EXPECT_DEATH(t.at(0, 3), "col 3 outside");
+    EXPECT_DEATH(t.at(-1, 0), "row -1 outside");
+    EXPECT_DEATH(t.at(5), "rank-2");  // rank-1 accessor on a rank-2 tensor
+    nn::Tensor v({4});
+    EXPECT_DEATH(v.at(4), "index 4 outside");
+  }
+}
+
+TEST(CheckDeathTest, TensorDimIsAlwaysChecked) {
+  nn::Tensor t({2, 3});
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_DEATH(t.dim(2), "PPG_CHECK failed.*dim 2 of a rank-2 tensor");
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,295 @@
+// ppg_lint: repo-specific static checks the general-purpose compiler
+// can't express. Runs as a ctest over the whole tree (src/, tests/,
+// bench/, tools/, examples/), so a rule violation fails CI exactly like a
+// unit test.
+//
+// The rules encode project policy (DESIGN.md §9):
+//   naked-thread        threads are spawned via ppg::ThreadPool or the
+//                       serving layer's audited worker lifecycles, never
+//                       ad-hoc — TSan coverage and drain()/stop() semantics
+//                       only hold for owned threads.
+//   nondeterministic-random
+//                       generation paths must draw from common/rng.h
+//                       (seeded xoshiro256**); rand()/time()/random_device
+//                       would silently break bit-for-bit reproducibility,
+//                       which Eq. (1) probabilities and the D&C-GEN
+//                       duplicate-rate claims depend on.
+//   cout-in-library     library code logs through common/logging.h (one
+//                       atomic stdio call per line); std::cout from
+//                       concurrent workers interleaves mid-line and
+//                       corrupts NDJSON streams.
+//   raw-tensor-index    inside src/nn, element access goes through the
+//                       Tensor accessors (which carry bounds DCHECKs) —
+//                       raw (*data_)[...] indexing bypasses the invariant
+//                       layer.
+//   assert-use          invariants use PPG_CHECK/PPG_DCHECK (always print
+//                       a message; DCHECK tracks sanitize builds, not
+//                       NDEBUG) rather than cassert.
+//   pragma-once         every header starts its include story with
+//                       #pragma once (rule of the existing tree).
+//
+// A finding on one specific line can be waived in place with a trailing
+//   // ppg-lint: allow(<rule-name>) <why>
+// comment; path-level exemptions live in the rule table below.
+//
+// Matching is substring-with-left-word-boundary over comment- and
+// string-stripped source, so `srand(` does not fire `rand(` and prose in
+// comments never fires at all.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Rule {
+  std::string name;
+  std::vector<std::string> needles;  ///< empty for file-level rules
+  std::string message;
+  std::vector<std::string> include;  ///< path prefixes the rule applies to
+  std::vector<std::string> exclude;  ///< path prefixes/files exempt from it
+};
+
+const std::vector<Rule> kRules = {
+    {"naked-thread",
+     {"std::thread", "std::jthread", "pthread_create"},
+     "spawn workers via ppg::ThreadPool (src/common/thread_pool.h) or an "
+     "audited owner; naked threads escape drain()/stop() and TSan coverage",
+     {"src/"},
+     {"src/common/thread_pool.h"}},
+    {"nondeterministic-random",
+     {"rand(", "srand(", "rand_r(", "std::random_device", "random_device{",
+      "std::mt19937", "time(nullptr)", "time(NULL)", "time(0)"},
+     "deterministic paths must draw from common/rng.h (seeded "
+     "xoshiro256**), not wall clocks or libc randomness",
+     {"src/"},
+     {}},
+    {"cout-in-library",
+     {"std::cout"},
+     "library code logs via common/logging.h (atomic single-call lines); "
+     "std::cout interleaves under concurrency",
+     {"src/"},
+     {}},
+    {"raw-tensor-index",
+     {"(*data_)[", "(*grad_)["},
+     "use the Tensor accessors (at()/data()/grad()) — raw storage indexing "
+     "bypasses the bounds DCHECKs",
+     {"src/nn/"},
+     {"src/nn/tensor.h"}},
+    {"assert-use",
+     {"assert(", "#include <cassert>", "#include <assert.h>"},
+     "use PPG_CHECK / PPG_DCHECK from common/check.h (message + abort, "
+     "sanitize-aware) instead of cassert",
+     {"src/", "tools/"},
+     {}},
+    {"pragma-once",
+     {},  // file-level: headers must contain #pragma once
+     "header is missing #pragma once",
+     {"src/", "tests/", "bench/", "tools/", "examples/"},
+     {}},
+};
+
+/// *_main.cpp files are binary entry points: stdout is their product
+/// (NDJSON responses, bench tables), so cout-in-library does not apply.
+bool is_binary_entry(const std::string& rel) {
+  return rel.size() >= 9 && rel.compare(rel.size() - 9, 9, "_main.cpp") == 0;
+}
+
+bool path_has_prefix(const std::string& rel,
+                     const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes)
+    if (rel.compare(0, p.size(), p) == 0) return true;
+  return false;
+}
+
+bool rule_applies(const Rule& r, const std::string& rel) {
+  if (!path_has_prefix(rel, r.include)) return false;
+  if (path_has_prefix(rel, r.exclude)) return false;
+  if (r.name == "cout-in-library" && is_binary_entry(rel)) return false;
+  return true;
+}
+
+/// Replaces comments and string/char-literal contents with spaces, keeping
+/// column positions stable. `in_block` carries /* */ state across lines.
+std::string strip_noncode(const std::string& line, bool& in_block) {
+  std::string out(line.size(), ' ');
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      out[i] = q;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          i += 2;
+          continue;
+        }
+        if (line[i] == q) {
+          out[i] = q;
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+bool is_word_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Substring search requiring a non-identifier char (or start of line)
+/// immediately before the match, so `srand(` never fires `rand(`.
+bool contains_word(const std::string& code, const std::string& needle) {
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || !is_word_char(code[pos - 1])) return true;
+    ++pos;
+  }
+  return false;
+}
+
+bool line_waives(const std::string& raw, const std::string& rule) {
+  const std::size_t mark = raw.find("ppg-lint: allow(");
+  if (mark == std::string::npos) return false;
+  const std::size_t open = raw.find('(', mark);
+  const std::size_t close = raw.find(')', open);
+  if (close == std::string::npos) return false;
+  const std::string_view inside(raw.data() + open + 1, close - open - 1);
+  return inside == rule;
+}
+
+struct Finding {
+  std::string rel;
+  std::size_t line;
+  const Rule* rule;
+};
+
+void scan_file(const fs::path& abs, const std::string& rel,
+               std::vector<Finding>& findings) {
+  std::vector<const Rule*> line_rules;
+  const Rule* header_rule = nullptr;
+  const bool is_header = rel.size() > 2 && rel.rfind(".h") == rel.size() - 2;
+  for (const auto& r : kRules) {
+    if (!rule_applies(r, rel)) continue;
+    if (r.needles.empty()) {
+      if (is_header) header_rule = &r;
+    } else {
+      line_rules.push_back(&r);
+    }
+  }
+  if (line_rules.empty() && header_rule == nullptr) return;
+
+  std::ifstream in(abs);
+  if (!in) {
+    std::fprintf(stderr, "ppg_lint: cannot read %s\n", rel.c_str());
+    findings.push_back({rel, 0, nullptr});
+    return;
+  }
+  std::string raw;
+  bool in_block = false;
+  bool saw_pragma_once = false;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (is_header && raw.find("#pragma once") != std::string::npos)
+      saw_pragma_once = true;
+    if (line_rules.empty()) continue;
+    const std::string code = strip_noncode(raw, in_block);
+    for (const Rule* r : line_rules) {
+      for (const auto& needle : r->needles) {
+        if (!contains_word(code, needle)) continue;
+        if (!line_waives(raw, r->name)) findings.push_back({rel, lineno, r});
+        break;
+      }
+    }
+  }
+  if (header_rule != nullptr && !saw_pragma_once)
+    findings.push_back({rel, 1, header_rule});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: ppg_lint --root <repo-root> [--list-rules]\n");
+      return 2;
+    }
+  }
+  if (list_rules) {
+    for (const auto& r : kRules)
+      std::printf("%-24s %s\n", r.name.c_str(), r.message.c_str());
+    return 0;
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "ppg_lint: --root is required\n");
+    return 2;
+  }
+
+  std::vector<std::string> rels;
+  for (const char* top : {"src", "tests", "bench", "tools", "examples"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      rels.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+
+  std::vector<Finding> findings;
+  for (const auto& rel : rels) scan_file(fs::path(root) / rel, rel, findings);
+
+  for (const auto& f : findings) {
+    if (f.rule == nullptr) continue;  // unreadable file, already reported
+    std::printf("%s:%zu: [%s] %s\n", f.rel.c_str(), f.line, f.rule->name.c_str(),
+                f.rule->message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("ppg_lint: %zu finding(s) in %zu file(s) scanned\n",
+                findings.size(), rels.size());
+    return 1;
+  }
+  std::printf("ppg_lint: clean (%zu files, %zu rules)\n", rels.size(),
+              kRules.size());
+  return 0;
+}
