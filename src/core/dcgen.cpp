@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "core/masks.h"
 #include "gpt/infer.h"
+#include "gpt/kv_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tokenizer/tokenizer.h"
@@ -143,35 +144,98 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
   }
 
   // Recursive division (Alg. 1 lines 10-22), batched by prefix length.
+  // With the KV cache on, a divided task's post-prefix state is snapshotted
+  // into a per-run prefix trie; its children (division or leaf) later
+  // resume from it instead of re-priming from <BOS>. Values are bitwise
+  // identical either way (kv_cache.h), so the cache may be toggled, sized,
+  // or evicted freely without changing a single emitted guess.
+  std::unique_ptr<gpt::KvTrieCache> cache;
+  if (cfg.kv_cache)
+    cache = std::make_unique<gpt::KvTrieCache>(cfg.kv_cache_bytes);
   gpt::InferenceSession session(model);
   const auto& class_sets = ClassTokenSets::instance();
   std::vector<int> feed;
+  std::vector<float> task_logits;  ///< [group_size, vocab] scratch
+  const gpt::Index vocab = model.config().vocab;
   while (!pending.empty()) {
     obs::Span division_span("dcgen/division_batch", "dcgen");
     auto bucket_it = pending.begin();
     auto& bucket = bucket_it->second;
-    const std::size_t take = std::min(cfg.division_batch, bucket.size());
+    const std::size_t take =
+        std::min(std::max<std::size_t>(cfg.division_batch, 1), bucket.size());
     std::vector<Task> group(std::make_move_iterator(bucket.end() - take),
                             std::make_move_iterator(bucket.end()));
     bucket.resize(bucket.size() - take);
     if (bucket.empty()) pending.erase(bucket_it);
 
     const std::size_t len = group.front().prefix.size();
-    session.reset(static_cast<gpt::Index>(group.size()));
-    feed.resize(group.size());
-    for (std::size_t p = 0; p < len; ++p) {
-      for (std::size_t i = 0; i < group.size(); ++i)
-        feed[i] = group[i].prefix[p];
-      session.step(feed);
-    }
-    ++local.model_calls;
 
+    // Phase 1: compute each task's last-prefix-token logits. Sub-batches
+    // group tasks whose deepest cached ancestor sits at the same depth so
+    // every sub-batch stays a lockstep session; with the cache off there
+    // is exactly one sub-batch at depth 0 (the original full prime).
+    task_logits.assign(group.size() * static_cast<std::size_t>(vocab), 0.f);
+    const auto run_subbatch = [&](const std::vector<std::size_t>& idxs,
+                                  std::span<const gpt::KvState* const> states,
+                                  std::size_t depth) {
+      if (depth > 0)
+        session.resume_rows(states, static_cast<gpt::Index>(depth));
+      else
+        session.reset(static_cast<gpt::Index>(idxs.size()));
+      feed.resize(idxs.size());
+      for (std::size_t p = depth; p < len; ++p) {
+        for (std::size_t j = 0; j < idxs.size(); ++j)
+          feed[j] = group[idxs[j]].prefix[p];
+        session.step(feed);
+      }
+      ++local.model_calls;
+      const std::size_t primed = (len - depth) * idxs.size();
+      local.prefill_tokens += primed;
+      local.prefill_saved += depth * idxs.size();
+      gpt::kv_cache_metrics().prefill_tokens.inc(primed);
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        const auto row = session.logits_row(static_cast<gpt::Index>(j));
+        std::copy(row.begin(), row.end(),
+                  task_logits.begin() +
+                      static_cast<std::ptrdiff_t>(idxs[j]) * vocab);
+        if (cache)
+          cache->insert(group[idxs[j]].prefix,
+                        session.snapshot(static_cast<gpt::Index>(j)));
+      }
+    };
+    if (!cache) {
+      std::vector<std::size_t> all(group.size());
+      for (std::size_t i = 0; i < group.size(); ++i) all[i] = i;
+      run_subbatch(all, {}, 0);
+    } else {
+      std::vector<gpt::KvTrieCache::Handle> handles(group.size());
+      std::map<std::size_t, std::vector<std::size_t>> by_depth;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        handles[i] = cache->find_longest(group[i].prefix);
+        by_depth[static_cast<std::size_t>(handles[i].len())].push_back(i);
+      }
+      for (const auto& [depth, idxs] : by_depth) {
+        std::vector<const gpt::KvState*> states;
+        if (depth > 0) {
+          states.reserve(idxs.size());
+          for (const std::size_t i : idxs)
+            states.push_back(handles[i].state());
+        }
+        run_subbatch(idxs, states, depth);
+      }
+    }
+
+    // Phase 2: route children in the group's original order — identical to
+    // the uncached path, so the leaf list (and thus the output order) never
+    // depends on how phase 1 was sub-batched.
     for (std::size_t i = 0; i < group.size(); ++i) {
       Task& t = group[i];
       ++local.divisions;
       const auto cls = pcfg::class_at(*t.pattern, t.chars_done);
       const auto& allowed = class_sets.of(*cls);
-      const auto logits = session.logits_row(static_cast<gpt::Index>(i));
+      const std::span<const float> logits(
+          task_logits.data() + static_cast<std::ptrdiff_t>(i) * vocab,
+          static_cast<std::size_t>(vocab));
       // Softmax restricted to the candidate tokens (paper: c = 52/10/32).
       float mx = -1e30f;
       for (std::size_t v = 0; v < logits.size(); ++v)
@@ -203,6 +267,7 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
   // is identical for any thread count (§III-C3 optimisation 3).
   local.leaves = leaves.size();
   std::vector<std::vector<std::string>> leaf_out(leaves.size());
+  std::vector<gpt::SampleStats> leaf_stats(leaves.size());
   const auto run_leaf = [&](std::size_t leaf_idx) {
     obs::Span leaf_span("dcgen/leaf", "dcgen");
     const Task& t = leaves[leaf_idx];
@@ -212,8 +277,14 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
     const gpt::LogitMask mask =
         cfg.strict_leaves ? make_pattern_mask(*t.pattern, t.chars_done)
                           : gpt::LogitMask{};
+    // A leaf's parent prefix was snapshotted when it was divided, so the
+    // deepest cached ancestor usually covers all but the last token. The
+    // handle pins the state for the duration of the sampling call.
+    gpt::KvTrieCache::Handle hit;
+    if (cache) hit = cache->find_longest(t.prefix);
     leaf_out[leaf_idx] =
-        gpt::sample_passwords(model, t.prefix, count, rng, cfg.sample, mask);
+        gpt::sample_passwords(model, t.prefix, count, rng, cfg.sample, mask,
+                              &leaf_stats[leaf_idx], hit ? hit.state() : nullptr);
     DcMetrics::get().emitted.inc(leaf_out[leaf_idx].size());
   };
   {
@@ -224,6 +295,12 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
     } else {
       for (std::size_t i = 0; i < leaves.size(); ++i) run_leaf(i);
     }
+  }
+  // Leaf prefill accounting is summed after the pool joins so the totals
+  // are exact and identical for any thread count.
+  for (const auto& s : leaf_stats) {
+    local.prefill_tokens += s.prefill_tokens;
+    local.prefill_saved += s.prefill_saved;
   }
   // Mirror the per-run snapshot into the process-wide registry. The counts
   // were accumulated single-threaded during division (route/model loop);

@@ -34,7 +34,10 @@ struct DcGenConfig {
   /// N: total number of guesses to apportion.
   double total = 100000;
   /// T: division threshold (paper used 4000 = one GPU batch; our CPU
-  /// default matches the sampler batch).
+  /// default matches the sampler batch). Degenerate boundary: with T at or
+  /// below min_task, a divided task's children (mass ~n/52 each)
+  /// almost all fall below min_task and are deleted per the paper's rule,
+  /// so the run terminates quickly emitting mostly forced outputs.
   double threshold = 64;
   /// Leaf-generation sampling options.
   gpt::SampleOptions sample;
@@ -53,6 +56,15 @@ struct DcGenConfig {
   /// any thread count: each leaf draws from its own seeded RNG and outputs
   /// are concatenated in task order.
   int threads = 1;
+  /// Prefix-trie KV cache (src/gpt/kv_cache.h): division batches and leaf
+  /// generations resume from the deepest cached ancestor prefix instead of
+  /// re-priming from <BOS>. Guess output is bitwise identical either way,
+  /// for any thread count and any byte budget (tests/kv_cache_test.cpp);
+  /// only the prefill work and the model_calls count change.
+  bool kv_cache = true;
+  /// Byte budget for the per-run cache. LRU eviction of unpinned nodes;
+  /// a tiny budget degrades hit depth, never correctness.
+  std::size_t kv_cache_bytes = std::size_t(256) << 20;
 };
 
 /// Run diagnostics.
@@ -63,6 +75,11 @@ struct DcGenStats {
   std::size_t dropped = 0;      ///< subtasks below min_task
   std::size_t forced = 0;       ///< fully-determined prefixes emitted directly
   double capacity_capped = 0;   ///< guesses saved by the capacity cap
+  /// Prefix positions fed through the model during division priming and
+  /// leaf prefill (the work the KV cache exists to avoid).
+  std::size_t prefill_tokens = 0;
+  /// Prefix positions restored from cached KV states instead of computed.
+  std::size_t prefill_saved = 0;
 };
 
 /// Generates ~cfg.total passwords with the divide-and-conquer scheme.

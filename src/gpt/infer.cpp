@@ -1,8 +1,11 @@
 #include "gpt/infer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "nn/kernels.h"
 #include "obs/metrics.h"
 
@@ -64,6 +67,7 @@ void InferenceSession::reset(Index batch) {
   const Config& c = model_->config();
   batch_ = batch;
   pos_ = 0;
+  logits_ready_ = false;
   // Every buffer is indexed with a per-row stride, so a batch that fits the
   // existing allocation reuses it as-is: rows < batch_ are fully rewritten
   // before being read (the KV caches only ever read positions <= pos_, all
@@ -197,7 +201,95 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
                       model_->lm_head().weight().data().data(),
                       model_->lm_head().bias().data().data(), logits_.data());
   ++pos_;
+  logits_ready_ = true;
   return {logits_.data(), static_cast<std::size_t>(batch_ * c.vocab)};
+}
+
+KvState InferenceSession::snapshot(Index row) const {
+  const Config& c = model_->config();
+  if (batch_ == 0)
+    throw std::logic_error("InferenceSession::snapshot before reset()");
+  if (row < 0 || row >= batch_)
+    throw std::invalid_argument("InferenceSession::snapshot: row out of range");
+  if (pos_ == 0)
+    throw std::logic_error("InferenceSession::snapshot before any step()");
+  const Index d = c.d_model;
+  KvState s;
+  s.len = pos_;
+  s.k.resize(static_cast<std::size_t>(c.n_layers));
+  s.v.resize(static_cast<std::size_t>(c.n_layers));
+  for (Index l = 0; l < c.n_layers; ++l) {
+    const float* kc =
+        kcache_[static_cast<std::size_t>(l)].data() + row * c.context * d;
+    const float* vc =
+        vcache_[static_cast<std::size_t>(l)].data() + row * c.context * d;
+    s.k[static_cast<std::size_t>(l)].assign(kc, kc + pos_ * d);
+    s.v[static_cast<std::size_t>(l)].assign(vc, vc + pos_ * d);
+  }
+  const auto lr = logits_row(row);
+  s.logits.assign(lr.begin(), lr.end());
+  return s;
+}
+
+void InferenceSession::resume(const KvState& state, Index batch) {
+  resume(state, batch, state.len);
+}
+
+void InferenceSession::resume(const KvState& state, Index batch, Index depth) {
+  std::vector<const KvState*> states(static_cast<std::size_t>(batch), &state);
+  resume_rows(states, depth);
+}
+
+void InferenceSession::resume_rows(std::span<const KvState* const> states,
+                                   Index depth) {
+  const Config& c = model_->config();
+  if (states.empty())
+    throw std::invalid_argument("InferenceSession::resume_rows: empty batch");
+  if (depth < 0 || depth > c.context)
+    throw std::invalid_argument(
+        "InferenceSession::resume_rows: depth out of range");
+  for (const KvState* s : states) {
+    if (s == nullptr)
+      throw std::invalid_argument("InferenceSession::resume_rows: null state");
+    if (depth > s->len)
+      throw std::invalid_argument(
+          "InferenceSession::resume_rows: depth exceeds a state's length");
+    if (static_cast<Index>(s->k.size()) != c.n_layers ||
+        static_cast<Index>(s->v.size()) != c.n_layers)
+      throw std::invalid_argument(
+          "InferenceSession::resume_rows: layer count mismatch");
+  }
+  reset(static_cast<Index>(states.size()));
+  const Index d = c.d_model;
+  for (Index l = 0; l < c.n_layers; ++l) {
+    float* kc = kcache_[static_cast<std::size_t>(l)].data();
+    float* vc = vcache_[static_cast<std::size_t>(l)].data();
+    for (Index i = 0; i < batch_; ++i) {
+      const KvState& s = *states[static_cast<std::size_t>(i)];
+      std::memcpy(kc + i * c.context * d,
+                  s.k[static_cast<std::size_t>(l)].data(),
+                  static_cast<std::size_t>(depth * d) * sizeof(float));
+      std::memcpy(vc + i * c.context * d,
+                  s.v[static_cast<std::size_t>(l)].data(),
+                  static_cast<std::size_t>(depth * d) * sizeof(float));
+    }
+  }
+  pos_ = depth;
+  // Restore stored logits only when they correspond to this exact depth
+  // for every row; a shallower resume recomputes them at the next step.
+  bool full = true;
+  for (const KvState* s : states)
+    full = full && s->len == depth &&
+           static_cast<Index>(s->logits.size()) == c.vocab;
+  if (full) {
+    for (Index i = 0; i < batch_; ++i)
+      std::memcpy(logits_.data() + i * c.vocab,
+                  states[static_cast<std::size_t>(i)]->logits.data(),
+                  static_cast<std::size_t>(c.vocab) * sizeof(float));
+  }
+  logits_ready_ = full;
+  kv_cache_metrics().prefill_saved.inc(
+      static_cast<std::uint64_t>(depth * batch_));
 }
 
 std::span<const float> InferenceSession::prime(std::span<const int> prefix) {
@@ -214,6 +306,8 @@ std::span<const float> InferenceSession::prime(std::span<const int> prefix) {
 }
 
 std::span<const float> InferenceSession::logits_row(Index i) const {
+  PPG_DCHECK(logits_ready_,
+             "logits_row read before a step() or full-depth resume");
   const Index v = model_->config().vocab;
   return {logits_.data() + i * v, static_cast<std::size_t>(v)};
 }

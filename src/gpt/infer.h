@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "gpt/kv_cache.h"
 #include "gpt/model.h"
 
 namespace ppg::gpt {
@@ -41,6 +42,26 @@ class InferenceSession {
   /// broadcast across the batch.
   std::span<const float> prime(std::span<const int> prefix);
 
+  /// Forks sequence `row` out of this session: copies its per-layer KV
+  /// blocks for positions [0, position()) and its current logits row into
+  /// a standalone KvState. Requires at least one step taken.
+  KvState snapshot(Index row) const;
+
+  /// Starts `batch` fresh sequences that all resume from `state`'s first
+  /// `depth` positions — bitwise equivalent to reset(batch) followed by
+  /// stepping the snapshotted prefix (per-sequence float op order is batch
+  /// invariant; see kv_cache.h). When depth == state.len the stored
+  /// logits are restored too, so logits_row() is immediately valid;
+  /// resuming shallower requires a step() before reading logits.
+  void resume(const KvState& state, Index batch);
+  void resume(const KvState& state, Index batch, Index depth);
+
+  /// Per-row resume at a uniform depth: sequence i resumes from
+  /// states[i]'s first `depth` positions (requires depth <= states[i]->len
+  /// for every i; entries must be non-null). Logits are valid only when
+  /// every state's len equals `depth` exactly.
+  void resume_rows(std::span<const KvState* const> states, Index depth);
+
   /// Logits row for sequence `i` from the last step.
   std::span<const float> logits_row(Index i) const;
 
@@ -57,6 +78,9 @@ class InferenceSession {
   Index batch_ = 0;
   Index capacity_ = 0;  ///< largest batch the buffers are sized for
   Index pos_ = 0;
+  /// Whether logits_ holds the current position's rows (set by step() and
+  /// full-depth resume; cleared by reset() and partial resume).
+  bool logits_ready_ = false;
   // Per layer: K and V caches, [batch, context, d_model] flattened.
   std::vector<std::vector<float>> kcache_, vcache_;
   // Scratch buffers reused across steps.

@@ -1,0 +1,177 @@
+// Prefix-trie KV cache: reuse attention states across prefix-related
+// forward passes.
+//
+// Every consumer of InferenceSession — D&C-GEN's divider, its leaf
+// generations, and the serve layer's request batches — primes sessions
+// with token prefixes that are *extensions of prefixes already primed*:
+// a division task's prefix is its parent's plus one token, a leaf's prefix
+// is its parent division's plus one token, and repeated serve requests
+// share their whole `<BOS> pattern <SEP>` prefix. Re-running prime() over
+// the full prefix recomputes per-layer K/V blocks an ancestor already
+// produced. This store memoises them:
+//
+//  * KvState is one sequence's immutable per-layer K/V blocks for
+//    positions [0, len) plus the logits after token len-1 — everything a
+//    session needs to continue decoding as if it had stepped the prefix
+//    itself (InferenceSession::resume / resume_rows).
+//  * KvTrieCache is a trie over token ids whose nodes own KvStates,
+//    ref-counted by RAII Handles (a pinned node is never evicted) with
+//    LRU eviction of unpinned nodes under a byte budget.
+//
+// Determinism contract: resuming from a cached KvState is bitwise
+// identical to re-priming the same prefix, because per-sequence float op
+// order is invariant to batch geometry (kernels.h gemm_nn accumulates
+// each output element in the same p-order in the 4-row-blocked and
+// remainder paths; layernorm, attention, and GELU are per-row). A cache
+// hit therefore changes *where* the floats come from, never their values
+// — the differential suite in tests/kv_cache_test.cpp locks this down
+// across thread counts and eviction-forcing budgets.
+//
+// Thread safety: all member functions are safe to call concurrently; the
+// store takes one mutex per operation (trivial next to a model forward).
+// KvStates are immutable after insert, so pinned readers need no lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+
+namespace ppg::gpt {
+
+using nn::Index;
+
+/// One sequence's KV snapshot: per-layer K and V blocks covering positions
+/// [0, len), plus the next-token logits after token len-1. Immutable once
+/// inside the cache.
+struct KvState {
+  Index len = 0;                         ///< positions covered
+  std::vector<std::vector<float>> k, v;  ///< per layer, len * d_model
+  std::vector<float> logits;             ///< vocab, after token len-1
+
+  /// Payload size (the eviction budget's unit).
+  std::size_t bytes() const noexcept;
+};
+
+/// Trie-of-token-ids store of KvStates with pin refcounts and LRU
+/// eviction under a byte budget.
+class KvTrieCache {
+ public:
+  /// `max_bytes` caps the *unpinned* resident payload: pinned nodes are
+  /// never evicted, so the live total can transiently exceed the budget
+  /// while handles are outstanding; it is trimmed back as they release.
+  explicit KvTrieCache(std::size_t max_bytes);
+  ~KvTrieCache();
+
+  KvTrieCache(const KvTrieCache&) = delete;
+  KvTrieCache& operator=(const KvTrieCache&) = delete;
+
+  class Handle;
+
+  /// Exact-prefix lookup. An empty handle on miss.
+  Handle find(std::span<const int> prefix);
+
+  /// Deepest cached ancestor of `prefix` (including `prefix` itself).
+  /// An empty handle when no prefix of it is cached.
+  Handle find_longest(std::span<const int> prefix);
+
+  /// Stores `state` under `prefix` (state.len need not equal
+  /// prefix.size(); D&C-GEN and serve always insert state.len ==
+  /// prefix.size()). First insert wins: re-inserting an existing prefix
+  /// keeps the resident state (cached and recomputed states are bitwise
+  /// equal by the determinism contract, so which copy survives is
+  /// unobservable). May trigger eviction of other, unpinned nodes.
+  void insert(std::span<const int> prefix, KvState state);
+
+  /// Unpinned + pinned resident payload bytes.
+  std::size_t bytes() const;
+  /// Nodes currently holding a state.
+  std::size_t nodes() const;
+  /// Nodes currently pinned by live handles.
+  std::size_t pinned_nodes() const;
+
+  const std::size_t max_bytes;
+
+  /// RAII pin on one cached node. While a handle is live its state is
+  /// immutable and cannot be evicted; destruction (or release()) unpins
+  /// and may trigger deferred eviction.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& o) noexcept : cache_(o.cache_), node_(o.node_) {
+      o.cache_ = nullptr;
+      o.node_ = nullptr;
+    }
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        release();
+        cache_ = o.cache_;
+        node_ = o.node_;
+        o.cache_ = nullptr;
+        o.node_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    /// Drops the pin early. Idempotent.
+    void release();
+
+    explicit operator bool() const noexcept { return node_ != nullptr; }
+    /// The pinned state; nullptr for an empty handle.
+    const KvState* state() const noexcept;
+    /// Positions the pinned state covers (0 for an empty handle).
+    Index len() const noexcept;
+
+   private:
+    friend class KvTrieCache;
+    Handle(KvTrieCache* cache, void* node) : cache_(cache), node_(node) {}
+    KvTrieCache* cache_ = nullptr;
+    void* node_ = nullptr;
+  };
+
+ private:
+  struct Node;
+  Node* walk_locked(std::span<const int> prefix, bool create);
+  Handle pin_locked(Node* n);
+  void lru_detach_locked(Node* n);
+  void evict_over_budget_locked();
+  void evict_node_locked(Node* n);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Node> root_;
+  // Intrusive-by-pointer LRU of unpinned state-bearing nodes; front is
+  // the eviction victim, back is most recently used.
+  std::vector<Node*> lru_;  ///< small; linear ops are fine at trie scale
+  std::size_t bytes_ = 0;
+  std::size_t nodes_ = 0;
+  std::size_t pinned_ = 0;
+};
+
+/// Process-wide KV-cache metrics ("kv_cache.*" in the global registry):
+/// hit/miss/insert/eviction counters, resident- and evicted-bytes, and the
+/// prefill ledger (token positions computed by prime loops vs skipped by
+/// resuming) that bench_kv_cache reports. Registered once; updates are the
+/// registry's lock-free fast path.
+struct KvCacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& inserts;
+  obs::Counter& evictions;
+  obs::Counter& evicted_bytes;
+  obs::Gauge& bytes;
+  /// Prefill positions actually fed through step() by prime loops.
+  obs::Counter& prefill_tokens;
+  /// Prefill positions skipped because resume() restored them.
+  obs::Counter& prefill_saved;
+};
+KvCacheMetrics& kv_cache_metrics();
+
+}  // namespace ppg::gpt

@@ -62,7 +62,8 @@ std::vector<std::string> sample_passwords(const GptModel& model,
                                           std::size_t count, Rng& rng,
                                           const SampleOptions& opts,
                                           const LogitMask& mask,
-                                          SampleStats* stats) {
+                                          SampleStats* stats,
+                                          const KvState* resume) {
   std::vector<std::string> out;
   out.reserve(count);
   if (count == 0) return out;
@@ -78,8 +79,25 @@ std::vector<std::string> sample_passwords(const GptModel& model,
     const Index n = static_cast<Index>(std::min<std::size_t>(
         static_cast<std::size_t>(opts.batch_size), count - out.size()));
     local.sequences_run += static_cast<std::size_t>(n);
-    session.reset(n);
-    session.prime(prefix);
+    const Index depth =
+        resume == nullptr
+            ? 0
+            : std::min(resume->len, static_cast<Index>(prefix.size()));
+    if (depth > 0) {
+      session.resume(*resume, n, depth);
+      if (static_cast<std::size_t>(depth) < prefix.size())
+        session.prime(prefix.subspan(static_cast<std::size_t>(depth)));
+    } else {
+      session.reset(n);
+      session.prime(prefix);
+    }
+    const std::size_t primed =
+        (prefix.size() - static_cast<std::size_t>(depth)) *
+        static_cast<std::size_t>(n);
+    local.prefill_tokens += primed;
+    local.prefill_saved +=
+        static_cast<std::size_t>(depth) * static_cast<std::size_t>(n);
+    kv_cache_metrics().prefill_tokens.inc(primed);
     std::vector<std::vector<int>> generated(static_cast<std::size_t>(n));
     std::vector<bool> active(static_cast<std::size_t>(n), true);
     std::vector<int> next(static_cast<std::size_t>(n), tok::Tokenizer::kPad);

@@ -38,6 +38,10 @@ struct SampleOptions {
 struct SampleStats {
   std::size_t sequences_run = 0;  ///< total sequences started
   std::size_t invalid = 0;        ///< undecodable or unterminated
+  /// Prefix positions fed through step() while priming batches.
+  std::size_t prefill_tokens = 0;
+  /// Prefix positions skipped by resuming from a cached KvState.
+  std::size_t prefill_saved = 0;
 };
 
 /// Hook applied to each active sequence's raw logits before sampling;
@@ -49,12 +53,19 @@ using LogitMask = std::function<void(Index step, std::span<float> logits)>;
 /// strings may repeat — deduplication is the caller's concern (that is the
 /// paper's repeat-rate phenomenon). Undecodable sequences are replaced by
 /// fresh draws until `count` is reached or the attempt budget is exhausted.
+///
+/// When `resume` covers a leading part of `prefix` (resume->len <=
+/// prefix.size()), every batch restores those positions from the snapshot
+/// and primes only the remainder — bitwise identical to priming the whole
+/// prefix (see kv_cache.h), just cheaper. The snapshot must stay alive
+/// (e.g. a pinned KvTrieCache::Handle) for the duration of the call.
 std::vector<std::string> sample_passwords(const GptModel& model,
                                           std::span<const int> prefix,
                                           std::size_t count, Rng& rng,
                                           const SampleOptions& opts = {},
                                           const LogitMask& mask = nullptr,
-                                          SampleStats* stats = nullptr);
+                                          SampleStats* stats = nullptr,
+                                          const KvState* resume = nullptr);
 
 /// Samples a token id from raw logits under the given options.
 int sample_from_logits(std::span<const float> logits, Rng& rng,

@@ -108,6 +108,9 @@ GuessService::GuessService(const gpt::GptModel& model,
                            const pcfg::PatternDistribution& patterns,
                            ServiceConfig cfg)
     : model_(model), patterns_(patterns), cfg_(normalized(cfg)) {
+  if (cfg_.prefix_cache_bytes > 0)
+    prefix_cache_ =
+        std::make_unique<gpt::KvTrieCache>(cfg_.prefix_cache_bytes);
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -367,12 +370,52 @@ void GuessService::execute_batch(gpt::InferenceSession& session,
                "mixed prefix lengths in one batch (%zu vs %zu)",
                r.req->prefix.size(), len);
 #endif
-  session.reset(n);
+  // Prefill, resuming from the prefix cache where possible. Rows of one
+  // request are adjacent in the batch, so one lookup per request covers
+  // its whole row run. The batch resumes at the *shallowest* per-row hit
+  // depth (lockstep sessions share one position); an exact full-prefix
+  // hit on every row skips prefill entirely — resume_rows restores the
+  // stored logits. Handles stay live past the insert below so pinned
+  // states cannot be evicted mid-use.
+  std::size_t depth = 0;
+  std::vector<gpt::KvTrieCache::Handle> handles;  ///< one per distinct request
+  std::vector<const gpt::KvState*> states;        ///< one per row
+  if (prefix_cache_) {
+    depth = len;
+    states.reserve(rows.size());
+    const Pending* prev = nullptr;
+    for (const RowRef& r : rows) {
+      if (r.req.get() != prev) {
+        prev = r.req.get();
+        handles.push_back(prefix_cache_->find_longest(r.req->prefix));
+        depth = std::min(depth, static_cast<std::size_t>(handles.back().len()));
+      }
+      states.push_back(handles.back().state());
+    }
+  }
+  if (depth > 0) {
+    session.resume_rows(states, static_cast<gpt::Index>(depth));
+  } else {
+    session.reset(n);
+  }
   std::vector<int> feed(rows.size());
-  for (std::size_t pos = 0; pos < len; ++pos) {
+  for (std::size_t pos = depth; pos < len; ++pos) {
     for (std::size_t i = 0; i < rows.size(); ++i)
       feed[i] = rows[i].req->prefix[pos];
     session.step(feed);
+  }
+  gpt::kv_cache_metrics().prefill_tokens.inc((len - depth) * rows.size());
+  if (prefix_cache_ && depth < len) {
+    // Memoise the post-prefix state once per distinct request in the batch
+    // (first-insert-wins makes re-inserts of already-cached prefixes a
+    // no-op) so future requests with the same pattern prefix resume here.
+    const Pending* prev = nullptr;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].req.get() == prev) continue;
+      prev = rows[i].req.get();
+      prefix_cache_->insert(rows[i].req->prefix,
+                            session.snapshot(static_cast<gpt::Index>(i)));
+    }
   }
 
   // Per-row deterministic RNG streams: independent of batch composition,

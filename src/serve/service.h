@@ -18,7 +18,12 @@
 //  * graceful shutdown — shutdown() stops admission (late submits are
 //    rejected with Reject::kShuttingDown), drains every admitted request,
 //    and joins the workers; every submitted request resolves its future
-//    exactly once.
+//    exactly once;
+//  * cross-request prefix caching — a shared KvTrieCache keyed on the
+//    request's token prefix (pattern / pattern+chars). A batch whose rows
+//    all have a cached ancestor resumes from it instead of re-priming;
+//    an exact full-prefix hit skips prefill entirely. Responses are
+//    bitwise identical to a cold-cache run (see kv_cache.h).
 //
 // Results are deterministic in (model, request): row r of a request draws
 // from Rng(seed, "serve.row/r"), so the same request returns the same
@@ -43,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "gpt/kv_cache.h"
 #include "gpt/model.h"
 #include "gpt/sampler.h"
 #include "pcfg/pcfg_model.h"
@@ -117,6 +123,10 @@ struct ServiceConfig {
   /// Sampling knobs for all requests (batch_size is ignored; the
   /// scheduler owns batch geometry).
   gpt::SampleOptions sample{};
+  /// Byte budget of the cross-request prefix KV cache (0 disables it).
+  /// Hits skip re-priming repeated pattern prefixes; responses are
+  /// bitwise identical either way.
+  std::size_t prefix_cache_bytes = std::size_t(32) << 20;
 };
 
 /// The serving engine. The model and pattern distribution must outlive it.
@@ -167,6 +177,9 @@ class GuessService {
   const gpt::GptModel& model_;
   const pcfg::PatternDistribution& patterns_;
   const ServiceConfig cfg_;
+  /// Cross-request prefix KV cache shared by all workers (null when
+  /// disabled). Mutex-guarded internally; pinned states are immutable.
+  std::unique_ptr<gpt::KvTrieCache> prefix_cache_;
 
   mutable std::mutex mu_;
   std::mutex shutdown_mu_;  ///< serialises concurrent shutdown() calls

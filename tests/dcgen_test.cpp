@@ -236,6 +236,58 @@ TEST(DcGen, RegistryMetricsInvariantUnderThreadCount) {
   EXPECT_EQ(serial.model_calls, threaded.model_calls);
 }
 
+// --- Boundary regressions ---------------------------------------------------
+
+TEST(DcGen, ThresholdOneTerminatesWithFullMassAccounting) {
+  // T = 1 is the degenerate boundary: a divided task spreads its mass over
+  // ~dozens of candidate children, so every child falls below min_task and
+  // is deleted (the paper's "generation number less than 1" rule). The run
+  // must terminate — division depth is bounded by pattern length — with
+  // all mass accounted for as dropped/forced rather than hanging or
+  // emitting more than asked.
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 150;
+  cfg.threshold = 1;
+  DcGenStats stats;
+  const auto pws = dc_generate(m.model(), m.patterns(), cfg, 8, &stats);
+  EXPECT_GT(stats.divisions, 0u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_LE(pws.size(), 150u);
+  EXPECT_GE(pws.size(), stats.forced);  // forced emissions are all included
+}
+
+TEST(DcGen, FractionalThresholdTerminates) {
+  // T < min_task leaves no valid leaf size at all: every task divides
+  // until its mass drops below min_task or its prefix is fully determined.
+  // The run must still terminate (division depth is bounded by pattern
+  // length) and emit only forced outputs.
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 80;
+  cfg.threshold = 0.5;
+  DcGenStats stats;
+  const auto pws = dc_generate(m.model(), m.patterns(), cfg, 9, &stats);
+  EXPECT_EQ(stats.leaves, 0u);
+  EXPECT_EQ(pws.size(), stats.forced);
+}
+
+TEST(DcGen, DivisionBatchZeroClampsToOne) {
+  // division_batch = 0 used to make the division loop take zero tasks per
+  // iteration and spin forever; it now clamps to 1 and must match the
+  // explicit division_batch = 1 run byte for byte.
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 400;
+  cfg.threshold = 30;
+  cfg.division_batch = 1;
+  const auto one = dc_generate(m.model(), m.patterns(), cfg, 10);
+  cfg.division_batch = 0;
+  const auto zero = dc_generate(m.model(), m.patterns(), cfg, 10);
+  EXPECT_GT(one.size(), 0u);
+  EXPECT_EQ(one, zero);
+}
+
 TEST(DcGen, StatsAreConsistent) {
   const auto& m = shared_model();
   DcGenConfig cfg;

@@ -1,0 +1,382 @@
+// KV-cache test suite (DESIGN.md §10): trie-store properties (refcounts,
+// LRU eviction, byte budget), snapshot/resume bitwise equivalence against
+// prime()/step(), and the differential determinism suite — dc_generate
+// with the cache enabled must be byte-identical to the cache disabled for
+// any seed, thread count, and byte budget (including budgets tiny enough
+// to evict on every insert).
+#include "gpt/kv_cache.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dcgen.h"
+#include "gpt/infer.h"
+#include "gpt/model.h"
+#include "obs/metrics.h"
+#include "pcfg/pattern.h"
+#include "pcfg/pcfg_model.h"
+#include "tokenizer/tokenizer.h"
+
+namespace ppg::gpt {
+namespace {
+
+/// A small synthetic KvState with recognisable contents.
+KvState make_state(Index len, int layers, Index d, Index vocab, float base) {
+  KvState s;
+  s.len = len;
+  s.k.resize(static_cast<std::size_t>(layers));
+  s.v.resize(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    s.k[static_cast<std::size_t>(l)].assign(
+        static_cast<std::size_t>(len * d), base + float(l));
+    s.v[static_cast<std::size_t>(l)].assign(
+        static_cast<std::size_t>(len * d), base - float(l));
+  }
+  s.logits.assign(static_cast<std::size_t>(vocab), base * 2.f);
+  return s;
+}
+
+TEST(KvTrieCache, InsertFindRoundTrip) {
+  KvTrieCache cache(std::size_t(1) << 20);
+  const std::vector<int> p = {3, 7, 11};
+  EXPECT_FALSE(cache.find(p));
+  cache.insert(p, make_state(3, 2, 4, 8, 1.f));
+  auto h = cache.find(p);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h.len(), 3);
+  ASSERT_NE(h.state(), nullptr);
+  EXPECT_EQ(h.state()->k[0][0], 1.f);
+  EXPECT_EQ(h.state()->v[1][0], 0.f);
+  EXPECT_EQ(cache.nodes(), 1u);
+  EXPECT_EQ(cache.bytes(), h.state()->bytes());
+}
+
+TEST(KvTrieCache, FindLongestReturnsDeepestAncestor) {
+  KvTrieCache cache(std::size_t(1) << 20);
+  cache.insert(std::vector<int>{1}, make_state(1, 1, 2, 4, 1.f));
+  cache.insert(std::vector<int>{1, 2, 3}, make_state(3, 1, 2, 4, 3.f));
+  const std::vector<int> query = {1, 2, 3, 4, 5};
+  auto h = cache.find_longest(query);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h.len(), 3);
+  EXPECT_EQ(h.state()->k[0][0], 3.f);
+  // A query sharing only the first token resolves to the depth-1 state.
+  auto h1 = cache.find_longest(std::vector<int>{1, 9});
+  ASSERT_TRUE(h1);
+  EXPECT_EQ(h1.len(), 1);
+  // No shared prefix at all: empty handle.
+  EXPECT_FALSE(cache.find_longest(std::vector<int>{2, 3}));
+}
+
+TEST(KvTrieCache, FirstInsertWins) {
+  KvTrieCache cache(std::size_t(1) << 20);
+  const std::vector<int> p = {5, 6};
+  cache.insert(p, make_state(2, 1, 2, 4, 1.f));
+  const std::size_t bytes = cache.bytes();
+  cache.insert(p, make_state(2, 1, 2, 4, 99.f));
+  EXPECT_EQ(cache.nodes(), 1u);
+  EXPECT_EQ(cache.bytes(), bytes);
+  auto h = cache.find(p);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h.state()->k[0][0], 1.f);  // the original survived
+}
+
+TEST(KvTrieCache, BudgetRespectedWhenUnpinned) {
+  const std::size_t unit = make_state(2, 1, 4, 8, 0.f).bytes();
+  KvTrieCache cache(2 * unit + unit / 2);
+  for (int i = 0; i < 10; ++i)
+    cache.insert(std::vector<int>{i}, make_state(2, 1, 4, 8, float(i)));
+  EXPECT_LE(cache.bytes(), cache.max_bytes);
+  EXPECT_LE(cache.nodes(), 2u);
+  EXPECT_GE(cache.nodes(), 1u);
+}
+
+TEST(KvTrieCache, ZeroBudgetDegradesToNoCaching) {
+  KvTrieCache cache(0);
+  cache.insert(std::vector<int>{1, 2}, make_state(2, 1, 2, 4, 1.f));
+  EXPECT_EQ(cache.nodes(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.find(std::vector<int>{1, 2}));
+}
+
+TEST(KvTrieCache, EvictionNeverFreesPinnedNode) {
+  const std::size_t unit = make_state(2, 1, 4, 8, 0.f).bytes();
+  KvTrieCache cache(unit);  // room for exactly one unpinned state
+  cache.insert(std::vector<int>{1}, make_state(2, 1, 4, 8, 7.f));
+  auto pin = cache.find(std::vector<int>{1});
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(cache.pinned_nodes(), 1u);
+  // Flood with inserts: each new unpinned state is itself evicted to meet
+  // the budget, but the pinned node must survive untouched.
+  for (int i = 10; i < 20; ++i)
+    cache.insert(std::vector<int>{i}, make_state(2, 1, 4, 8, float(i)));
+  ASSERT_NE(pin.state(), nullptr);
+  EXPECT_EQ(pin.state()->k[0][0], 7.f);
+  EXPECT_EQ(pin.state()->logits[0], 14.f);
+  auto again = cache.find(std::vector<int>{1});
+  EXPECT_TRUE(again);
+  again.release();
+  // Once released, the node is evictable again: the next insert that
+  // overflows the budget may push it out.
+  pin.release();
+  EXPECT_EQ(cache.pinned_nodes(), 0u);
+  cache.insert(std::vector<int>{99}, make_state(2, 1, 4, 8, 99.f));
+  EXPECT_LE(cache.bytes(), cache.max_bytes);
+}
+
+TEST(KvTrieCache, LruEvictsLeastRecentlyUsed) {
+  const std::size_t unit = make_state(1, 1, 4, 8, 0.f).bytes();
+  KvTrieCache cache(2 * unit);
+  cache.insert(std::vector<int>{1}, make_state(1, 1, 4, 8, 1.f));
+  cache.insert(std::vector<int>{2}, make_state(1, 1, 4, 8, 2.f));
+  cache.find(std::vector<int>{1}).release();  // touch 1 -> MRU
+  cache.insert(std::vector<int>{3}, make_state(1, 1, 4, 8, 3.f));
+  EXPECT_TRUE(cache.find(std::vector<int>{1}));
+  EXPECT_FALSE(cache.find(std::vector<int>{2}));  // the LRU victim
+  EXPECT_TRUE(cache.find(std::vector<int>{3}));
+}
+
+TEST(KvTrieCache, ReleaseIsIdempotent) {
+  KvTrieCache cache(std::size_t(1) << 20);
+  cache.insert(std::vector<int>{4}, make_state(1, 1, 2, 4, 4.f));
+  auto h = cache.find(std::vector<int>{4});
+  ASSERT_TRUE(h);
+  EXPECT_EQ(cache.pinned_nodes(), 1u);
+  h.release();
+  EXPECT_EQ(cache.pinned_nodes(), 0u);
+  h.release();  // second release must be a no-op, not an underflow
+  EXPECT_EQ(cache.pinned_nodes(), 0u);
+  EXPECT_FALSE(h);
+}
+
+TEST(KvTrieCache, MetricsTrackHitsMissesEvictions) {
+  auto& m = kv_cache_metrics();
+  const auto hits0 = m.hits.value();
+  const auto misses0 = m.misses.value();
+  const auto evicted0 = m.evictions.value();
+  const std::size_t unit = make_state(1, 1, 4, 8, 0.f).bytes();
+  KvTrieCache cache(unit);
+  cache.find(std::vector<int>{1}).release();  // miss
+  cache.insert(std::vector<int>{1}, make_state(1, 1, 4, 8, 1.f));
+  cache.find(std::vector<int>{1}).release();  // hit
+  cache.insert(std::vector<int>{2}, make_state(1, 1, 4, 8, 2.f));  // evicts
+  EXPECT_GE(m.hits.value(), hits0 + 1);
+  EXPECT_GE(m.misses.value(), misses0 + 1);
+  EXPECT_GE(m.evictions.value(), evicted0 + 1);
+}
+
+// Concurrency smoke for the TSan job (`sanitize` label): threads hammer a
+// budget-constrained cache with overlapping prefixes, reading pinned state
+// contents while other threads force eviction around them.
+TEST(KvTrieCache, ConcurrentInsertFindEvictStress) {
+  const std::size_t unit = make_state(2, 2, 8, 16, 0.f).bytes();
+  KvTrieCache cache(6 * unit);
+  std::vector<std::thread> threads;  // test-only; prod code uses ThreadPool
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 300; ++i) {
+        const std::vector<int> prefix = {i % 7, (i + t) % 5};
+        if (i % 3 == 0) {
+          cache.insert(prefix, make_state(2, 2, 8, 16, float(i % 7)));
+        } else {
+          auto h = cache.find_longest(prefix);
+          if (h) {
+            // Read through the pin; eviction must never free this.
+            volatile float sink = h.state()->k[0][0];
+            (void)sink;
+            EXPECT_LE(h.len(), 2);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.pinned_nodes(), 0u);
+  EXPECT_LE(cache.bytes(), cache.max_bytes);
+}
+
+/// Shared random-init tiny model (weights don't matter for bitwise
+/// equivalence properties; strict masks keep dcgen outputs decodable).
+const GptModel& test_model() {
+  static const GptModel model(Config::tiny(), 33);
+  return model;
+}
+
+std::vector<int> test_prefix() {
+  const auto segs = *pcfg::parse_pattern("L4N2");
+  return tok::Tokenizer::encode_generation_prefix(segs);
+}
+
+TEST(KvSessionResume, FullDepthResumeRestoresLogitsBitwise) {
+  const auto& model = test_model();
+  const auto prefix = test_prefix();
+  InferenceSession ref(model);
+  ref.reset(1);
+  ref.prime(prefix);
+  const auto ref_logits = ref.logits_row(0);
+  const KvState snap = ref.snapshot(0);
+  EXPECT_EQ(snap.len, static_cast<Index>(prefix.size()));
+
+  InferenceSession resumed(model);
+  resumed.resume(snap, 3);  // fan one snapshot out to a 3-row batch
+  for (Index r = 0; r < 3; ++r) {
+    const auto got = resumed.logits_row(r);
+    EXPECT_TRUE(std::equal(ref_logits.begin(), ref_logits.end(), got.begin()))
+        << "row " << r;
+  }
+}
+
+TEST(KvSessionResume, ResumedStepMatchesPrimedStepBitwise) {
+  const auto& model = test_model();
+  const auto prefix = test_prefix();
+  InferenceSession ref(model);
+  ref.reset(2);
+  ref.prime(prefix);
+  KvState snap = ref.snapshot(1);
+
+  InferenceSession resumed(model);
+  resumed.resume(snap, 2);
+  // Continue decoding the same token on both sessions: the KV restored
+  // from the snapshot must behave exactly like the KV the session built.
+  const std::vector<int> next = {prefix.back(), prefix.back()};
+  ref.step(next);
+  resumed.step(next);
+  for (Index r = 0; r < 2; ++r) {
+    const auto a = ref.logits_row(r);
+    const auto b = resumed.logits_row(r);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "row " << r;
+  }
+}
+
+TEST(KvSessionResume, PartialDepthResumePlusPrimeMatchesFullPrime) {
+  const auto& model = test_model();
+  const auto prefix = test_prefix();
+  ASSERT_GE(prefix.size(), 3u);
+  const std::size_t cut = prefix.size() / 2;
+
+  InferenceSession ref(model);
+  ref.reset(1);
+  ref.prime(prefix);
+  const auto want = ref.logits_row(0);
+
+  InferenceSession half(model);
+  half.reset(1);
+  half.prime(std::span<const int>(prefix).subspan(0, cut));
+  const KvState snap = half.snapshot(0);
+
+  InferenceSession resumed(model);
+  resumed.resume(snap, 1);
+  resumed.prime(std::span<const int>(prefix).subspan(cut));
+  const auto got = resumed.logits_row(0);
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin()));
+}
+
+TEST(KvSessionResume, ResumeRowsMixedStatesMatchPerRowReference) {
+  const auto& model = test_model();
+  const auto pa = test_prefix();
+  auto pb = pa;
+  pb.back() = pa.front();  // a second, different prefix of equal length
+
+  InferenceSession sa(model);
+  sa.reset(1);
+  sa.prime(pa);
+  const KvState snap_a = sa.snapshot(0);
+  InferenceSession sb(model);
+  sb.reset(1);
+  sb.prime(pb);
+  const KvState snap_b = sb.snapshot(0);
+
+  const std::vector<const KvState*> states = {&snap_a, &snap_b, &snap_a};
+  InferenceSession mixed(model);
+  mixed.resume_rows(states, static_cast<Index>(pa.size()));
+  const std::vector<int> next = {pa.back(), pb.back(), pa.back()};
+  mixed.step(next);
+  sa.step(std::vector<int>{pa.back()});
+  sb.step(std::vector<int>{pb.back()});
+  const auto wa = sa.logits_row(0);
+  const auto wb = sb.logits_row(0);
+  EXPECT_TRUE(std::equal(wa.begin(), wa.end(), mixed.logits_row(0).begin()));
+  EXPECT_TRUE(std::equal(wb.begin(), wb.end(), mixed.logits_row(1).begin()));
+  EXPECT_TRUE(std::equal(wa.begin(), wa.end(), mixed.logits_row(2).begin()));
+}
+
+/// Pattern mix exercising divisions at several depths and leaf sizes.
+const pcfg::PatternDistribution& test_patterns() {
+  static const pcfg::PatternDistribution* dist = [] {
+    auto* d = new pcfg::PatternDistribution();
+    d->add("L6N2", 4);
+    d->add("L4N4", 3);
+    d->add("N6", 2);
+    d->add("L8", 1);
+    d->finalize();
+    return d;
+  }();
+  return *dist;
+}
+
+core::DcGenConfig diff_config() {
+  core::DcGenConfig cfg;
+  cfg.total = 1200;
+  cfg.threshold = 25;
+  cfg.sample.batch_size = 32;
+  return cfg;
+}
+
+// The tentpole differential: for every seed × thread count × budget, the
+// cached run must be byte-identical (same strings, same order) to the
+// uncached single-threaded baseline. Budgets cover the unbounded case, a
+// tiny budget that forces eviction mid-run, and zero (evict-on-insert).
+TEST(DcGenKvCacheDifferential, CachedMatchesUncachedBitwise) {
+  const auto& model = test_model();
+  const auto& patterns = test_patterns();
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    core::DcGenConfig base = diff_config();
+    base.kv_cache = false;
+    base.threads = 1;
+    core::DcGenStats base_stats;
+    const auto want =
+        core::dc_generate(model, patterns, base, seed, &base_stats);
+    ASSERT_GT(want.size(), 400u) << "fixture generates too little";
+    EXPECT_EQ(base_stats.prefill_saved, 0u);
+
+    for (const int threads : {1, 4}) {
+      for (const std::size_t budget :
+           {std::size_t(1) << 30, std::size_t(4096), std::size_t(0)}) {
+        core::DcGenConfig cfg = diff_config();
+        cfg.kv_cache = true;
+        cfg.kv_cache_bytes = budget;
+        cfg.threads = threads;
+        core::DcGenStats stats;
+        const auto got = core::dc_generate(model, patterns, cfg, seed, &stats);
+        EXPECT_EQ(got, want)
+            << "seed=" << seed << " threads=" << threads
+            << " budget=" << budget;
+      }
+    }
+  }
+}
+
+TEST(DcGenKvCacheDifferential, CacheSavesPrefillWork) {
+  const auto& model = test_model();
+  const auto& patterns = test_patterns();
+  core::DcGenConfig cfg = diff_config();
+  cfg.kv_cache = false;
+  core::DcGenStats off;
+  core::dc_generate(model, patterns, cfg, 7, &off);
+  cfg.kv_cache = true;
+  core::DcGenStats on;
+  core::dc_generate(model, patterns, cfg, 7, &on);
+  EXPECT_EQ(off.prefill_saved, 0u);
+  EXPECT_GT(on.prefill_saved, 0u);
+  EXPECT_LT(on.prefill_tokens, off.prefill_tokens);
+  // The unbounded-cache run must skip a meaningful share of prefill.
+  EXPECT_GE(double(on.prefill_saved),
+            0.2 * double(off.prefill_tokens));
+}
+
+}  // namespace
+}  // namespace ppg::gpt

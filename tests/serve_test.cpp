@@ -268,6 +268,48 @@ TEST_F(ServeTest, PartialResultsWhenAttemptsExhausted) {
   EXPECT_EQ(resp.passwords.size() + resp.invalid, 4u);
 }
 
+// --- Prefix cache -----------------------------------------------------------
+
+TEST_F(ServeTest, RepeatedPatternRequestsHitPrefixCache) {
+  auto& m = gpt::kv_cache_metrics();
+  GuessService svc(*model_, *patterns_, {});  // default: cache enabled
+  const Response a = svc.submit_and_wait(pattern_req("L6N2", 4, 11));
+  ASSERT_EQ(a.status, Status::kOk);
+  const auto hits_before = m.hits.value();
+  // Same pattern again: the <BOS> pattern <SEP> prefix is now cached, so
+  // this request's batch must register cache hits — and still return the
+  // exact same passwords (per-row RNG + bitwise-identical resume).
+  const Response b = svc.submit_and_wait(pattern_req("L6N2", 4, 11));
+  ASSERT_EQ(b.status, Status::kOk);
+  EXPECT_EQ(a.passwords, b.passwords);
+  EXPECT_GT(m.hits.value(), hits_before);
+}
+
+TEST_F(ServeTest, CachedResponsesMatchColdCacheRun) {
+  ServiceConfig cold_cfg;
+  cold_cfg.prefix_cache_bytes = 0;  // caching off: re-prime every batch
+  GuessService cold(*model_, *patterns_, cold_cfg);
+  GuessService warm(*model_, *patterns_, {});  // default budget
+  ServiceConfig tiny_cfg;
+  tiny_cfg.prefix_cache_bytes = 1;  // evicts on every insert
+  GuessService tiny(*model_, *patterns_, tiny_cfg);
+  // Several rounds so the warm service serves rounds >= 2 from cache and
+  // the tiny one churns through insert-evict cycles; all three must agree
+  // byte-for-byte (the kv_cache.h determinism contract, end to end).
+  for (int round = 0; round < 3; ++round) {
+    for (const char* pat : {"L6N2", "L4N4", "N6"}) {
+      const Response rc = cold.submit_and_wait(pattern_req(pat, 3, 21));
+      const Response rw = warm.submit_and_wait(pattern_req(pat, 3, 21));
+      const Response rt = tiny.submit_and_wait(pattern_req(pat, 3, 21));
+      ASSERT_EQ(rc.status, Status::kOk);
+      ASSERT_EQ(rw.status, Status::kOk);
+      ASSERT_EQ(rt.status, Status::kOk);
+      EXPECT_EQ(rc.passwords, rw.passwords) << pat << " round " << round;
+      EXPECT_EQ(rc.passwords, rt.passwords) << pat << " round " << round;
+    }
+  }
+}
+
 // --- Wire protocol ----------------------------------------------------------
 
 TEST(ServeWire, ParsesFullGuessRequest) {

@@ -22,6 +22,10 @@
 //                       Tensor accessors (which carry bounds DCHECKs) —
 //                       raw (*data_)[...] indexing bypasses the invariant
 //                       layer.
+//   raw-new-delete      in src/gpt, src/serve and src/core, memory is
+//                       owned by unique_ptr/vector — the KV-cache trie is
+//                       refcount-heavy and raw new/delete there turns
+//                       early returns into leaks or double-frees.
 //   assert-use          invariants use PPG_CHECK/PPG_DCHECK (always print
 //                       a message; DCHECK tracks sanitize builds, not
 //                       NDEBUG) rather than cassert.
@@ -81,6 +85,13 @@ const std::vector<Rule> kRules = {
      "bypasses the bounds DCHECKs",
      {"src/nn/"},
      {"src/nn/tensor.h"}},
+    {"raw-new-delete",
+     {"new ", "delete ", "delete["},
+     "own memory with std::unique_ptr/std::vector (the KV-cache trie and "
+     "its neighbours are refcount-heavy; raw new/delete there turns every "
+     "early return into a leak or double-free)",
+     {"src/gpt/", "src/serve/", "src/core/"},
+     {}},
     {"assert-use",
      {"assert(", "#include <cassert>", "#include <assert.h>"},
      "use PPG_CHECK / PPG_DCHECK from common/check.h (message + abort, "
