@@ -4,9 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
-#include <fstream>
-
 #include "baselines/onehot.h"
+#include "common/durable_io.h"
 #include "common/logging.h"
 #include "nn/kernels.h"
 #include "nn/optimizer.h"
@@ -166,24 +165,22 @@ constexpr std::uint32_t kFlowMagic = 0x50464c57;  // "PFLW"
 
 void PassFlow::save(const std::string& path) const {
   if (!trained_) throw std::logic_error("PassFlow::save: untrained");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("PassFlow::save: cannot open " + path);
-  BinaryWriter w(out);
-  w.write(kFlowMagic);
-  w.write(cfg_.couplings);
-  w.write(cfg_.hidden);
-  params_.save(w);
+  durable::atomic_save(path, [this](BinaryWriter& w) {
+    w.write(kFlowMagic);
+    w.write(cfg_.couplings);
+    w.write(cfg_.hidden);
+    params_.save(w);
+  });
 }
 
 void PassFlow::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("PassFlow::load: cannot open " + path);
-  BinaryReader r(in);
-  if (r.read<std::uint32_t>() != kFlowMagic)
-    throw std::runtime_error("PassFlow::load: bad magic in " + path);
-  if (r.read<int>() != cfg_.couplings || r.read<nn::Index>() != cfg_.hidden)
-    throw std::runtime_error("PassFlow::load: config mismatch in " + path);
-  params_.load(r);
+  durable::checked_load_or_legacy(path, [&](BinaryReader& r) {
+    if (r.read<std::uint32_t>() != kFlowMagic)
+      throw std::runtime_error("PassFlow::load: bad magic in " + path);
+    if (r.read<int>() != cfg_.couplings || r.read<nn::Index>() != cfg_.hidden)
+      throw std::runtime_error("PassFlow::load: config mismatch in " + path);
+    params_.load(r);
+  });
   trained_ = true;
 }
 

@@ -4,9 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
-#include <fstream>
-
 #include "baselines/onehot.h"
+#include "common/durable_io.h"
 #include "common/logging.h"
 #include "nn/optimizer.h"
 
@@ -178,26 +177,24 @@ constexpr std::uint32_t kGanMagic = 0x50474147;  // "PGAG"
 
 void PassGan::save(const std::string& path) const {
   if (!trained_) throw std::logic_error("PassGan::save: untrained");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("PassGan::save: cannot open " + path);
-  BinaryWriter w(out);
-  w.write(kGanMagic);
-  w.write(cfg_.z_dim);
-  w.write(cfg_.hidden);
-  gen_params_.save(w);
-  critic_params_.save(w);
+  durable::atomic_save(path, [this](BinaryWriter& w) {
+    w.write(kGanMagic);
+    w.write(cfg_.z_dim);
+    w.write(cfg_.hidden);
+    gen_params_.save(w);
+    critic_params_.save(w);
+  });
 }
 
 void PassGan::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("PassGan::load: cannot open " + path);
-  BinaryReader r(in);
-  if (r.read<std::uint32_t>() != kGanMagic)
-    throw std::runtime_error("PassGan::load: bad magic in " + path);
-  if (r.read<nn::Index>() != cfg_.z_dim || r.read<nn::Index>() != cfg_.hidden)
-    throw std::runtime_error("PassGan::load: config mismatch in " + path);
-  gen_params_.load(r);
-  critic_params_.load(r);
+  durable::checked_load_or_legacy(path, [&](BinaryReader& r) {
+    if (r.read<std::uint32_t>() != kGanMagic)
+      throw std::runtime_error("PassGan::load: bad magic in " + path);
+    if (r.read<nn::Index>() != cfg_.z_dim || r.read<nn::Index>() != cfg_.hidden)
+      throw std::runtime_error("PassGan::load: config mismatch in " + path);
+    gen_params_.load(r);
+    critic_params_.load(r);
+  });
   trained_ = true;
 }
 

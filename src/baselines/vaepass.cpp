@@ -4,9 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
-#include <fstream>
-
 #include "baselines/onehot.h"
+#include "common/durable_io.h"
 #include "common/logging.h"
 #include "nn/optimizer.h"
 
@@ -160,24 +159,23 @@ constexpr std::uint32_t kVaeMagic = 0x50564145;  // "PVAE"
 
 void VaePass::save(const std::string& path) const {
   if (!trained_) throw std::logic_error("VaePass::save: untrained");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("VaePass::save: cannot open " + path);
-  BinaryWriter w(out);
-  w.write(kVaeMagic);
-  w.write(cfg_.latent);
-  w.write(cfg_.hidden);
-  params_.save(w);
+  durable::atomic_save(path, [this](BinaryWriter& w) {
+    w.write(kVaeMagic);
+    w.write(cfg_.latent);
+    w.write(cfg_.hidden);
+    params_.save(w);
+  });
 }
 
 void VaePass::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("VaePass::load: cannot open " + path);
-  BinaryReader r(in);
-  if (r.read<std::uint32_t>() != kVaeMagic)
-    throw std::runtime_error("VaePass::load: bad magic in " + path);
-  if (r.read<nn::Index>() != cfg_.latent || r.read<nn::Index>() != cfg_.hidden)
-    throw std::runtime_error("VaePass::load: config mismatch in " + path);
-  params_.load(r);
+  durable::checked_load_or_legacy(path, [&](BinaryReader& r) {
+    if (r.read<std::uint32_t>() != kVaeMagic)
+      throw std::runtime_error("VaePass::load: bad magic in " + path);
+    if (r.read<nn::Index>() != cfg_.latent ||
+        r.read<nn::Index>() != cfg_.hidden)
+      throw std::runtime_error("VaePass::load: config mismatch in " + path);
+    params_.load(r);
+  });
   trained_ = true;
 }
 

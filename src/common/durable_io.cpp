@@ -1,0 +1,310 @@
+#include "common/durable_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace ppg::durable {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("durable_io: " + path + ": " + what);
+}
+
+/// fsync by path. Opens read-only — on Linux fsync flushes the file's
+/// dirty pages whichever fd reaches them.
+void fsync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) fail(path, std::string("open for fsync: ") + std::strerror(errno));
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) fail(path, std::string("fsync: ") + std::strerror(saved));
+}
+
+std::string parent_dir(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+/// CRC-32 lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// built once at first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void atomic_save(const std::string& path,
+                 const std::function<void(BinaryWriter&)>& write) {
+  // Compose the payload in memory first: the CRC needs a full pass anyway,
+  // checkpoints are bounded (tens of MB), and it keeps the on-disk window
+  // where a torn temp file can exist as short as possible.
+  std::ostringstream buf(std::ios::binary);
+  {
+    BinaryWriter w(buf);
+    write(w);
+    w.finish();
+  }
+  const std::string payload = std::move(buf).str();
+  const std::uint64_t size = payload.size();
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(tmp, "cannot open for write");
+    BinaryWriter w(out);
+    // The torn-write window the rename protocol exists for: a `crash`
+    // here leaves a partial .tmp and an intact final path.
+    PPG_FAILPOINT("durable.mid_write");
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) fail(tmp, "payload write failed");
+    w.write(size);
+    w.write(crc);
+    w.write(kFooterMagic);
+    w.finish();
+  }
+  PPG_FAILPOINT("durable.before_fsync");
+  fsync_path(tmp, /*directory=*/false);
+  PPG_FAILPOINT("durable.before_rename");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fail(path, "rename from " + tmp + ": " + ec.message());
+  PPG_FAILPOINT("durable.before_dirsync");
+  fsync_path(parent_dir(path), /*directory=*/true);
+}
+
+namespace {
+
+void checked_load_impl(const std::string& path,
+                       const std::function<void(BinaryReader&)>& read,
+                       bool allow_legacy) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  std::ostringstream buf(std::ios::binary);
+  buf << in.rdbuf();
+  if (in.bad()) fail(path, "read failed");
+  const std::string bytes = std::move(buf).str();
+  std::uint64_t payload_size = bytes.size();
+  std::uint64_t stored_size = 0;
+  std::uint32_t stored_crc = 0;
+  std::uint32_t magic = 0;
+  if (bytes.size() >= kFooterBytes) {
+    const char* footer = bytes.data() + bytes.size() - kFooterBytes;
+    std::memcpy(&stored_size, footer, sizeof stored_size);
+    std::memcpy(&stored_crc, footer + 8, sizeof stored_crc);
+    std::memcpy(&magic, footer + 12, sizeof magic);
+  }
+  if (magic != kFooterMagic) {
+    // No footer at all. Either a legacy pre-durable_io file (the caller
+    // opted in and its parser carries its own magic/shape checks) or
+    // corruption severe enough to shear the footer off.
+    if (!allow_legacy) {
+      if (bytes.size() < kFooterBytes)
+        fail(path, "missing CRC footer (file is " +
+                       std::to_string(bytes.size()) + " bytes, footer needs " +
+                       std::to_string(kFooterBytes) + ")");
+      fail(path, "bad footer magic (not a durable_io file, or truncated)");
+    }
+    log_warn("durable_io: %s has no CRC footer; loading as a legacy file "
+             "(re-save to upgrade)",
+             path.c_str());
+  } else {
+    // A footer is present: its checks are mandatory even in legacy mode —
+    // a footered file that fails them is corrupt, not old.
+    payload_size = bytes.size() - kFooterBytes;
+    if (stored_size != payload_size)
+      fail(path, "payload size mismatch (footer claims " +
+                     std::to_string(stored_size) + " bytes, file holds " +
+                     std::to_string(payload_size) + ")");
+    const std::uint32_t actual = crc32(bytes.data(), payload_size);
+    if (actual != stored_crc)
+      fail(path, "CRC mismatch (stored " + std::to_string(stored_crc) +
+                     ", computed " + std::to_string(actual) + ")");
+  }
+  std::istringstream payload(bytes.substr(0, payload_size), std::ios::binary);
+  BinaryReader r(payload);
+  read(r);
+  if (magic != kFooterMagic) {
+    // Legacy mode has no CRC to lean on; the one structural check
+    // available is that a genuine legacy file ends exactly where its
+    // parser stops. Leftover bytes mean a footered file whose footer was
+    // sheared off mid-truncation, not a legacy save.
+    const auto consumed = payload.tellg();
+    if (consumed >= 0 &&
+        static_cast<std::uint64_t>(consumed) != payload_size)
+      fail(path, "trailing bytes after legacy payload (parser consumed " +
+                     std::to_string(consumed) + " of " +
+                     std::to_string(payload_size) + ")");
+  }
+}
+
+}  // namespace
+
+void checked_load(const std::string& path,
+                  const std::function<void(BinaryReader&)>& read) {
+  checked_load_impl(path, read, /*allow_legacy=*/false);
+}
+
+void checked_load_or_legacy(const std::string& path,
+                            const std::function<void(BinaryReader&)>& read) {
+  checked_load_impl(path, read, /*allow_legacy=*/true);
+}
+
+bool verify_file(const std::string& path) noexcept {
+  try {
+    checked_load(path, [](BinaryReader&) {});
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+// ---- CheckpointManifest --------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kManifestMagic = 0x50504d46;  // "PPMF"
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr const char* kManifestName = "MANIFEST";
+}  // namespace
+
+CheckpointManifest::CheckpointManifest(std::string dir)
+    : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+  const std::string manifest = file_path(kManifestName);
+  if (!fs::exists(manifest)) return;
+  try {
+    checked_load(manifest, [this](BinaryReader& r) {
+      if (r.read<std::uint32_t>() != kManifestMagic)
+        throw std::runtime_error("bad manifest magic");
+      if (r.read<std::uint32_t>() != kManifestVersion)
+        throw std::runtime_error("unsupported manifest version");
+      const auto n = r.read<std::uint64_t>();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.generation = r.read<std::uint64_t>();
+        const auto nfiles = r.read<std::uint64_t>();
+        for (std::uint64_t j = 0; j < nfiles; ++j)
+          e.files.push_back(r.read_string());
+        entries_.push_back(std::move(e));
+      }
+    });
+  } catch (const std::exception& e) {
+    // A manifest that does not verify names nothing: recovery degrades to
+    // a fresh start rather than trusting a corrupt index. Loud, so an
+    // operator can tell "no checkpoints" from "checkpoints discarded".
+    log_warn("CheckpointManifest: discarding unreadable %s: %s",
+             manifest.c_str(), e.what());
+    entries_.clear();
+  }
+}
+
+std::string CheckpointManifest::file_path(const std::string& name) const {
+  return (fs::path(dir_) / name).string();
+}
+
+std::optional<CheckpointManifest::Entry> CheckpointManifest::latest_good()
+    const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const bool ok = std::all_of(
+        it->files.begin(), it->files.end(),
+        [this](const std::string& f) { return verify_file(file_path(f)); });
+    if (ok) return *it;
+    log_warn("CheckpointManifest: generation %llu failed verification, "
+             "falling back",
+             static_cast<unsigned long long>(it->generation));
+  }
+  return std::nullopt;
+}
+
+void CheckpointManifest::write_manifest() const {
+  atomic_save(file_path(kManifestName), [this](BinaryWriter& w) {
+    w.write(kManifestMagic);
+    w.write(kManifestVersion);
+    w.write<std::uint64_t>(entries_.size());
+    for (const Entry& e : entries_) {
+      w.write(e.generation);
+      w.write<std::uint64_t>(e.files.size());
+      for (const auto& f : e.files) w.write_string(f);
+    }
+  });
+}
+
+void CheckpointManifest::publish(std::uint64_t generation,
+                                 std::vector<std::string> files) {
+  if (!entries_.empty() && generation <= entries_.back().generation)
+    throw std::invalid_argument(
+        "CheckpointManifest::publish: generation " +
+        std::to_string(generation) + " not after " +
+        std::to_string(entries_.back().generation));
+  entries_.push_back(Entry{generation, std::move(files)});
+  PPG_FAILPOINT("manifest.before_publish");
+  write_manifest();
+  PPG_FAILPOINT("manifest.after_publish");
+}
+
+void CheckpointManifest::prune(std::size_t keep) {
+  std::vector<Entry> doomed;
+  if (entries_.size() > keep) {
+    doomed.assign(entries_.begin(),
+                  entries_.end() - static_cast<std::ptrdiff_t>(keep));
+    entries_.erase(entries_.begin(),
+                   entries_.end() - static_cast<std::ptrdiff_t>(keep));
+    // Commit the shrunk manifest before unlinking: a crash between the
+    // two leaves unreferenced files (swept next prune), never a manifest
+    // entry whose files are gone.
+    write_manifest();
+  }
+  std::set<std::string> live;
+  for (const Entry& e : entries_)
+    for (const auto& f : e.files) live.insert(f);
+  std::error_code ec;
+  for (const Entry& e : doomed)
+    for (const auto& f : e.files)
+      if (!live.count(f)) fs::remove(file_path(f), ec);
+  // Sweep droppings of interrupted atomic_saves.
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0)
+      fs::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace ppg::durable

@@ -1,0 +1,115 @@
+// Crash-safe file IO for checkpoints and job journals (DESIGN.md §11).
+//
+// Three layers, each usable alone:
+//
+//  * atomic_save — the classic durable-write sequence: write to a sibling
+//    temp file, flush, fsync the file, rename() over the final path, fsync
+//    the parent directory. A crash at any instant leaves either the old
+//    file or the new file, never a torn hybrid; stale `*.tmp` droppings
+//    are inert and swept by CheckpointManifest::prune.
+//
+//  * the CRC32 footer — every atomic_save appends
+//        [payload][payload_size u64][crc32 u32][kFooterMagic u32]
+//    and checked_load verifies all three before handing the payload to a
+//    BinaryReader. rename() protects against torn writes; the footer
+//    protects against everything else (bit rot, copy truncation, a tool
+//    that wrote the path directly), and turns "garbage weights" into a
+//    precise error naming what failed.
+//
+//  * CheckpointManifest — a directory of numbered generations plus a
+//    MANIFEST file (itself footer-checked and atomically replaced) naming
+//    them newest-first. latest_good() returns the newest generation whose
+//    files all verify, silently falling back past corrupt or partial ones,
+//    so "resume" always means "resume from provably intact state".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace ppg::durable {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) of `n` bytes, chainable
+/// via `seed` (pass the previous return value to continue a running CRC).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// Footer magic trailing every durable file ("PPGC").
+inline constexpr std::uint32_t kFooterMagic = 0x50504743;
+/// Bytes appended after the payload: size u64 + crc u32 + magic u32.
+inline constexpr std::size_t kFooterBytes = 16;
+
+/// Durably replaces `path` with the payload `write` produces. The writer's
+/// output is buffered, CRC-summed, written to `path + ".tmp"`, fsynced,
+/// renamed over `path`, and the parent directory fsynced. Throws
+/// std::runtime_error on any IO failure (the final path is untouched).
+void atomic_save(const std::string& path,
+                 const std::function<void(BinaryWriter&)>& write);
+
+/// Reads `path`, verifies its CRC32 footer, and hands a BinaryReader over
+/// the payload (footer excluded) to `read`. Throws std::runtime_error
+/// naming the file and the exact check that failed: missing file, file
+/// shorter than a footer, bad footer magic, size mismatch (truncation or
+/// trailing garbage), or CRC mismatch.
+void checked_load(const std::string& path,
+                  const std::function<void(BinaryReader&)>& read);
+
+/// Like checked_load, but a file with no CRC footer at all is handed to
+/// `read` whole, with a warning — for formats that predate durable_io
+/// (e.g. committed bench_cache checkpoints) whose parsers carry their own
+/// magic/shape checks. A footer that is present is still enforced: a
+/// footered file failing size/CRC is corrupt, not old. New formats must
+/// use checked_load.
+void checked_load_or_legacy(const std::string& path,
+                            const std::function<void(BinaryReader&)>& read);
+
+/// True when `path` exists and its footer verifies. Never throws.
+bool verify_file(const std::string& path) noexcept;
+
+/// Tracks numbered checkpoint generations in one directory.
+///
+/// Protocol: callers atomic_save their generation files first, then
+/// publish(); the manifest therefore never names files that were not
+/// already durable. A corrupt or missing MANIFEST degrades to "no
+/// generations" (a warning, never garbage); a corrupt generation file is
+/// skipped by latest_good() in favour of the next older intact one.
+class CheckpointManifest {
+ public:
+  struct Entry {
+    std::uint64_t generation = 0;
+    std::vector<std::string> files;  ///< names relative to dir
+  };
+
+  /// Binds to `dir` (created if missing) and reads MANIFEST if present.
+  explicit CheckpointManifest(std::string dir);
+
+  /// Newest entry whose files all pass verify_file(), or nullopt.
+  std::optional<Entry> latest_good() const;
+
+  /// Appends an entry and durably rewrites MANIFEST. `files` must already
+  /// be durable (atomic_save) — publish is the commit point of a
+  /// generation. Generations must be strictly increasing.
+  void publish(std::uint64_t generation, std::vector<std::string> files);
+
+  /// Deletes generation files older than the newest `keep` entries and
+  /// sweeps stray `*.tmp` droppings from interrupted saves. The manifest
+  /// is rewritten first, so a crash mid-prune never orphans a live entry.
+  void prune(std::size_t keep);
+
+  const std::string& dir() const noexcept { return dir_; }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// Absolute path of a file named by an entry.
+  std::string file_path(const std::string& name) const;
+
+ private:
+  void write_manifest() const;
+
+  std::string dir_;
+  std::vector<Entry> entries_;  ///< oldest first
+};
+
+}  // namespace ppg::durable

@@ -1,0 +1,162 @@
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace ppg::failpoint {
+
+namespace detail {
+std::atomic<std::uint64_t> g_armed_count{0};
+}  // namespace detail
+
+namespace {
+
+struct Spec {
+  Action action = Action::kThrow;
+  std::uint64_t nth = 1;       ///< fire on this hit (1-based)
+  std::uint64_t delay_ms = 0;  ///< Action::kDelay only
+  std::uint64_t hits = 0;      ///< hits since this spec was armed
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Spec, std::less<>> armed;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// PPG_FAILPOINTS is parsed once at static-init time (any binary with an
+/// injection site links this object, so the env override always works).
+/// The env var is explicit operator config exactly like PPG_LOG_LEVEL.
+const bool g_env_parsed = [] {
+  const char* env = std::getenv("PPG_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0' && !activate_from_spec(env))
+    log_warn("failpoint: malformed PPG_FAILPOINTS entry in '%s'", env);
+  return true;
+}();
+
+[[noreturn]] void simulated_crash(const std::string& name) {
+  // stderr only (single write, unbuffered); deliberately no fflush of
+  // other streams — the whole point is to model a process dying with
+  // user-space buffers unflushed.
+  std::string line = "failpoint: simulated crash at '" + name + "'\n";
+  [[maybe_unused]] const auto n =
+      ::write(STDERR_FILENO, line.data(), line.size());
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace
+
+void activate(const std::string& name, Action action, std::uint64_t nth,
+              std::uint64_t delay_ms) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  Spec spec;
+  spec.action = action;
+  spec.nth = nth == 0 ? 1 : nth;
+  spec.delay_ms = delay_ms;
+  const auto [it, inserted] = s.armed.insert_or_assign(name, spec);
+  (void)it;
+  if (inserted)
+    detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void deactivate(const std::string& name) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  if (s.armed.erase(name) > 0)
+    detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void reset() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  detail::g_armed_count.fetch_sub(s.armed.size(), std::memory_order_relaxed);
+  s.armed.clear();
+}
+
+std::uint64_t hits(const std::string& name) {
+  return obs::Registry::global().counter("failpoint." + name).value();
+}
+
+bool activate_from_spec(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string name = entry.substr(0, eq);
+    std::string rhs = entry.substr(eq + 1);
+    std::uint64_t nth = 1;
+    if (const std::size_t at = rhs.find('@'); at != std::string::npos) {
+      const std::string n = rhs.substr(at + 1);
+      if (n.empty()) return false;
+      nth = std::strtoull(n.c_str(), nullptr, 10);
+      if (nth == 0) return false;
+      rhs.resize(at);
+    }
+    std::uint64_t delay_ms = 0;
+    if (const std::size_t colon = rhs.find(':'); colon != std::string::npos) {
+      delay_ms = std::strtoull(rhs.c_str() + colon + 1, nullptr, 10);
+      rhs.resize(colon);
+    }
+    Action action;
+    if (rhs == "throw") {
+      action = Action::kThrow;
+    } else if (rhs == "crash") {
+      action = Action::kCrash;
+    } else if (rhs == "delay") {
+      action = Action::kDelay;
+    } else {
+      return false;
+    }
+    activate(name, action, nth, delay_ms);
+  }
+  return true;
+}
+
+namespace detail {
+
+void hit(const char* name) {
+  obs::Registry::global().counter(std::string("failpoint.") + name).inc();
+  Action action;
+  std::uint64_t delay_ms;
+  {
+    State& s = state();
+    std::lock_guard lock(s.mu);
+    const auto it = s.armed.find(std::string_view(name));
+    if (it == s.armed.end()) return;
+    Spec& spec = it->second;
+    if (++spec.hits != spec.nth) return;
+    action = spec.action;
+    delay_ms = spec.delay_ms;
+  }
+  switch (action) {
+    case Action::kThrow:
+      throw Injected(name);
+    case Action::kCrash:
+      simulated_crash(name);
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return;
+  }
+}
+
+}  // namespace detail
+}  // namespace ppg::failpoint

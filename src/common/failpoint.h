@@ -1,0 +1,92 @@
+// Named failpoints: deliberate fault-injection sites for crash-recovery
+// testing (DESIGN.md §11).
+//
+// A failpoint is a named hook compiled into durability-critical code:
+//
+//   PPG_FAILPOINT("model.save.mid_write");
+//
+// Inactive failpoints cost one relaxed atomic load and a not-taken branch —
+// cheap enough to leave in release builds, which is the point: the binary
+// that passes the crash tests is the binary that ships. Activation is per
+// name, via the API below or the PPG_FAILPOINTS environment variable:
+//
+//   PPG_FAILPOINTS="model.save.mid_write=crash;train.step=throw@7"
+//
+// Syntax per entry: <name>=<action>[:<ms>][@<nth>] where action is
+//   throw   throw failpoint::Injected (an ordinary std::runtime_error, so
+//           normal error paths and tests can observe it);
+//   crash   _exit(kCrashExitCode) — a simulated hard crash: no destructors,
+//           no atexit, no stream flush, so buffered writes are genuinely
+//           torn the way a power cut would tear them;
+//   delay   sleep <ms> milliseconds then continue (race-window widening);
+// and @<nth> arms the action on the nth hit only (1-based; default 1).
+// Earlier and later hits pass through, so one site inside a loop gives a
+// whole family of kill points.
+//
+// Every hit of every named site (while any failpoint is armed) increments
+// the obs registry counter "failpoint.<name>", so harnesses can assert a
+// site was actually reached.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ppg::failpoint {
+
+/// Exit code of a `crash`-action failpoint; harnesses use it to tell a
+/// simulated crash from a real one.
+inline constexpr int kCrashExitCode = 42;
+
+/// What an armed failpoint does when its hit index matches.
+enum class Action { kThrow, kCrash, kDelay };
+
+/// The exception thrown by `throw`-action failpoints.
+class Injected : public std::runtime_error {
+ public:
+  explicit Injected(const std::string& name)
+      : std::runtime_error("failpoint injected: " + name) {}
+};
+
+/// Arms `name` with `action`. `nth` fires on the nth hit (1-based);
+/// `delay_ms` applies to Action::kDelay. Re-arming an armed name replaces
+/// its spec and resets its hit count.
+void activate(const std::string& name, Action action, std::uint64_t nth = 1,
+              std::uint64_t delay_ms = 0);
+
+/// Disarms `name` (no-op if not armed).
+void deactivate(const std::string& name);
+
+/// Disarms everything and zeroes hit counts (tests).
+void reset();
+
+/// Hits `name` observed since the process started counting (the name's
+/// obs counter holds the same value).
+std::uint64_t hits(const std::string& name);
+
+/// Parses a PPG_FAILPOINTS-style spec string ("a=crash;b=throw@3") and
+/// arms every entry. Returns false (arming nothing further) on a malformed
+/// entry. The environment variable is parsed automatically on first use.
+bool activate_from_spec(const std::string& spec);
+
+namespace detail {
+/// Nonzero while any failpoint is armed (read on the hot path).
+extern std::atomic<std::uint64_t> g_armed_count;
+/// Slow path: count the hit, fire the action if armed and due.
+void hit(const char* name);
+}  // namespace detail
+
+/// True when at least one failpoint is armed.
+inline bool any_active() noexcept {
+  return detail::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace ppg::failpoint
+
+/// The injection site. A no-op branch unless some failpoint is armed.
+#define PPG_FAILPOINT(name)                          \
+  do {                                               \
+    if (::ppg::failpoint::any_active())              \
+      ::ppg::failpoint::detail::hit(name);           \
+  } while (0)

@@ -170,6 +170,16 @@ class Rng {
     }
   }
 
+  /// Raw generator state, for checkpoint round-trips: restoring it with
+  /// set_state() resumes the exact stream, which is what makes killed-and-
+  /// resumed training bitwise identical to an uninterrupted run.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Restores state captured by state().
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

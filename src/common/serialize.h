@@ -45,6 +45,15 @@ class BinaryWriter {
     if (!out_) throw std::runtime_error("BinaryWriter: write failed");
   }
 
+  /// Flushes and throws if any buffered byte failed to reach the stream.
+  /// Every save site calls this before treating the artifact as written:
+  /// an ofstream happily swallows writes into a full disk and only admits
+  /// it at flush/close time, after the caller stopped looking.
+  void finish() {
+    out_.flush();
+    if (!out_) throw std::runtime_error("BinaryWriter: flush failed");
+  }
+
  private:
   std::ostream& out_;
 };

@@ -1,11 +1,24 @@
 #include "core/dcgen.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "common/durable_io.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "core/masks.h"
 #include "gpt/infer.h"
@@ -19,6 +32,8 @@ namespace ppg::core {
 namespace {
 
 using tok::Tokenizer;
+
+namespace fs = std::filesystem;
 
 /// Process-wide D&C-GEN metrics. The per-run DcGenStats struct stays the
 /// caller-facing snapshot; these accumulate across runs and are exact for
@@ -68,6 +83,186 @@ double remaining_capacity(const std::vector<pcfg::Segment>& pattern,
   }
   return total;
 }
+
+// ---- resumable job journal -------------------------------------------
+//
+// Two files under DcGenConfig::journal_dir:
+//  * plan.bin   — written once (atomic_save) after the deterministic
+//    division phase: run fingerprint, forced outputs, and every leaf task.
+//  * ledger.bin — append-only, one fsynced CRC-framed record per completed
+//    leaf. A crash can only tear the final record; resume truncates the
+//    torn tail and re-runs that leaf (its independent per-leaf RNG makes
+//    the re-run byte-identical).
+
+constexpr std::uint32_t kPlanMagic = 0x50504450;    // "PPDP"
+constexpr std::uint32_t kPlanVersion = 1;
+constexpr std::uint32_t kLedgerMagic = 0x5050444c;  // "PPDL"
+/// Sanity cap on a single ledger record's payload (1 GiB).
+constexpr std::uint64_t kMaxRecordBytes = 1ULL << 30;
+
+std::uint64_t jmix(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+std::uint64_t jmix_double(std::uint64_t h, double v) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return jmix(h, bits);
+}
+
+/// Fingerprint of everything that determines the guess stream: the output-
+/// relevant config knobs, the seed, the pattern distribution, and the model
+/// weights. threads / kv_cache / division_batch are deliberately excluded —
+/// they never change the output (dcgen_test asserts this), so a journal may
+/// be resumed with a different parallelism setup. A fingerprint mismatch
+/// means the journal belongs to a different run and must be discarded.
+std::uint64_t dc_fingerprint(const gpt::GptModel& model,
+                             const pcfg::PatternDistribution& patterns,
+                             const DcGenConfig& cfg, std::uint64_t seed) {
+  std::uint64_t h = 0xD0C6E4ULL;
+  h = jmix(h, seed);
+  h = jmix_double(h, cfg.total);
+  h = jmix_double(h, cfg.threshold);
+  h = jmix_double(h, cfg.min_task);
+  h = jmix(h, cfg.max_patterns);
+  h = jmix(h, cfg.strict_leaves ? 1 : 0);
+  h = jmix_double(h, cfg.sample.temperature);
+  h = jmix(h, static_cast<std::uint64_t>(cfg.sample.top_k));
+  h = jmix_double(h, cfg.sample.top_p);
+  h = jmix(h, static_cast<std::uint64_t>(cfg.sample.batch_size));
+  h = jmix(h, static_cast<std::uint64_t>(cfg.sample.max_attempt_factor));
+  for (const auto& [pat, prob] : patterns.sorted()) {
+    h = jmix(h, hash64(pat));
+    h = jmix_double(h, prob);
+  }
+  const auto& mc = model.config();
+  h = jmix(h, static_cast<std::uint64_t>(mc.vocab));
+  h = jmix(h, static_cast<std::uint64_t>(mc.d_model));
+  h = jmix(h, static_cast<std::uint64_t>(mc.n_layers));
+  h = jmix(h, static_cast<std::uint64_t>(mc.n_heads));
+  h = jmix(h, static_cast<std::uint64_t>(mc.context));
+  for (const auto& p : model.params().items()) {
+    h = jmix(h, hash64(p.name));
+    const auto data = p.tensor.data();
+    h = jmix(h, durable::crc32(reinterpret_cast<const char*>(data.data()),
+                               data.size() * sizeof(float)));
+  }
+  return h;
+}
+
+/// Append-only leaf-completion ledger with per-record CRC framing:
+/// [magic u32][payload bytes u64][payload][crc32(payload) u32].
+class Ledger {
+ public:
+  explicit Ledger(std::string path) : path_(std::move(path)) {}
+  ~Ledger() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Replays the ledger: returns completed leaves' outputs and truncates
+  /// any torn trailing record so subsequent appends start on a clean frame.
+  std::unordered_map<std::uint64_t, std::vector<std::string>> load_completed(
+      std::size_t leaf_count) {
+    std::unordered_map<std::uint64_t, std::vector<std::string>> done;
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return done;
+    std::stringstream whole;
+    whole << in.rdbuf();
+    const std::string bytes = whole.str();
+    std::size_t off = 0;
+    std::size_t good = 0;
+    while (bytes.size() - off >= sizeof(std::uint32_t) + sizeof(std::uint64_t)) {
+      std::uint32_t magic;
+      std::uint64_t payload_bytes;
+      std::memcpy(&magic, bytes.data() + off, sizeof magic);
+      std::memcpy(&payload_bytes, bytes.data() + off + sizeof magic,
+                  sizeof payload_bytes);
+      if (magic != kLedgerMagic || payload_bytes > kMaxRecordBytes) break;
+      const std::size_t header = sizeof magic + sizeof payload_bytes;
+      const std::size_t need = header + payload_bytes + sizeof(std::uint32_t);
+      if (bytes.size() - off < need) break;  // torn tail
+      std::uint32_t stored_crc;
+      std::memcpy(&stored_crc, bytes.data() + off + header + payload_bytes,
+                  sizeof stored_crc);
+      if (durable::crc32(bytes.data() + off + header, payload_bytes) !=
+          stored_crc)
+        break;
+      std::istringstream payload(
+          bytes.substr(off + header, payload_bytes));
+      BinaryReader r(payload);
+      const auto leaf_idx = r.read<std::uint64_t>();
+      const auto count = r.read<std::uint64_t>();
+      std::vector<std::string> out;
+      out.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i)
+        out.push_back(r.read_string());
+      if (leaf_idx < leaf_count) done[leaf_idx] = std::move(out);
+      off += need;
+      good = off;
+    }
+    if (good < bytes.size()) {
+      log_warn("dcgen journal: truncating torn ledger tail (%zu of %zu bytes)",
+               bytes.size() - good, bytes.size());
+      std::error_code ec;
+      fs::resize_file(path_, good, ec);
+    }
+    return done;
+  }
+
+  /// Appends one completed leaf's output and fsyncs. Serialised across
+  /// worker threads; the mid_append failpoint sits between the two halves
+  /// of the write so a simulated crash leaves a genuinely torn record.
+  void append(std::uint64_t leaf_idx, const std::vector<std::string>& out) {
+    std::ostringstream payload_s;
+    BinaryWriter w(payload_s);
+    w.write(leaf_idx);
+    w.write<std::uint64_t>(out.size());
+    for (const auto& s : out) w.write_string(s);
+    const std::string payload = payload_s.str();
+    std::string record;
+    record.reserve(payload.size() + 16);
+    const std::uint32_t magic = kLedgerMagic;
+    const std::uint64_t payload_bytes = payload.size();
+    const std::uint32_t crc = durable::crc32(payload.data(), payload.size());
+    record.append(reinterpret_cast<const char*>(&magic), sizeof magic);
+    record.append(reinterpret_cast<const char*>(&payload_bytes),
+                  sizeof payload_bytes);
+    record += payload;
+    record.append(reinterpret_cast<const char*>(&crc), sizeof crc);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) {
+      fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd_ < 0)
+        throw std::runtime_error("dcgen journal: cannot open ledger " + path_);
+    }
+    PPG_FAILPOINT("dcgen.ledger.before_append");
+    const std::size_t half = record.size() / 2;
+    write_all(record.data(), half);
+    PPG_FAILPOINT("dcgen.ledger.mid_append");
+    write_all(record.data() + half, record.size() - half);
+    if (::fsync(fd_) != 0)
+      throw std::runtime_error("dcgen journal: fsync failed on " + path_);
+    PPG_FAILPOINT("dcgen.ledger.after_append");
+  }
+
+ private:
+  void write_all(const char* data, std::size_t n) {
+    while (n > 0) {
+      const ssize_t written = ::write(fd_, data, n);
+      if (written < 0)
+        throw std::runtime_error("dcgen journal: write failed on " + path_);
+      data += written;
+      n -= static_cast<std::size_t>(written);
+    }
+  }
+
+  std::string path_;
+  std::mutex mu_;
+  int fd_ = -1;
+};
 
 }  // namespace
 
@@ -120,11 +315,80 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
     pending[len].push_back(std::move(t));
   };
 
+  // Journal setup: with a matching plan on disk the whole division phase is
+  // skipped — the plan *is* the division, saved from a previous run of this
+  // exact (model, patterns, cfg, seed).
+  const bool journaled = !cfg.journal_dir.empty();
+  std::string plan_path, ledger_path;
+  std::uint64_t fingerprint = 0;
+  bool have_plan = false;
+  if (journaled) {
+    fs::create_directories(cfg.journal_dir);
+    plan_path = cfg.journal_dir + "/plan.bin";
+    ledger_path = cfg.journal_dir + "/ledger.bin";
+    fingerprint = dc_fingerprint(model, patterns, cfg, seed);
+    if (fs::exists(plan_path)) {
+      try {
+        durable::checked_load(plan_path, [&](BinaryReader& r) {
+          if (r.read<std::uint32_t>() != kPlanMagic)
+            throw std::runtime_error("not a dcgen plan");
+          if (r.read<std::uint32_t>() != kPlanVersion)
+            throw std::runtime_error("unsupported dcgen plan version");
+          if (r.read<std::uint64_t>() != fingerprint)
+            throw std::runtime_error(
+                "fingerprint mismatch (different run); replanning");
+          const auto forced_count = r.read<std::uint64_t>();
+          forced.reserve(forced_count);
+          for (std::uint64_t i = 0; i < forced_count; ++i)
+            forced.push_back(r.read_string());
+          const auto pat_count = r.read<std::uint64_t>();
+          std::vector<const std::vector<pcfg::Segment>*> pats;
+          pats.reserve(pat_count);
+          for (std::uint64_t i = 0; i < pat_count; ++i) {
+            auto parsed = pcfg::parse_pattern(r.read_string());
+            if (!parsed)
+              throw std::runtime_error("unparseable pattern in plan");
+            parsed_patterns.push_back(
+                std::make_unique<std::vector<pcfg::Segment>>(
+                    std::move(*parsed)));
+            pats.push_back(parsed_patterns.back().get());
+          }
+          const auto leaf_count = r.read<std::uint64_t>();
+          leaves.reserve(leaf_count);
+          for (std::uint64_t i = 0; i < leaf_count; ++i) {
+            Task t;
+            const auto pat_idx = r.read<std::uint64_t>();
+            if (pat_idx >= pats.size())
+              throw std::runtime_error("pattern index out of range in plan");
+            t.pattern = pats[pat_idx];
+            t.chars_done = r.read<std::int32_t>();
+            t.n = r.read<double>();
+            t.prefix = r.read_vector<int>();
+            leaves.push_back(std::move(t));
+          }
+        });
+        have_plan = true;
+        local.resumed_plan = true;
+        local.forced = forced.size();
+        log_info("dcgen journal: resumed plan with %zu leaves, %zu forced",
+                 leaves.size(), forced.size());
+      } catch (const std::exception& e) {
+        log_warn("dcgen journal: discarding plan: %s", e.what());
+        forced.clear();
+        leaves.clear();
+        parsed_patterns.clear();
+        have_plan = false;
+      }
+    }
+  }
+
   // Root division by the pattern distribution (Alg. 1 lines 2-9).
   const auto& sorted = patterns.sorted();
   const std::size_t pattern_limit =
-      cfg.max_patterns == 0 ? sorted.size()
-                            : std::min(cfg.max_patterns, sorted.size());
+      have_plan ? 0
+      : cfg.max_patterns == 0
+          ? sorted.size()
+          : std::min(cfg.max_patterns, sorted.size());
   for (std::size_t i = 0; i < pattern_limit; ++i) {
     const auto& [pattern_str, prob] = sorted[i];
     auto parsed = pcfg::parse_pattern(pattern_str);
@@ -262,13 +526,60 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
     }
   }
 
+  // Persist the freshly computed plan. The stale ledger (if any) belongs
+  // to a different plan and is removed *first*: a crash between the two
+  // steps then leaves no ledger at all rather than one that indexes into
+  // the wrong leaf list.
+  if (journaled && !have_plan) {
+    std::error_code ec;
+    fs::remove(ledger_path, ec);
+    PPG_FAILPOINT("dcgen.before_plan");
+    durable::atomic_save(plan_path, [&](BinaryWriter& w) {
+      w.write(kPlanMagic);
+      w.write(kPlanVersion);
+      w.write(fingerprint);
+      w.write<std::uint64_t>(forced.size());
+      for (const auto& s : forced) w.write_string(s);
+      std::unordered_map<const std::vector<pcfg::Segment>*, std::uint64_t>
+          pat_idx;
+      std::vector<std::string> pat_strs;
+      for (const auto& t : leaves)
+        if (pat_idx.emplace(t.pattern, pat_strs.size()).second)
+          pat_strs.push_back(pcfg::pattern_string(*t.pattern));
+      w.write<std::uint64_t>(pat_strs.size());
+      for (const auto& s : pat_strs) w.write_string(s);
+      w.write<std::uint64_t>(leaves.size());
+      for (const auto& t : leaves) {
+        w.write<std::uint64_t>(pat_idx.at(t.pattern));
+        w.write<std::int32_t>(t.chars_done);
+        w.write<double>(t.n);
+        w.write_vector(t.prefix);
+      }
+    });
+  }
+
   // Execute leaves (Alg. 1 lines 5 and 13). Each leaf draws from its own
   // seeded RNG and results are concatenated in task order, so the output
   // is identical for any thread count (§III-C3 optimisation 3).
   local.leaves = leaves.size();
   std::vector<std::vector<std::string>> leaf_out(leaves.size());
   std::vector<gpt::SampleStats> leaf_stats(leaves.size());
+  std::vector<char> leaf_done(leaves.size(), 0);
+  std::unique_ptr<Ledger> ledger;
+  if (journaled) {
+    ledger = std::make_unique<Ledger>(ledger_path);
+    auto completed = ledger->load_completed(leaves.size());
+    for (auto& [idx, pws] : completed) {
+      leaf_out[idx] = std::move(pws);
+      leaf_done[idx] = 1;
+      ++local.resumed_leaves;
+    }
+    if (local.resumed_leaves > 0)
+      log_info("dcgen journal: %zu of %zu leaves already complete",
+               local.resumed_leaves, leaves.size());
+  }
   const auto run_leaf = [&](std::size_t leaf_idx) {
+    if (leaf_done[leaf_idx]) return;
     obs::Span leaf_span("dcgen/leaf", "dcgen");
     const Task& t = leaves[leaf_idx];
     const auto count = static_cast<std::size_t>(std::llround(t.n));
@@ -286,6 +597,8 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
         gpt::sample_passwords(model, t.prefix, count, rng, cfg.sample, mask,
                               &leaf_stats[leaf_idx], hit ? hit.state() : nullptr);
     DcMetrics::get().emitted.inc(leaf_out[leaf_idx].size());
+    if (ledger) ledger->append(leaf_idx, leaf_out[leaf_idx]);
+    PPG_FAILPOINT("dcgen.leaf.done");
   };
   {
     obs::Span leaves_span("dcgen/leaves", "dcgen");

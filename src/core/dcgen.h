@@ -65,6 +65,15 @@ struct DcGenConfig {
   /// Byte budget for the per-run cache. LRU eviction of unpinned nodes;
   /// a tiny budget degrades hit depth, never correctness.
   std::size_t kv_cache_bytes = std::size_t(256) << 20;
+  /// Directory for the resumable job journal (empty = off). With a journal,
+  /// the run saves its division plan once (the division phase is
+  /// deterministic) and appends a fsynced ledger record per completed leaf.
+  /// A killed run relaunched with the same journal_dir skips the division,
+  /// skips completed leaves, re-runs only unfinished ones (each leaf has an
+  /// independent RNG), and returns byte-identical output — no guess is ever
+  /// duplicated or dropped. A journal whose config/model fingerprint does
+  /// not match the current run is discarded, never trusted.
+  std::string journal_dir;
 };
 
 /// Run diagnostics.
@@ -80,6 +89,10 @@ struct DcGenStats {
   std::size_t prefill_tokens = 0;
   /// Prefix positions restored from cached KV states instead of computed.
   std::size_t prefill_saved = 0;
+  /// Leaves restored from the journal ledger instead of regenerated.
+  std::size_t resumed_leaves = 0;
+  /// True when the division phase was skipped via a journaled plan.
+  bool resumed_plan = false;
 };
 
 /// Generates ~cfg.total passwords with the divide-and-conquer scheme.

@@ -1,8 +1,8 @@
 #include "core/pagpassgpt.h"
 
-#include <fstream>
 #include <stdexcept>
 
+#include "common/durable_io.h"
 #include "common/logging.h"
 #include "gpt/infer.h"
 #include "core/masks.h"
@@ -82,22 +82,15 @@ double PagPassGPT::log_prob(std::string_view password) const {
 void PagPassGPT::save(const std::string& path) const {
   if (!trained_) throw std::logic_error("PagPassGPT::save: untrained model");
   model_.save(path);
-  std::ofstream out(path + ".patterns", std::ios::binary);
-  if (!out)
-    throw std::runtime_error("PagPassGPT::save: cannot open " + path +
-                             ".patterns");
-  BinaryWriter w(out);
-  patterns_.save(w);
+  durable::atomic_save(path + ".patterns",
+                       [this](BinaryWriter& w) { patterns_.save(w); });
 }
 
 void PagPassGPT::load(const std::string& path) {
   model_.load(path);
-  std::ifstream in(path + ".patterns", std::ios::binary);
-  if (!in)
-    throw std::runtime_error("PagPassGPT::load: cannot open " + path +
-                             ".patterns");
-  BinaryReader r(in);
-  patterns_ = pcfg::PatternDistribution::load(r);
+  durable::checked_load_or_legacy(path + ".patterns", [this](BinaryReader& r) {
+    patterns_ = pcfg::PatternDistribution::load(r);
+  });
   trained_ = true;
 }
 

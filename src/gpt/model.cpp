@@ -2,9 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <stdexcept>
 
+#include "common/durable_io.h"
+#include "common/failpoint.h"
 #include "common/serialize.h"
 
 namespace ppg::gpt {
@@ -134,77 +135,79 @@ constexpr std::uint32_t kVersion = 1;
 }  // namespace
 
 void GptModel::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("GptModel::save: cannot open " + path);
-  BinaryWriter w(out);
-  w.write(kMagic);
-  w.write(kVersion);
-  w.write(cfg_.vocab);
-  w.write(cfg_.d_model);
-  w.write(cfg_.n_layers);
-  w.write(cfg_.n_heads);
-  w.write(cfg_.context);
-  w.write(cfg_.dropout);
-  params_.save(w);
+  durable::atomic_save(path, [this](BinaryWriter& w) {
+    w.write(kMagic);
+    w.write(kVersion);
+    w.write(cfg_.vocab);
+    w.write(cfg_.d_model);
+    w.write(cfg_.n_layers);
+    w.write(cfg_.n_heads);
+    w.write(cfg_.context);
+    w.write(cfg_.dropout);
+    // Kill point between the header and the bulk of the payload: a crash
+    // here must leave the previous checkpoint untouched on the final path.
+    PPG_FAILPOINT("model.save.mid_write");
+    params_.save(w);
+  });
 }
 
 void GptModel::load(const std::string& path) {
   // Serving loads checkpoints from operator-supplied paths, so every
   // corruption mode must surface as a descriptive error — never as garbage
-  // weights. Each phase names what it found; truncation errors from the
-  // reader are wrapped with the file path and the phase they hit.
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("GptModel::load: cannot open " + path);
-  BinaryReader r(in);
+  // weights. The durable_io CRC footer catches truncation and bit damage
+  // wholesale; the phase checks below then name what a *well-formed but
+  // wrong* file contains (foreign magic, version skew, config mismatch).
   const auto fail = [&path](const std::string& what) -> std::runtime_error {
     return std::runtime_error("GptModel::load: " + path + ": " + what);
   };
   try {
-    const auto magic = r.read<std::uint32_t>();
-    if (magic != kMagic)
-      throw fail("bad magic 0x" + [magic] {
-        char buf[16];
-        std::snprintf(buf, sizeof buf, "%08x", magic);
-        return std::string(buf);
-      }() + " (not a PagPassGPT checkpoint)");
-    const auto version = r.read<std::uint32_t>();
-    if (version != kVersion)
-      throw fail("unsupported checkpoint version " + std::to_string(version) +
-                 " (this build reads version " + std::to_string(kVersion) +
-                 ")");
-    Config stored;
-    stored.vocab = r.read<Index>();
-    stored.d_model = r.read<Index>();
-    stored.n_layers = r.read<Index>();
-    stored.n_heads = r.read<Index>();
-    stored.context = r.read<Index>();
-    stored.dropout = r.read<float>();
-    try {
-      stored.validate();
-    } catch (const std::exception& e) {
-      throw fail(std::string("corrupt config block: ") + e.what());
-    }
-    if (stored.vocab != cfg_.vocab || stored.d_model != cfg_.d_model ||
-        stored.n_layers != cfg_.n_layers || stored.n_heads != cfg_.n_heads ||
-        stored.context != cfg_.context)
-      throw fail("config mismatch: checkpoint has vocab=" +
-                 std::to_string(stored.vocab) +
-                 " d_model=" + std::to_string(stored.d_model) +
-                 " n_layers=" + std::to_string(stored.n_layers) +
-                 " n_heads=" + std::to_string(stored.n_heads) +
-                 " context=" + std::to_string(stored.context) +
-                 ", this model expects vocab=" + std::to_string(cfg_.vocab) +
-                 " d_model=" + std::to_string(cfg_.d_model) +
-                 " n_layers=" + std::to_string(cfg_.n_layers) +
-                 " n_heads=" + std::to_string(cfg_.n_heads) +
-                 " context=" + std::to_string(cfg_.context));
-    try {
-      params_.load(r);
-    } catch (const std::exception& e) {
-      throw fail(std::string("tensor data: ") + e.what());
-    }
+    durable::checked_load_or_legacy(path, [&](BinaryReader& r) {
+      const auto magic = r.read<std::uint32_t>();
+      if (magic != kMagic)
+        throw fail("bad magic 0x" + [magic] {
+          char buf[16];
+          std::snprintf(buf, sizeof buf, "%08x", magic);
+          return std::string(buf);
+        }() + " (not a PagPassGPT checkpoint)");
+      const auto version = r.read<std::uint32_t>();
+      if (version != kVersion)
+        throw fail("unsupported checkpoint version " +
+                   std::to_string(version) + " (this build reads version " +
+                   std::to_string(kVersion) + ")");
+      Config stored;
+      stored.vocab = r.read<Index>();
+      stored.d_model = r.read<Index>();
+      stored.n_layers = r.read<Index>();
+      stored.n_heads = r.read<Index>();
+      stored.context = r.read<Index>();
+      stored.dropout = r.read<float>();
+      try {
+        stored.validate();
+      } catch (const std::exception& e) {
+        throw fail(std::string("corrupt config block: ") + e.what());
+      }
+      if (stored.vocab != cfg_.vocab || stored.d_model != cfg_.d_model ||
+          stored.n_layers != cfg_.n_layers || stored.n_heads != cfg_.n_heads ||
+          stored.context != cfg_.context)
+        throw fail("config mismatch: checkpoint has vocab=" +
+                   std::to_string(stored.vocab) +
+                   " d_model=" + std::to_string(stored.d_model) +
+                   " n_layers=" + std::to_string(stored.n_layers) +
+                   " n_heads=" + std::to_string(stored.n_heads) +
+                   " context=" + std::to_string(stored.context) +
+                   ", this model expects vocab=" + std::to_string(cfg_.vocab) +
+                   " d_model=" + std::to_string(cfg_.d_model) +
+                   " n_layers=" + std::to_string(cfg_.n_layers) +
+                   " n_heads=" + std::to_string(cfg_.n_heads) +
+                   " context=" + std::to_string(cfg_.context));
+      try {
+        params_.load(r);
+      } catch (const std::exception& e) {
+        throw fail(std::string("tensor data: ") + e.what());
+      }
+    });
   } catch (const std::runtime_error& e) {
-    // Reader truncation errors carry no file context; wrap them once.
+    // durable_io and reader errors carry no GptModel context; wrap once.
     const std::string msg = e.what();
     if (msg.rfind("GptModel::load:", 0) == 0) throw;
     throw fail(msg);

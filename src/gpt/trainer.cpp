@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/durable_io.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -14,6 +19,45 @@
 namespace ppg::gpt {
 
 namespace {
+
+constexpr std::uint32_t kTrainCkptMagic = 0x50504354;  // "PPCT"
+constexpr std::uint32_t kTrainCkptVersion = 1;
+
+/// Order-sensitive 64-bit combine for the run fingerprint.
+std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+/// Fingerprint of everything that determines the training trajectory: the
+/// hyperparameters, the pad token, and every training token. A checkpoint
+/// from a different run must be rejected, not silently continued — resuming
+/// over changed data would produce weights that belong to neither run.
+std::uint64_t run_fingerprint(const TrainConfig& cfg, int pad_token,
+                              const std::vector<std::vector<int>>& seqs) {
+  std::uint64_t h = 0x5050ULL;
+  h = fp_mix(h, static_cast<std::uint64_t>(cfg.epochs));
+  h = fp_mix(h, static_cast<std::uint64_t>(cfg.batch_size));
+  std::uint32_t bits;
+  static_assert(sizeof bits == sizeof cfg.lr);
+  std::memcpy(&bits, &cfg.lr, sizeof bits);
+  h = fp_mix(h, bits);
+  std::memcpy(&bits, &cfg.warmup_frac, sizeof bits);
+  h = fp_mix(h, bits);
+  h = fp_mix(h, cfg.cosine_decay ? 1 : 0);
+  std::memcpy(&bits, &cfg.grad_clip, sizeof bits);
+  h = fp_mix(h, bits);
+  std::memcpy(&bits, &cfg.weight_decay, sizeof bits);
+  h = fp_mix(h, bits);
+  h = fp_mix(h, cfg.seed);
+  h = fp_mix(h, static_cast<std::uint64_t>(pad_token));
+  h = fp_mix(h, seqs.size());
+  for (const auto& seq : seqs) {
+    h = fp_mix(h, seq.size());
+    for (const int t : seq) h = fp_mix(h, static_cast<std::uint64_t>(t));
+  }
+  return h;
+}
 
 /// Debug/sanitize-only numerics tripwire: after forward+backward every
 /// parameter value and gradient must be finite. A NaN that enters the
@@ -92,12 +136,105 @@ TrainReport train_lm(GptModel& model,
   TrainReport report;
   nn::Graph g;
   std::size_t step = 0;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+
+  // Durable checkpointing (optional): snapshot every complete piece of
+  // trajectory state — parameters, optimizer moments, shuffle RNG, the
+  // in-flight permutation, loss accumulators, and the step/epoch cursor —
+  // so a killed run resumed from the latest good generation replays the
+  // exact remaining steps and lands on bitwise-identical weights.
+  std::unique_ptr<durable::CheckpointManifest> manifest;
+  std::uint64_t fingerprint = 0;
+  int start_epoch = 0;
+  std::size_t resume_start = 0;
+  double resume_epoch_loss = 0.0;
+  std::size_t resume_epoch_batches = 0;
+  bool restored_perm = false;
+  if (cfg.checkpoint_every > 0) {
+    if (cfg.checkpoint_dir.empty())
+      throw std::invalid_argument(
+          "train_lm: checkpoint_every > 0 requires checkpoint_dir");
+    fingerprint = run_fingerprint(cfg, pad_token, train_seqs);
+    manifest =
+        std::make_unique<durable::CheckpointManifest>(cfg.checkpoint_dir);
+    if (const auto entry = manifest->latest_good()) {
+      durable::checked_load(
+          manifest->file_path(entry->files.at(0)), [&](BinaryReader& r) {
+            if (r.read<std::uint32_t>() != kTrainCkptMagic)
+              throw std::runtime_error(
+                  "train_lm: not a training checkpoint");
+            if (r.read<std::uint32_t>() != kTrainCkptVersion)
+              throw std::runtime_error(
+                  "train_lm: unsupported training checkpoint version");
+            if (r.read<std::uint64_t>() != fingerprint)
+              throw std::runtime_error(
+                  "train_lm: checkpoint fingerprint mismatch (different "
+                  "config or training data); refusing to resume");
+            start_epoch = r.read<std::int32_t>();
+            step = r.read<std::uint64_t>();
+            resume_start = r.read<std::uint64_t>();
+            resume_epoch_loss = r.read<double>();
+            resume_epoch_batches = r.read<std::uint64_t>();
+            report.epoch_loss = r.read_vector<double>();
+            report.valid_nll = r.read_vector<double>();
+            std::array<std::uint64_t, 4> rng_state;
+            for (auto& word : rng_state) word = r.read<std::uint64_t>();
+            shuffle_rng.set_state(rng_state);
+            const auto perm = r.read_vector<std::uint64_t>();
+            if (perm.size() != usable.size())
+              throw std::runtime_error(
+                  "train_lm: checkpoint permutation size mismatch");
+            for (std::size_t i = 0; i < perm.size(); ++i)
+              usable[i] = static_cast<std::size_t>(perm[i]);
+            model.params().load(r);
+            opt.load(r);
+          });
+      restored_perm = true;
+      report.resumed_from_step = step;
+      log_info("train_lm: resumed from checkpoint at step %zu (epoch %d)",
+               step, start_epoch + 1);
+    }
+  }
+  const auto save_checkpoint = [&](int epoch, std::size_t next_start,
+                                   double ep_loss, std::size_t ep_batches) {
+    const std::string name = "ckpt-" + std::to_string(step) + ".bin";
+    durable::atomic_save(manifest->file_path(name), [&](BinaryWriter& w) {
+      w.write(kTrainCkptMagic);
+      w.write(kTrainCkptVersion);
+      w.write(fingerprint);
+      w.write<std::int32_t>(epoch);
+      w.write<std::uint64_t>(step);
+      w.write<std::uint64_t>(next_start);
+      w.write<double>(ep_loss);
+      w.write<std::uint64_t>(ep_batches);
+      w.write_vector(report.epoch_loss);
+      w.write_vector(report.valid_nll);
+      for (const std::uint64_t word : shuffle_rng.state()) w.write(word);
+      const std::vector<std::uint64_t> perm(usable.begin(), usable.end());
+      w.write_vector(perm);
+      PPG_FAILPOINT("train.checkpoint.mid_write");
+      model.params().save(w);
+      opt.save(w);
+    });
+    manifest->publish(step, {name});
+    manifest->prune(cfg.checkpoint_keep);
+  };
+
+  for (int epoch = start_epoch; epoch < cfg.epochs; ++epoch) {
     obs::Span epoch_span("train/epoch", "train");
-    shuffle_rng.shuffle(usable);
     double epoch_loss = 0.0;
     std::size_t epoch_batches = 0;
-    for (std::size_t start = 0; start < usable.size();
+    std::size_t first = 0;
+    if (restored_perm) {
+      // The permutation for this epoch was restored from the checkpoint;
+      // re-shuffling would consume RNG draws the original run never made.
+      first = resume_start;
+      epoch_loss = resume_epoch_loss;
+      epoch_batches = resume_epoch_batches;
+      restored_perm = false;
+    } else {
+      shuffle_rng.shuffle(usable);
+    }
+    for (std::size_t start = first; start < usable.size();
          start += static_cast<std::size_t>(cfg.batch_size)) {
       const std::size_t end = std::min(
           usable.size(), start + static_cast<std::size_t>(cfg.batch_size));
@@ -151,6 +288,9 @@ TrainReport train_lm(GptModel& model,
       m_grad_norm.set(grad_norm);
       if (step_start != 0)
         m_step_ms.observe(double(obs::now_ns() - step_start) * 1e-6);
+      PPG_FAILPOINT("train.after_step");
+      if (manifest && step % cfg.checkpoint_every == 0)
+        save_checkpoint(epoch, end, epoch_loss, epoch_batches);
       if (cfg.log_every > 0 && step % static_cast<std::size_t>(cfg.log_every) == 0)
         log_info("train_lm: step %zu/%zu loss=%.4f lr=%.2e", step, total_steps,
                  loss.at(0), double(opt.lr()));

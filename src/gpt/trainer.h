@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "gpt/model.h"
@@ -25,6 +26,17 @@ struct TrainConfig {
   float weight_decay = 0.01f;
   std::uint64_t seed = 42;
   int log_every = 0;  ///< steps between progress logs; 0 = silent
+
+  /// Steps between durable checkpoints; 0 disables checkpointing.
+  std::size_t checkpoint_every = 0;
+  /// Directory for the checkpoint manifest and snapshots. Must be set when
+  /// checkpoint_every > 0. If it already holds a manifest whose latest good
+  /// entry matches this run's config and data fingerprint, training resumes
+  /// from that snapshot and the result is bitwise identical to an
+  /// uninterrupted run.
+  std::string checkpoint_dir;
+  /// Checkpoint generations to retain (older ones are pruned).
+  std::size_t checkpoint_keep = 2;
 };
 
 /// Per-epoch training record.
@@ -32,6 +44,7 @@ struct TrainReport {
   std::vector<double> epoch_loss;  ///< mean train loss per epoch
   std::vector<double> valid_nll;   ///< validation NLL per epoch (if any)
   std::size_t steps = 0;
+  std::size_t resumed_from_step = 0;  ///< 0 when the run started fresh
 };
 
 /// Optional per-epoch callback: (epoch, train_loss, valid_nll).

@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
+#include "common/serialize.h"
 #include "nn/layers.h"
 
 namespace ppg::nn {
@@ -63,6 +65,41 @@ class AdamW {
 
   /// Update count so far.
   long steps() const noexcept { return t_; }
+
+  /// Serialises the full optimizer state (step count + both moment
+  /// buffers). Resuming training without the moments silently restarts
+  /// Adam's bias correction and changes every subsequent update, so
+  /// checkpoints must round-trip this alongside the parameters.
+  void save(BinaryWriter& w) const {
+    w.write<std::int64_t>(t_);
+    w.write<std::uint64_t>(m_.size());
+    for (std::size_t i = 0; i < m_.size(); ++i) {
+      w.write_vector(m_[i]);
+      w.write_vector(v_[i]);
+    }
+  }
+
+  /// Restores state written by save(). Throws if the checkpoint's buffer
+  /// shapes do not match the bound parameter list.
+  void load(BinaryReader& r) {
+    const auto t = r.read<std::int64_t>();
+    const auto n = r.read<std::uint64_t>();
+    if (n != m_.size())
+      throw std::runtime_error("AdamW::load: checkpoint has " +
+                               std::to_string(n) + " tensors, optimizer has " +
+                               std::to_string(m_.size()));
+    for (std::size_t i = 0; i < m_.size(); ++i) {
+      auto m = r.read_vector<float>();
+      auto v = r.read_vector<float>();
+      if (m.size() != m_[i].size() || v.size() != v_[i].size())
+        throw std::runtime_error(
+            "AdamW::load: moment shape mismatch at tensor " +
+            std::to_string(i));
+      m_[i] = std::move(m);
+      v_[i] = std::move(v);
+    }
+    t_ = static_cast<long>(t);
+  }
 
  private:
   ParamList* params_;

@@ -77,7 +77,11 @@ std::string RunReport::to_json(const Registry* registry) const {
 
 bool RunReport::write(const std::string& path, const Registry* registry) const {
   const std::string json = to_json(registry);
-  std::ofstream out(path, std::ios::trunc);
+  // Best-effort diagnostic JSON, often pointed at a pipe or /dev/stdout;
+  // rename-over semantics would break those sinks and a torn report is
+  // harmless.
+  std::ofstream out(  // ppg-lint: allow(direct-final-write) diagnostics
+      path, std::ios::trunc);
   if (!out) return false;
   out << json << '\n';
   return static_cast<bool>(out);

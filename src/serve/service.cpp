@@ -141,6 +141,10 @@ std::future<Response> GuessService::submit(Request req) {
     return reject(std::move(req), Reject::kBadRequest,
                   "count " + std::to_string(req.count) + " exceeds max_count " +
                       std::to_string(cfg_.max_count));
+  if (req.timeout_ms < 0.0)
+    return reject(std::move(req), Reject::kBadRequest,
+                  "timeout_ms must be >= 0 (got " +
+                      std::to_string(req.timeout_ms) + ")");
 
   auto p = std::make_shared<Pending>();
   p->prefix.push_back(Tokenizer::kBos);

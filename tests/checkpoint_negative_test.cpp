@@ -3,6 +3,8 @@
 // or mismatched config, oversized length fields — must surface as a clean
 // std::runtime_error naming the file and phase, never as UB or garbage
 // weights. The ASan+UBSan CI job runs these with full instrumentation.
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/durable_io.h"
 #include "common/serialize.h"
 #include "gpt/model.h"
 
@@ -26,7 +29,12 @@ namespace fs = std::filesystem;
 class CheckpointNegativeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "ppg_ckpt_neg";
+    // Unique per process and case: gtest_discover_tests runs cases as
+    // parallel ctest processes, which must not share a scratch directory.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("ppg_ckpt_neg_" + std::to_string(::getpid()) + "_" +
+            info->name());
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -41,7 +49,7 @@ class CheckpointNegativeTest : public ::testing::Test {
     return p;
   }
 
-  /// A well-formed tiny checkpoint's bytes.
+  /// A well-formed tiny checkpoint's bytes (payload + CRC footer).
   std::string good_bytes() {
     const std::string p = path("good.ckpt");
     GptModel m(Config::tiny(), 1);
@@ -50,6 +58,31 @@ class CheckpointNegativeTest : public ::testing::Test {
     std::stringstream ss;
     ss << in.rdbuf();
     return ss.str();
+  }
+
+  /// A well-formed checkpoint's payload with the CRC footer stripped, so
+  /// tests can corrupt parser-visible bytes and re-seal them.
+  std::string good_payload() {
+    std::string bytes = good_bytes();
+    EXPECT_GE(bytes.size(), durable::kFooterBytes);
+    bytes.resize(bytes.size() - durable::kFooterBytes);
+    return bytes;
+  }
+
+  /// Writes payload bytes with a freshly computed (valid) CRC footer, so
+  /// payload-level corruption reaches the GptModel parser instead of being
+  /// caught wholesale by the CRC check.
+  std::string write_sealed(const char* name, const std::string& payload) const {
+    const std::string p = path(name);
+    std::ofstream out(p, std::ios::binary);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::uint64_t size = payload.size();
+    const std::uint32_t crc = durable::crc32(payload.data(), payload.size());
+    const std::uint32_t magic = durable::kFooterMagic;
+    out.write(reinterpret_cast<const char*>(&size), sizeof size);
+    out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+    return p;
   }
 
   /// Expects load() to throw a runtime_error whose message contains every
@@ -73,28 +106,38 @@ class CheckpointNegativeTest : public ::testing::Test {
 };
 
 TEST_F(CheckpointNegativeTest, EmptyFile) {
+  // No footer → legacy fallback → the parser dies cleanly on EOF.
   expect_load_error(write_file("empty.ckpt", ""), {"truncated"});
 }
 
-TEST_F(CheckpointNegativeTest, WrongMagic) {
+TEST_F(CheckpointNegativeTest, FlippedPayloadByteFailsCrc) {
   std::string bytes = good_bytes();
-  bytes[0] = 'X';
-  bytes[1] = 'Y';
-  expect_load_error(write_file("magic.ckpt", bytes),
+  bytes[0] ^= 0x01;  // payload damage with the original footer kept
+  expect_load_error(write_file("bitrot.ckpt", bytes), {"CRC mismatch"});
+}
+
+TEST_F(CheckpointNegativeTest, WrongMagic) {
+  std::string payload = good_payload();
+  payload[0] = 'X';
+  payload[1] = 'Y';
+  expect_load_error(write_sealed("magic.ckpt", payload),
                     {"bad magic", "not a PagPassGPT checkpoint"});
 }
 
 TEST_F(CheckpointNegativeTest, UnsupportedVersion) {
-  std::string bytes = good_bytes();
-  bytes[4] = static_cast<char>(0x2a);  // version 42
-  expect_load_error(write_file("version.ckpt", bytes),
+  std::string payload = good_payload();
+  payload[4] = static_cast<char>(0x2a);  // version 42
+  expect_load_error(write_sealed("version.ckpt", payload),
                     {"unsupported checkpoint version 42"});
 }
 
 TEST_F(CheckpointNegativeTest, TruncatedEverywhere) {
   const std::string bytes = good_bytes();
   // Cut inside the magic, the config block, the parameter table header,
-  // a parameter name, and the tensor payload — plus one byte short.
+  // a parameter name, the tensor payload, and the CRC footer — plus one
+  // byte short. Every cut must be caught: payload cuts die in the parser
+  // (the legacy fallback strips no safety there), and footer cuts trip
+  // the trailing-bytes check on the intact payload ahead of them.
   const std::size_t cuts[] = {1,  3,  9,  17, 33, 40,
                               bytes.size() / 2, bytes.size() - 1};
   for (const std::size_t cut : cuts) {
@@ -103,12 +146,21 @@ TEST_F(CheckpointNegativeTest, TruncatedEverywhere) {
   }
 }
 
+TEST_F(CheckpointNegativeTest, TruncatedPayloadWithReattachedFooter) {
+  // Even a truncation that somehow preserves the 16 footer bytes (e.g. a
+  // hole punched mid-file) is caught: the footer's size no longer matches.
+  const std::string bytes = good_bytes();
+  std::string holed = bytes.substr(0, bytes.size() / 2) +
+                      bytes.substr(bytes.size() - durable::kFooterBytes);
+  expect_load_error(write_file("holed.ckpt", holed), {"size mismatch"});
+}
+
 TEST_F(CheckpointNegativeTest, CorruptConfigBlock) {
-  std::string bytes = good_bytes();
+  std::string payload = good_payload();
   // vocab is the first Index (int64) after magic+version at offset 8;
   // overwrite it with -1.
-  for (int i = 0; i < 8; ++i) bytes[8 + i] = static_cast<char>(0xff);
-  expect_load_error(write_file("config.ckpt", bytes),
+  for (int i = 0; i < 8; ++i) payload[8 + i] = static_cast<char>(0xff);
+  expect_load_error(write_sealed("config.ckpt", payload),
                     {"corrupt config block"});
 }
 
@@ -132,9 +184,7 @@ TEST_F(CheckpointNegativeTest, OversizedLengthField) {
   // Valid header and config, then a parameter-name length of 2^40 bytes:
   // the reader must refuse the implausible allocation rather than try it.
   const std::string p = path("oversize.ckpt");
-  {
-    std::ofstream out(p, std::ios::binary);
-    BinaryWriter w(out);
+  durable::atomic_save(p, [](BinaryWriter& w) {
     const Config c = Config::tiny();
     w.write<std::uint32_t>(0x50504721);  // "PPG!"
     w.write<std::uint32_t>(1);
@@ -147,7 +197,7 @@ TEST_F(CheckpointNegativeTest, OversizedLengthField) {
     GptModel probe(c, 5);
     w.write<std::uint64_t>(probe.params().items().size());
     w.write<std::uint64_t>(1ULL << 40);  // absurd name length
-  }
+  });
   expect_load_error(p, {"implausible length"});
 }
 
@@ -155,9 +205,7 @@ TEST_F(CheckpointNegativeTest, TamperedTensorPayloadLength) {
   // A checkpoint whose first parameter claims more floats than the model
   // expects must fail by name, not read past its buffer.
   const std::string p = path("tamper.ckpt");
-  {
-    std::ofstream out(p, std::ios::binary);
-    BinaryWriter w(out);
+  durable::atomic_save(p, [](BinaryWriter& w) {
     const Config c = Config::tiny();
     w.write<std::uint32_t>(0x50504721);
     w.write<std::uint32_t>(1);
@@ -172,7 +220,7 @@ TEST_F(CheckpointNegativeTest, TamperedTensorPayloadLength) {
     w.write<std::uint64_t>(items.size());
     w.write_string(items[0].name);
     w.write_vector(std::vector<float>(3, 0.5f));  // wrong element count
-  }
+  });
   expect_load_error(p, {"values, model expects"});
 }
 

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/durable_io.h"
 #include "gpt/model.h"
 
 namespace ppg {
@@ -102,6 +103,27 @@ class CorruptCheckpoint : public ::testing::Test {
     std::ofstream out(path_, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
+  /// The checkpoint's parser-visible bytes: the payload with the durable_io
+  /// CRC footer stripped.
+  std::vector<char> read_payload() const {
+    auto bytes = read_bytes();
+    EXPECT_GE(bytes.size(), durable::kFooterBytes);
+    bytes.resize(bytes.size() - durable::kFooterBytes);
+    return bytes;
+  }
+  /// Writes a payload re-sealed with a freshly computed CRC footer, so the
+  /// corruption under test reaches the checkpoint parser instead of being
+  /// caught wholesale by the CRC layer.
+  void write_sealed(const std::vector<char>& payload) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::uint64_t size = payload.size();
+    const std::uint32_t crc = durable::crc32(payload.data(), payload.size());
+    const std::uint32_t magic = durable::kFooterMagic;
+    out.write(reinterpret_cast<const char*>(&size), sizeof size);
+    out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  }
   /// Expects load() to throw a runtime_error whose message contains `needle`.
   void expect_load_error(const std::string& needle) const {
     gpt::GptModel fresh(gpt::Config::tiny(), 12);
@@ -126,20 +148,22 @@ TEST_F(CorruptCheckpoint, IntactRoundTrip) {
 }
 
 TEST_F(CorruptCheckpoint, BadMagic) {
-  auto bytes = read_bytes();
-  bytes[0] ^= 0x5a;
-  write_bytes(bytes);
+  auto payload = read_payload();
+  payload[0] ^= 0x5a;
+  write_sealed(payload);
   expect_load_error("bad magic");
 }
 
 TEST_F(CorruptCheckpoint, UnsupportedVersion) {
-  auto bytes = read_bytes();
-  bytes[4] = 99;  // version field follows the 4-byte magic
-  write_bytes(bytes);
+  auto payload = read_payload();
+  payload[4] = 99;  // version field follows the 4-byte magic
+  write_sealed(payload);
   expect_load_error("unsupported checkpoint version 99");
 }
 
 TEST_F(CorruptCheckpoint, TruncatedHeader) {
+  // A 6-byte file has no CRC footer, so the legacy fallback hands it to
+  // the parser — which runs out of bytes reading the header.
   auto bytes = read_bytes();
   bytes.resize(6);
   write_bytes(bytes);
@@ -147,17 +171,28 @@ TEST_F(CorruptCheckpoint, TruncatedHeader) {
 }
 
 TEST_F(CorruptCheckpoint, TruncatedTensorData) {
-  auto bytes = read_bytes();
-  bytes.resize(bytes.size() / 2);
-  write_bytes(bytes);
+  // Truncation with a re-sealed footer (as if a tool rewrote a short copy
+  // end-to-end) must still die in the parser, not yield garbage weights.
+  auto payload = read_payload();
+  payload.resize(payload.size() / 2);
+  write_sealed(payload);
   expect_load_error("tensor data");
 }
 
-TEST_F(CorruptCheckpoint, CorruptConfigBlock) {
+TEST_F(CorruptCheckpoint, TruncatedWithoutFooterStillDiesCleanly) {
+  // Shearing the footer off routes the file through the legacy fallback;
+  // the parser must still fail with a precise error, not load garbage.
   auto bytes = read_bytes();
-  // vocab is the first Index after magic+version; zero it out.
-  for (int i = 8; i < 12; ++i) bytes[static_cast<std::size_t>(i)] = 0;
+  bytes.resize(bytes.size() / 2);
   write_bytes(bytes);
+  expect_load_error("truncated");
+}
+
+TEST_F(CorruptCheckpoint, CorruptConfigBlock) {
+  auto payload = read_payload();
+  // vocab is the first Index after magic+version; zero it out.
+  for (int i = 8; i < 12; ++i) payload[static_cast<std::size_t>(i)] = 0;
+  write_sealed(payload);
   expect_load_error("corrupt config block");
 }
 

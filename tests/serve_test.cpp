@@ -180,6 +180,35 @@ TEST_F(ServeTest, QueueFullBackpressure) {
   EXPECT_EQ(ok + queue_full, 16u);
 }
 
+TEST_F(ServeTest, NegativeTimeoutRejectsAtSubmit) {
+  GuessService svc(*model_, *patterns_, {});
+  Request r = pattern_req("L6N2", 4, 1);
+  r.timeout_ms = -5.0;
+  const Response resp = svc.submit_and_wait(std::move(r));
+  EXPECT_EQ(resp.status, Status::kRejected);
+  EXPECT_EQ(resp.reject, Reject::kBadRequest);
+  EXPECT_NE(resp.error.find("timeout_ms"), std::string::npos) << resp.error;
+}
+
+TEST_F(ServeTest, MidFlightDeadlineExpiresDuringCoalesce) {
+  // Exercises the coalesce-loop deadline check: the heavy request's count
+  // exceeds max_batch, so after the first batch it stays at the front of
+  // the queue with unassigned rows. When the worker forms the next batch it
+  // takes the heavy request's rows first, then scans forward and finds the
+  // doomed request already past its deadline — mid-flight, not at the head.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 8;
+  GuessService svc(*model_, *patterns_, cfg);
+  auto heavy_fut = svc.submit(pattern_req("L6N2", 64, 1));
+  Request doomed = pattern_req("L6N2", 4, 2);
+  doomed.timeout_ms = 1e-6;  // expired by any later clock read
+  const Response r = svc.submit_and_wait(std::move(doomed));
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_TRUE(r.passwords.empty());
+  EXPECT_EQ(heavy_fut.get().status, Status::kOk);
+}
+
 TEST_F(ServeTest, ExpiredDeadlineTimesOutInQueue) {
   GuessService svc(*model_, *patterns_, {});
   Request heavy = pattern_req("L6N2", 64, 1);  // keeps the worker busy

@@ -1,0 +1,274 @@
+// Randomized kill-and-resume harness for the durability layer.
+//
+// For each trial the parent forks a child that arms one failpoint (via the
+// ppg::failpoint API — fork inherits the process image, so no exec or env
+// plumbing is needed) and runs a small training or D&C-GEN job with
+// checkpointing/journaling enabled. The failpoint's crash action _exit()s
+// without flushing buffers, so in-flight writes are genuinely torn. The
+// parent then forks a resume child that relaunches the same job against the
+// same on-disk state and writes its final artifact; the trial passes iff
+// that artifact is byte-identical to a golden artifact produced by an
+// uninterrupted run.
+//
+//   ppg_crashtest --mode train|generate --trials 8 --workdir DIR [--seed N]
+//
+// Exit status: 0 when every trial produced a bitwise-identical artifact.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/dcgen.h"
+#include "gpt/model.h"
+#include "gpt/trainer.h"
+#include "pcfg/pcfg_model.h"
+#include "tokenizer/tokenizer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ppg::gpt::Config;
+using ppg::gpt::GptModel;
+using ppg::gpt::TrainConfig;
+
+std::vector<std::string> corpus() {
+  return {
+      "love12",  "blue99",  "star7",   "abc123", "pass1!", "moon88",
+      "fire21",  "cool55",  "rock77",  "king01", "love99", "blue12",
+      "star88",  "wolf44",  "dark13",  "gold00", "hero64", "lion32",
+      "bear76",  "nice81",  "love12!", "blue9@", "sun777", "sky123",
+      "red4567", "cat9999", "dog1234", "fox55",  "owl77",  "bee88",
+      "rain01",  "snow02",  "wind03",  "leaf04", "tree05", "rose06",
+      "mint07",  "sage08",  "ruby09",  "opal10",
+  };
+}
+
+std::vector<std::vector<int>> encoded_corpus() {
+  std::vector<std::vector<int>> seqs;
+  for (const auto& pw : corpus())
+    if (auto ids = ppg::tok::Tokenizer::encode_training(pw))
+      seqs.push_back(std::move(*ids));
+  return seqs;
+}
+
+TrainConfig train_config(const std::string& ckpt_dir) {
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 8;
+  cfg.lr = 1e-3f;
+  cfg.seed = 7;
+  if (!ckpt_dir.empty()) {
+    cfg.checkpoint_every = 2;
+    cfg.checkpoint_dir = ckpt_dir;
+    cfg.checkpoint_keep = 2;
+  }
+  return cfg;
+}
+
+/// Trains from scratch (resuming from ckpt_dir when it holds a checkpoint)
+/// and saves the final weights to `artifact`.
+void run_train_job(const std::string& ckpt_dir, const std::string& artifact) {
+  GptModel model(Config::tiny(), 11);
+  const auto seqs = encoded_corpus();
+  ppg::gpt::train_lm(model, seqs, {}, train_config(ckpt_dir),
+                     ppg::tok::Tokenizer::kPad);
+  model.save(artifact);
+}
+
+ppg::core::DcGenConfig dcgen_config(const std::string& journal_dir) {
+  ppg::core::DcGenConfig cfg;
+  cfg.total = 200;
+  cfg.threshold = 16;
+  cfg.sample.batch_size = 16;
+  cfg.threads = 2;
+  cfg.journal_dir = journal_dir;
+  return cfg;
+}
+
+/// Generates guesses (resuming from journal_dir when it holds a journal)
+/// and writes them, newline-joined, to `artifact`.
+void run_generate_job(const GptModel& model,
+                      const ppg::pcfg::PatternDistribution& patterns,
+                      const std::string& journal_dir,
+                      const std::string& artifact) {
+  const auto guesses =
+      ppg::core::dc_generate(model, patterns, dcgen_config(journal_dir), 99);
+  std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+  for (const auto& g : guesses) out << g << '\n';
+  out.flush();
+  if (!out) throw std::runtime_error("cannot write artifact " + artifact);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Forks, runs `job` in the child, and returns the child's exit status
+/// (-1 when the child died to a real signal).
+template <typename Job>
+int fork_and_run(const Job& job) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    try {
+      job();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "child: %s\n", e.what());
+      ::_exit(3);
+    }
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+struct KillPoint {
+  const char* name;
+  std::uint64_t max_nth;  ///< nth hit drawn uniformly from [1, max_nth]
+};
+
+constexpr KillPoint kTrainKills[] = {
+    {"train.after_step", 14},
+    {"train.checkpoint.mid_write", 3},
+    {"durable.mid_write", 3},
+    {"durable.before_rename", 3},
+};
+constexpr KillPoint kGenerateKills[] = {
+    {"dcgen.leaf.done", 3},
+    {"dcgen.ledger.mid_append", 3},
+    {"dcgen.ledger.before_append", 3},
+    {"dcgen.before_plan", 1},
+};
+
+struct Options {
+  std::string mode = "train";
+  int trials = 8;
+  std::string workdir;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      opt.mode = next();
+    } else if (arg == "--trials") {
+      opt.trials = std::atoi(next().c_str());
+    } else if (arg == "--workdir") {
+      opt.workdir = next();
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ppg_crashtest --mode train|generate --trials N "
+                   "--workdir DIR [--seed N]\n");
+      return 2;
+    }
+  }
+  if (opt.workdir.empty() || (opt.mode != "train" && opt.mode != "generate")) {
+    std::fprintf(stderr,
+                 "usage: ppg_crashtest --mode train|generate --trials N "
+                 "--workdir DIR [--seed N]\n");
+    return 2;
+  }
+  fs::remove_all(opt.workdir);
+  fs::create_directories(opt.workdir);
+  const bool train_mode = opt.mode == "train";
+
+  // Golden artifact from an uninterrupted in-process run. The generate
+  // model/patterns are trained once here, pre-fork, so every child inherits
+  // the identical weights by memory image.
+  const std::string golden = opt.workdir + "/golden.bin";
+  GptModel gen_model(Config::tiny(), 11);
+  ppg::pcfg::PatternDistribution patterns;
+  if (train_mode) {
+    run_train_job("", golden);
+  } else {
+    const auto seqs = encoded_corpus();
+    TrainConfig tc = train_config("");
+    tc.epochs = 1;
+    ppg::gpt::train_lm(gen_model, seqs, {}, tc, ppg::tok::Tokenizer::kPad);
+    for (const auto& pw : corpus()) patterns.add(ppg::pcfg::pattern_of(pw));
+    patterns.finalize();
+    run_generate_job(gen_model, patterns, "", golden);
+  }
+  const std::string golden_bytes = slurp(golden);
+  if (golden_bytes.empty()) {
+    std::fprintf(stderr, "golden artifact is empty\n");
+    return 2;
+  }
+
+  ppg::Rng rng(opt.seed, "crashtest");
+  int failures = 0;
+  for (int trial = 0; trial < opt.trials; ++trial) {
+    const std::string dir = opt.workdir + "/trial" + std::to_string(trial);
+    fs::create_directories(dir);
+    const std::string state_dir = dir + "/state";
+    const std::string artifact = dir + "/artifact.bin";
+
+    const auto& kills = train_mode
+                            ? std::span<const KillPoint>(kTrainKills)
+                            : std::span<const KillPoint>(kGenerateKills);
+    const KillPoint& kp = kills[rng.uniform_u64(kills.size())];
+    const std::uint64_t nth = 1 + rng.uniform_u64(kp.max_nth);
+
+    const auto job = [&](bool armed) {
+      if (armed)
+        ppg::failpoint::activate(kp.name, ppg::failpoint::Action::kCrash, nth);
+      if (train_mode)
+        run_train_job(state_dir, artifact);
+      else
+        run_generate_job(gen_model, patterns, state_dir, artifact);
+    };
+    const int crash_status = fork_and_run([&] { job(true); });
+    if (crash_status != ppg::failpoint::kCrashExitCode && crash_status != 0) {
+      std::printf("trial %d: %s@%llu FAIL (crash child exited %d)\n", trial,
+                  kp.name, static_cast<unsigned long long>(nth), crash_status);
+      ++failures;
+      continue;
+    }
+    const int resume_status = fork_and_run([&] { job(false); });
+    const bool match =
+        resume_status == 0 && slurp(artifact) == golden_bytes;
+    std::printf("trial %d: %s@%llu crash=%s resume=%d %s\n", trial, kp.name,
+                static_cast<unsigned long long>(nth),
+                crash_status == ppg::failpoint::kCrashExitCode ? "fired"
+                                                               : "missed",
+                resume_status, match ? "OK" : "FAIL (artifact differs)");
+    if (!match) ++failures;
+  }
+  if (failures > 0) {
+    std::printf("%d of %d trials FAILED\n", failures, opt.trials);
+    return 1;
+  }
+  std::printf("all %d %s trials passed\n", opt.trials, opt.mode.c_str());
+  return 0;
+}

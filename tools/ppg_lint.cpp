@@ -29,6 +29,10 @@
 //   assert-use          invariants use PPG_CHECK/PPG_DCHECK (always print
 //                       a message; DCHECK tracks sanitize builds, not
 //                       NDEBUG) rather than cassert.
+//   direct-final-write  library code persists artifacts through
+//                       durable::atomic_save (temp + fsync + rename + CRC
+//                       footer, DESIGN.md §11); a bare std::ofstream to a
+//                       final path is torn by the first ill-timed crash.
 //   pragma-once         every header starts its include story with
 //                       #pragma once (rule of the existing tree).
 //
@@ -92,6 +96,13 @@ const std::vector<Rule> kRules = {
      "early return into a leak or double-free)",
      {"src/gpt/", "src/serve/", "src/core/"},
      {}},
+    {"direct-final-write",
+     {"std::ofstream"},
+     "write durable artifacts via durable::atomic_save "
+     "(src/common/durable_io.h) — a direct ofstream to a final path can be "
+     "torn mid-write by a crash and carries no CRC footer",
+     {"src/"},
+     {"src/common/durable_io.cpp"}},
     {"assert-use",
      {"assert(", "#include <cassert>", "#include <assert.h>"},
      "use PPG_CHECK / PPG_DCHECK from common/check.h (message + abort, "
