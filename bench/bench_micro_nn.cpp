@@ -1,12 +1,25 @@
 // Microbenchmarks of the nn/gpt substrate (google-benchmark): GEMM kernels,
 // fused attention forward+backward, full training steps, and decode
 // throughput of the KV-cache inference path.
+//
+// `--track-dir=DIR` (consumed before google-benchmark sees argv) appends
+// one perf-trajectory record to DIR/BENCH_micro_nn.json with every
+// benchmark's per-iteration wall time (_ms) and items/sec — the trajectory
+// ppg_perfgate gates against. All other flags pass through to
+// google-benchmark (--benchmark_filter, --benchmark_min_time, ...).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "gpt/infer.h"
 #include "gpt/model.h"
 #include "nn/graph.h"
 #include "nn/kernels.h"
+#include "obs/bench_track.h"
 #include "tokenizer/tokenizer.h"
 
 namespace {
@@ -101,6 +114,68 @@ void BM_InferenceDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_InferenceDecode)->Arg(1)->Arg(16)->Arg(128);
 
+/// Console reporter that additionally collects each benchmark's headline
+/// numbers for the trajectory record. Aggregate rows (_mean/_median from
+/// --benchmark_repetitions) are skipped: the gate medians across runs
+/// itself.
+class TrackingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::map<std::string, double> metrics;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string key = run.benchmark_name();
+      for (char& c : key)
+        if (c == '/' || c == ':') c = '_';
+      if (run.iterations > 0)
+        metrics[key + "_ms"] =
+            run.real_accumulated_time * 1e3 / double(run.iterations);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end())
+        metrics[key + "_items_per_sec"] = double(items->second);
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --track-dir; everything else belongs to google-benchmark.
+  std::string track_dir;
+  std::vector<char*> fwd;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--track-dir=", 12) == 0)
+      track_dir = argv[i] + 12;
+    else if (std::strcmp(argv[i], "--track-dir") == 0 && i + 1 < argc)
+      track_dir = argv[++i];
+    else
+      fwd.push_back(argv[i]);
+  }
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 1;
+
+  TrackingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!track_dir.empty()) {
+    if (reporter.metrics.empty()) {
+      std::fprintf(stderr, "bench_micro_nn: no runs, trajectory skipped\n");
+      return 0;
+    }
+    const auto rec = ppg::obs::make_bench_record(
+        "bench_micro_nn", {{"bench", "bench_micro_nn"}},
+        std::move(reporter.metrics));
+    const std::string path = ppg::obs::trajectory_path(track_dir, rec.bench);
+    std::string error;
+    if (ppg::obs::append_trajectory(path, rec, &error))
+      std::fprintf(stderr, "trajectory record appended to %s\n", path.c_str());
+    else
+      std::fprintf(stderr, "FAILED to append trajectory %s: %s\n",
+                   path.c_str(), error.c_str());
+  }
+  return 0;
+}

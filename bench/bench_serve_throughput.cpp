@@ -26,15 +26,19 @@
 //   --max-batch=N   scheduler batch cap (default 64)
 //   --seed=N        base seed (default 2024)
 //   --report=FILE   write the cell table as JSON
+//   --track-dir=DIR append a perf-trajectory record (BENCH_serve_throughput
+//                   .json) with the batched-vs-unbatched headline numbers
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/thread_pool.h"
+#include "obs/bench_track.h"
 #include "obs/clock.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -157,7 +161,7 @@ Cell run_cell(const gpt::GptModel& model,
 int main(int argc, char** argv) {
   try {
     Cli cli(argc, argv, {"config", "clients", "requests", "repeats",
-                         "max-batch", "seed", "report"});
+                         "max-batch", "seed", "report", "track-dir"});
     const auto config = config_by_name(cli.get("config", "paper"));
     const auto clients = parse_csv_ints(cli.get("clients", "1,4,16"));
     const int requests = static_cast<int>(cli.get_int("requests", 32));
@@ -166,7 +170,6 @@ int main(int argc, char** argv) {
     const auto max_batch =
         static_cast<std::size_t>(cli.get_int("max-batch", 64));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
-
     // Random-init weights: strict masks make every guess decodable, and
     // the serving cost (the thing measured) is identical to a trained
     // model of the same config.
@@ -257,6 +260,53 @@ int main(int argc, char** argv) {
       out << w.str() << "\n";
       std::fprintf(stderr, "report written to %s\n",
                    cli.get("report").c_str());
+    }
+
+    if (cli.has("track-dir")) {
+      // Headline = the batched cell at the highest client count (the regime
+      // the serving design targets), plus the cross-cell request-latency
+      // histogram percentiles.
+      const Cell* best = nullptr;
+      double speedup = 0.0;
+      for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+        best = &cells[i + 1];
+        speedup = cells[i].guesses_per_sec > 0
+                      ? cells[i + 1].guesses_per_sec / cells[i].guesses_per_sec
+                      : 0.0;
+      }
+      std::map<std::string, std::string> config;
+      config["bench"] = "bench_serve_throughput";
+      config["model"] = cli.get("config", "paper");
+      config["clients"] = cli.get("clients", "1,4,16");
+      config["requests_per_client"] = std::to_string(requests);
+      config["repeats"] = std::to_string(repeats);
+      config["max_batch"] = std::to_string(max_batch);
+      config["seed"] = std::to_string(seed);
+      std::map<std::string, double> metrics;
+      if (best != nullptr) {
+        metrics["serve.batched_guesses_per_sec"] = best->guesses_per_sec;
+        metrics["serve.p50_ms"] = best->p50_ms;
+        metrics["serve.p99_ms"] = best->p99_ms;
+        metrics["serve.occupancy"] = best->mean_batch_rows;
+        metrics["serve.batching_speedup"] = speedup;
+      }
+      // serve.request_ms histogram percentiles are deliberately NOT
+      // tracked: the log2 buckets are coarse at this request count and
+      // the histogram mixes warm-up + unbatched cells, so a single
+      // cold-start outlier swings p99 by an order of magnitude between
+      // identical runs. The bench's own per-cell p50/p99 above are the
+      // stable latency signal.
+      const auto rec = obs::make_bench_record(
+          "bench_serve_throughput", std::move(config), std::move(metrics));
+      const std::string path =
+          obs::trajectory_path(cli.get("track-dir"), rec.bench);
+      std::string error;
+      if (obs::append_trajectory(path, rec, &error))
+        std::fprintf(stderr, "trajectory record appended to %s\n",
+                     path.c_str());
+      else
+        std::fprintf(stderr, "FAILED to append trajectory %s: %s\n",
+                     path.c_str(), error.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

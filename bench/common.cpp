@@ -7,10 +7,14 @@
 #include <fstream>
 #include <sstream>
 
+#include <mutex>
+
 #include "common/cli.h"
 #include "common/logging.h"
 #include "core/dcgen.h"
 #include "eval/generator.h"
+#include "obs/atlas.h"
+#include "obs/bench_track.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -27,17 +31,90 @@ std::string& report_path() {
   return *path;
 }
 
-void write_report_at_exit() {
-  const std::string& path = report_path();
-  if (path.empty()) return;
-  if (obs::RunReport::global().write(path))
-    std::fprintf(stderr, "bench: run report written to %s\n", path.c_str());
-  else
-    std::fprintf(stderr, "bench: FAILED to write run report %s\n",
+/// Trajectory directory for the atexit writer (set once in parse_env).
+std::string& track_dir_path() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+/// Metrics recorded via track_metric(); leaked so atexit can read them.
+struct TrackedMetrics {
+  std::mutex mu;
+  std::map<std::string, double> values;
+};
+TrackedMetrics& tracked() {
+  static TrackedMetrics* m = new TrackedMetrics();
+  return *m;
+}
+
+void append_trajectory_at_exit() {
+  const std::string& dir = track_dir_path();
+  if (dir.empty()) return;
+  auto& report = obs::RunReport::global();
+  std::map<std::string, std::string> config;
+  for (const auto& [k, v] : report.config_snapshot()) config[k] = v;
+  std::map<std::string, double> metrics;
+  // Derived per-stage throughput first, then explicit track_metric() values
+  // (explicit wins on a name collision).
+  for (const auto& s : report.stages_snapshot())
+    if (s.items > 0.0 && s.seconds > 0.0)
+      metrics["stage." + s.name + "_per_sec"] = s.items / s.seconds;
+  {
+    TrackedMetrics& t = tracked();
+    std::lock_guard lock(t.mu);
+    for (const auto& [k, v] : t.values) metrics[k] = v;
+  }
+  if (metrics.empty()) {
+    std::fprintf(stderr,
+                 "bench: no metrics tracked, trajectory record skipped\n");
+    return;
+  }
+  std::string name = report.name();
+  if (name.empty()) name = "bench";
+  const obs::BenchRecord rec = obs::make_bench_record(
+      std::move(name), std::move(config), std::move(metrics));
+  const std::string path = obs::trajectory_path(dir, rec.bench);
+  std::string error;
+  if (obs::append_trajectory(path, rec, &error))
+    std::fprintf(stderr, "bench: trajectory record appended to %s\n",
                  path.c_str());
+  else
+    std::fprintf(stderr, "bench: FAILED to append trajectory %s: %s\n",
+                 path.c_str(), error.c_str());
+}
+
+void write_report_at_exit() {
+  // Close the trace first (idempotent) so the atlas sees a complete file,
+  // regardless of atexit registration order relative to the trace flusher.
+  obs::trace_stop();
+  const std::string& path = report_path();
+  if (!path.empty()) {
+    const char* trace = std::getenv("PPG_TRACE");
+    if (trace != nullptr && trace[0] != '\0') {
+      std::string error;
+      if (auto atlas = obs::build_atlas(trace, &error))
+        obs::RunReport::global().set_section("atlas",
+                                             obs::atlas_to_json(*atlas));
+      else
+        std::fprintf(stderr, "bench: atlas skipped (%s): %s\n", trace,
+                     error.c_str());
+    }
+    if (obs::RunReport::global().write(path))
+      std::fprintf(stderr, "bench: run report written to %s\n", path.c_str());
+    else
+      std::fprintf(stderr, "bench: FAILED to write run report %s\n",
+                   path.c_str());
+  }
+  append_trajectory_at_exit();
 }
 
 }  // namespace
+
+void track_metric(const std::string& name, double value) {
+  TrackedMetrics& t = tracked();
+  std::lock_guard lock(t.mu);
+  t.values[name] = value;
+}
 
 std::vector<std::uint64_t> BenchEnv::ladder() const {
   std::vector<std::uint64_t> out;
@@ -50,7 +127,7 @@ std::vector<std::uint64_t> BenchEnv::ladder() const {
 
 BenchEnv parse_env(int argc, char** argv) {
   const Cli cli(argc, argv, {"scale", "seed", "cache-dir", "epochs", "fresh",
-                             "train-cap", "report"});
+                             "train-cap", "report", "track-dir"});
   BenchEnv env;
   env.scale = cli.get_double("scale", 1.0);
   env.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
@@ -59,6 +136,7 @@ BenchEnv parse_env(int argc, char** argv) {
   env.fresh = cli.get_bool("fresh");
   env.train_cap = static_cast<std::size_t>(cli.get_int("train-cap", 12000));
   env.report = cli.get("report", "");
+  env.track_dir = cli.get("track-dir", "");
   fs::create_directories(env.cache_dir);
 
   // Run-report plumbing: echo the effective config, turn on timed
@@ -78,9 +156,12 @@ BenchEnv parse_env(int argc, char** argv) {
   report.add_config("model.n_layers", std::uint64_t(env.model_cfg.n_layers));
   report.add_config("model.n_heads", std::uint64_t(env.model_cfg.n_heads));
   report.add_config("model.context", std::uint64_t(env.model_cfg.context));
-  if (!env.report.empty()) {
-    obs::set_timing_enabled(true);
-    report_path() = env.report;
+  if (!env.report.empty() || !env.track_dir.empty()) {
+    if (!env.report.empty()) {
+      obs::set_timing_enabled(true);
+      report_path() = env.report;
+    }
+    track_dir_path() = env.track_dir;
     static bool registered = false;
     if (!registered) {
       registered = true;
@@ -88,7 +169,10 @@ BenchEnv parse_env(int argc, char** argv) {
     }
   }
   // Touching trace_enabled() here picks up PPG_TRACE before any work runs.
-  if (obs::trace_enabled()) obs::trace_instant("bench/start", "bench");
+  if (obs::trace_enabled()) {
+    obs::trace_set_thread_name("main");
+    obs::trace_instant("bench/start", "bench");
+  }
   return env;
 }
 

@@ -15,8 +15,14 @@
 //   --report=<file>  write a structured JSON run report (config echo, stage
 //                    wall-clocks, metrics snapshot) at process exit; also
 //                    enables timed instrumentation (obs::set_timing_enabled)
+//   --track-dir=<p>  append one perf-trajectory record (commit, build,
+//                    config fingerprint, headline metrics) to
+//                    <p>/BENCH_<name>.json at process exit — the file
+//                    ppg_perfgate gates CI against (default: no tracking)
 // Setting PPG_TRACE=<file> additionally records a Chrome-trace timeline of
-// the run (open in chrome://tracing or Perfetto).
+// the run (open in chrome://tracing or Perfetto). When both PPG_TRACE and
+// --report are given, the report embeds a ranked hot-kernel atlas built
+// from the trace (see tools/ppg_atlas).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +50,8 @@ struct BenchEnv {
   bool fresh = false;
   /// Destination for the structured JSON run report (empty = no report).
   std::string report;
+  /// Directory receiving the perf-trajectory append (empty = no tracking).
+  std::string track_dir;
   /// Cap on training passwords per model (wall-clock guard; the remainder
   /// of the split is simply unused).
   std::size_t train_cap = 12000;
@@ -61,6 +69,13 @@ struct BenchEnv {
 
 /// Parses common bench flags; unknown flags abort with a message.
 BenchEnv parse_env(int argc, char** argv);
+
+/// Records one headline metric for the perf-trajectory record appended at
+/// process exit (no-op unless --track-dir was given). Use flat dotted names
+/// ("dcgen.guesses_per_sec"); last write wins on duplicates. The record also
+/// picks up derived stage.<name>_per_sec metrics from the run report's
+/// stages automatically.
+void track_metric(const std::string& name, double value);
 
 /// One site's cleaned corpus and split under the environment's scaling.
 struct SiteData {

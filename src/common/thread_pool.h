@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppg {
 
@@ -33,7 +34,7 @@ class ThreadPool {
     }
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   }
 
@@ -123,7 +124,8 @@ class ThreadPool {
     return m;
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t index) {
+    obs::trace_set_thread_name(("pool-worker-" + std::to_string(index)).c_str());
     for (;;) {
       std::function<void()> task;
       {

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "nn/kernels.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppg::gpt {
 
@@ -102,6 +103,7 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
   m.steps.inc();
   m.tokens.inc(static_cast<std::uint64_t>(tokens.size()));
   obs::ScopedLatency latency(m.step_us);
+  obs::Span span("infer/step", "gpt");
   const Config& c = model_->config();
   if (batch_ == 0)
     throw std::logic_error("InferenceSession::step before reset()");

@@ -1,0 +1,216 @@
+#include "obs/atlas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/json.h"
+
+namespace ppg::obs {
+
+namespace {
+
+struct SpanEvent {
+  std::string name;
+  std::string cat;
+  std::int64_t tid = 0;
+  double ts = 0.0;   ///< µs
+  double dur = 0.0;  ///< µs
+};
+
+/// Exact percentile over a sorted duration vector (nearest-rank).
+double exact_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::optional<Atlas> build_atlas_from_json(std::string_view json,
+                                           std::string* error) {
+  const auto doc = parse_json(json, error);
+  if (!doc.has_value()) return std::nullopt;
+  const JsonValue* events = nullptr;
+  if (doc->type == JsonValue::Type::kArray) {
+    events = &*doc;
+  } else if (doc->is_object()) {
+    events = doc->find("traceEvents");
+  }
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    if (error != nullptr) *error = "no traceEvents array";
+    return std::nullopt;
+  }
+
+  std::vector<SpanEvent> spans;
+  spans.reserve(events->array.size());
+  for (const JsonValue& ev : events->array) {
+    if (!ev.is_object()) continue;
+    const auto ph = ev.get_string("ph");
+    if (!ph.has_value() || *ph != "X") continue;  // metadata/instants skipped
+    const auto ts = ev.get_number("ts");
+    const auto dur = ev.get_number("dur");
+    const auto name = ev.get_string("name");
+    if (!ts.has_value() || !dur.has_value() || !name.has_value()) continue;
+    if (!(*dur >= 0.0)) continue;
+    SpanEvent s;
+    s.name = *name;
+    s.cat = ev.get_string("cat").value_or("");
+    s.tid = static_cast<std::int64_t>(ev.get_number("tid").value_or(0.0));
+    s.ts = *ts;
+    s.dur = *dur;
+    spans.push_back(std::move(s));
+  }
+
+  Atlas atlas;
+  atlas.events = spans.size();
+  if (spans.empty()) return atlas;
+
+  // Wall span of the trace and the set of lanes.
+  double t0 = spans.front().ts, t1 = spans.front().ts + spans.front().dur;
+  std::map<std::int64_t, std::vector<SpanEvent*>> by_tid;
+  for (SpanEvent& s : spans) {
+    t0 = std::min(t0, s.ts);
+    t1 = std::max(t1, s.ts + s.dur);
+    by_tid[s.tid].push_back(&s);
+  }
+  atlas.wall_us = t1 - t0;
+  atlas.threads = by_tid.size();
+
+  // Self time per span via the flame-graph stack walk: per thread, spans
+  // sorted by start (longer first on ties, so parents precede the children
+  // they enclose); a span fully inside the stack top is its child and its
+  // duration is subtracted from the parent's self time once.
+  struct Aggregate {
+    std::string cat;
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double self_us = 0.0;
+    std::vector<double> durations;
+  };
+  std::map<std::string, Aggregate> by_name;
+  constexpr double kEps = 1e-6;  // µs tolerance for boundary-sharing spans
+  for (auto& [tid, lane] : by_tid) {
+    std::sort(lane.begin(), lane.end(),
+              [](const SpanEvent* a, const SpanEvent* b) {
+                if (a->ts != b->ts) return a->ts < b->ts;
+                return a->dur > b->dur;
+              });
+    struct Open {
+      const SpanEvent* span;
+      double child_us = 0.0;
+    };
+    std::vector<Open> stack;
+    const auto pop_one = [&] {
+      const Open top = stack.back();
+      stack.pop_back();
+      Aggregate& agg = by_name[top.span->name];
+      if (agg.count == 0) agg.cat = top.span->cat;
+      ++agg.count;
+      agg.total_us += top.span->dur;
+      agg.self_us += std::max(0.0, top.span->dur - top.child_us);
+      agg.durations.push_back(top.span->dur);
+      if (!stack.empty()) stack.back().child_us += top.span->dur;
+    };
+    for (const SpanEvent* s : lane) {
+      while (!stack.empty() &&
+             stack.back().span->ts + stack.back().span->dur <= s->ts + kEps)
+        pop_one();
+      stack.push_back({s, 0.0});
+    }
+    while (!stack.empty()) pop_one();
+  }
+
+  double self_total = 0.0;
+  for (auto& [name, agg] : by_name) self_total += agg.self_us;
+  for (auto& [name, agg] : by_name) {
+    AtlasEntry e;
+    e.name = name;
+    e.category = agg.cat;
+    e.count = agg.count;
+    e.total_us = agg.total_us;
+    e.self_us = agg.self_us;
+    std::sort(agg.durations.begin(), agg.durations.end());
+    e.p50_us = exact_percentile(agg.durations, 0.50);
+    e.p99_us = exact_percentile(agg.durations, 0.99);
+    e.share = self_total > 0.0 ? agg.self_us / self_total : 0.0;
+    atlas.entries.push_back(std::move(e));
+  }
+  std::sort(atlas.entries.begin(), atlas.entries.end(),
+            [](const AtlasEntry& a, const AtlasEntry& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.name < b.name;
+            });
+  return atlas;
+}
+
+std::optional<Atlas> build_atlas(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  return build_atlas_from_json(content, error);
+}
+
+std::string atlas_to_json(const Atlas& atlas, std::size_t top) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(std::int64_t{1});
+  w.key("wall_us").value(atlas.wall_us);
+  w.key("threads").value(std::uint64_t{atlas.threads});
+  w.key("events").value(std::uint64_t{atlas.events});
+  w.key("kernels").begin_array();
+  std::size_t n = 0;
+  for (const AtlasEntry& e : atlas.entries) {
+    if (top > 0 && n++ >= top) break;
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value(e.category);
+    w.key("count").value(std::uint64_t{e.count});
+    w.key("total_us").value(e.total_us);
+    w.key("self_us").value(e.self_us);
+    w.key("p50_us").value(e.p50_us);
+    w.key("p99_us").value(e.p99_us);
+    w.key("share").value(e.share);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string atlas_to_text(const Atlas& atlas, std::size_t top) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "hot-kernel atlas: %llu spans, %llu threads, wall %.1f ms\n",
+                static_cast<unsigned long long>(atlas.events),
+                static_cast<unsigned long long>(atlas.threads),
+                atlas.wall_us / 1000.0);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%4s %-28s %7s %12s %12s %7s %10s %10s\n",
+                "rank", "kernel", "share", "self ms", "total ms", "count",
+                "p50 us", "p99 us");
+  out += buf;
+  std::size_t rank = 0;
+  for (const AtlasEntry& e : atlas.entries) {
+    if (top > 0 && rank >= top) break;
+    ++rank;
+    std::snprintf(buf, sizeof buf,
+                  "%4zu %-28s %6.1f%% %12.2f %12.2f %7llu %10.1f %10.1f\n",
+                  rank, e.name.c_str(), e.share * 100.0, e.self_us / 1000.0,
+                  e.total_us / 1000.0, static_cast<unsigned long long>(e.count),
+                  e.p50_us, e.p99_us);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ppg::obs

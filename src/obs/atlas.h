@@ -1,0 +1,62 @@
+// Hot-kernel atlas: aggregates a PPG_TRACE Chrome-trace file into a ranked
+// table of recurring kernels (DESIGN.md §12).
+//
+// A trace answers "what happened at 12:34:56.789"; the atlas answers "where
+// did the run's time go". Complete ("ph":"X") spans are grouped by name
+// across all threads; for each name the atlas reports call count, total
+// wall time, *self* time (total minus time spent in spans nested inside on
+// the same thread — the flame-graph decomposition, so a parent like
+// dcgen/leaf does not absorb the infer/step calls it contains), p50/p99
+// span duration, and the share of the run's total self time. Every
+// optimization PR cites the atlas entry it moved.
+//
+// `ppg_atlas` is the CLI; benches with both --report and PPG_TRACE embed
+// the atlas JSON into their run report automatically (bench/common.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppg::obs {
+
+/// One span name's aggregate across the whole trace.
+struct AtlasEntry {
+  std::string name;
+  std::string category;
+  std::uint64_t count = 0;
+  double total_us = 0.0;  ///< Σ span durations (can exceed wall: threads)
+  double self_us = 0.0;   ///< total minus same-thread nested children
+  double p50_us = 0.0;    ///< exact percentiles over this name's durations
+  double p99_us = 0.0;
+  double share = 0.0;     ///< self_us / Σ self_us over all entries
+};
+
+struct Atlas {
+  double wall_us = 0.0;       ///< last span end − first span start
+  std::uint64_t threads = 0;  ///< distinct tids carrying spans
+  std::uint64_t events = 0;   ///< complete spans aggregated
+  std::vector<AtlasEntry> entries;  ///< ranked by self_us, descending
+};
+
+/// Builds an atlas from a Chrome-trace JSON document ({"traceEvents":[…]}
+/// or a bare event array). Metadata ("M") and instant ("i") events are
+/// ignored. Returns nullopt with a message in `error` on malformed input.
+std::optional<Atlas> build_atlas_from_json(std::string_view json,
+                                           std::string* error = nullptr);
+
+/// Reads `path` and builds the atlas from its contents.
+std::optional<Atlas> build_atlas(const std::string& path,
+                                 std::string* error = nullptr);
+
+/// JSON form: {"schema":1,"wall_us":…,"threads":…,"events":…,
+/// "kernels":[{name,cat,count,total_us,self_us,p50_us,p99_us,share},…]}.
+/// `top` = 0 keeps every entry, else the first `top` ranked ones.
+std::string atlas_to_json(const Atlas& atlas, std::size_t top = 0);
+
+/// Ranked text table (share, self/total ms, count, p50/p99 µs).
+std::string atlas_to_text(const Atlas& atlas, std::size_t top = 20);
+
+}  // namespace ppg::obs

@@ -1,0 +1,336 @@
+#include "obs/bench_track.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ppg::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// FNV-1a 64-bit over a byte string.
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Bit-level finiteness test: the tree builds with -ffast-math, under
+/// which std::isfinite constant-folds to true and would let an overflowed
+/// foreign metric (1e999 -> inf) into a record.
+bool finite_double(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return (bits & 0x7ff0000000000000ull) != 0x7ff0000000000000ull;
+}
+
+/// Keys whose values change across runs without changing the cost of the
+/// measured work: output destinations, cache locations, RNG streams.
+bool volatile_config_key(std::string_view key) {
+  return key == "cache_dir" || key == "report" || key == "track_dir" ||
+         key == "fresh" || key == "seed";
+}
+
+/// POSIX atomic text replace: write to `path + ".tmp"`, fsync, rename over
+/// `path`, fsync the parent directory — the PR-5 atomic_save sequence,
+/// reimplemented here because obs cannot depend on common (common's
+/// thread_pool/failpoint already instrument through obs).
+bool atomic_write_text(const std::string& path, std::string_view data,
+                       std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr)
+      *error = std::string(what) + " " + path + ": " + std::strerror(errno);
+    return false;
+  };
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail("fsync");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("rename");
+  }
+  // fsync the parent directory so the rename itself is durable.
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+/// First line of a file, or empty.
+std::string read_first_line(const fs::path& p) {
+  std::ifstream in(p);
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+std::string bench_build_fingerprint() {
+  std::ostringstream os;
+#if defined(__clang__)
+  os << "clang-" << __clang_major__ << "." << __clang_minor__;
+#elif defined(__GNUC__)
+  os << "gcc-" << __GNUC__ << "." << __GNUC_MINOR__;
+#else
+  os << "cxx";
+#endif
+#if defined(NDEBUG)
+  os << " release";
+#else
+  os << " debug";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  os << " asan";
+#endif
+#if defined(__SANITIZE_THREAD__)
+  os << " tsan";
+#endif
+#if defined(PPG_ENABLE_DCHECKS)
+  os << " dchecks";
+#endif
+#if defined(__FAST_MATH__)
+  os << " fast-math";
+#endif
+  return os.str();
+}
+
+std::string bench_git_commit(const std::string& start_dir) {
+  if (const char* env = std::getenv("PPG_COMMIT");
+      env != nullptr && env[0] != '\0')
+    return env;
+  std::error_code ec;
+  fs::path dir = fs::absolute(start_dir, ec);
+  if (ec) return "unknown";
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    const fs::path git = dir / ".git";
+    if (!fs::exists(git / "HEAD", ec)) {
+      if (dir == dir.parent_path()) break;
+      continue;
+    }
+    const std::string head = read_first_line(git / "HEAD");
+    if (head.rfind("ref: ", 0) != 0)
+      return head.empty() ? "unknown" : head;  // detached HEAD: bare hash
+    const std::string ref = head.substr(5);
+    const std::string direct = read_first_line(git / ref);
+    if (!direct.empty()) return direct;
+    // Packed ref: lines are "<hash> <refname>".
+    std::ifstream packed(git / "packed-refs");
+    std::string line;
+    while (std::getline(packed, line)) {
+      if (line.empty() || line[0] == '#' || line[0] == '^') continue;
+      const std::size_t sp = line.find(' ');
+      if (sp != std::string::npos && line.compare(sp + 1, ref.size(), ref) == 0 &&
+          sp + 1 + ref.size() == line.size())
+        return line.substr(0, sp);
+    }
+    return "unknown";
+  }
+  return "unknown";
+}
+
+std::string bench_host() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) != 0 || buf[0] == '\0')
+    return "unknown-host";
+  return buf;
+}
+
+std::string bench_timestamp_utc() {
+  // Wall clock for the human-readable stamp only — trajectories are
+  // ordered by file position, and the gate never compares timestamps.
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return stamp;
+}
+
+std::string bench_config_fingerprint(
+    const std::map<std::string, std::string>& config) {
+  // std::map iterates in key order, so the fingerprint is insertion-order
+  // independent by construction.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& [k, v] : config) {
+    if (volatile_config_key(k)) continue;
+    h = fnv1a64(k, h);
+    h = fnv1a64("=", h);
+    h = fnv1a64(v, h);
+    h = fnv1a64("\n", h);
+  }
+  return hex64(h);
+}
+
+BenchRecord make_bench_record(std::string bench,
+                              std::map<std::string, std::string> config,
+                              std::map<std::string, double> metrics) {
+  BenchRecord rec;
+  rec.bench = std::move(bench);
+  rec.commit = bench_git_commit();
+  rec.build = bench_build_fingerprint();
+  rec.host = bench_host();
+  rec.time_utc = bench_timestamp_utc();
+  rec.config = std::move(config);
+  rec.metrics = std::move(metrics);
+  rec.config_fp = bench_config_fingerprint(rec.config);
+  return rec;
+}
+
+std::string bench_record_to_json(const BenchRecord& rec) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(std::int64_t{rec.schema});
+  w.key("bench").value(rec.bench);
+  w.key("commit").value(rec.commit);
+  w.key("build").value(rec.build);
+  w.key("host").value(rec.host);
+  w.key("time").value(rec.time_utc);
+  w.key("config_fp").value(rec.config_fp);
+  w.key("config").begin_object();
+  for (const auto& [k, v] : rec.config) w.key(k).value(v);
+  w.end_object();
+  w.key("metrics").begin_object();
+  for (const auto& [k, v] : rec.metrics) w.key(k).value(v);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::optional<BenchRecord> parse_bench_record(std::string_view line,
+                                              std::string* error) {
+  const auto doc = parse_json(line, error);
+  if (!doc.has_value()) return std::nullopt;
+  const auto fail = [&](const char* what) -> std::optional<BenchRecord> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  if (!doc->is_object()) return fail("record is not a JSON object");
+  const auto schema = doc->get_number("schema");
+  if (!schema.has_value()) return fail("missing schema");
+  if (*schema > kBenchRecordSchema || *schema < 1)
+    return fail("unsupported schema version");
+  BenchRecord rec;
+  rec.schema = static_cast<int>(*schema);
+  const auto bench = doc->get_string("bench");
+  if (!bench.has_value() || bench->empty()) return fail("missing bench name");
+  rec.bench = *bench;
+  rec.commit = doc->get_string("commit").value_or("unknown");
+  rec.build = doc->get_string("build").value_or("");
+  rec.host = doc->get_string("host").value_or("");
+  rec.time_utc = doc->get_string("time").value_or("");
+  rec.config_fp = doc->get_string("config_fp").value_or("");
+  if (const JsonValue* cfg = doc->find("config");
+      cfg != nullptr && cfg->is_object())
+    for (const auto& [k, v] : cfg->object)
+      if (v.type == JsonValue::Type::kString) rec.config[k] = v.string;
+  if (const JsonValue* m = doc->find("metrics");
+      m != nullptr && m->is_object())
+    for (const auto& [k, v] : m->object)
+      if (v.type == JsonValue::Type::kNumber && finite_double(v.number))
+        rec.metrics[k] = v.number;
+  if (rec.config_fp.empty()) rec.config_fp = bench_config_fingerprint(rec.config);
+  return rec;
+}
+
+TrajectoryLoad load_trajectory(const std::string& path) {
+  TrajectoryLoad out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Torn tail (no terminating newline): never a complete record.
+      if (pos < content.size()) ++out.skipped;
+      break;
+    }
+    const std::string_view line(content.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (auto rec = parse_bench_record(line); rec.has_value())
+      out.records.push_back(std::move(*rec));
+    else
+      ++out.skipped;
+  }
+  return out;
+}
+
+bool append_trajectory(const std::string& path, const BenchRecord& rec,
+                       std::string* error) {
+  // Read existing bytes, keep every newline-terminated line verbatim
+  // (foreign or future-schema lines survive an append by an old binary),
+  // drop a torn tail, then atomically replace with old + new line.
+  std::string keep;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::string content((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+      const std::size_t last_nl = content.rfind('\n');
+      if (last_nl != std::string::npos) keep = content.substr(0, last_nl + 1);
+    }
+  }
+  keep += bench_record_to_json(rec);
+  keep += '\n';
+  return atomic_write_text(path, keep, error);
+}
+
+std::string trajectory_path(const std::string& dir, const std::string& bench) {
+  std::string name = bench;
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  const std::string file = "BENCH_" + name + ".json";
+  if (dir.empty() || dir == ".") return file;
+  return dir + "/" + file;
+}
+
+}  // namespace ppg::obs

@@ -1,0 +1,111 @@
+// Perf-trajectory recorder: one NDJSON record per bench run (DESIGN.md §12).
+//
+// Every bench appends one BenchRecord — commit hash, build fingerprint,
+// config echo + fingerprint, and the run's headline metrics — to a
+// `BENCH_<name>.json` trajectory at the repo root. Trajectories are the
+// cross-commit memory of the repo's performance claims: the perf gate
+// (perf_gate.h) compares a fresh run against the median of the last N
+// same-config records and fails CI on a regression, so a GEMM or KV-cache
+// win recorded here cannot silently rot.
+//
+// Format: JSON Lines (NDJSON) — one self-contained JSON object per line,
+// so `ppg_check_json --ndjson` validates a trajectory directly. Appends
+// follow the PR-5 atomic_save discipline (tmp → flush → fsync → rename →
+// fsync dir) and are corruption-tolerant both ways:
+//   * a torn tail line (crash mid-append, copy truncation) is dropped at
+//     the next append and skipped by load_trajectory;
+//   * complete lines that fail to parse as the current schema (foreign
+//     JSON, future schema versions) are *preserved* byte-for-byte across
+//     appends but skipped by load_trajectory, so old binaries never
+//     destroy records written by newer ones.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppg::obs {
+
+/// Current trajectory record schema. Parsers reject records whose schema
+/// is newer (skew-skip, never misread); appends always write the current
+/// version.
+inline constexpr int kBenchRecordSchema = 1;
+
+/// One bench run, as remembered by its trajectory.
+struct BenchRecord {
+  int schema = kBenchRecordSchema;
+  std::string bench;      ///< bench binary name, e.g. "bench_kv_cache"
+  std::string commit;     ///< git HEAD hash, or "unknown"
+  std::string build;      ///< compiler + flags fingerprint
+  std::string host;       ///< machine name (timings compare per-host)
+  std::string time_utc;   ///< ISO-8601 wall-clock stamp (display only)
+  std::string config_fp;  ///< fingerprint of `config` minus volatile keys
+  /// Config echo (scale, seed, model dims, bench-specific knobs).
+  std::map<std::string, std::string> config;
+  /// Headline metrics: guesses/sec, step ms, serve p99, prefill tokens…
+  /// Names carry their gate direction (see perf_gate.h metric_direction).
+  std::map<std::string, double> metrics;
+};
+
+/// Compiler id + the build-shape macros that change codegen (opt level,
+/// sanitizers, DCHECKs). Recorded so a sanitizer run never baselines an
+/// optimized one.
+std::string bench_build_fingerprint();
+
+/// Resolves the current git commit: the PPG_COMMIT environment variable if
+/// set, else by walking up from `start_dir` (default: cwd) to `.git` and
+/// reading HEAD / refs / packed-refs. Returns "unknown" when unresolvable.
+std::string bench_git_commit(const std::string& start_dir = ".");
+
+/// Host name (gethostname), "unknown-host" on failure.
+std::string bench_host();
+
+/// Current wall-clock time as ISO-8601 UTC (display only — never feeds
+/// generation or comparison logic).
+std::string bench_timestamp_utc();
+
+/// Order-independent FNV-1a fingerprint over config key=value pairs,
+/// excluding volatile keys (cache_dir, report, track_dir, fresh, seed —
+/// they change where bytes land or which RNG stream runs, not the cost of
+/// the work). 16 hex chars.
+std::string bench_config_fingerprint(
+    const std::map<std::string, std::string>& config);
+
+/// Builds a record with all identity fields (commit, build, host, time,
+/// config_fp) filled in from the environment.
+BenchRecord make_bench_record(std::string bench,
+                              std::map<std::string, std::string> config,
+                              std::map<std::string, double> metrics);
+
+/// One-line JSON serialisation (no trailing newline).
+std::string bench_record_to_json(const BenchRecord& rec);
+
+/// Parses one trajectory line. Returns nullopt (with a message in `error`
+/// if non-null) on malformed JSON, missing fields, or a schema newer than
+/// kBenchRecordSchema.
+std::optional<BenchRecord> parse_bench_record(std::string_view line,
+                                              std::string* error = nullptr);
+
+/// A loaded trajectory: parsed records in file order plus the count of
+/// lines that were skipped (torn tail, foreign JSON, schema skew).
+struct TrajectoryLoad {
+  std::vector<BenchRecord> records;
+  std::size_t skipped = 0;
+};
+
+/// Loads `path`; a missing file is an empty trajectory, not an error.
+TrajectoryLoad load_trajectory(const std::string& path);
+
+/// Appends `rec` as one line via atomic replace (read, drop any torn tail,
+/// rewrite + new line, fsync, rename, fsync dir). Complete foreign lines
+/// are preserved verbatim. Returns false (with `error`) on IO failure.
+bool append_trajectory(const std::string& path, const BenchRecord& rec,
+                       std::string* error = nullptr);
+
+/// Canonical trajectory path: `<dir>/BENCH_<name>.json`, where <name> is
+/// the bench name with any leading "bench_" stripped.
+std::string trajectory_path(const std::string& dir, const std::string& bench);
+
+}  // namespace ppg::obs

@@ -121,6 +121,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
 namespace {
 
 /// Recursive-descent JSON checker over a string_view cursor.

@@ -44,6 +44,9 @@ class JsonWriter {
   JsonWriter& value(std::int64_t i);
   JsonWriter& value(bool b);
   JsonWriter& null();
+  /// Splices a pre-serialised JSON value verbatim (comma placement still
+  /// applies). The caller guarantees `json` is one well-formed value.
+  JsonWriter& raw(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string take() { return std::move(out_); }

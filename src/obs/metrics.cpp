@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -64,20 +65,31 @@ Histogram::Summary Histogram::summary() const {
   s.min = min_.load(std::memory_order_relaxed);
   s.max = max_.load(std::memory_order_relaxed);
   const auto quantile = [&](double q) {
-    const auto rank = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(s.count)));
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(s.count))));
     std::uint64_t seen = 0;
     for (int i = 0; i < kBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      const std::uint64_t before = seen;
       seen += buckets[i];
-      if (seen >= rank && buckets[i] > 0) {
-        const double ub = bucket_upper_bound(i);
-        // The top bucket has no finite bound; the observed max does.
-        return std::isfinite(ub) ? std::min(ub, s.max) : s.max;
-      }
+      if (seen < rank) continue;
+      // Linear interpolation of the rank inside the covering bucket; the
+      // unbounded edges (below-range first bucket, open-topped last) borrow
+      // the observed min/max, and the estimate is clamped to [min, max].
+      double lo = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+      double hi = bucket_upper_bound(i);
+      if (!std::isfinite(hi)) hi = s.max;
+      lo = std::max(lo, std::min(s.min, hi));
+      const double frac = static_cast<double>(rank - before) /
+                          static_cast<double>(buckets[i]);
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, s.min, s.max);
     }
     return s.max;
   };
   s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
   s.p95 = quantile(0.95);
   s.p99 = quantile(0.99);
   return s;
@@ -143,10 +155,10 @@ std::string Registry::to_text() const {
   for (const auto& [name, h] : histograms_) {
     const auto s = h->summary();
     std::snprintf(buf, sizeof buf,
-                  "histogram %s count=%llu sum=%.6g p50=%.6g p95=%.6g "
-                  "max=%.6g\n",
+                  "histogram %s count=%llu sum=%.6g p50=%.6g p90=%.6g "
+                  "p95=%.6g p99=%.6g max=%.6g\n",
                   name.c_str(), static_cast<unsigned long long>(s.count),
-                  s.sum, s.p50, s.p95, s.max);
+                  s.sum, s.p50, s.p90, s.p95, s.p99, s.max);
     out += buf;
   }
   return out;
@@ -171,6 +183,7 @@ void Registry::write_json(JsonWriter& w) const {
     w.key("max").value(s.max);
     w.key("mean").value(s.mean());
     w.key("p50").value(s.p50);
+    w.key("p90").value(s.p90);
     w.key("p95").value(s.p95);
     w.key("p99").value(s.p99);
     w.end_object();

@@ -66,8 +66,10 @@ class Gauge {
 /// < 2^(i-kSubUnit); the first bucket absorbs everything below the range,
 /// the last everything above. The layout covers ~[1.5e-5, 1.4e14], wide
 /// enough for latencies in µs or ns and for dimensionless counts.
-/// count/sum/min/max are exact; percentiles are bucket-resolution
-/// estimates (upper bound of the covering bucket, clamped to max).
+/// count/sum/min/max are exact; percentiles are estimated by linear
+/// interpolation of the rank within the covering bucket (clamped to the
+/// observed min/max), so a quantile is off by at most the spread of its
+/// bucket and is exact when observations are uniform inside it.
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
@@ -83,6 +85,7 @@ class Histogram {
     double min = 0.0;  ///< 0 when empty
     double max = 0.0;
     double p50 = 0.0;
+    double p90 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
     double mean() const { return count == 0 ? 0.0 : sum / double(count); }
@@ -125,11 +128,11 @@ class Registry {
   Histogram& histogram(std::string_view name);
 
   /// One metric per line: `counter name value`, `gauge name value`,
-  /// `histogram name count sum p50 p95 max`. Stable (sorted) order.
+  /// `histogram name count sum p50 p90 p95 p99 max`. Stable (sorted) order.
   std::string to_text() const;
 
   /// Snapshot as a JSON object {"counters":{…},"gauges":{…},
-  /// "histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}.
+  /// "histograms":{name:{count,sum,min,max,mean,p50,p90,p95,p99}}}.
   std::string to_json() const;
 
   /// Writes the same snapshot into an in-progress JsonWriter (the run

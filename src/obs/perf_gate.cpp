@@ -1,0 +1,173 @@
+#include "obs/perf_gate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace ppg::obs {
+
+namespace {
+
+bool contains(std::string_view name, std::string_view needle) {
+  return name.find(needle) != std::string_view::npos;
+}
+
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Median of an unsorted non-empty vector (midpoint average when even).
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+const char* direction_name(MetricDirection d) {
+  switch (d) {
+    case MetricDirection::kHigherBetter:
+      return "higher-better";
+    case MetricDirection::kLowerBetter:
+      return "lower-better";
+    default:
+      return "unclassified";
+  }
+}
+
+}  // namespace
+
+MetricDirection metric_direction(std::string_view name) {
+  // Higher-better first: "prefill_saved" must not fall through to the
+  // lower-better "prefill" family, and "guesses_per_sec" must not match a
+  // generic "guesses" count.
+  for (const char* needle : {"per_sec", "per_second", "throughput", "speedup",
+                             "reduction", "saved", "hit_rate", "occupancy"})
+    if (contains(name, needle)) return MetricDirection::kHigherBetter;
+  for (const char* needle :
+       {"latency", "tokens", "calls", "bytes", "invalid", "wall", "p50", "p90",
+        "p95", "p99", "seconds", "queue"})
+    if (contains(name, needle)) return MetricDirection::kLowerBetter;
+  for (const char* suffix : {"_ms", "_us", "_ns", "_s", "_secs", "_min"})
+    if (ends_with(name, suffix)) return MetricDirection::kLowerBetter;
+  return MetricDirection::kUnknown;
+}
+
+GateResult evaluate_gate(const std::vector<BenchRecord>& trajectory,
+                         const BenchRecord& run, const GateConfig& cfg) {
+  GateResult result;
+
+  // Comparable records, file order = oldest first; keep the newest window.
+  std::vector<const BenchRecord*> base;
+  for (const BenchRecord& rec : trajectory) {
+    if (rec.bench != run.bench) continue;
+    if (rec.config_fp != run.config_fp) continue;
+    if (rec.build != run.build) continue;
+    if (cfg.match_host && rec.host != run.host) continue;
+    base.push_back(&rec);
+  }
+  if (base.size() > cfg.window)
+    base.erase(base.begin(),
+               base.end() - static_cast<std::ptrdiff_t>(cfg.window));
+  result.baseline_records = base.size();
+
+  if (base.empty()) {
+    result.pass = !cfg.require_baseline;
+    result.note = "no comparable baseline (bench/config/build" +
+                  std::string(cfg.match_host ? "/host" : "") +
+                  " unmatched in trajectory)";
+    return result;
+  }
+
+  for (const auto& [name, current] : run.metrics) {
+    MetricDelta d;
+    d.name = name;
+    d.direction = metric_direction(name);
+    d.current = current;
+    std::vector<double> samples;
+    for (const BenchRecord* rec : base)
+      if (const auto it = rec->metrics.find(name); it != rec->metrics.end())
+        samples.push_back(it->second);
+    d.samples = samples.size();
+    if (!samples.empty()) {
+      d.baseline = median(std::move(samples));
+      if (d.baseline != 0.0 && d.direction != MetricDirection::kUnknown) {
+        // Positive delta always means "worse".
+        d.delta_pct = d.direction == MetricDirection::kLowerBetter
+                          ? (d.current - d.baseline) / d.baseline * 100.0
+                          : (d.baseline - d.current) / d.baseline * 100.0;
+        d.gated = true;
+        d.regressed = d.delta_pct > cfg.max_regress_pct;
+        if (d.regressed) result.pass = false;
+      }
+    }
+    result.deltas.push_back(std::move(d));
+  }
+  std::sort(result.deltas.begin(), result.deltas.end(),
+            [](const MetricDelta& a, const MetricDelta& b) {
+              if (a.gated != b.gated) return a.gated;
+              if (a.delta_pct != b.delta_pct) return a.delta_pct > b.delta_pct;
+              return a.name < b.name;
+            });
+  return result;
+}
+
+std::string gate_to_text(const GateResult& result, const GateConfig& cfg) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "perf gate: baseline = median of last %zu comparable records "
+                "(%zu found), threshold %.1f%%\n",
+                cfg.window, result.baseline_records, cfg.max_regress_pct);
+  out += buf;
+  if (!result.note.empty()) {
+    out += "note: " + result.note + "\n";
+  }
+  if (!result.deltas.empty()) {
+    std::snprintf(buf, sizeof buf, "%-36s %14s %14s %9s %4s  %s\n", "metric",
+                  "baseline", "current", "delta%", "n", "verdict");
+    out += buf;
+    for (const MetricDelta& d : result.deltas) {
+      const char* verdict = !d.gated         ? direction_name(d.direction)
+                            : d.regressed    ? "REGRESSED"
+                            : d.delta_pct < 0 ? "improved"
+                                              : "ok";
+      std::snprintf(buf, sizeof buf, "%-36s %14.4g %14.4g %+8.1f%% %4zu  %s\n",
+                    d.name.c_str(), d.baseline, d.current, d.delta_pct,
+                    d.samples, verdict);
+      out += buf;
+    }
+  }
+  out += result.pass ? "perf gate: PASS\n" : "perf gate: FAIL\n";
+  return out;
+}
+
+std::string gate_to_json(const GateResult& result, const GateConfig& cfg) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("pass").value(result.pass);
+  w.key("max_regress_pct").value(cfg.max_regress_pct);
+  w.key("window").value(std::uint64_t{cfg.window});
+  w.key("baseline_records").value(std::uint64_t{result.baseline_records});
+  if (!result.note.empty()) w.key("note").value(result.note);
+  w.key("deltas").begin_array();
+  for (const MetricDelta& d : result.deltas) {
+    w.begin_object();
+    w.key("metric").value(d.name);
+    w.key("direction").value(direction_name(d.direction));
+    w.key("baseline").value(d.baseline);
+    w.key("current").value(d.current);
+    w.key("delta_pct").value(d.delta_pct);
+    w.key("samples").value(std::uint64_t{d.samples});
+    w.key("gated").value(d.gated);
+    w.key("regressed").value(d.regressed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace ppg::obs

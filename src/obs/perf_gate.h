@@ -1,0 +1,81 @@
+// Perf gate: compares a fresh bench run against its trajectory and fails
+// on regression (DESIGN.md §12).
+//
+// The baseline for each metric is the *median* of the last `window`
+// trajectory records that are comparable to the run — same bench, same
+// config fingerprint, same build fingerprint, and (optionally) same host —
+// so one noisy historical record cannot poison the gate, and a config or
+// machine change silently starts a new baseline instead of comparing
+// apples to oranges.
+//
+// Metric direction is carried by the metric *name* (suffix conventions:
+// `*_per_sec` is higher-better, `*_ms`/`*_tokens` lower-better; see
+// metric_direction). Metrics whose direction cannot be classified are
+// reported in the delta table but never gated.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/bench_track.h"
+
+namespace ppg::obs {
+
+enum class MetricDirection {
+  kHigherBetter,  ///< throughput-like: regression = value dropped
+  kLowerBetter,   ///< latency/cost-like: regression = value rose
+  kUnknown,       ///< unclassified: reported, never gated
+};
+
+/// Classifies a metric by name. Higher-better needles (per_sec,
+/// throughput, speedup, reduction, saved, hit_rate) win over lower-better
+/// ones (_ms/_us/_ns/_s suffixes, latency, pXX, tokens, calls, bytes,
+/// wall, invalid); anything else is kUnknown.
+MetricDirection metric_direction(std::string_view name);
+
+struct GateConfig {
+  /// A gated metric regressing by more than this percentage fails the run.
+  double max_regress_pct = 10.0;
+  /// Baseline = per-metric median of the newest `window` comparable records.
+  std::size_t window = 5;
+  /// Also require baseline records to come from the same host.
+  bool match_host = false;
+  /// Fail (rather than pass-with-note) when no comparable baseline exists.
+  bool require_baseline = false;
+};
+
+/// One metric's verdict. delta_pct is oriented so that positive always
+/// means "got worse", whatever the metric's direction.
+struct MetricDelta {
+  std::string name;
+  MetricDirection direction = MetricDirection::kUnknown;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta_pct = 0.0;
+  std::size_t samples = 0;  ///< baseline records carrying this metric
+  bool gated = false;       ///< participated in the pass/fail decision
+  bool regressed = false;   ///< gated && delta_pct > max_regress_pct
+};
+
+struct GateResult {
+  bool pass = true;
+  std::size_t baseline_records = 0;  ///< comparable records found
+  std::string note;                  ///< e.g. "no comparable baseline"
+  std::vector<MetricDelta> deltas;   ///< worst regression first
+};
+
+/// Evaluates `run` against `trajectory`. Records equal to `run` itself
+/// (same bench/commit/time/metrics) are fine to include in `trajectory`;
+/// callers gating the last appended record should pass the records before
+/// it instead (see ppg_perfgate --last).
+GateResult evaluate_gate(const std::vector<BenchRecord>& trajectory,
+                         const BenchRecord& run, const GateConfig& cfg);
+
+/// Human-readable per-metric delta table plus the verdict line.
+std::string gate_to_text(const GateResult& result, const GateConfig& cfg);
+
+/// Machine-readable verdict (one JSON object).
+std::string gate_to_json(const GateResult& result, const GateConfig& cfg);
+
+}  // namespace ppg::obs

@@ -20,6 +20,11 @@ void RunReport::set_name(std::string name) {
   name_ = std::move(name);
 }
 
+std::string RunReport::name() const {
+  std::lock_guard lock(mu_);
+  return name_;
+}
+
 void RunReport::add_config(const std::string& key, std::string value) {
   std::lock_guard lock(mu_);
   for (auto& [k, v] : config_) {
@@ -46,10 +51,34 @@ void RunReport::add_stage(std::string name, double seconds, double items) {
   stages_.push_back({std::move(name), seconds, items});
 }
 
+std::vector<std::pair<std::string, std::string>> RunReport::config_snapshot()
+    const {
+  std::lock_guard lock(mu_);
+  return config_;
+}
+
+std::vector<RunReport::Stage> RunReport::stages_snapshot() const {
+  std::lock_guard lock(mu_);
+  return stages_;
+}
+
+void RunReport::set_section(const std::string& key, std::string raw_json) {
+  std::lock_guard lock(mu_);
+  for (auto& [k, v] : sections_) {
+    if (k == key) {
+      v = std::move(raw_json);
+      return;
+    }
+  }
+  sections_.emplace_back(key, std::move(raw_json));
+}
+
 std::string RunReport::to_json(const Registry* registry) const {
   JsonWriter w;
+  std::vector<std::pair<std::string, std::string>> sections;
   {
     std::lock_guard lock(mu_);
+    sections = sections_;
     w.begin_object();
     w.key("name").value(name_.empty() ? "unnamed" : name_);
     w.key("schema").value(std::uint64_t{1});
@@ -71,6 +100,7 @@ std::string RunReport::to_json(const Registry* registry) const {
   }
   // Registry snapshot outside our own lock (independent mutex).
   (registry != nullptr ? *registry : Registry::global()).write_json(w);
+  for (const auto& [key, raw] : sections) w.key(key).raw(raw);
   w.end_object();
   return w.take();
 }
@@ -92,6 +122,7 @@ void RunReport::clear() {
   name_.clear();
   config_.clear();
   stages_.clear();
+  sections_.clear();
 }
 
 StageTimer::StageTimer(std::string name, RunReport& report)

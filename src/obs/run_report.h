@@ -29,16 +29,36 @@ class RunReport {
   static RunReport& global();
 
   void set_name(std::string name);
+  std::string name() const;
 
   /// Records one config key. Later writes to the same key win.
   void add_config(const std::string& key, std::string value);
   void add_config(const std::string& key, double value);
   void add_config(const std::string& key, std::uint64_t value);
 
+  /// Point-in-time copy of the config echo (the trajectory recorder
+  /// fingerprints it; see obs/bench_track.h).
+  std::vector<std::pair<std::string, std::string>> config_snapshot() const;
+
+  /// Attaches a pre-serialised JSON value under a top-level key (e.g. the
+  /// hot-kernel atlas). The caller guarantees `raw_json` is one well-formed
+  /// JSON value; it is spliced into to_json() verbatim. Later writes to the
+  /// same key win.
+  void set_section(const std::string& key, std::string raw_json);
+
   /// Records a completed stage. `items` (optional) is a work count for the
   /// stage — guesses generated, tokens trained — from which the report
   /// derives items_per_sec.
   void add_stage(std::string name, double seconds, double items = 0.0);
+
+  struct Stage {
+    std::string name;
+    double seconds;
+    double items;
+  };
+  /// Point-in-time copy of the recorded stages (the trajectory recorder
+  /// derives per-stage throughput metrics from it).
+  std::vector<Stage> stages_snapshot() const;
 
   /// Serialises the report plus a snapshot of `registry` (the global
   /// registry by default).
@@ -54,12 +74,8 @@ class RunReport {
   mutable std::mutex mu_;
   std::string name_;
   std::vector<std::pair<std::string, std::string>> config_;
-  struct Stage {
-    std::string name;
-    double seconds;
-    double items;
-  };
   std::vector<Stage> stages_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 /// RAII stage clock: measures wall-clock from construction to destruction

@@ -119,4 +119,17 @@ void trace_instant(const char* name, const char* cat) {
   emit(name, cat, "i", now_us(), 0, /*has_dur=*/false);
 }
 
+void trace_set_thread_name(const char* name) {
+  if (!trace_enabled()) return;
+  TraceState& s = state();
+  std::lock_guard lock(s.mu);
+  if (s.file == nullptr) return;
+  const std::string ename = json_escape(name);
+  std::fprintf(s.file,
+               "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+               s.any_event ? ",\n" : "\n", thread_tid(), ename.c_str());
+  s.any_event = true;
+}
+
 }  // namespace ppg::obs

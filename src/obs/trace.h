@@ -53,6 +53,12 @@ void trace_emit_complete(const char* name, const char* cat,
 /// Appends an instant event at the current time. No-op when disabled.
 void trace_instant(const char* name, const char* cat = "");
 
+/// Emits a Chrome-trace thread-name metadata event ("ph":"M") for the
+/// calling thread, so Perfetto/chrome://tracing shows a named lane
+/// ("serve-worker-2") instead of a bare tid. Call once per thread, after
+/// tracing is on (worker loops call it at entry). No-op when disabled.
+void trace_set_thread_name(const char* name);
+
 /// RAII span: marks the enclosed scope as one trace event. `name` and
 /// `cat` must outlive the span (string literals in practice).
 class Span {

@@ -495,7 +495,9 @@ void GuessService::execute_batch(gpt::InferenceSession& session,
   if (new_work) work_cv_.notify_one();
 }
 
-void GuessService::worker_loop(std::size_t) {
+void GuessService::worker_loop(std::size_t index) {
+  obs::trace_set_thread_name(
+      ("serve-worker-" + std::to_string(index)).c_str());
   gpt::InferenceSession session(model_);
   for (;;) {
     std::vector<RowRef> rows;

@@ -1,0 +1,155 @@
+// Golden tests for the hot-kernel atlas (src/obs/atlas.h) on hand-built
+// Chrome traces: flame-graph self-time decomposition, per-name counts and
+// percentiles, ranking, thread handling, and malformed-input behaviour.
+#include "obs/atlas.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace obs = ppg::obs;
+
+namespace {
+
+const obs::AtlasEntry* find(const obs::Atlas& atlas, const std::string& name) {
+  for (const auto& e : atlas.entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::string ev(const char* name, const char* cat, int tid, double ts,
+               double dur) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,"
+                "\"dur\":%.1f,\"pid\":1,\"tid\":%d}",
+                name, cat, ts, dur, tid);
+  return buf;
+}
+
+TEST(AtlasTest, GoldenNestedTrace) {
+  // Thread 1: dcgen/leaf [0,100] containing infer/step [10,30] and
+  // [40,70]. Thread 2: a lone infer/step [0,40].
+  const std::string trace = "{\"traceEvents\":[" + ev("dcgen/leaf", "dcgen", 1, 0, 100) +
+                            "," + ev("infer/step", "gpt", 1, 10, 20) + "," +
+                            ev("infer/step", "gpt", 1, 40, 30) + "," +
+                            ev("infer/step", "gpt", 2, 0, 40) + "]}";
+  std::string error;
+  const auto atlas = obs::build_atlas_from_json(trace, &error);
+  ASSERT_TRUE(atlas.has_value()) << error;
+
+  EXPECT_EQ(atlas->events, 4u);
+  EXPECT_EQ(atlas->threads, 2u);
+  EXPECT_DOUBLE_EQ(atlas->wall_us, 100.0);
+
+  const auto* leaf = find(*atlas, "dcgen/leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->count, 1u);
+  EXPECT_DOUBLE_EQ(leaf->total_us, 100.0);
+  // Self = 100 − (20 + 30) nested on the same thread; the thread-2 step
+  // must NOT be subtracted.
+  EXPECT_DOUBLE_EQ(leaf->self_us, 50.0);
+  EXPECT_EQ(leaf->category, "dcgen");
+
+  const auto* step = find(*atlas, "infer/step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->count, 3u);
+  EXPECT_DOUBLE_EQ(step->total_us, 90.0);
+  EXPECT_DOUBLE_EQ(step->self_us, 90.0);  // leaves: self == total
+  // Exact nearest-rank percentiles over {20, 30, 40}.
+  EXPECT_DOUBLE_EQ(step->p50_us, 30.0);
+  EXPECT_DOUBLE_EQ(step->p99_us, 40.0);
+
+  // Shares sum to 1 over Σself = 140 and ranking is by self time.
+  EXPECT_NEAR(step->share, 90.0 / 140.0, 1e-12);
+  EXPECT_NEAR(leaf->share, 50.0 / 140.0, 1e-12);
+  ASSERT_EQ(atlas->entries.size(), 2u);
+  EXPECT_EQ(atlas->entries[0].name, "infer/step");
+}
+
+TEST(AtlasTest, DeepNestingSubtractsEachChildOnce) {
+  // a [0,100] > b [10,80] > c [20,30]: a.self = 100−80, b.self = 80−30.
+  const std::string trace = "[" + ev("a", "", 1, 0, 100) + "," +
+                            ev("b", "", 1, 10, 80) + "," +
+                            ev("c", "", 1, 20, 30) + "]";
+  const auto atlas = obs::build_atlas_from_json(trace);
+  ASSERT_TRUE(atlas.has_value());
+  EXPECT_DOUBLE_EQ(find(*atlas, "a")->self_us, 20.0);
+  EXPECT_DOUBLE_EQ(find(*atlas, "b")->self_us, 50.0);
+  EXPECT_DOUBLE_EQ(find(*atlas, "c")->self_us, 30.0);
+}
+
+TEST(AtlasTest, SiblingsDoNotNest) {
+  // Two back-to-back spans sharing a boundary are siblings, not parent and
+  // child: the first has ended (end <= next.start) when the second opens.
+  const std::string trace = "[" + ev("s", "", 1, 0, 50) + "," +
+                            ev("s", "", 1, 50, 50) + "]";
+  const auto atlas = obs::build_atlas_from_json(trace);
+  ASSERT_TRUE(atlas.has_value());
+  const auto* s = find(*atlas, "s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 2u);
+  EXPECT_DOUBLE_EQ(s->self_us, 100.0);
+}
+
+TEST(AtlasTest, MetadataAndInstantEventsAreIgnored) {
+  const std::string trace =
+      "{\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"main\"}},"
+      "{\"name\":\"bench/start\",\"cat\":\"bench\",\"ph\":\"i\",\"ts\":0,"
+      "\"s\":\"t\",\"pid\":1,\"tid\":1}," +
+      ev("work", "", 1, 5, 10) + "]}";
+  const auto atlas = obs::build_atlas_from_json(trace);
+  ASSERT_TRUE(atlas.has_value());
+  EXPECT_EQ(atlas->events, 1u);
+  ASSERT_EQ(atlas->entries.size(), 1u);
+  EXPECT_EQ(atlas->entries[0].name, "work");
+}
+
+TEST(AtlasTest, BareArrayAndEmptyTraceAccepted) {
+  const auto bare = obs::build_atlas_from_json("[" + ev("x", "", 1, 0, 1) + "]");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->events, 1u);
+
+  const auto empty = obs::build_atlas_from_json("{\"traceEvents\":[]}");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->events, 0u);
+  EXPECT_TRUE(empty->entries.empty());
+}
+
+TEST(AtlasTest, MalformedInputReportsError) {
+  std::string error;
+  EXPECT_FALSE(obs::build_atlas_from_json("{\"traceEvents\":[", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::build_atlas_from_json("{\"notTrace\":1}", &error)
+                   .has_value());
+  EXPECT_NE(error.find("traceEvents"), std::string::npos);
+  // A missing file.
+  EXPECT_FALSE(obs::build_atlas("/nonexistent/trace.json", &error)
+                   .has_value());
+}
+
+TEST(AtlasTest, JsonOutputIsValidAndTopTruncates) {
+  const std::string trace = "[" + ev("a", "", 1, 0, 100) + "," +
+                            ev("b", "", 1, 200, 50) + "," +
+                            ev("c", "", 1, 300, 10) + "]";
+  const auto atlas = obs::build_atlas_from_json(trace);
+  ASSERT_TRUE(atlas.has_value());
+
+  const std::string json = obs::atlas_to_json(*atlas, 2);
+  std::string error;
+  EXPECT_TRUE(obs::validate_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"b\""), std::string::npos);
+  EXPECT_EQ(json.find("\"c\""), std::string::npos);  // truncated by top=2
+
+  const std::string text = obs::atlas_to_text(*atlas, 1);
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("hot-kernel atlas"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the perf-trajectory gate (ctest label: perf).
+#
+#   usage: perf_gate_smoke.sh <bench_kv_cache> <ppg_perfgate> <workdir>
+#
+# Runs the same tiny bench twice into a scratch trajectory, then checks the
+# two contractual behaviours of the gate:
+#   1. a clean rerun of identical work PASSES (exit 0) — with a generous
+#      threshold so shared-runner noise cannot flake the suite;
+#   2. the same rerun with --inject-slowdown 2 FAILS (exit 1) — the gate
+#      demonstrably trips on a 2x regression, it does not just run.
+set -euo pipefail
+
+BENCH="$1"
+GATE="$2"
+WORK="$3"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+TRAJ="$WORK/BENCH_kv_cache.json"
+
+run_bench() {
+  "$BENCH" --model=tiny --total=1500 \
+    --cache-dir="$WORK/cache" --track-dir="$WORK" >/dev/null
+}
+
+echo "== seeding trajectory (2 identical runs) =="
+run_bench
+run_bench
+[ -f "$TRAJ" ] || { echo "FAIL: $TRAJ was not written"; exit 1; }
+LINES=$(wc -l < "$TRAJ")
+[ "$LINES" -eq 2 ] || { echo "FAIL: expected 2 records, got $LINES"; exit 1; }
+
+# Timing metrics on a shared runner are noisy; the structural metrics
+# (prefill tokens, reduction, model calls) are exact, so a wide threshold
+# still catches a genuine 2x injection (100% delta) without flaking.
+echo "== gate on clean rerun (must pass) =="
+"$GATE" --trajectory "$TRAJ" --last --max-regress-pct 60
+
+echo "== gate with injected 2x slowdown (must fail) =="
+if "$GATE" --trajectory "$TRAJ" --last --max-regress-pct 60 \
+    --inject-slowdown 2; then
+  echo "FAIL: gate passed an injected 2x slowdown"
+  exit 1
+fi
+
+echo "== torn-tail tolerance: truncated last line is dropped, gate still runs =="
+head -c $(( $(wc -c < "$TRAJ") - 20 )) "$TRAJ" > "$TRAJ.torn"
+run_bench_torn() {
+  "$BENCH" --model=tiny --total=1500 \
+    --cache-dir="$WORK/cache" --track-dir="$WORK" >/dev/null
+}
+mv "$TRAJ.torn" "$TRAJ"
+run_bench_torn
+"$GATE" --trajectory "$TRAJ" --last --max-regress-pct 60
+
+echo "perf_gate_smoke: OK"

@@ -1,0 +1,213 @@
+// Tests for the perf gate (src/obs/perf_gate.h): metric direction
+// classification, baseline selection (config/build/host matching, window,
+// median robustness), delta orientation, and the pass/fail decision.
+#include "obs/perf_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace obs = ppg::obs;
+using obs::BenchRecord;
+using obs::GateConfig;
+using obs::MetricDirection;
+
+namespace {
+
+BenchRecord record(double guesses_per_sec, double step_ms,
+                   const std::string& build = "gcc release",
+                   const std::string& host = "host-a",
+                   const std::string& total = "2000") {
+  BenchRecord rec;
+  rec.bench = "bench_kv_cache";
+  rec.commit = "c0ffee";
+  rec.build = build;
+  rec.host = host;
+  rec.config = {{"kv.total", total}};
+  rec.config_fp = obs::bench_config_fingerprint(rec.config);
+  rec.metrics = {{"kv.guesses_per_sec", guesses_per_sec},
+                 {"train.step_ms", step_ms}};
+  return rec;
+}
+
+TEST(MetricDirectionTest, ClassifiesByNameConvention) {
+  using D = MetricDirection;
+  EXPECT_EQ(obs::metric_direction("kv.guesses_per_sec"), D::kHigherBetter);
+  EXPECT_EQ(obs::metric_direction("serve.throughput"), D::kHigherBetter);
+  EXPECT_EQ(obs::metric_direction("serve.batching_speedup"),
+            D::kHigherBetter);
+  EXPECT_EQ(obs::metric_direction("kv.reduction_pct"), D::kHigherBetter);
+  EXPECT_EQ(obs::metric_direction("kv.prefill_saved"), D::kHigherBetter);
+  EXPECT_EQ(obs::metric_direction("eval.hit_rate"), D::kHigherBetter);
+
+  EXPECT_EQ(obs::metric_direction("train.step_ms"), D::kLowerBetter);
+  EXPECT_EQ(obs::metric_direction("serve.p99_ms"), D::kLowerBetter);
+  EXPECT_EQ(obs::metric_direction("serve.request_latency"), D::kLowerBetter);
+  EXPECT_EQ(obs::metric_direction("kv.prefill_tokens"), D::kLowerBetter);
+  EXPECT_EQ(obs::metric_direction("kv.model_calls"), D::kLowerBetter);
+  EXPECT_EQ(obs::metric_direction("kv.uncached_secs"), D::kLowerBetter);
+  EXPECT_EQ(obs::metric_direction("BM_TrainStep_ms"), D::kLowerBetter);
+
+  // "guesses_per_sec" must not fall into the lower-better "seconds"
+  // family and "prefill_saved" must not read as a token count.
+  EXPECT_EQ(obs::metric_direction("stage.dcgen_per_sec"), D::kHigherBetter);
+  EXPECT_EQ(obs::metric_direction("mystery_gauge"), D::kUnknown);
+}
+
+TEST(PerfGateTest, PassesOnCleanRerunFailsOnRegression) {
+  const std::vector<BenchRecord> traj = {record(1000.0, 50.0)};
+  GateConfig cfg;
+  cfg.max_regress_pct = 10.0;
+
+  // Identical rerun: pass.
+  auto result = obs::evaluate_gate(traj, record(1000.0, 50.0), cfg);
+  EXPECT_TRUE(result.pass);
+  EXPECT_EQ(result.baseline_records, 1u);
+
+  // Throughput halves: the higher-better metric regresses 50% — fail.
+  result = obs::evaluate_gate(traj, record(500.0, 50.0), cfg);
+  EXPECT_FALSE(result.pass);
+
+  // Step time doubles: the lower-better metric regresses 100% — fail.
+  result = obs::evaluate_gate(traj, record(1000.0, 100.0), cfg);
+  EXPECT_FALSE(result.pass);
+
+  // Improvement in both directions: pass.
+  result = obs::evaluate_gate(traj, record(2000.0, 25.0), cfg);
+  EXPECT_TRUE(result.pass);
+}
+
+TEST(PerfGateTest, DeltaIsOrientedSoPositiveMeansWorse) {
+  const std::vector<BenchRecord> traj = {record(1000.0, 50.0)};
+  const auto result =
+      obs::evaluate_gate(traj, record(800.0, 60.0), GateConfig{});
+  ASSERT_EQ(result.deltas.size(), 2u);
+  for (const auto& d : result.deltas) {
+    if (d.name == "kv.guesses_per_sec") {
+      EXPECT_NEAR(d.delta_pct, 20.0, 1e-9);
+    }
+    if (d.name == "train.step_ms") {
+      EXPECT_NEAR(d.delta_pct, 20.0, 1e-9);
+    }
+    EXPECT_TRUE(d.gated);
+  }
+  EXPECT_FALSE(result.pass);  // 20% > default 10%
+}
+
+TEST(PerfGateTest, MedianBaselineShrugsOffOneNoisyRecord) {
+  // Four good records and one absurd outlier; the median ignores it.
+  std::vector<BenchRecord> traj;
+  for (const double v : {1000.0, 1010.0, 990.0, 1005.0})
+    traj.push_back(record(v, 50.0));
+  traj.push_back(record(100000.0, 1.0));  // noise spike
+  GateConfig cfg;
+  cfg.window = 5;
+  const auto result = obs::evaluate_gate(traj, record(980.0, 51.0), cfg);
+  EXPECT_TRUE(result.pass);
+  for (const auto& d : result.deltas)
+    if (d.name == "kv.guesses_per_sec") {
+      EXPECT_NEAR(d.baseline, 1005.0, 1e-9);  // median of the 5
+    }
+}
+
+TEST(PerfGateTest, WindowKeepsOnlyNewestRecords) {
+  // Old slow records must age out of the baseline: window=2 sees only the
+  // two newest (fast) records, so a run matching the old slow pace fails.
+  std::vector<BenchRecord> traj = {record(100.0, 500.0), record(100.0, 500.0),
+                                   record(1000.0, 50.0),
+                                   record(1000.0, 50.0)};
+  GateConfig cfg;
+  cfg.window = 2;
+  const auto result = obs::evaluate_gate(traj, record(100.0, 500.0), cfg);
+  EXPECT_FALSE(result.pass);
+  EXPECT_EQ(result.baseline_records, 2u);
+}
+
+TEST(PerfGateTest, ConfigBuildAndHostScopeTheBaseline) {
+  GateConfig cfg;
+
+  // Different config fingerprint: not comparable.
+  {
+    const std::vector<BenchRecord> traj = {
+        record(1000.0, 50.0, "gcc release", "host-a", "9999")};
+    const auto result = obs::evaluate_gate(traj, record(10.0, 50.0), cfg);
+    EXPECT_TRUE(result.pass);  // no baseline, pass-with-note
+    EXPECT_EQ(result.baseline_records, 0u);
+    EXPECT_FALSE(result.note.empty());
+  }
+  // Different build fingerprint (e.g. a sanitizer run): not comparable.
+  {
+    const std::vector<BenchRecord> traj = {
+        record(1000.0, 50.0, "gcc release asan")};
+    const auto result = obs::evaluate_gate(traj, record(10.0, 50.0), cfg);
+    EXPECT_EQ(result.baseline_records, 0u);
+    EXPECT_TRUE(result.pass);
+  }
+  // Host differences only matter with match_host.
+  {
+    const std::vector<BenchRecord> traj = {
+        record(1000.0, 50.0, "gcc release", "host-b")};
+    auto result = obs::evaluate_gate(traj, record(10.0, 50.0), cfg);
+    EXPECT_EQ(result.baseline_records, 1u);
+    EXPECT_FALSE(result.pass);
+
+    cfg.match_host = true;
+    result = obs::evaluate_gate(traj, record(10.0, 50.0), cfg);
+    EXPECT_EQ(result.baseline_records, 0u);
+    EXPECT_TRUE(result.pass);
+  }
+}
+
+TEST(PerfGateTest, RequireBaselineTurnsNoBaselineIntoFailure) {
+  GateConfig cfg;
+  cfg.require_baseline = true;
+  const auto result =
+      obs::evaluate_gate({}, record(1000.0, 50.0), cfg);
+  EXPECT_FALSE(result.pass);
+  EXPECT_EQ(result.baseline_records, 0u);
+}
+
+TEST(PerfGateTest, UnknownDirectionMetricsAreReportedNotGated) {
+  BenchRecord base = record(1000.0, 50.0);
+  base.metrics["mystery_gauge"] = 7.0;
+  BenchRecord run = record(1000.0, 50.0);
+  run.metrics["mystery_gauge"] = 700.0;  // 100x — but unclassifiable
+  const auto result = obs::evaluate_gate({base}, run, GateConfig{});
+  EXPECT_TRUE(result.pass);
+  bool saw = false;
+  for (const auto& d : result.deltas)
+    if (d.name == "mystery_gauge") {
+      saw = true;
+      EXPECT_FALSE(d.gated);
+      EXPECT_EQ(d.direction, MetricDirection::kUnknown);
+    }
+  EXPECT_TRUE(saw);
+}
+
+TEST(PerfGateTest, NewMetricWithoutHistoryIsNotGated) {
+  BenchRecord run = record(1000.0, 50.0);
+  run.metrics["brand_new_per_sec"] = 1.0;
+  const auto result =
+      obs::evaluate_gate({record(1000.0, 50.0)}, run, GateConfig{});
+  EXPECT_TRUE(result.pass);
+  for (const auto& d : result.deltas)
+    if (d.name == "brand_new_per_sec") {
+      EXPECT_EQ(d.samples, 0u);
+      EXPECT_FALSE(d.gated);
+    }
+}
+
+TEST(PerfGateTest, TextAndJsonReportsCarryTheVerdict) {
+  const auto result = obs::evaluate_gate({record(1000.0, 50.0)},
+                                         record(500.0, 50.0), GateConfig{});
+  const std::string text = obs::gate_to_text(result, GateConfig{});
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("kv.guesses_per_sec"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  const std::string json = obs::gate_to_json(result, GateConfig{});
+  EXPECT_NE(json.find("\"pass\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"regressed\":true"), std::string::npos);
+}
+
+}  // namespace

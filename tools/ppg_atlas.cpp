@@ -1,0 +1,64 @@
+// ppg_atlas: rank a PPG_TRACE Chrome-trace file into a hot-kernel atlas.
+//
+// Usage:
+//   PPG_TRACE=/tmp/run.trace bench_kv_cache ...
+//   ppg_atlas /tmp/run.trace [--top N] [--json]
+//
+// Groups complete spans by name across threads and prints, per name: call
+// count, total and self wall time (self = flame-graph decomposition, so
+// dcgen/leaf does not absorb the infer/step calls nested inside it),
+// p50/p99 span duration, and share of the run's total self time. Benches
+// with both --report and PPG_TRACE embed the same table in their run
+// report; this binary serves ad-hoc traces.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/atlas.h"
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top = 20;
+  bool as_json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --top needs a value\n", argv[0]);
+        return 2;
+      }
+      top = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: %s TRACE_FILE [--top N] [--json]\n",
+                   argv[0]);
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "%s: extra argument %s\n", argv[0], arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s TRACE_FILE [--top N] [--json]\n", argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  const auto atlas = ppg::obs::build_atlas(path, &error);
+  if (!atlas) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const std::string out = as_json ? ppg::obs::atlas_to_json(*atlas, top)
+                                  : ppg::obs::atlas_to_text(*atlas, top);
+  std::fputs(out.c_str(), stdout);
+  if (!out.empty() && out.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}

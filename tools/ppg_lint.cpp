@@ -35,6 +35,11 @@
 //                       final path is torn by the first ill-timed crash.
 //   pragma-once         every header starts its include story with
 //                       #pragma once (rule of the existing tree).
+//   untracked-bench     every bench main records its run through the
+//                       shared perf-trajectory recorder (bench::parse_env,
+//                       or the obs/bench_track.h API directly) — a bench
+//                       that bypasses it produces numbers the CI perf gate
+//                       never sees, so its wins can silently rot.
 //
 // A finding on one specific line can be waived in place with a trailing
 //   // ppg-lint: allow(<rule-name>) <why>
@@ -61,6 +66,9 @@ struct Rule {
   std::string message;
   std::vector<std::string> include;  ///< path prefixes the rule applies to
   std::vector<std::string> exclude;  ///< path prefixes/files exempt from it
+  /// Inverted file-level rule: the file must contain at least one of these
+  /// (word-boundary match on stripped code). Empty = not a require-rule.
+  std::vector<std::string> require;
 };
 
 const std::vector<Rule> kRules = {
@@ -69,32 +77,37 @@ const std::vector<Rule> kRules = {
      "spawn workers via ppg::ThreadPool (src/common/thread_pool.h) or an "
      "audited owner; naked threads escape drain()/stop() and TSan coverage",
      {"src/"},
-     {"src/common/thread_pool.h"}},
+     {"src/common/thread_pool.h"},
+     {}},
     {"nondeterministic-random",
      {"rand(", "srand(", "rand_r(", "std::random_device", "random_device{",
       "std::mt19937", "time(nullptr)", "time(NULL)", "time(0)"},
      "deterministic paths must draw from common/rng.h (seeded "
      "xoshiro256**), not wall clocks or libc randomness",
      {"src/"},
+     {},
      {}},
     {"cout-in-library",
      {"std::cout"},
      "library code logs via common/logging.h (atomic single-call lines); "
      "std::cout interleaves under concurrency",
      {"src/"},
+     {},
      {}},
     {"raw-tensor-index",
      {"(*data_)[", "(*grad_)["},
      "use the Tensor accessors (at()/data()/grad()) — raw storage indexing "
      "bypasses the bounds DCHECKs",
      {"src/nn/"},
-     {"src/nn/tensor.h"}},
+     {"src/nn/tensor.h"},
+     {}},
     {"raw-new-delete",
      {"new ", "delete ", "delete["},
      "own memory with std::unique_ptr/std::vector (the KV-cache trie and "
      "its neighbours are refcount-heavy; raw new/delete there turns every "
      "early return into a leak or double-free)",
      {"src/gpt/", "src/serve/", "src/core/"},
+     {},
      {}},
     {"direct-final-write",
      {"std::ofstream"},
@@ -102,18 +115,29 @@ const std::vector<Rule> kRules = {
      "(src/common/durable_io.h) — a direct ofstream to a final path can be "
      "torn mid-write by a crash and carries no CRC footer",
      {"src/"},
-     {"src/common/durable_io.cpp"}},
+     {"src/common/durable_io.cpp"},
+     {}},
     {"assert-use",
      {"assert(", "#include <cassert>", "#include <assert.h>"},
      "use PPG_CHECK / PPG_DCHECK from common/check.h (message + abort, "
      "sanitize-aware) instead of cassert",
      {"src/", "tools/"},
+     {},
      {}},
     {"pragma-once",
      {},  // file-level: headers must contain #pragma once
      "header is missing #pragma once",
      {"src/", "tests/", "bench/", "tools/", "examples/"},
+     {},
      {}},
+    {"untracked-bench",
+     {},  // file-level require-rule, see `require` below
+     "bench main bypasses the shared perf recorder — use bench::parse_env "
+     "(+ track_metric) or the obs/bench_track.h append API so the run lands "
+     "in BENCH_<name>.json and the CI perf gate can see it",
+     {"bench/bench_"},
+     {},
+     {"parse_env", "make_bench_record", "append_trajectory"}},
 };
 
 /// *_main.cpp files are binary entry points: stdout is their product
@@ -218,16 +242,20 @@ void scan_file(const fs::path& abs, const std::string& rel,
                std::vector<Finding>& findings) {
   std::vector<const Rule*> line_rules;
   const Rule* header_rule = nullptr;
+  const Rule* require_rule = nullptr;
   const bool is_header = rel.size() > 2 && rel.rfind(".h") == rel.size() - 2;
   for (const auto& r : kRules) {
     if (!rule_applies(r, rel)) continue;
-    if (r.needles.empty()) {
+    if (!r.require.empty()) {
+      if (!is_header) require_rule = &r;
+    } else if (r.needles.empty()) {
       if (is_header) header_rule = &r;
     } else {
       line_rules.push_back(&r);
     }
   }
-  if (line_rules.empty() && header_rule == nullptr) return;
+  if (line_rules.empty() && header_rule == nullptr && require_rule == nullptr)
+    return;
 
   std::ifstream in(abs);
   if (!in) {
@@ -238,13 +266,21 @@ void scan_file(const fs::path& abs, const std::string& rel,
   std::string raw;
   bool in_block = false;
   bool saw_pragma_once = false;
+  bool require_met = false;
   std::size_t lineno = 0;
   while (std::getline(in, raw)) {
     ++lineno;
     if (is_header && raw.find("#pragma once") != std::string::npos)
       saw_pragma_once = true;
-    if (line_rules.empty()) continue;
+    if (line_rules.empty() && (require_rule == nullptr || require_met))
+      continue;
     const std::string code = strip_noncode(raw, in_block);
+    if (require_rule != nullptr && !require_met)
+      for (const auto& needle : require_rule->require)
+        if (contains_word(code, needle)) {
+          require_met = true;
+          break;
+        }
     for (const Rule* r : line_rules) {
       for (const auto& needle : r->needles) {
         if (!contains_word(code, needle)) continue;
@@ -255,6 +291,8 @@ void scan_file(const fs::path& abs, const std::string& rel,
   }
   if (header_rule != nullptr && !saw_pragma_once)
     findings.push_back({rel, 1, header_rule});
+  if (require_rule != nullptr && !require_met)
+    findings.push_back({rel, 1, require_rule});
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// ppg_perfgate: gate a fresh bench run against its perf trajectory.
+//
+// Usage:
+//   ppg_perfgate --trajectory BENCH_kv_cache.json --last
+//   ppg_perfgate --trajectory BENCH_kv_cache.json --run fresh.json
+//
+// The run under test is either the newest record of the trajectory itself
+// (--last: the baseline is every comparable record *before* it) or a
+// separate single-record file (--run). The baseline is the per-metric
+// median of the newest --window comparable records (same bench + config
+// fingerprint + build fingerprint, plus host with --match-host). A gated
+// metric regressing by more than --max-regress-pct fails the gate.
+//
+// Exit codes: 0 = pass, 1 = regression (or no baseline with
+// --require-baseline), 2 = usage / IO error. CI treats 1 as a red build.
+//
+// --inject-slowdown <factor> multiplies the run's lower-better metrics and
+// divides its higher-better ones by <factor> before gating — a self-test
+// hook so CI can prove the gate actually fails on a 2x slowdown
+// (tests/perf_gate_smoke.sh).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_track.h"
+#include "obs/perf_gate.h"
+
+namespace {
+
+using ppg::obs::BenchRecord;
+using ppg::obs::GateConfig;
+using ppg::obs::MetricDirection;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --trajectory FILE (--last | --run FILE) [options]\n"
+      "  --trajectory FILE      NDJSON trajectory (BENCH_<name>.json)\n"
+      "  --last                 gate the trajectory's newest record against\n"
+      "                         the records before it\n"
+      "  --run FILE             gate the single record in FILE against the\n"
+      "                         whole trajectory\n"
+      "  --window N             baseline = median of last N comparable\n"
+      "                         records (default 5)\n"
+      "  --max-regress-pct P    fail when a gated metric regresses more\n"
+      "                         than P%% (default 10)\n"
+      "  --match-host           baseline records must share the run's host\n"
+      "  --require-baseline     fail (not pass-with-note) when no\n"
+      "                         comparable baseline exists\n"
+      "  --inject-slowdown F    self-test: degrade the run's metrics by F\n"
+      "  --json                 emit the verdict as JSON instead of text\n",
+      argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Degrades every classifiable metric by `factor` (>1 = worse).
+void inject_slowdown(BenchRecord& run, double factor) {
+  for (auto& [name, value] : run.metrics) {
+    switch (ppg::obs::metric_direction(name)) {
+      case MetricDirection::kLowerBetter:
+        value *= factor;
+        break;
+      case MetricDirection::kHigherBetter:
+        value /= factor;
+        break;
+      case MetricDirection::kUnknown:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trajectory_path;
+  std::string run_path;
+  bool use_last = false;
+  bool as_json = false;
+  double slowdown = 1.0;
+  GateConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trajectory") {
+      trajectory_path = next("--trajectory");
+    } else if (arg == "--run") {
+      run_path = next("--run");
+    } else if (arg == "--last") {
+      use_last = true;
+    } else if (arg == "--window") {
+      cfg.window = static_cast<std::size_t>(std::stoul(next("--window")));
+    } else if (arg == "--max-regress-pct") {
+      cfg.max_regress_pct = std::stod(next("--max-regress-pct"));
+    } else if (arg == "--match-host") {
+      cfg.match_host = true;
+    } else if (arg == "--require-baseline") {
+      cfg.require_baseline = true;
+    } else if (arg == "--inject-slowdown") {
+      slowdown = std::stod(next("--inject-slowdown"));
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (trajectory_path.empty() || (use_last == !run_path.empty()))
+    return usage(argv[0]);
+
+  const ppg::obs::TrajectoryLoad loaded =
+      ppg::obs::load_trajectory(trajectory_path);
+  if (loaded.skipped > 0)
+    std::fprintf(stderr, "%s: %zu unparseable line(s) skipped in %s\n",
+                 argv[0], loaded.skipped, trajectory_path.c_str());
+
+  std::vector<BenchRecord> baseline = loaded.records;
+  BenchRecord run;
+  if (use_last) {
+    if (baseline.empty()) {
+      std::fprintf(stderr, "%s: trajectory %s has no records\n", argv[0],
+                   trajectory_path.c_str());
+      return 2;
+    }
+    run = baseline.back();
+    baseline.pop_back();
+  } else {
+    std::string text;
+    if (!read_file(run_path, text)) {
+      std::fprintf(stderr, "%s: cannot read run file %s\n", argv[0],
+                   run_path.c_str());
+      return 2;
+    }
+    // Accept a bare record or the first parseable line of an NDJSON file.
+    std::istringstream lines(text);
+    std::string line;
+    std::string error = "empty file";
+    bool parsed = false;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      if (auto rec = ppg::obs::parse_bench_record(line, &error)) {
+        run = std::move(*rec);
+        parsed = true;
+        break;
+      }
+    }
+    if (!parsed) {
+      std::fprintf(stderr, "%s: no valid record in %s: %s\n", argv[0],
+                   run_path.c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  if (slowdown != 1.0) inject_slowdown(run, slowdown);
+
+  const ppg::obs::GateResult result =
+      ppg::obs::evaluate_gate(baseline, run, cfg);
+  const std::string report = as_json ? ppg::obs::gate_to_json(result, cfg)
+                                     : ppg::obs::gate_to_text(result, cfg);
+  std::fputs(report.c_str(), stdout);
+  if (!as_json && !report.empty() && report.back() != '\n')
+    std::fputc('\n', stdout);
+  return result.pass ? 0 : 1;
+}
