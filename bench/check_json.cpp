@@ -5,7 +5,11 @@
 // (catching truncation and interleaved writes), and — with --ndjson — by
 // the serve smoke test to validate newline-delimited JSON response
 // streams, where every non-empty line must be one well-formed value.
+// --ordered-ndjson additionally checks the ordered-decoding contract: at
+// least one line must carry a "log_probs" array, and every such array must
+// be all-finite and monotone non-increasing (wire.h: best-first order).
 // Exit code 0 iff all files pass.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,40 +30,82 @@ bool check_whole_file(const char* path, const std::string& text) {
   return true;
 }
 
-bool check_ndjson(const char* path, const std::string& text) {
+bool check_ndjson(const char* path, const std::string& text, bool ordered) {
   std::istringstream in(text);
   std::string line;
-  std::size_t lineno = 0, checked = 0;
+  std::size_t lineno = 0, checked = 0, ordered_lines = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
     std::string error;
-    if (!ppg::obs::validate_json(line, &error)) {
+    const auto value = ppg::obs::parse_json(line, &error);
+    if (!value.has_value()) {
       std::fprintf(stderr, "%s:%zu: invalid JSON line: %s\n", path, lineno,
                    error.c_str());
       return false;
     }
     ++checked;
+    if (!ordered) continue;
+    const ppg::obs::JsonValue* lps = value->find("log_probs");
+    if (lps == nullptr) continue;
+    if (lps->type != ppg::obs::JsonValue::Type::kArray) {
+      std::fprintf(stderr, "%s:%zu: log_probs is not an array\n", path,
+                   lineno);
+      return false;
+    }
+    ++ordered_lines;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < lps->array.size(); ++i) {
+      const ppg::obs::JsonValue& v = lps->array[i];
+      if (v.type != ppg::obs::JsonValue::Type::kNumber ||
+          !std::isfinite(v.number)) {
+        std::fprintf(stderr, "%s:%zu: log_probs[%zu] is not a finite number\n",
+                     path, lineno, i);
+        return false;
+      }
+      if (i > 0 && v.number > prev) {
+        std::fprintf(stderr,
+                     "%s:%zu: log_probs[%zu]=%.12g rises above the previous "
+                     "%.12g — ordered output must be non-increasing\n",
+                     path, lineno, i, v.number, prev);
+        return false;
+      }
+      prev = v.number;
+    }
   }
   if (checked == 0) {
     std::fprintf(stderr, "%s: no JSON lines\n", path);
     return false;
   }
-  std::printf("%s: ok (%zu NDJSON lines)\n", path, checked);
+  if (ordered && ordered_lines == 0) {
+    std::fprintf(stderr, "%s: no line carries a log_probs array\n", path);
+    return false;
+  }
+  if (ordered)
+    std::printf("%s: ok (%zu NDJSON lines, %zu ordered)\n", path, checked,
+                ordered_lines);
+  else
+    std::printf("%s: ok (%zu NDJSON lines)\n", path, checked);
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool ndjson = false;
+  bool ndjson = false, ordered = false;
   int first_file = 1;
   if (argc > 1 && std::strcmp(argv[1], "--ndjson") == 0) {
     ndjson = true;
     first_file = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "--ordered-ndjson") == 0) {
+    ndjson = true;
+    ordered = true;
+    first_file = 2;
   }
   if (first_file >= argc) {
-    std::fprintf(stderr, "usage: %s [--ndjson] <file.json>...\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--ndjson|--ordered-ndjson] <file.json>...\n",
+                 argv[0]);
     return 2;
   }
   int failures = 0;
@@ -78,7 +124,7 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    if (!(ndjson ? check_ndjson(argv[i], text)
+    if (!(ndjson ? check_ndjson(argv[i], text, ordered)
                  : check_whole_file(argv[i], text)))
       ++failures;
   }

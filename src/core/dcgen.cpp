@@ -13,7 +13,9 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/durable_io.h"
 #include "common/failpoint.h"
@@ -25,6 +27,7 @@
 #include "gpt/kv_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "search/ordered.h"
 #include "tokenizer/tokenizer.h"
 
 namespace ppg::core {
@@ -128,6 +131,15 @@ std::uint64_t dc_fingerprint(const gpt::GptModel& model,
   h = jmix_double(h, cfg.min_task);
   h = jmix(h, cfg.max_patterns);
   h = jmix(h, cfg.strict_leaves ? 1 : 0);
+  // Ordered-leaf knobs are output-relevant: the mode picks the leaf
+  // algorithm outright, and the search budgets decide what truncation (if
+  // any) drops from each leaf's top-n.
+  h = jmix(h, cfg.leaf_mode == LeafMode::kOrdered ? 1 : 0);
+  if (cfg.leaf_mode == LeafMode::kOrdered) {
+    h = jmix(h, cfg.ordered_max_nodes);
+    h = jmix(h, cfg.ordered_cache_bytes);
+    h = jmix(h, cfg.ordered_max_expansions);
+  }
   h = jmix_double(h, cfg.sample.temperature);
   h = jmix(h, static_cast<std::uint64_t>(cfg.sample.top_k));
   h = jmix_double(h, cfg.sample.top_p);
@@ -593,9 +605,31 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
     // handle pins the state for the duration of the sampling call.
     gpt::KvTrieCache::Handle hit;
     if (cache) hit = cache->find_longest(t.prefix);
-    leaf_out[leaf_idx] =
-        gpt::sample_passwords(model, t.prefix, count, rng, cfg.sample, mask,
-                              &leaf_stats[leaf_idx], hit ? hit.state() : nullptr);
+    if (cfg.leaf_mode == LeafMode::kOrdered) {
+      // Best-first leaf: the quota becomes "the leaf's top-`count` most
+      // likely passwords". No RNG touches the output, so thread-count
+      // invariance holds trivially; the run-level cache hit only changes
+      // prefill work (bitwise resume contract), never the guesses.
+      search::OrderedOptions sopts;
+      sopts.max_nodes = cfg.ordered_max_nodes;
+      sopts.cache_bytes = cfg.ordered_cache_bytes;
+      sopts.max_expansions = cfg.ordered_max_expansions;
+      sopts.max_guesses = count;
+      search::OrderedEnumerator enumerator(model, t.prefix, sopts, mask,
+                                           hit ? hit.state() : nullptr);
+      auto& out = leaf_out[leaf_idx];
+      out.reserve(count);
+      while (auto g = enumerator.next()) out.push_back(std::move(g->password));
+      leaf_stats[leaf_idx].sequences_run = enumerator.stats().nodes_expanded;
+      leaf_stats[leaf_idx].invalid = enumerator.stats().invalid;
+      leaf_stats[leaf_idx].prefill_tokens = enumerator.stats().prefill_tokens;
+      leaf_stats[leaf_idx].prefill_saved = enumerator.stats().prefill_saved;
+    } else {
+      leaf_out[leaf_idx] =
+          gpt::sample_passwords(model, t.prefix, count, rng, cfg.sample, mask,
+                                &leaf_stats[leaf_idx],
+                                hit ? hit.state() : nullptr);
+    }
     DcMetrics::get().emitted.inc(leaf_out[leaf_idx].size());
     if (ledger) ledger->append(leaf_idx, leaf_out[leaf_idx]);
     PPG_FAILPOINT("dcgen.leaf.done");
@@ -630,6 +664,17 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
   for (auto& pws : leaf_out)
     out.insert(out.end(), std::make_move_iterator(pws.begin()),
                std::make_move_iterator(pws.end()));
+  // Dedupe-aware accounting: sampled leaves repeat, ordered leaves cannot,
+  // and cross-leaf duplicates are impossible with strict conformance
+  // (prefix-free leaves). unique_emitted is what honest per-guess hit-rate
+  // comparisons divide by.
+  local.emitted = out.size();
+  {
+    std::unordered_set<std::string_view> uniq;
+    uniq.reserve(out.size());
+    for (const auto& pw : out) uniq.insert(pw);
+    local.unique_emitted = uniq.size();
+  }
   if (stats) *stats = local;
   return out;
 }

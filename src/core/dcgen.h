@@ -29,6 +29,16 @@
 
 namespace ppg::core {
 
+/// How a leaf task turns its guess quota into passwords.
+enum class LeafMode {
+  /// Autoregressive sampling (paper §III-C): i.i.d. draws, may repeat.
+  kSampled,
+  /// Best-first ordered enumeration (src/search): the leaf's quota is
+  /// filled with its top-n most likely passwords, descending, no
+  /// duplicates. Deterministic — the run seed does not affect leaf output.
+  kOrdered,
+};
+
 /// D&C-GEN knobs.
 struct DcGenConfig {
   /// N: total number of guesses to apportion.
@@ -41,6 +51,25 @@ struct DcGenConfig {
   double threshold = 64;
   /// Leaf-generation sampling options.
   gpt::SampleOptions sample;
+  /// Leaf strategy. kOrdered routes every leaf through an
+  /// OrderedEnumerator capped at the leaf's quota; output order within a
+  /// leaf becomes descending model probability.
+  LeafMode leaf_mode = LeafMode::kSampled;
+  /// Ordered-leaf frontier cap (see search::OrderedOptions::max_nodes).
+  /// Unlike kv_cache_bytes, the ordered budgets *can* change which guesses
+  /// are emitted (budget truncation), so they are part of the journal
+  /// fingerprint.
+  std::size_t ordered_max_nodes = std::size_t(1) << 16;
+  /// Ordered-leaf KV-trie byte budget (per leaf, not shared with the
+  /// run-level cache below).
+  std::size_t ordered_cache_bytes = std::size_t(32) << 20;
+  /// Per-leaf expansion budget (0 = unlimited). Best-first search under a
+  /// near-uniform model can sweep nearly the whole pattern tree before
+  /// surfacing a leaf's quota; the cap bounds each leaf's forward passes
+  /// deterministically (a deadline would not be reproducible). Capped
+  /// leaves emit fewer guesses than their quota — an exact prefix of the
+  /// leaf's ideal ranking.
+  std::size_t ordered_max_expansions = std::size_t(1) << 14;
   /// Subtasks with fewer expected passwords than this are dropped
   /// ("generation number less than 1 → the subtask is deleted", Fig. 7).
   double min_task = 1.0;
@@ -93,6 +122,13 @@ struct DcGenStats {
   std::size_t resumed_leaves = 0;
   /// True when the division phase was skipped via a journaled plan.
   bool resumed_plan = false;
+  /// Passwords in the returned vector (forced + all leaf outputs).
+  std::size_t emitted = 0;
+  /// Distinct passwords among them. Sampled leaves repeat (the paper's
+  /// repeat-rate phenomenon), so unique_emitted < emitted is normal there;
+  /// ordered leaves emit no duplicates by construction, making this the
+  /// honest denominator for hit-rate-per-guess comparisons.
+  std::size_t unique_emitted = 0;
 };
 
 /// Generates ~cfg.total passwords with the divide-and-conquer scheme.

@@ -1,0 +1,264 @@
+#include "search/ordered.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tokenizer/tokenizer.h"
+
+namespace ppg::search {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+/// Logits at or below this are masked out (the LogitMask convention writes
+/// -1e30f; the sampler uses the same threshold).
+constexpr float kMaskedLogit = -1e29f;
+
+struct SearchMetrics {
+  obs::Counter& nodes_expanded;
+  obs::Counter& emitted;
+  obs::Counter& truncated;
+  obs::Gauge& heap_peak;
+};
+
+SearchMetrics& search_metrics() {
+  auto& r = obs::Registry::global();
+  static SearchMetrics m{r.counter("search.nodes_expanded"),
+                         r.counter("search.emitted"),
+                         r.counter("search.truncated"),
+                         r.gauge("search.heap_peak")};
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> masked_log_probs(std::span<const float> logits) {
+  std::vector<double> out(logits.size(), kNegInf);
+  float mx = kMaskedLogit;
+  for (float l : logits)
+    if (l > kMaskedLogit && l > mx) mx = l;
+  if (mx <= kMaskedLogit) return out;  // everything masked
+  double z = 0.0;
+  for (float l : logits)
+    if (l > kMaskedLogit) z += std::exp(static_cast<double>(l - mx));
+  const double logz = std::log(z);
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    if (logits[i] > kMaskedLogit)
+      out[i] = static_cast<double>(logits[i] - mx) - logz;
+  return out;
+}
+
+OrderedEnumerator::OrderedEnumerator(const gpt::GptModel& model,
+                                     std::vector<int> prefix,
+                                     OrderedOptions opts, gpt::LogitMask mask,
+                                     const gpt::KvState* resume)
+    : model_(&model),
+      prefix_(std::move(prefix)),
+      opts_(opts),
+      mask_(std::move(mask)),
+      resume_(resume),
+      cache_(opts.cache_bytes),
+      session_(model) {
+  PPG_CHECK(!prefix_.empty(), "ordered enumeration needs a non-empty prefix");
+  PPG_CHECK(static_cast<Index>(prefix_.size()) < model.config().context,
+            "prefix length %zu leaves no room in context %d", prefix_.size(),
+            static_cast<int>(model.config().context));
+  if (opts_.max_nodes == 0) opts_.max_nodes = 1;
+}
+
+void OrderedEnumerator::push_node(Node n) {
+  // push_children() batch-enforces budgets after each expansion, so the
+  // frontier overfills by at most one vocabulary of children between
+  // enforcements; the inline trim is a hard backstop should a future push
+  // site forget that contract (never fires today: kMaxOverfill > vocab).
+  constexpr std::size_t kMaxOverfill = 256;
+  frontier_.push_back(std::move(n));
+  std::push_heap(frontier_.begin(), frontier_.end(), worse);
+  if (frontier_.size() > opts_.max_nodes + kMaxOverfill) enforce_budgets();
+}
+
+OrderedEnumerator::Node OrderedEnumerator::pop_node() {
+  std::pop_heap(frontier_.begin(), frontier_.end(), worse);
+  Node n = std::move(frontier_.back());
+  frontier_.pop_back();
+  return n;
+}
+
+void OrderedEnumerator::expand_root() {
+  const Index depth =
+      resume_ ? std::min<Index>(resume_->len,
+                                static_cast<Index>(prefix_.size()))
+              : 0;
+  if (resume_ && depth > 0) {
+    PPG_CHECK(resume_->len <= static_cast<Index>(prefix_.size()),
+              "resume snapshot (%d) deeper than prefix (%zu)",
+              static_cast<int>(resume_->len), prefix_.size());
+    session_.resume(*resume_, 1, depth);
+  } else {
+    session_.reset(1);
+  }
+  stats_.prefill_saved += static_cast<std::size_t>(depth);
+  for (std::size_t i = depth; i < prefix_.size(); ++i) {
+    int t = prefix_[i];
+    session_.step(std::span<const int>(&t, 1));
+    ++stats_.prefill_tokens;
+  }
+  resume_ = nullptr;  // never needed again
+  gpt::KvState root = session_.snapshot(0);
+  std::span<const float> logits = session_.logits_row(0);
+  cache_.insert(prefix_, std::move(root));
+  push_children(prefix_, 0.0, logits);
+}
+
+void OrderedEnumerator::expand(Node node) {
+  obs::Span span("search/expand", "search");
+  const auto& seq = node.seq;
+  const Index parent_len = static_cast<Index>(seq.size()) - 1;
+  // The final step() of seq.back() is the scoring forward pass every
+  // expansion pays regardless of caching; the prefill ledger counts only
+  // the positions *before* it — restored by resume (saved) or re-fed
+  // because a snapshot was evicted (tokens).
+  if (node.parent && node.parent.len() == parent_len) {
+    session_.resume(*node.parent.state(), 1, parent_len);
+    stats_.prefill_saved += static_cast<std::size_t>(parent_len);
+    int t = seq.back();
+    session_.step(std::span<const int>(&t, 1));
+  } else {
+    // The parent snapshot was evicted before this node could pin it (tiny
+    // byte budgets). Re-derive from the deepest surviving ancestor —
+    // bitwise identical to the resume path by the kv_cache contract.
+    auto hit = cache_.find_longest(seq);
+    const Index depth = hit ? std::min(hit.len(), parent_len) : 0;
+    if (hit) {
+      session_.resume(*hit.state(), 1, depth);
+    } else {
+      session_.reset(1);
+    }
+    stats_.prefill_saved += static_cast<std::size_t>(depth);
+    stats_.prefill_tokens +=
+        static_cast<std::size_t>(parent_len) - static_cast<std::size_t>(depth);
+    for (std::size_t i = static_cast<std::size_t>(depth); i < seq.size();
+         ++i) {
+      int t = seq[i];
+      session_.step(std::span<const int>(&t, 1));
+    }
+  }
+  node.parent.release();
+  ++stats_.nodes_expanded;
+  search_metrics().nodes_expanded.inc();
+  gpt::KvState state = session_.snapshot(0);
+  std::span<const float> logits = session_.logits_row(0);
+  cache_.insert(seq, std::move(state));
+  push_children(seq, node.logp, logits);
+}
+
+void OrderedEnumerator::push_children(const std::vector<int>& seq, double logp,
+                                      std::span<const float> logits) {
+  scratch_.assign(logits.begin(), logits.end());
+  if (mask_) {
+    const Index step = static_cast<Index>(seq.size() - prefix_.size());
+    mask_(step, scratch_);
+  }
+  const std::vector<double> lps = masked_log_probs(scratch_);
+  const Index context = model_->config().context;
+  const Index child_len = static_cast<Index>(seq.size()) + 1;
+  for (std::size_t t = 0; t < lps.size(); ++t) {
+    if (lps[t] == kNegInf) continue;
+    const double child_logp = logp + lps[t];
+    if (child_logp < opts_.min_log_prob) continue;
+    const bool terminal = static_cast<int>(t) == tok::Tokenizer::kEos;
+    // A non-terminal child at the context boundary can never be stepped
+    // again nor emit <EOS>; a terminal child needs no further step.
+    if (!terminal && child_len >= context) continue;
+    Node child;
+    child.logp = child_logp;
+    child.seq = seq;
+    child.seq.push_back(static_cast<int>(t));
+    // One pin per child; may miss when the insert above was immediately
+    // evicted (budget smaller than one state) — expand() falls back.
+    child.parent = cache_.find(seq);
+    push_node(std::move(child));
+  }
+  stats_.heap_peak = std::max(stats_.heap_peak, frontier_.size());
+  search_metrics().heap_peak.set(static_cast<double>(stats_.heap_peak));
+  enforce_budgets();
+}
+
+void OrderedEnumerator::enforce_budgets() {
+  if (frontier_.size() <= opts_.max_nodes &&
+      cache_.bytes() <= opts_.cache_bytes)
+    return;
+  // Best-first order; drop from the tail (the worst nodes). Releasing a
+  // dropped node's pin lets the trie's deferred LRU eviction reclaim its
+  // parent state once no sibling still pins it.
+  std::sort(frontier_.begin(), frontier_.end(),
+            [](const Node& a, const Node& b) { return worse(b, a); });
+  while (frontier_.size() > 1 && (frontier_.size() > opts_.max_nodes ||
+                                  cache_.bytes() > opts_.cache_bytes)) {
+    Node dropped = std::move(frontier_.back());
+    frontier_.pop_back();
+    ++stats_.truncated;
+    search_metrics().truncated.inc();
+    stats_.truncated_log_prob =
+        std::max(stats_.truncated_log_prob, dropped.logp);
+  }
+  std::make_heap(frontier_.begin(), frontier_.end(), worse);
+}
+
+std::optional<ScoredGuess> OrderedEnumerator::next() {
+  if (done_) return std::nullopt;
+  if (opts_.max_guesses != 0 && stats_.emitted >= opts_.max_guesses) {
+    done_ = true;
+    return std::nullopt;
+  }
+  if (deadline_us_ == 0 && opts_.deadline_ms > 0.0)
+    deadline_us_ = obs::now_us() +
+                   static_cast<std::int64_t>(opts_.deadline_ms * 1000.0);
+  if (!primed_) {
+    primed_ = true;
+    expand_root();
+  }
+  while (true) {
+    if (deadline_us_ != 0 && obs::now_us() >= deadline_us_) {
+      stats_.deadline_hit = true;
+      done_ = true;
+      return std::nullopt;
+    }
+    if (frontier_.empty()) {
+      stats_.exhausted = true;
+      done_ = true;
+      return std::nullopt;
+    }
+    Node best = pop_node();
+    if (best.seq.back() == tok::Tokenizer::kEos) {
+      best.parent.release();
+      auto pw = tok::Tokenizer::decode_password(best.seq);
+      if (!pw.has_value() || pw->empty()) {
+        ++stats_.invalid;
+        continue;
+      }
+      ++stats_.emitted;
+      search_metrics().emitted.inc();
+      return ScoredGuess{std::move(*pw), best.logp};
+    }
+    if (opts_.max_expansions != 0 &&
+        stats_.nodes_expanded >= opts_.max_expansions) {
+      // The best remaining node needs an expansion we no longer have the
+      // budget for. Everything emitted so far is still an exact prefix of
+      // the ideal ranking; record the admissible bound for what's missing.
+      stats_.expansion_capped = true;
+      stats_.truncated_log_prob =
+          std::max(stats_.truncated_log_prob, best.logp);
+      done_ = true;
+      return std::nullopt;
+    }
+    expand(std::move(best));
+  }
+}
+
+}  // namespace ppg::search

@@ -139,7 +139,7 @@ int main(int argc, char** argv) {
     Cli cli(argc, argv,
             {"config", "seed", "model", "patterns", "workers", "max-queue",
              "max-batch", "max-count", "no-batching", "attempt-factor",
-             "port", "help"});
+             "max-ordered-top-k", "port", "help"});
     if (cli.get_bool("help")) {
       std::fprintf(
           stderr,
@@ -155,6 +155,8 @@ int main(int argc, char** argv) {
           "  --max-count N       per-request count cap (default 4096)\n"
           "  --no-batching       one request per model call\n"
           "  --attempt-factor N  retry budget multiplier (default 4)\n"
+          "  --max-ordered-top-k N  cap on ordered-request top_k "
+          "(default 512)\n"
           "  --port N            serve localhost TCP instead of stdio\n");
       return 0;
     }
@@ -197,6 +199,8 @@ int main(int argc, char** argv) {
     scfg.batching = !cli.get_bool("no-batching");
     scfg.max_attempt_factor =
         static_cast<int>(cli.get_int("attempt-factor", 4));
+    scfg.max_ordered_top_k =
+        static_cast<std::size_t>(cli.get_int("max-ordered-top-k", 512));
     serve::GuessService svc(*model, *patterns, scfg);
 
     if (cli.has("port"))

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pcfg/pattern.h"
+#include "search/ordered.h"
 #include "tokenizer/tokenizer.h"
 
 namespace ppg::serve {
@@ -95,6 +96,8 @@ struct GuessService::Pending {
   std::size_t retries_left = 0;  ///< invalid rows that may still be retried
   std::size_t next_row = 0;      ///< next rng-stream index
   std::uint64_t seed = 0;
+  bool ordered = false;            ///< kOrdered: one best-first enumeration
+  double search_deadline_ms = 0.0; ///< kOrdered: anytime search budget
   std::int64_t enqueue_us = 0;
   std::int64_t first_schedule_us = -1;
   std::int64_t deadline_us = -1;  ///< obs timeline; -1 = none
@@ -135,12 +138,31 @@ std::future<Response> GuessService::submit(Request req) {
   ServeMetrics& m = ServeMetrics::get();
   m.submitted.inc();
 
-  if (req.count == 0)
-    return reject(std::move(req), Reject::kBadRequest, "count must be > 0");
-  if (req.count > cfg_.max_count)
-    return reject(std::move(req), Reject::kBadRequest,
-                  "count " + std::to_string(req.count) + " exceeds max_count " +
-                      std::to_string(cfg_.max_count));
+  const bool ordered = req.kind == RequestKind::kOrdered;
+  if (ordered) {
+    // Mirrors the count/timeout validation below: bad asks are named at
+    // admission, never silently clamped mid-flight.
+    if (req.top_k == 0)
+      return reject(std::move(req), Reject::kBadRequest,
+                    "ordered request needs top_k > 0");
+    if (req.top_k > cfg_.max_ordered_top_k)
+      return reject(std::move(req), Reject::kBadRequest,
+                    "top_k " + std::to_string(req.top_k) +
+                        " exceeds max_ordered_top_k " +
+                        std::to_string(cfg_.max_ordered_top_k));
+    if (req.deadline_ms < 0.0)
+      return reject(std::move(req), Reject::kBadRequest,
+                    "deadline_ms must be >= 0 (got " +
+                        std::to_string(req.deadline_ms) + ")");
+  } else {
+    if (req.count == 0)
+      return reject(std::move(req), Reject::kBadRequest, "count must be > 0");
+    if (req.count > cfg_.max_count)
+      return reject(std::move(req), Reject::kBadRequest,
+                    "count " + std::to_string(req.count) +
+                        " exceeds max_count " +
+                        std::to_string(cfg_.max_count));
+  }
   if (req.timeout_ms < 0.0)
     return reject(std::move(req), Reject::kBadRequest,
                   "timeout_ms must be >= 0 (got " +
@@ -202,10 +224,21 @@ std::future<Response> GuessService::submit(Request req) {
     return reject(std::move(req), Reject::kBadRequest,
                   "prefix fills the whole context window");
 
-  p->target = req.count;
-  p->unassigned = req.count;
-  p->retries_left =
-      req.count * static_cast<std::size_t>(cfg_.max_attempt_factor - 1);
+  if (ordered) {
+    // One unit of schedulable work: the enumeration itself. target keeps
+    // the top_k for the executor; there are no retries (an ordered run
+    // never produces a row to redraw).
+    p->ordered = true;
+    p->search_deadline_ms = req.deadline_ms;
+    p->target = req.top_k;
+    p->unassigned = 1;
+    p->retries_left = 0;
+  } else {
+    p->target = req.count;
+    p->unassigned = req.count;
+    p->retries_left =
+        req.count * static_cast<std::size_t>(cfg_.max_attempt_factor - 1);
+  }
   p->seed = req.seed;
   p->enqueue_us = obs::now_us();
   if (req.timeout_ms > 0)
@@ -315,9 +348,17 @@ void GuessService::assemble_batch_locked(std::vector<RowRef>& rows) {
   if (rows.empty()) {
     // Fresh batch: the front request sets the batch's prefix length.
     len = (*it)->prefix.size();
+    const bool ordered = (*it)->ordered;
     take(*it);
     it = (*it)->unassigned == 0 ? ((*it)->in_queue = false, queue_.erase(it))
                                 : std::next(it);
+    if (ordered) {
+      // An ordered enumeration owns its worker outright: it is not a
+      // lockstep row, so nothing may coalesce with it (and the formation
+      // window is skipped — see worker_loop).
+      ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+      return;
+    }
   } else {
     // Top-up after a formation-window wait: only matching lengths join.
     len = rows[0].req->prefix.size();
@@ -338,7 +379,7 @@ void GuessService::assemble_batch_locked(std::vector<RowRef>& rows) {
         it = queue_.erase(it);
         continue;
       }
-      if (p->prefix.size() != len) {
+      if (p->ordered || p->prefix.size() != len) {
         ++it;
         continue;
       }
@@ -354,8 +395,58 @@ void GuessService::assemble_batch_locked(std::vector<RowRef>& rows) {
   ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
 }
 
+void GuessService::execute_ordered(const RowRef& row) {
+  obs::Span span("serve/ordered", "serve");
+  ServeMetrics& m = ServeMetrics::get();
+  m.batches.inc();
+  m.rows.inc(1);
+  if (obs::timing_enabled()) m.batch_rows.observe(1.0);
+  Pending& p = *row.req;
+
+  search::OrderedOptions sopts;
+  sopts.max_nodes = cfg_.ordered_max_nodes;
+  sopts.cache_bytes = cfg_.ordered_cache_bytes;
+  sopts.max_expansions = cfg_.ordered_max_expansions;
+  sopts.max_guesses = p.target;  // top_k
+  sopts.deadline_ms = p.search_deadline_ms;
+  // The shared prefix cache seeds the enumeration root (its pin outlives
+  // the first next(), which is all the resume contract asks); expansion
+  // states live in the enumerator's own trie.
+  gpt::KvTrieCache::Handle hit;
+  if (prefix_cache_) hit = prefix_cache_->find_longest(p.prefix);
+  search::OrderedEnumerator enumerator(model_, p.prefix, sopts, p.mask,
+                                       hit ? hit.state() : nullptr);
+  std::vector<std::string> passwords;
+  std::vector<double> log_probs;
+  passwords.reserve(p.target);
+  log_probs.reserve(p.target);
+  while (auto g = enumerator.next()) {
+    passwords.push_back(std::move(g->password));
+    log_probs.push_back(g->log_prob);
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    PPG_DCHECK(p.inflight == 1, "ordered request with %zu rows in flight",
+               p.inflight);
+    --p.inflight;
+    if (!p.done) {
+      p.resp.passwords = std::move(passwords);
+      p.resp.log_probs = std::move(log_probs);
+      p.resp.invalid = enumerator.stats().invalid;
+      // Anytime contract: a deadline-capped enumeration still completes
+      // kOk with the provably best guesses found so far.
+      complete_locked(p, Status::kOk);
+    }
+  }
+}
+
 void GuessService::execute_batch(gpt::InferenceSession& session,
                                  const std::vector<RowRef>& rows) {
+  if (rows.size() == 1 && rows[0].req->ordered) {
+    execute_ordered(rows[0]);
+    return;
+  }
   obs::Span span("serve/batch", "serve");
   ServeMetrics& m = ServeMetrics::get();
   m.batches.inc();
@@ -514,7 +605,8 @@ void GuessService::worker_loop(std::size_t index) {
       // generation pass. Every wake-up (new submit, retry, shutdown)
       // tops the batch up; a full batch or the deadline ends the wait.
       if (cfg_.batching && cfg_.batch_window_us > 0 &&
-          rows.size() < cfg_.max_batch && !draining_) {
+          rows.size() < cfg_.max_batch && !draining_ &&
+          !rows[0].req->ordered) {
         const auto until = std::chrono::steady_clock::now() +
                            std::chrono::microseconds(cfg_.batch_window_us);
         while (rows.size() < cfg_.max_batch && !draining_) {

@@ -61,6 +61,9 @@ enum class RequestKind {
              ///< service's PatternDistribution (seeded by the request)
   kPrefix,   ///< <BOS> pattern <SEP> chars: continue a fixed password prefix
   kFree,     ///< bare <BOS>: the model emits pattern, <SEP>, password itself
+  kOrdered,  ///< <BOS> pattern <SEP>, best-first enumerated: the top_k most
+             ///< likely passwords in descending probability (src/search),
+             ///< no duplicates, log-probs returned alongside
 };
 
 /// One guess request.
@@ -72,6 +75,14 @@ struct Request {
   std::uint64_t seed = 0;
   double timeout_ms = 0.0;  ///< 0 = no deadline
   bool strict = true;       ///< conformance mask (pattern kinds)
+  /// kOrdered only: how many top guesses to enumerate. Must be > 0 and at
+  /// most ServiceConfig::max_ordered_top_k; `count` is ignored.
+  std::size_t top_k = 0;
+  /// kOrdered only: wall-clock search budget. The anytime contract makes
+  /// this a *soft* stop: the response completes kOk with the best guesses
+  /// found so far (possibly fewer than top_k). 0 = no budget. Distinct
+  /// from timeout_ms, which expires requests still waiting in the queue.
+  double deadline_ms = 0.0;
 };
 
 /// Terminal request status. Every submitted request gets exactly one.
@@ -98,6 +109,9 @@ struct Response {
   Reject reject = Reject::kNone;
   std::string error;  ///< human-readable detail for kRejected
   std::vector<std::string> passwords;
+  /// kOrdered responses: log P(passwords[i]) under the model, parallel to
+  /// `passwords`, monotone non-increasing. Empty for sampled kinds.
+  std::vector<double> log_probs;
   std::size_t invalid = 0;  ///< attempts that decoded to no password
   double queue_ms = 0.0;    ///< admission -> first row scheduled
   double total_ms = 0.0;    ///< admission -> terminal status
@@ -127,6 +141,18 @@ struct ServiceConfig {
   /// Hits skip re-priming repeated pattern prefixes; responses are
   /// bitwise identical either way.
   std::size_t prefix_cache_bytes = std::size_t(32) << 20;
+  /// Cap on Request::top_k for kOrdered requests; larger asks are rejected
+  /// at submit with a reason (ordered search holds a worker for the whole
+  /// enumeration, so the cap is the operator's cost-control knob).
+  std::size_t max_ordered_top_k = 512;
+  /// Frontier / KV-trie / expansion budgets for each ordered enumeration
+  /// (see search::OrderedOptions). The expansion cap keeps one ordered
+  /// request from monopolising a worker when the model is near-uniform
+  /// over a large pattern space; capped requests complete kOk with the
+  /// best-first prefix found within budget.
+  std::size_t ordered_max_nodes = std::size_t(1) << 16;
+  std::size_t ordered_cache_bytes = std::size_t(32) << 20;
+  std::size_t ordered_max_expansions = std::size_t(1) << 16;
 };
 
 /// The serving engine. The model and pattern distribution must outlive it.
@@ -173,6 +199,9 @@ class GuessService {
   /// Runs one assembled batch on `session` and delivers its rows.
   void execute_batch(gpt::InferenceSession& session,
                      const std::vector<RowRef>& rows);
+  /// Runs one kOrdered request to completion (always a single-row batch;
+  /// ordered requests never coalesce with lockstep sampling rows).
+  void execute_ordered(const RowRef& row);
 
   const gpt::GptModel& model_;
   const pcfg::PatternDistribution& patterns_;

@@ -89,6 +89,8 @@ std::optional<WireRequest> parse_request_line(std::string_view line,
     req.guess.kind = RequestKind::kPrefix;
   else if (kind == "free")
     req.guess.kind = RequestKind::kFree;
+  else if (kind == "ordered")
+    req.guess.kind = RequestKind::kOrdered;
   else {
     set_error(error, "unknown kind '" + kind + "'");
     return std::nullopt;
@@ -104,6 +106,17 @@ std::optional<WireRequest> parse_request_line(std::string_view line,
   std::uint64_t seed = 0;
   if (!read_uint_field(*v, "seed", 1.8e19, &seed, error)) return std::nullopt;
   req.guess.seed = seed;
+  std::uint64_t top_k = 0;
+  if (!read_uint_field(*v, "top_k", 1e15, &top_k, error)) return std::nullopt;
+  req.guess.top_k = static_cast<std::size_t>(top_k);
+  if (v->find("deadline_ms")) {
+    const auto n = v->get_number("deadline_ms");
+    if (!n || *n < 0 || !std::isfinite(*n)) {
+      set_error(error, "field 'deadline_ms' must be a non-negative number");
+      return std::nullopt;
+    }
+    req.guess.deadline_ms = *n;
+  }
   if (v->find("timeout_ms")) {
     const auto n = v->get_number("timeout_ms");
     if (!n || *n < 0 || !std::isfinite(*n)) {
@@ -135,6 +148,11 @@ std::string format_response(const std::string& id, const Response& resp) {
     w.key("passwords").begin_array();
     for (const auto& pw : resp.passwords) w.value(pw);
     w.end_array();
+    if (!resp.log_probs.empty()) {
+      w.key("log_probs").begin_array();
+      for (const double lp : resp.log_probs) w.value(lp);
+      w.end_array();
+    }
     w.key("invalid").value(static_cast<std::uint64_t>(resp.invalid));
     w.key("queue_ms").value(resp.queue_ms);
     w.key("total_ms").value(resp.total_ms);

@@ -3,18 +3,25 @@
 // Requests, one JSON object per line:
 //   {"op":"guess","id":"r1","kind":"pattern","pattern":"L6N2","count":10,
 //    "seed":42,"timeout_ms":500,"strict":true}
+//   {"op":"guess","id":"r2","kind":"ordered","pattern":"L6N2","top_k":50,
+//    "deadline_ms":200}
 //   {"op":"stats","id":"s1"}
 //   {"op":"shutdown","id":"x1"}
-// Fields: `op` defaults to "guess", `kind` to "pattern" ("prefix" and
-// "free" select the other request kinds), `count` to 1, `seed` to 0,
-// `timeout_ms` to 0 (no deadline), `strict` to true. `id` is an opaque
-// client string echoed back in the response.
+// Fields: `op` defaults to "guess", `kind` to "pattern" ("prefix", "free"
+// and "ordered" select the other request kinds), `count` to 1, `seed` to
+// 0, `timeout_ms` to 0 (no deadline), `strict` to true. "ordered" takes
+// `top_k` (required > 0, capped by the service's max_ordered_top_k) and
+// `deadline_ms` (anytime search budget, 0 = none) instead of `count`.
+// `id` is an opaque client string echoed back in the response.
 //
 // Responses, one JSON object per line, strictly in request order:
 //   {"id":"r1","status":"ok","passwords":[...],"invalid":0,
 //    "queue_ms":...,"total_ms":...}
+//   {"id":"r2","status":"ok","passwords":[...],"log_probs":[...],...}
 //   {"id":"r1","status":"rejected","reject":"queue_full","error":"..."}
 //   {"id":"r1","status":"timeout","passwords":[...],...}
+// Ordered responses carry `log_probs`, parallel to `passwords` and
+// monotone non-increasing (descending model probability).
 // A malformed line yields a bad_request rejection line (id "" when the
 // line was not even an object), so every input line gets exactly one
 // response line. A shutdown op drains the service and acknowledges last.

@@ -301,5 +301,116 @@ TEST(DcGen, StatsAreConsistent) {
   EXPECT_GT(stats.leaves, 0u);
 }
 
+TEST(DcGen, EmittedAccountingMatchesOutput) {
+  const auto& m = shared_model();
+  DcGenConfig cfg;
+  cfg.total = 600;
+  cfg.threshold = 40;
+  DcGenStats stats;
+  const auto pws = dc_generate(m.model(), m.patterns(), cfg, 5, &stats);
+  EXPECT_EQ(stats.emitted, pws.size());
+  const std::unordered_set<std::string> uniq(pws.begin(), pws.end());
+  EXPECT_EQ(stats.unique_emitted, uniq.size());
+  EXPECT_LE(stats.unique_emitted, stats.emitted);
+}
+
+/// Small-space pattern distribution for the ordered-leaf tests: with a
+/// barely trained model, best-first search over deep patterns legitimately
+/// needs thousands of expansions per emitted guess, so the end-to-end
+/// tests enumerate spaces (N3/L2/N2) a leaf can exhaust in milliseconds.
+pcfg::PatternDistribution small_space_patterns() {
+  pcfg::PatternDistribution dist;
+  dist.add("N3", 3);
+  dist.add("L2", 2);
+  dist.add("N2", 1);
+  dist.finalize();
+  return dist;
+}
+
+TEST(DcGen, OrderedLeavesSeedAndThreadInvariant) {
+  // Ordered leaves are RNG-free best-first enumerations: neither the seed
+  // nor the worker-thread count may change a single byte of the output.
+  const auto& m = shared_model();
+  const auto dist = small_space_patterns();
+  DcGenConfig cfg;
+  cfg.total = 240;
+  cfg.threshold = 20;
+  cfg.leaf_mode = LeafMode::kOrdered;
+  cfg.threads = 1;
+  const auto a = dc_generate(m.model(), dist, cfg, 13);
+  DcGenConfig other = cfg;
+  other.threads = 4;
+  const auto b = dc_generate(m.model(), dist, other, 99);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DcGen, OrderedLeavesEmitNoDuplicates) {
+  // Per-leaf, best-first enumeration cannot repeat a sequence; leaves own
+  // disjoint (pattern, prefix) regions and strict masks confine them to it,
+  // so the whole ordered run is duplicate-free — unique_emitted == emitted.
+  const auto& m = shared_model();
+  const auto dist = small_space_patterns();
+  DcGenConfig cfg;
+  cfg.total = 240;
+  cfg.threshold = 20;
+  cfg.leaf_mode = LeafMode::kOrdered;
+  DcGenStats stats;
+  const auto pws = dc_generate(m.model(), dist, cfg, 7, &stats);
+  EXPECT_GT(pws.size(), 0u);
+  EXPECT_EQ(stats.emitted, pws.size());
+  const std::unordered_set<std::string> uniq(pws.begin(), pws.end());
+  EXPECT_EQ(stats.unique_emitted, uniq.size());
+  EXPECT_EQ(stats.unique_emitted, stats.emitted);
+}
+
+TEST(DcGen, OrderedExpansionCapBoundsLeafWork) {
+  // The per-leaf expansion cap must bound forward passes deterministically:
+  // a capped run emits a (possibly empty) subset, identically across runs.
+  const auto& m = shared_model();
+  const auto dist = small_space_patterns();
+  DcGenConfig cfg;
+  cfg.total = 240;
+  cfg.threshold = 20;
+  cfg.leaf_mode = LeafMode::kOrdered;
+  cfg.ordered_max_expansions = 8;
+  DcGenStats stats_a, stats_b;
+  const auto a = dc_generate(m.model(), dist, cfg, 7, &stats_a);
+  const auto b = dc_generate(m.model(), dist, cfg, 7, &stats_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(stats_a.emitted, stats_b.emitted);
+  // The cap really cut work: far fewer expansions than the uncapped run.
+  DcGenConfig uncapped = cfg;
+  uncapped.ordered_max_expansions = 0;
+  DcGenStats stats_u;
+  const auto u = dc_generate(m.model(), dist, uncapped, 7, &stats_u);
+  EXPECT_LT(a.size(), u.size());
+}
+
+TEST(DcGen, OrderedBudgetsChangeJournalFingerprint) {
+  // The ordered budgets shape the emitted set (truncation), so a journal
+  // written under one budget must not resume a run under another: resuming
+  // regenerates from scratch instead of replaying mismatched leaves.
+  const auto& m = shared_model();
+  const auto dist = small_space_patterns();
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "ppg_dcgen_ordered_journal";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  DcGenConfig cfg;
+  cfg.total = 120;
+  cfg.threshold = 20;
+  cfg.leaf_mode = LeafMode::kOrdered;
+  cfg.journal_dir = dir.string();
+  const auto a = dc_generate(m.model(), dist, cfg, 3);
+  DcGenConfig shrunk = cfg;
+  shrunk.ordered_max_nodes = 64;  // different truncation behaviour
+  DcGenStats stats;
+  const auto b = dc_generate(m.model(), dist, shrunk, 3, &stats);
+  EXPECT_FALSE(stats.resumed_plan);  // fingerprint mismatch forced a redo
+  EXPECT_EQ(stats.resumed_leaves, 0u);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace ppg::core

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for ppg_serve's ordered (best-first) request kind.
+#
+# Drives one server process with ordered requests over small pattern
+# spaces — a plain top-k ask, a deadline-bounded anytime ask, the three
+# admission rejects (top_k missing, top_k over cap, negative deadline) —
+# and asserts the contract: one response line per input, every log_probs
+# array finite and monotone non-increasing (validated by ppg_check_json
+# --ordered-ndjson), and the expected terminal status per request id.
+#
+# Usage: ordered_smoke.sh <ppg_serve-binary> <ppg_check_json-binary>
+set -u
+
+serve_bin="$1"
+check_json_bin="$2"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+requests="$workdir/requests.ndjson"
+responses="$workdir/responses.ndjson"
+
+# N2/N4 keep the search spaces tiny (100 / 10k strings): a random-init
+# model is near-uniform, and best-first expands most of a pattern's tree
+# before emitting its top-k. The capped request asks for the cap exactly.
+cat > "$requests" <<'EOF'
+{"op":"guess","id":"o1","kind":"ordered","pattern":"N2","top_k":20}
+{"op":"guess","id":"o2","kind":"ordered","pattern":"N4","top_k":5,"deadline_ms":5000}
+{"op":"guess","id":"cap","kind":"ordered","pattern":"N2","top_k":64}
+{"op":"guess","id":"nok","kind":"ordered","pattern":"N2"}
+{"op":"guess","id":"big","kind":"ordered","pattern":"N2","top_k":65}
+{"op":"guess","id":"neg","kind":"ordered","pattern":"N2","top_k":2,"deadline_ms":-1}
+{"op":"guess","id":"mix","kind":"pattern","pattern":"N6","count":3,"seed":7}
+{"op":"shutdown","id":"end"}
+EOF
+
+"$serve_bin" --config=tiny --seed=21 --patterns=N2,N4,N6 \
+  --max-ordered-top-k=64 \
+  < "$requests" > "$responses" 2> "$workdir/stderr.log"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: ppg_serve exited $status" >&2
+  cat "$workdir/stderr.log" >&2
+  exit 1
+fi
+
+fail=0
+check() {
+  # check <description> <grep-pattern>
+  if ! grep -q "$2" "$responses"; then
+    echo "FAIL: $1 (pattern not found: $2)" >&2
+    fail=1
+  fi
+}
+
+lines=$(wc -l < "$responses")
+if [ "$lines" -ne 8 ]; then
+  echo "FAIL: expected 8 response lines (one per request), got $lines" >&2
+  cat "$responses" >&2
+  fail=1
+fi
+
+# Every log_probs array must be finite and monotone non-increasing, and at
+# least one response must carry one.
+if ! "$check_json_bin" --ordered-ndjson "$responses" >/dev/null; then
+  echo "FAIL: response stream violates the ordered NDJSON contract" >&2
+  fail=1
+fi
+
+check "plain ordered ask completes"   '"id":"o1","status":"ok"'
+check "plain ordered carries scores"  '"id":"o1","status":"ok","passwords":\[[^]]*\],"log_probs":\['
+check "deadline ask completes ok"     '"id":"o2","status":"ok"'
+check "top_k at cap completes"        '"id":"cap","status":"ok"'
+check "missing top_k rejected"        '"id":"nok","status":"rejected","reject":"bad_request"'
+check "top_k over cap rejected"       '"id":"big","status":"rejected","reject":"bad_request"'
+# Negative deadlines die at the wire parser (like any malformed field), so
+# the reject line carries no id — match on the error text instead.
+check "negative deadline rejected"    '"status":"rejected".*deadline_ms'
+check "sampled request still served"  '"id":"mix","status":"ok"'
+check "shutdown acknowledged"         '"id":"end","status":"ok","op":"shutdown"'
+
+# A sampled response must not grow a log_probs field.
+if grep '"id":"mix"' "$responses" | grep -q 'log_probs'; then
+  echo "FAIL: sampled response carries log_probs" >&2
+  fail=1
+fi
+
+# o1 asked for the 20 best of 100: exactly 20 scores.
+o1_scores=$(grep '"id":"o1"' "$responses" |
+  sed 's/.*"log_probs":\[\([^]]*\)\].*/\1/' | awk -F, '{print NF}')
+if [ "${o1_scores:-0}" -ne 20 ]; then
+  echo "FAIL: o1 expected 20 log_probs, got ${o1_scores:-0}" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "--- responses ---" >&2
+  cat "$responses" >&2
+  exit 1
+fi
+echo "ordered_smoke: ok ($lines response lines)"

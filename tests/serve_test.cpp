@@ -7,6 +7,7 @@
 #include <atomic>
 #include <future>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -339,6 +340,114 @@ TEST_F(ServeTest, CachedResponsesMatchColdCacheRun) {
   }
 }
 
+// --- Ordered requests -------------------------------------------------------
+
+TEST_F(ServeTest, OrderedRequestYieldsDescendingUniqueGuesses) {
+  // N2 keeps the search space small (100 strings): a random-init model is
+  // near-uniform, and best-first expands most of the tree before emitting.
+  GuessService svc(*model_, *patterns_, {});
+  Request r;
+  r.kind = RequestKind::kOrdered;
+  r.pattern = "N2";
+  r.top_k = 30;
+  const Response resp = svc.submit_and_wait(std::move(r));
+  ASSERT_EQ(resp.status, Status::kOk);
+  ASSERT_EQ(resp.passwords.size(), 30u);
+  ASSERT_EQ(resp.log_probs.size(), resp.passwords.size());
+  const auto segs = *pcfg::parse_pattern("N2");
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < resp.passwords.size(); ++i) {
+    EXPECT_TRUE(pcfg::matches_pattern(resp.passwords[i], segs))
+        << resp.passwords[i];
+    EXPECT_TRUE(seen.insert(resp.passwords[i]).second)
+        << "duplicate guess " << resp.passwords[i];
+    EXPECT_LE(resp.log_probs[i], 0.0);
+    if (i > 0) EXPECT_LE(resp.log_probs[i], resp.log_probs[i - 1]);
+  }
+}
+
+TEST_F(ServeTest, OrderedIsDeterministicAndSeedFree) {
+  // Best-first search has no RNG: the seed field and the worker count must
+  // not change the emitted ranking.
+  ServiceConfig multi;
+  multi.workers = 2;
+  GuessService a(*model_, *patterns_, {});
+  GuessService b(*model_, *patterns_, multi);
+  Request r1;
+  r1.kind = RequestKind::kOrdered;
+  r1.pattern = "N4";
+  r1.top_k = 12;
+  r1.seed = 1;
+  Request r2 = r1;
+  r2.seed = 999;
+  const Response ra = a.submit_and_wait(std::move(r1));
+  const Response rb = b.submit_and_wait(std::move(r2));
+  ASSERT_EQ(ra.status, Status::kOk);
+  ASSERT_EQ(rb.status, Status::kOk);
+  EXPECT_EQ(ra.passwords, rb.passwords);
+  EXPECT_EQ(ra.log_probs, rb.log_probs);
+}
+
+TEST_F(ServeTest, OrderedValidatesAtAdmission) {
+  ServiceConfig cfg;
+  cfg.max_ordered_top_k = 16;
+  GuessService svc(*model_, *patterns_, cfg);
+
+  Request zero;
+  zero.kind = RequestKind::kOrdered;
+  zero.pattern = "N2";
+  zero.top_k = 0;
+  Response r = svc.submit_and_wait(std::move(zero));
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(r.reject, Reject::kBadRequest);
+  EXPECT_NE(r.error.find("top_k"), std::string::npos) << r.error;
+
+  Request big;
+  big.kind = RequestKind::kOrdered;
+  big.pattern = "N2";
+  big.top_k = 17;
+  r = svc.submit_and_wait(std::move(big));
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(r.reject, Reject::kBadRequest);
+  EXPECT_NE(r.error.find("max_ordered_top_k"), std::string::npos) << r.error;
+
+  Request neg;
+  neg.kind = RequestKind::kOrdered;
+  neg.pattern = "N2";
+  neg.top_k = 4;
+  neg.deadline_ms = -1.0;
+  r = svc.submit_and_wait(std::move(neg));
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(r.reject, Reject::kBadRequest);
+  EXPECT_NE(r.error.find("deadline_ms"), std::string::npos) << r.error;
+
+  // Exactly at the cap is admitted and served.
+  Request ok;
+  ok.kind = RequestKind::kOrdered;
+  ok.pattern = "N2";
+  ok.top_k = 16;
+  r = svc.submit_and_wait(std::move(ok));
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.passwords.size(), 16u);
+}
+
+TEST_F(ServeTest, OrderedDeadlineIsAnytime) {
+  // A search deadline is a soft stop, not a failure: the request completes
+  // kOk with however many best-first guesses were emitted in time.
+  GuessService svc(*model_, *patterns_, {});
+  Request r;
+  r.kind = RequestKind::kOrdered;
+  r.pattern = "L6N2";
+  r.top_k = 400;
+  r.deadline_ms = 0.001;
+  const Response resp = svc.submit_and_wait(std::move(r));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_LE(resp.passwords.size(), 400u);
+  EXPECT_EQ(resp.log_probs.size(), resp.passwords.size());
+  for (std::size_t i = 1; i < resp.log_probs.size(); ++i)
+    EXPECT_LE(resp.log_probs[i], resp.log_probs[i - 1]);
+}
+
 // --- Wire protocol ----------------------------------------------------------
 
 TEST(ServeWire, ParsesFullGuessRequest) {
@@ -357,6 +466,26 @@ TEST(ServeWire, ParsesFullGuessRequest) {
   EXPECT_EQ(req->guess.seed, 42u);
   EXPECT_DOUBLE_EQ(req->guess.timeout_ms, 250.5);
   EXPECT_FALSE(req->guess.strict);
+}
+
+TEST(ServeWire, ParsesOrderedRequest) {
+  std::string err;
+  const auto req = serve::parse_request_line(
+      R"({"op":"guess","id":"r2","kind":"ordered","pattern":"L6N2",)"
+      R"("top_k":50,"deadline_ms":200})",
+      &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->op, serve::WireRequest::Op::kGuess);
+  EXPECT_EQ(req->id, "r2");
+  EXPECT_EQ(req->guess.kind, RequestKind::kOrdered);
+  EXPECT_EQ(req->guess.pattern, "L6N2");
+  EXPECT_EQ(req->guess.top_k, 50u);
+  EXPECT_DOUBLE_EQ(req->guess.deadline_ms, 200.0);
+  // Unset fields keep their defaults.
+  const auto bare = serve::parse_request_line(R"({"kind":"ordered"})");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->guess.top_k, 0u);
+  EXPECT_DOUBLE_EQ(bare->guess.deadline_ms, 0.0);
 }
 
 TEST(ServeWire, DefaultsAndOtherOps) {
@@ -386,6 +515,9 @@ TEST(ServeWire, RejectsMalformedLines) {
       R"({"timeout_ms":-1})",                  // negative deadline
       R"({"strict":"yes"})",                   // mistyped bool
       R"({"pattern":7})",                      // mistyped string
+      R"({"kind":"ordered","top_k":-1})",      // negative top_k
+      R"({"top_k":2.5})",                      // fractional top_k
+      R"({"deadline_ms":-10})",                // negative search deadline
   };
   for (const char* line : bad) {
     std::string err;
@@ -413,6 +545,23 @@ TEST(ServeWire, FormatsResponses) {
   const std::string rline = serve::format_response("r2", rej);
   EXPECT_NE(rline.find("\"reject\":\"queue_full\""), std::string::npos);
   EXPECT_NE(rline.find("admission queue is full"), std::string::npos);
+}
+
+TEST(ServeWire, FormatsOrderedLogProbs) {
+  Response ok;
+  ok.status = Status::kOk;
+  ok.passwords = {"aaaa11", "aaab12"};
+  ok.log_probs = {-3.5, -4.25};
+  const std::string line = serve::format_response("o1", ok);
+  EXPECT_NE(line.find("\"log_probs\":[-3.5,-4.25]"), std::string::npos)
+      << line;
+
+  // Sampled responses carry no log_probs field at all.
+  Response sampled;
+  sampled.status = Status::kOk;
+  sampled.passwords = {"aaaa11"};
+  EXPECT_EQ(serve::format_response("s1", sampled).find("log_probs"),
+            std::string::npos);
 }
 
 TEST(ServeWire, StreamLoopAnswersEveryLineInOrder) {

@@ -40,6 +40,12 @@
 //                       or the obs/bench_track.h API directly) — a bench
 //                       that bypasses it produces numbers the CI perf gate
 //                       never sees, so its wins can silently rot.
+//   unbounded-frontier-push
+//                       in src/search, every heap push must sit within two
+//                       lines of a budget check (max_nodes / cache_bytes /
+//                       enforce_budgets) — best-first frontiers grow
+//                       geometrically, and a push site without an adjacent
+//                       bound turns the search into an OOM.
 //
 // A finding on one specific line can be waived in place with a trailing
 //   // ppg-lint: allow(<rule-name>) <why>
@@ -69,6 +75,10 @@ struct Rule {
   /// Inverted file-level rule: the file must contain at least one of these
   /// (word-boundary match on stripped code). Empty = not a require-rule.
   std::vector<std::string> require;
+  /// Adjacency requirement: a needle match is fine when one of these
+  /// tokens appears (word-boundary match on stripped code) within two
+  /// lines of it; the rule fires only on matches with no such neighbour.
+  std::vector<std::string> near;
 };
 
 const std::vector<Rule> kRules = {
@@ -137,7 +147,17 @@ const std::vector<Rule> kRules = {
      "in BENCH_<name>.json and the CI perf gate can see it",
      {"bench/bench_"},
      {},
-     {"parse_env", "make_bench_record", "append_trajectory"}},
+     {"parse_env", "make_bench_record", "append_trajectory"},
+     {}},
+    {"unbounded-frontier-push",
+     {"std::priority_queue", "push_heap"},
+     "frontier pushes in src/search must sit within two lines of a budget "
+     "check (max_nodes / cache_bytes / enforce_budgets) — an unguarded "
+     "best-first heap grows geometrically into an OOM",
+     {"src/search/"},
+     {},
+     {},
+     {"max_nodes", "cache_bytes", "enforce_budgets"}},
 };
 
 /// *_main.cpp files are binary entry points: stdout is their product
@@ -263,18 +283,35 @@ void scan_file(const fs::path& abs, const std::string& rel,
     findings.push_back({rel, 0, nullptr});
     return;
   }
-  std::string raw;
-  bool in_block = false;
+  // Buffered scan: rules with a `near` adjacency requirement look up to
+  // two lines around a match, so the whole file is read (and stripped)
+  // before any rule runs.
+  std::vector<std::string> raws, codes;
+  {
+    std::string raw;
+    bool in_block = false;
+    while (std::getline(in, raw)) {
+      codes.push_back(strip_noncode(raw, in_block));
+      raws.push_back(std::move(raw));
+    }
+  }
   bool saw_pragma_once = false;
   bool require_met = false;
-  std::size_t lineno = 0;
-  while (std::getline(in, raw)) {
-    ++lineno;
+  const auto near_ok = [&](const Rule& r, std::size_t idx) {
+    if (r.near.empty()) return false;
+    const std::size_t lo = idx >= 2 ? idx - 2 : 0;
+    const std::size_t hi = std::min(idx + 2, codes.size() - 1);
+    for (std::size_t j = lo; j <= hi; ++j)
+      for (const auto& token : r.near)
+        if (contains_word(codes[j], token)) return true;
+    return false;
+  };
+  for (std::size_t idx = 0; idx < raws.size(); ++idx) {
+    const std::string& raw = raws[idx];
+    const std::string& code = codes[idx];
+    const std::size_t lineno = idx + 1;
     if (is_header && raw.find("#pragma once") != std::string::npos)
       saw_pragma_once = true;
-    if (line_rules.empty() && (require_rule == nullptr || require_met))
-      continue;
-    const std::string code = strip_noncode(raw, in_block);
     if (require_rule != nullptr && !require_met)
       for (const auto& needle : require_rule->require)
         if (contains_word(code, needle)) {
@@ -284,7 +321,8 @@ void scan_file(const fs::path& abs, const std::string& rel,
     for (const Rule* r : line_rules) {
       for (const auto& needle : r->needles) {
         if (!contains_word(code, needle)) continue;
-        if (!line_waives(raw, r->name)) findings.push_back({rel, lineno, r});
+        if (!line_waives(raw, r->name) && !near_ok(*r, idx))
+          findings.push_back({rel, lineno, r});
         break;
       }
     }
