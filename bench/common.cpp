@@ -7,9 +7,8 @@
 #include <fstream>
 #include <sstream>
 
-#include <mutex>
-
 #include "common/cli.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "core/dcgen.h"
 #include "eval/generator.h"
@@ -37,16 +36,6 @@ std::string& track_dir_path() {
   return *path;
 }
 
-/// Metrics recorded via track_metric(); leaked so atexit can read them.
-struct TrackedMetrics {
-  std::mutex mu;
-  std::map<std::string, double> values;
-};
-TrackedMetrics& tracked() {
-  static TrackedMetrics* m = new TrackedMetrics();
-  return *m;
-}
-
 void append_trajectory_at_exit() {
   const std::string& dir = track_dir_path();
   if (dir.empty()) return;
@@ -54,33 +43,35 @@ void append_trajectory_at_exit() {
   std::map<std::string, std::string> config;
   for (const auto& [k, v] : report.config_snapshot()) config[k] = v;
   std::map<std::string, double> metrics;
-  // Derived per-stage throughput first, then explicit track_metric() values
-  // (explicit wins on a name collision).
+  // Derived per-stage throughput first; explicit track_metric() values win
+  // on a name collision (TrackRecorder::flush merges recorded-over-base).
   for (const auto& s : report.stages_snapshot())
     if (s.items > 0.0 && s.seconds > 0.0)
       metrics["stage." + s.name + "_per_sec"] = s.items / s.seconds;
-  {
-    TrackedMetrics& t = tracked();
-    std::lock_guard lock(t.mu);
-    for (const auto& [k, v] : t.values) metrics[k] = v;
-  }
-  if (metrics.empty()) {
-    std::fprintf(stderr,
-                 "bench: no metrics tracked, trajectory record skipped\n");
-    return;
-  }
   std::string name = report.name();
   if (name.empty()) name = "bench";
-  const obs::BenchRecord rec = obs::make_bench_record(
-      std::move(name), std::move(config), std::move(metrics));
-  const std::string path = obs::trajectory_path(dir, rec.bench);
   std::string error;
-  if (obs::append_trajectory(path, rec, &error))
-    std::fprintf(stderr, "bench: trajectory record appended to %s\n",
-                 path.c_str());
-  else
-    std::fprintf(stderr, "bench: FAILED to append trajectory %s: %s\n",
-                 path.c_str(), error.c_str());
+  const bool ok = obs::TrackRecorder::global().flush(
+      std::move(name), std::move(config), std::move(metrics),
+      [&](const obs::BenchRecord& rec) {
+        // The writer runs with no TrackRecorder lock held (see
+        // tests/lock_discipline_test.cpp).
+        PPG_FAILPOINT("bench.track.append");
+        const std::string path = obs::trajectory_path(dir, rec.bench);
+        std::string append_error;
+        if (obs::append_trajectory(path, rec, &append_error)) {
+          std::fprintf(stderr, "bench: trajectory record appended to %s\n",
+                       path.c_str());
+          return true;
+        }
+        std::fprintf(stderr, "bench: FAILED to append trajectory %s: %s\n",
+                     path.c_str(), append_error.c_str());
+        return false;
+      },
+      &error);
+  if (!ok && !error.empty())
+    std::fprintf(stderr, "bench: trajectory record skipped: %s\n",
+                 error.c_str());
 }
 
 void write_report_at_exit() {
@@ -111,9 +102,7 @@ void write_report_at_exit() {
 }  // namespace
 
 void track_metric(const std::string& name, double value) {
-  TrackedMetrics& t = tracked();
-  std::lock_guard lock(t.mu);
-  t.values[name] = value;
+  obs::TrackRecorder::global().set(name, value);
 }
 
 std::vector<std::uint64_t> BenchEnv::ladder() const {

@@ -6,10 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace ppg::failpoint {
@@ -28,8 +28,8 @@ struct Spec {
 };
 
 struct State {
-  std::mutex mu;
-  std::map<std::string, Spec, std::less<>> armed;
+  Mutex mu;
+  std::map<std::string, Spec, std::less<>> armed PPG_GUARDED_BY(mu);
 };
 
 State& state() {
@@ -62,7 +62,7 @@ const bool g_env_parsed = [] {
 void activate(const std::string& name, Action action, std::uint64_t nth,
               std::uint64_t delay_ms) {
   State& s = state();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   Spec spec;
   spec.action = action;
   spec.nth = nth == 0 ? 1 : nth;
@@ -75,14 +75,14 @@ void activate(const std::string& name, Action action, std::uint64_t nth,
 
 void deactivate(const std::string& name) {
   State& s = state();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.armed.erase(name) > 0)
     detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void reset() {
   State& s = state();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   detail::g_armed_count.fetch_sub(s.armed.size(), std::memory_order_relaxed);
   s.armed.clear();
 }
@@ -139,7 +139,7 @@ void hit(const char* name) {
   std::uint64_t delay_ms;
   {
     State& s = state();
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     const auto it = s.armed.find(std::string_view(name));
     if (it == s.armed.end()) return;
     Spec& spec = it->second;

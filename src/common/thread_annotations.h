@@ -1,0 +1,143 @@
+// Clang thread-safety annotations and the annotated lock vocabulary used
+// across the repo (DESIGN.md §14).
+//
+// The PPG_* macros expand to Clang's capability attributes under clang and
+// to nothing elsewhere, so GCC builds are unaffected while the dedicated
+// PPG_THREAD_SAFETY=ON clang build (-Wthread-safety
+// -Werror=thread-safety-analysis) proves lock discipline at compile time:
+// every field access is checked against its PPG_GUARDED_BY declaration and
+// every *_locked() helper against its PPG_REQUIRES contract.
+//
+// Conventions:
+//  - Mutex-protected members are declared with PPG_GUARDED_BY(mu_)
+//    (PPG_PT_GUARDED_BY for "the pointee is guarded, the pointer is not").
+//  - Private helpers that assume the lock is held are named *_locked and
+//    annotated PPG_REQUIRES(mu_).
+//  - Scoped acquisition uses ppg::MutexLock (never a naked lock()/unlock()
+//    pair), so the analyzer sees the critical-section extent.
+//  - Condition waits use ppg::CondVar with an *explicit* while loop:
+//        while (!ready_) cv_.wait(lock);
+//    The predicate-lambda overload of std::condition_variable is deliberately
+//    not mirrored here — the analyzer cannot see the held capability inside
+//    the lambda, so guarded reads in the predicate would need waivers.
+//  - Waivers: a justified // comment plus, where ppg_lint is the enforcer,
+//    a `// ppg-lint: allow(<rule>)` marker. PPG_NO_THREAD_SAFETY_ANALYSIS
+//    is reserved for lock-free trickery the analysis cannot model; it must
+//    never appear on hot-path code without a comment explaining why the
+//    analysis is wrong, not merely inconvenient.
+//
+// This header is link-free on purpose: obs/ cannot link common/ (ppg_common
+// links ppg_obs), but every layer may include these annotations.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PPG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PPG_THREAD_ANNOTATION
+#define PPG_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define PPG_CAPABILITY(x) PPG_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define PPG_SCOPED_CAPABILITY PPG_THREAD_ANNOTATION(scoped_lockable)
+/// Field is protected by the given mutex; access requires holding it.
+#define PPG_GUARDED_BY(x) PPG_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define PPG_PT_GUARDED_BY(x) PPG_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities held on entry (and keeps them).
+#define PPG_REQUIRES(...) PPG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define PPG_ACQUIRE(...) PPG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define PPG_RELEASE(...) PPG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function tries to acquire; first arg is the success return value.
+#define PPG_TRY_ACQUIRE(...) PPG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must be called with the listed capabilities NOT held.
+#define PPG_EXCLUDES(...) PPG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (teaches the analyzer).
+#define PPG_ASSERT_CAPABILITY(x) PPG_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define PPG_RETURN_CAPABILITY(x) PPG_THREAD_ANNOTATION(lock_returned(x))
+/// Opts a function out of the analysis. See the waiver policy above.
+#define PPG_NO_THREAD_SAFETY_ANALYSIS \
+  PPG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ppg {
+
+class CondVar;
+
+/// std::mutex with the capability attribute, so PPG_GUARDED_BY(mu_) and
+/// PPG_REQUIRES(mu_) declarations resolve to something the analyzer tracks.
+/// Same cost and semantics as std::mutex.
+class PPG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PPG_ACQUIRE() { mu_.lock(); }
+  void unlock() PPG_RELEASE() { mu_.unlock(); }
+  bool try_lock() PPG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped acquisition of a ppg::Mutex (the std::lock_guard of this
+/// vocabulary, built on unique_lock so CondVar can wait on it). Non-movable;
+/// holds the lock for exactly its lexical scope.
+class PPG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PPG_ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() PPG_RELEASE() {}
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over ppg::Mutex. Waits take the MutexLock itself, and
+/// only the plain (non-predicate) forms exist: spell the predicate as an
+/// explicit while loop so guarded reads stay visible to the analyzer.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, waits, and reacquires before returning.
+  /// The analyzer treats the capability as held across the call (the
+  /// Abseil convention): guarded state may legally change during the wait,
+  /// which is exactly why callers must loop on their predicate.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ppg

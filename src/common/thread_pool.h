@@ -6,15 +6,14 @@
 // parallelism.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -51,15 +50,15 @@ class ThreadPool {
   /// drain() extend the wait (the predicate is re-checked), so callers that
   /// need a quiescent point must stop their producers first.
   void drain() {
-    std::unique_lock lock(mu_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mu_);
+    while (!(queue_.empty() && active_ == 0)) idle_cv_.wait(lock);
   }
 
   /// Drains outstanding tasks and joins the workers. Afterwards the pool is
   /// inert: submit() throws. Idempotent; the destructor calls it.
   void stop() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -75,7 +74,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_)
         throw std::runtime_error("ThreadPool::submit after stop()");
       queue_.emplace_back([task] { (*task)(); });
@@ -129,8 +128,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && queue_.empty()) cv_.wait(lock);
         if (queue_.empty()) {
           if (stopping_) return;
           continue;
@@ -150,20 +149,22 @@ class ThreadPool {
       }
       metrics().tasks.inc();
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         --active_;
         if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t active_ = 0;  ///< tasks currently executing
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ PPG_GUARDED_BY(mu_);
+  // Lifecycle-guarded, not mutex-guarded: filled once in the constructor,
+  // joined in stop(); never touched by the workers themselves.
+  std::vector<std::thread> workers_;  // ppg-lint: allow(unannotated-mutex-sibling)
+  std::size_t active_ PPG_GUARDED_BY(mu_) = 0;  ///< tasks currently executing
+  bool stopping_ PPG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ppg

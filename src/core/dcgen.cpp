@@ -10,7 +10,6 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -21,6 +20,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/masks.h"
 #include "gpt/infer.h"
@@ -170,6 +170,9 @@ class Ledger {
  public:
   explicit Ledger(std::string path) : path_(std::move(path)) {}
   ~Ledger() {
+    // Destruction is single-threaded (the generate pass has joined); the
+    // lock only keeps the fd_ read well-defined for the analysis.
+    MutexLock lock(mu_);
     if (fd_ >= 0) ::close(fd_);
   }
 
@@ -244,7 +247,11 @@ class Ledger {
     record += payload;
     record.append(reinterpret_cast<const char*>(&crc), sizeof crc);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    // Held across the write+fsync on purpose: interleaving two appends
+    // would tear *both* records, and the crash-recovery contract (replay
+    // up to the last whole frame) depends on records hitting the file one
+    // at a time. This is the durability point, not an accidental stall.
+    MutexLock lock(mu_);
     if (fd_ < 0) {
       fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
       if (fd_ < 0)
@@ -255,13 +262,13 @@ class Ledger {
     write_all(record.data(), half);
     PPG_FAILPOINT("dcgen.ledger.mid_append");
     write_all(record.data() + half, record.size() - half);
-    if (::fsync(fd_) != 0)
+    if (::fsync(fd_) != 0)  // ppg-lint: allow(blocking-under-lock)
       throw std::runtime_error("dcgen journal: fsync failed on " + path_);
     PPG_FAILPOINT("dcgen.ledger.after_append");
   }
 
  private:
-  void write_all(const char* data, std::size_t n) {
+  void write_all(const char* data, std::size_t n) PPG_REQUIRES(mu_) {
     while (n > 0) {
       const ssize_t written = ::write(fd_, data, n);
       if (written < 0)
@@ -271,9 +278,9 @@ class Ledger {
     }
   }
 
-  std::string path_;
-  std::mutex mu_;
-  int fd_ = -1;
+  const std::string path_;
+  Mutex mu_;
+  int fd_ PPG_GUARDED_BY(mu_) = -1;
 };
 
 }  // namespace

@@ -44,7 +44,11 @@ KvTrieCache::KvTrieCache(std::size_t budget)
 
 KvTrieCache::~KvTrieCache() {
   // A Handle outliving its cache would unpin into freed memory; make that
-  // programming error loud at the source.
+  // programming error loud at the source. Taken under the lock: destruction
+  // racing a live Handle is already UB, but the lock keeps the check itself
+  // well-defined (and visible to the thread-safety analysis) when the last
+  // release() is still in flight on another thread.
+  MutexLock lock(mu_);
   PPG_CHECK(pinned_ == 0, "KvTrieCache destroyed with %zu pinned nodes",
             pinned_);
 }
@@ -80,7 +84,7 @@ void KvTrieCache::lru_detach_locked(Node* n) {
 }
 
 KvTrieCache::Handle KvTrieCache::find(std::span<const int> prefix) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Node* n = walk_locked(prefix, /*create=*/false);
   if (n == nullptr || !n->state) {
     kv_cache_metrics().misses.inc();
@@ -91,7 +95,7 @@ KvTrieCache::Handle KvTrieCache::find(std::span<const int> prefix) {
 }
 
 KvTrieCache::Handle KvTrieCache::find_longest(std::span<const int> prefix) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Node* n = root_.get();
   Node* deepest = nullptr;
   for (const int tok : prefix) {
@@ -109,7 +113,7 @@ KvTrieCache::Handle KvTrieCache::find_longest(std::span<const int> prefix) {
 }
 
 void KvTrieCache::insert(std::span<const int> prefix, KvState state) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Node* n = walk_locked(prefix, /*create=*/true);
   if (n->state) return;  // first insert wins; the copies are bitwise equal
   n->state = std::make_unique<KvState>(std::move(state));
@@ -151,17 +155,17 @@ void KvTrieCache::evict_node_locked(Node* n) {
 }
 
 std::size_t KvTrieCache::bytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 std::size_t KvTrieCache::nodes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return nodes_;
 }
 
 std::size_t KvTrieCache::pinned_nodes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return pinned_;
 }
 
@@ -171,7 +175,7 @@ void KvTrieCache::Handle::release() {
   Node* n = static_cast<Node*>(node_);
   cache_ = nullptr;
   node_ = nullptr;
-  std::lock_guard lock(cache->mu_);
+  MutexLock lock(cache->mu_);
   PPG_CHECK(n->pins > 0, "kv cache: pin refcount underflow");
   if (--n->pins == 0) {
     --cache->pinned_;

@@ -35,10 +35,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "nn/tensor.h"
 #include "obs/metrics.h"
 
@@ -139,20 +139,20 @@ class KvTrieCache {
 
  private:
   struct Node;
-  Node* walk_locked(std::span<const int> prefix, bool create);
-  Handle pin_locked(Node* n);
-  void lru_detach_locked(Node* n);
-  void evict_over_budget_locked();
-  void evict_node_locked(Node* n);
+  Node* walk_locked(std::span<const int> prefix, bool create) PPG_REQUIRES(mu_);
+  Handle pin_locked(Node* n) PPG_REQUIRES(mu_);
+  void lru_detach_locked(Node* n) PPG_REQUIRES(mu_);
+  void evict_over_budget_locked() PPG_REQUIRES(mu_);
+  void evict_node_locked(Node* n) PPG_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unique_ptr<Node> root_;
+  mutable Mutex mu_;
+  std::unique_ptr<Node> root_ PPG_GUARDED_BY(mu_);
   // Intrusive-by-pointer LRU of unpinned state-bearing nodes; front is
   // the eviction victim, back is most recently used.
-  std::vector<Node*> lru_;  ///< small; linear ops are fine at trie scale
-  std::size_t bytes_ = 0;
-  std::size_t nodes_ = 0;
-  std::size_t pinned_ = 0;
+  std::vector<Node*> lru_ PPG_GUARDED_BY(mu_);  ///< small; linear ops fine
+  std::size_t bytes_ PPG_GUARDED_BY(mu_) = 0;
+  std::size_t nodes_ PPG_GUARDED_BY(mu_) = 0;
+  std::size_t pinned_ PPG_GUARDED_BY(mu_) = 0;
 };
 
 /// Process-wide KV-cache metrics ("kv_cache.*" in the global registry):

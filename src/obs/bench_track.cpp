@@ -14,6 +14,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
+#include <utility>
 
 #include "obs/json.h"
 
@@ -61,8 +63,11 @@ bool volatile_config_key(std::string_view key) {
 bool atomic_write_text(const std::string& path, std::string_view data,
                        std::string* error) {
   const auto fail = [&](const char* what) {
+    // generic_category().message over strerror: the latter returns a
+    // pointer into static storage (clang-tidy concurrency-mt-unsafe).
     if (error != nullptr)
-      *error = std::string(what) + " " + path + ": " + std::strerror(errno);
+      *error = std::string(what) + " " + path + ": " +
+               std::generic_category().message(errno);
     return false;
   };
   const std::string tmp = path + ".tmp";
@@ -331,6 +336,49 @@ std::string trajectory_path(const std::string& dir, const std::string& bench) {
   const std::string file = "BENCH_" + name + ".json";
   if (dir.empty() || dir == ".") return file;
   return dir + "/" + file;
+}
+
+TrackRecorder& TrackRecorder::global() {
+  // Leaked: the bench atexit flusher reads it during shutdown.
+  static TrackRecorder* instance = new TrackRecorder();
+  return *instance;
+}
+
+void TrackRecorder::set(const std::string& name, double value) {
+  MutexLock lock(mu_);
+  values_[name] = value;
+}
+
+std::map<std::string, double> TrackRecorder::snapshot() const {
+  MutexLock lock(mu_);
+  return values_;
+}
+
+void TrackRecorder::clear() {
+  MutexLock lock(mu_);
+  values_.clear();
+}
+
+bool TrackRecorder::flush(std::string bench_name,
+                          std::map<std::string, std::string> config,
+                          std::map<std::string, double> base_metrics,
+                          const std::function<bool(const BenchRecord&)>& write,
+                          std::string* error) {
+  std::map<std::string, double> merged = std::move(base_metrics);
+  {
+    MutexLock lock(mu_);
+    for (const auto& [k, v] : values_) merged[k] = v;
+  }
+  if (merged.empty()) {
+    if (error != nullptr) *error = "no metrics tracked";
+    return false;
+  }
+  const BenchRecord rec = make_bench_record(
+      std::move(bench_name), std::move(config), std::move(merged));
+  // Deliberately outside the critical section: the writer does file IO
+  // (or anything else — it is caller-supplied) and must not hold up
+  // concurrent set() calls. See the class comment.
+  return write(rec);
 }
 
 }  // namespace ppg::obs

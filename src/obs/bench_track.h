@@ -20,11 +20,14 @@
 //     destroy records written by newer ones.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ppg::obs {
 
@@ -107,5 +110,49 @@ bool append_trajectory(const std::string& path, const BenchRecord& rec,
 /// Canonical trajectory path: `<dir>/BENCH_<name>.json`, where <name> is
 /// the bench name with any leading "bench_" stripped.
 std::string trajectory_path(const std::string& dir, const std::string& bench);
+
+/// Thread-safe store of the headline metrics a bench run wants remembered
+/// (bench::track_metric feeds the global instance), plus the copy-then-write
+/// flush that turns them into a trajectory append.
+///
+/// Lock discipline: flush() snapshots and merges under the lock, then
+/// invokes the writer strictly *outside* it, so a slow (or reentrant)
+/// writer can never stall concurrent set() calls — the file IO of a
+/// trajectory append happens with no TrackRecorder lock held
+/// (tests/lock_discipline_test.cpp holds the writer on a delay failpoint
+/// and proves set() still completes).
+class TrackRecorder {
+ public:
+  TrackRecorder() = default;
+  TrackRecorder(const TrackRecorder&) = delete;
+  TrackRecorder& operator=(const TrackRecorder&) = delete;
+
+  /// The process-wide recorder (leaked so atexit flushers can read it).
+  static TrackRecorder& global();
+
+  /// Records (or overwrites) one named metric.
+  void set(const std::string& name, double value);
+
+  /// Point-in-time copy of everything recorded.
+  std::map<std::string, double> snapshot() const;
+
+  /// Drops all recorded metrics (tests).
+  void clear();
+
+  /// Merges `base_metrics` with the recorded values (recorded wins on a
+  /// name collision), builds a BenchRecord via make_bench_record, and
+  /// passes it to `write` with the lock released. Returns write's result,
+  /// or false without calling write when the merged map is empty (*error
+  /// names the reason).
+  bool flush(std::string bench_name,
+             std::map<std::string, std::string> config,
+             std::map<std::string, double> base_metrics,
+             const std::function<bool(const BenchRecord&)>& write,
+             std::string* error = nullptr);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, double> values_ PPG_GUARDED_BY(mu_);
+};
 
 }  // namespace ppg::obs

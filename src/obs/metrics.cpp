@@ -113,7 +113,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -122,7 +122,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -130,7 +130,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -139,7 +139,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 std::string Registry::to_text() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char buf[256];
   for (const auto& [name, c] : counters_) {
@@ -165,7 +165,7 @@ std::string Registry::to_text() const {
 }
 
 void Registry::write_json(JsonWriter& w) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   w.begin_object();
   w.key("counters").begin_object();
   for (const auto& [name, c] : counters_) w.key(name).value(c->value());
@@ -199,7 +199,7 @@ std::string Registry::to_json() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

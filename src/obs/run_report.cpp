@@ -16,17 +16,17 @@ RunReport& RunReport::global() {
 }
 
 void RunReport::set_name(std::string name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   name_ = std::move(name);
 }
 
 std::string RunReport::name() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return name_;
 }
 
 void RunReport::add_config(const std::string& key, std::string value) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [k, v] : config_) {
     if (k == key) {
       v = std::move(value);
@@ -47,23 +47,23 @@ void RunReport::add_config(const std::string& key, std::uint64_t value) {
 }
 
 void RunReport::add_stage(std::string name, double seconds, double items) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   stages_.push_back({std::move(name), seconds, items});
 }
 
 std::vector<std::pair<std::string, std::string>> RunReport::config_snapshot()
     const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return config_;
 }
 
 std::vector<RunReport::Stage> RunReport::stages_snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stages_;
 }
 
 void RunReport::set_section(const std::string& key, std::string raw_json) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [k, v] : sections_) {
     if (k == key) {
       v = std::move(raw_json);
@@ -77,7 +77,7 @@ std::string RunReport::to_json(const Registry* registry) const {
   JsonWriter w;
   std::vector<std::pair<std::string, std::string>> sections;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     sections = sections_;
     w.begin_object();
     w.key("name").value(name_.empty() ? "unnamed" : name_);
@@ -118,7 +118,7 @@ bool RunReport::write(const std::string& path, const Registry* registry) const {
 }
 
 void RunReport::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   name_.clear();
   config_.clear();
   stages_.clear();

@@ -12,11 +12,11 @@
 // writer when --report=<file> is passed); tests build local instances.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 
 namespace ppg::obs {
@@ -71,11 +71,12 @@ class RunReport {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::string name_;
-  std::vector<std::pair<std::string, std::string>> config_;
-  std::vector<Stage> stages_;
-  std::vector<std::pair<std::string, std::string>> sections_;
+  mutable Mutex mu_;
+  std::string name_ PPG_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> config_ PPG_GUARDED_BY(mu_);
+  std::vector<Stage> stages_ PPG_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> sections_
+      PPG_GUARDED_BY(mu_);
 };
 
 /// RAII stage clock: measures wall-clock from construction to destruction

@@ -2,8 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include <mutex>  // std::call_once
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace ppg::obs {
@@ -16,10 +17,10 @@ std::atomic<bool> g_trace_env_checked{false};
 namespace {
 
 struct TraceState {
-  std::mutex mu;
-  std::FILE* file = nullptr;
-  bool any_event = false;
-  bool atexit_registered = false;
+  Mutex mu;
+  std::FILE* file PPG_GUARDED_BY(mu) = nullptr;
+  bool any_event PPG_GUARDED_BY(mu) = false;
+  bool atexit_registered PPG_GUARDED_BY(mu) = false;
 };
 
 TraceState& state() {
@@ -35,7 +36,7 @@ int thread_tid() {
   return tid;
 }
 
-void close_locked(TraceState& s) {
+void close_locked(TraceState& s) PPG_REQUIRES(s.mu) {
   if (s.file == nullptr) return;
   std::fputs("\n]}\n", s.file);
   std::fclose(s.file);
@@ -46,7 +47,7 @@ void close_locked(TraceState& s) {
 void emit(const char* name, const char* cat, const char* ph,
           std::int64_t ts_us, std::int64_t dur_us, bool has_dur) {
   TraceState& s = state();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.file == nullptr) return;
   const std::string ename = json_escape(name);
   const std::string ecat = json_escape(cat && cat[0] ? cat : "ppg");
@@ -84,7 +85,7 @@ void trace_env_init() {
 
 bool trace_start(const std::string& path) {
   TraceState& s = state();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   close_locked(s);
   s.file = std::fopen(path.c_str(), "w");
   if (s.file == nullptr) return false;
@@ -94,7 +95,7 @@ bool trace_start(const std::string& path) {
     s.atexit_registered = true;
     std::atexit([] {
       TraceState& st = state();
-      std::lock_guard l(st.mu);
+      MutexLock l(st.mu);
       close_locked(st);
     });
   }
@@ -105,7 +106,7 @@ bool trace_start(const std::string& path) {
 
 void trace_stop() {
   TraceState& s = state();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   close_locked(s);
 }
 
@@ -122,7 +123,7 @@ void trace_instant(const char* name, const char* cat) {
 void trace_set_thread_name(const char* name) {
   if (!trace_enabled()) return;
   TraceState& s = state();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.file == nullptr) return;
   const std::string ename = json_escape(name);
   std::fprintf(s.file,

@@ -248,7 +248,7 @@ std::future<Response> GuessService::submit(Request req) {
 
   std::future<Response> fut = p->promise.get_future();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!accepting_) {
       m.rejected.inc();
       p->resp.status = Status::kRejected;
@@ -426,7 +426,7 @@ void GuessService::execute_ordered(const RowRef& row) {
   }
 
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     PPG_DCHECK(p.inflight == 1, "ordered request with %zu rows in flight",
                p.inflight);
     --p.inflight;
@@ -556,7 +556,7 @@ void GuessService::execute_batch(gpt::InferenceSession& session,
   // Deliver rows and complete finished requests.
   bool new_work = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       Pending& p = *rows[i].req;
       PPG_DCHECK(p.inflight > 0, "delivering a row the scheduler never issued");
@@ -593,7 +593,7 @@ void GuessService::worker_loop(std::size_t index) {
   for (;;) {
     std::vector<RowRef> rows;
     {
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       for (;;) {
         assemble_batch_locked(rows);
         if (!rows.empty()) break;
@@ -624,9 +624,9 @@ void GuessService::worker_loop(std::size_t index) {
 }
 
 void GuessService::shutdown() {
-  std::lock_guard shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     accepting_ = false;
     draining_ = true;
   }
@@ -636,7 +636,7 @@ void GuessService::shutdown() {
 }
 
 std::size_t GuessService::queued() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

@@ -38,16 +38,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "gpt/kv_cache.h"
 #include "gpt/model.h"
 #include "gpt/sampler.h"
@@ -193,9 +192,9 @@ class GuessService {
   /// Pops expired/finished requests and appends runnable rows to `rows`
   /// (up to max_batch). When `rows` is non-empty it only tops up with
   /// requests matching the batch's prefix length. Caller holds mu_.
-  void assemble_batch_locked(std::vector<RowRef>& rows);
+  void assemble_batch_locked(std::vector<RowRef>& rows) PPG_REQUIRES(mu_);
   /// Completes `p` with `s` now. Caller holds mu_.
-  void complete_locked(Pending& p, Status s);
+  void complete_locked(Pending& p, Status s) PPG_REQUIRES(mu_);
   /// Runs one assembled batch on `session` and delivers its rows.
   void execute_batch(gpt::InferenceSession& session,
                      const std::vector<RowRef>& rows);
@@ -207,19 +206,25 @@ class GuessService {
   const pcfg::PatternDistribution& patterns_;
   const ServiceConfig cfg_;
   /// Cross-request prefix KV cache shared by all workers (null when
-  /// disabled). Mutex-guarded internally; pinned states are immutable.
-  std::unique_ptr<gpt::KvTrieCache> prefix_cache_;
+  /// disabled). Mutex-guarded internally; pinned states are immutable;
+  /// the pointer itself is set once in the constructor.
+  std::unique_ptr<gpt::KvTrieCache> prefix_cache_;  // ppg-lint: allow(unannotated-mutex-sibling)
 
-  mutable std::mutex mu_;
-  std::mutex shutdown_mu_;  ///< serialises concurrent shutdown() calls
-  std::condition_variable work_cv_;
-  std::list<std::shared_ptr<Pending>> queue_;
-  std::uint64_t next_id_ = 1;
-  bool accepting_ = true;
-  bool draining_ = false;
+  mutable Mutex mu_;
+  Mutex shutdown_mu_;  ///< serialises concurrent shutdown() calls
+  CondVar work_cv_;
+  // Pending objects reachable from queue_ follow a convention the analyzer
+  // cannot express across objects: their mutable fields are only touched
+  // with mu_ held (see the Pending definition in service.cpp).
+  std::list<std::shared_ptr<Pending>> queue_ PPG_GUARDED_BY(mu_);
+  std::uint64_t next_id_ PPG_GUARDED_BY(mu_) = 1;
+  bool accepting_ PPG_GUARDED_BY(mu_) = true;
+  bool draining_ PPG_GUARDED_BY(mu_) = false;
   // Workers own per-thread InferenceSessions and a drain-then-join
-  // lifecycle that a generic pool cannot express.
-  std::vector<std::thread> workers_;  // ppg-lint: allow(naked-thread)
+  // lifecycle that a generic pool cannot express; the vector is filled in
+  // the constructor and joined under shutdown_mu_, never touched by the
+  // workers.
+  std::vector<std::thread> workers_;  // ppg-lint: allow(naked-thread, unannotated-mutex-sibling)
 };
 
 }  // namespace ppg::serve

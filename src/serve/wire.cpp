@@ -1,15 +1,14 @@
 #include "serve/wire.h"
 
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -195,14 +194,14 @@ bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out) {
     std::string line;
     std::future<Response> fut;  ///< valid() => format on resolution
   };
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::deque<Outgoing> fifo;
   bool closed = false;
 
   const auto push = [&](Outgoing o) {
     {
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       fifo.push_back(std::move(o));
     }
     cv.notify_one();
@@ -214,8 +213,8 @@ bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out) {
     for (;;) {
       Outgoing o;
       {
-        std::unique_lock lock(mu);
-        cv.wait(lock, [&] { return !fifo.empty() || closed; });
+        MutexLock lock(mu);
+        while (fifo.empty() && !closed) cv.wait(lock);
         if (fifo.empty()) return;
         o = std::move(fifo.front());
         fifo.pop_front();
@@ -270,7 +269,7 @@ bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out) {
     }
   }
   {
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     closed = true;
   }
   cv.notify_all();

@@ -1,0 +1,132 @@
+// Regression tests for the copy-then-write lock discipline (DESIGN.md
+// §14): the bench-trajectory and run-report write paths must never hold
+// their recorder's lock across file IO. Each test constructs a writer that
+// is observably stuck mid-write (a delay failpoint, a FIFO with no reader)
+// and proves concurrent mutation of the recorder still completes — if the
+// lock were held across the write, the mutation would block until the
+// writer finished and the "writer still busy" assertion would fail (or,
+// for the FIFO, the test would deadlock into the ctest timeout).
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "obs/bench_track.h"
+#include "obs/run_report.h"
+
+namespace ppg {
+namespace {
+
+constexpr char kFlushFp[] = "lock_discipline.flush.write";
+
+TEST(LockDiscipline, TrackRecorderFlushWritesOutsideLock) {
+  failpoint::reset();
+  obs::TrackRecorder rec;
+  rec.set("tracked", 1.0);
+  rec.set("base", 9.0);  // recorded value must win over base_metrics
+
+  // The writer parks on a delay failpoint; while it sleeps, set() must go
+  // straight through (flush released the lock before invoking the writer).
+  failpoint::activate(kFlushFp, failpoint::Action::kDelay, 1, 400);
+  std::atomic<bool> writer_done{false};
+  obs::BenchRecord seen;
+  bool flushed = false;
+  std::thread flusher([&] {
+    flushed = rec.flush(
+        "bench_lock_discipline", {{"k", "v"}}, {{"base", 2.0}},
+        [&](const obs::BenchRecord& r) {
+          PPG_FAILPOINT(kFlushFp);
+          seen = r;
+          return true;
+        });
+    writer_done = true;
+  });
+  while (failpoint::hits(kFlushFp) == 0) std::this_thread::yield();
+  rec.set("concurrent", 3.0);
+  // set() returned while the writer was still inside its delay: the flush
+  // lock was not held across the write.
+  EXPECT_FALSE(writer_done.load());
+  flusher.join();
+  failpoint::reset();
+
+  EXPECT_TRUE(flushed);
+  EXPECT_TRUE(writer_done.load());
+  ASSERT_EQ(seen.metrics.count("tracked"), 1u);
+  EXPECT_EQ(seen.metrics.at("tracked"), 1.0);
+  EXPECT_EQ(seen.metrics.at("base"), 9.0);   // recorded-over-base merge
+  EXPECT_EQ(seen.metrics.count("concurrent"), 0u);  // set() after snapshot
+  EXPECT_EQ(seen.config.at("k"), "v");
+  EXPECT_EQ(rec.snapshot().at("concurrent"), 3.0);
+}
+
+TEST(LockDiscipline, TrackRecorderWriterMayReenterRecorder) {
+  obs::TrackRecorder rec;
+  rec.set("a", 1.0);
+  // A writer that calls back into the recorder deadlocks on the spot if
+  // flush still held the (non-recursive) lock.
+  const bool ok = rec.flush("bench_reentrant", {}, {},
+                            [&](const obs::BenchRecord&) {
+                              rec.set("reentrant", 2.0);
+                              return true;
+                            });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(rec.snapshot().at("reentrant"), 2.0);
+}
+
+TEST(LockDiscipline, TrackRecorderFlushSkipsEmptyWithoutWriting) {
+  obs::TrackRecorder rec;
+  bool called = false;
+  std::string error;
+  EXPECT_FALSE(rec.flush("bench_empty", {}, {},
+                         [&](const obs::BenchRecord&) {
+                           called = true;
+                           return true;
+                         },
+                         &error));
+  EXPECT_FALSE(called);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LockDiscipline, RunReportWriteDoesNotHoldLockAcrossIO) {
+  const std::string fifo = ::testing::TempDir() + "lock_discipline_fifo_" +
+                           std::to_string(::getpid()) + ".json";
+  ::unlink(fifo.c_str());
+  ASSERT_EQ(0, ::mkfifo(fifo.c_str(), 0600));
+
+  obs::RunReport report;
+  report.set_name("fifo_report");
+  report.add_config("before", std::string("1"));
+
+  // write() blocks opening the FIFO until a reader appears. If it held
+  // mu_ across that open, add_config below would block forever (no reader
+  // is opened until after add_config) — a deadlock the ctest timeout
+  // converts into a failure.
+  std::atomic<bool> writer_done{false};
+  bool wrote = false;
+  std::thread writer([&] {
+    wrote = report.write(fifo);
+    writer_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  report.add_config("during", std::string("2"));
+  EXPECT_FALSE(writer_done.load());  // still parked in open(), lock free
+
+  std::ifstream in(fifo);
+  const std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  writer.join();
+  EXPECT_TRUE(wrote);
+  EXPECT_NE(body.find("\"fifo_report\""), std::string::npos);
+  ::unlink(fifo.c_str());
+}
+
+}  // namespace
+}  // namespace ppg

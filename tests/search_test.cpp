@@ -213,7 +213,9 @@ TEST_F(SearchTest, PatternMaskEnumeratesWholePatternSpace) {
     EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(got[i].password[1])));
     EXPECT_TRUE(seen.insert(got[i].password).second)
         << "duplicate " << got[i].password;
-    if (i > 0) EXPECT_LE(got[i].log_prob, got[i - 1].log_prob);
+    if (i > 0) {
+      EXPECT_LE(got[i].log_prob, got[i - 1].log_prob);
+    }
   }
   EXPECT_TRUE(e.stats().exhausted);
 }
@@ -328,8 +330,9 @@ TEST_F(SearchTest, BudgetTruncationIsHonestAndLeaksNoPins) {
   std::set<std::string> emitted;
   for (const auto& g : got) emitted.insert(g.password);
   for (const auto& r : all)
-    if (!emitted.count(r.password))
+    if (!emitted.count(r.password)) {
       EXPECT_LE(r.log_prob, e->stats().truncated_log_prob) << r.password;
+    }
   // Pins never exceed resident nodes while live...
   EXPECT_LE(e->cache().pinned_nodes(), e->cache().nodes());
   // ...and the trie's destructor PPG_CHECKs pinned_ == 0: deleting the

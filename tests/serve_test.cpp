@@ -362,7 +362,9 @@ TEST_F(ServeTest, OrderedRequestYieldsDescendingUniqueGuesses) {
     EXPECT_TRUE(seen.insert(resp.passwords[i]).second)
         << "duplicate guess " << resp.passwords[i];
     EXPECT_LE(resp.log_probs[i], 0.0);
-    if (i > 0) EXPECT_LE(resp.log_probs[i], resp.log_probs[i - 1]);
+    if (i > 0) {
+      EXPECT_LE(resp.log_probs[i], resp.log_probs[i - 1]);
+    }
   }
 }
 

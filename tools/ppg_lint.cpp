@@ -46,10 +46,33 @@
 //                       enforce_budgets) — best-first frontiers grow
 //                       geometrically, and a push site without an adjacent
 //                       bound turns the search into an OOM.
+//   raw-std-mutex       src/serve, src/obs and src/gpt synchronise through
+//                       the annotated ppg::Mutex / ppg::MutexLock /
+//                       ppg::CondVar wrappers (common/thread_annotations.h)
+//                       — raw std primitives are invisible to clang's
+//                       -Wthread-safety analysis, so a guarded_by
+//                       annotation next to one is a lie the compiler can't
+//                       catch (DESIGN.md §14).
+//   blocking-under-lock lexical scan: no fsync / ::write / ::read /
+//                       sleep_for / atomic_save / checked_load inside a
+//                       MutexLock|lock_guard scope — file IO under a lock
+//                       stalls every thread behind it; snapshot under the
+//                       lock, then do the blocking call outside
+//                       (copy-then-write, DESIGN.md §14). The scan is
+//                       brace-depth-aware: the guard "scope" ends when the
+//                       block it was declared in closes.
+//   unannotated-mutex-sibling
+//                       heuristic: a member declared in the same block as
+//                       a mutex, whose name ends in '_', must carry
+//                       PPG_GUARDED_BY / PPG_PT_GUARDED_BY (const/static/
+//                       atomic/Mutex/CondVar members are exempt). Catches
+//                       the classic drift where a new field lands beside
+//                       mu_ without joining its lock discipline.
 //
 // A finding on one specific line can be waived in place with a trailing
 //   // ppg-lint: allow(<rule-name>) <why>
-// comment; path-level exemptions live in the rule table below.
+// comment (several rules may share one allow() as a comma-separated list);
+// path-level exemptions live in the rule table below.
 //
 // Matching is substring-with-left-word-boundary over comment- and
 // string-stripped source, so `srand(` does not fire `rand(` and prose in
@@ -88,6 +111,7 @@ const std::vector<Rule> kRules = {
      "audited owner; naked threads escape drain()/stop() and TSan coverage",
      {"src/"},
      {"src/common/thread_pool.h"},
+     {},
      {}},
     {"nondeterministic-random",
      {"rand(", "srand(", "rand_r(", "std::random_device", "random_device{",
@@ -96,12 +120,14 @@ const std::vector<Rule> kRules = {
      "xoshiro256**), not wall clocks or libc randomness",
      {"src/"},
      {},
+     {},
      {}},
     {"cout-in-library",
      {"std::cout"},
      "library code logs via common/logging.h (atomic single-call lines); "
      "std::cout interleaves under concurrency",
      {"src/"},
+     {},
      {},
      {}},
     {"raw-tensor-index",
@@ -110,6 +136,7 @@ const std::vector<Rule> kRules = {
      "bypasses the bounds DCHECKs",
      {"src/nn/"},
      {"src/nn/tensor.h"},
+     {},
      {}},
     {"raw-new-delete",
      {"new ", "delete ", "delete["},
@@ -117,6 +144,7 @@ const std::vector<Rule> kRules = {
      "its neighbours are refcount-heavy; raw new/delete there turns every "
      "early return into a leak or double-free)",
      {"src/gpt/", "src/serve/", "src/core/"},
+     {},
      {},
      {}},
     {"direct-final-write",
@@ -126,6 +154,7 @@ const std::vector<Rule> kRules = {
      "torn mid-write by a crash and carries no CRC footer",
      {"src/"},
      {"src/common/durable_io.cpp"},
+     {},
      {}},
     {"assert-use",
      {"assert(", "#include <cassert>", "#include <assert.h>"},
@@ -133,11 +162,13 @@ const std::vector<Rule> kRules = {
      "sanitize-aware) instead of cassert",
      {"src/", "tools/"},
      {},
+     {},
      {}},
     {"pragma-once",
      {},  // file-level: headers must contain #pragma once
      "header is missing #pragma once",
      {"src/", "tests/", "bench/", "tools/", "examples/"},
+     {},
      {},
      {}},
     {"untracked-bench",
@@ -158,6 +189,39 @@ const std::vector<Rule> kRules = {
      {},
      {},
      {"max_nodes", "cache_bytes", "enforce_budgets"}},
+    {"raw-std-mutex",
+     {"std::mutex", "std::recursive_mutex", "std::timed_mutex",
+      "std::shared_mutex", "std::condition_variable", "std::lock_guard",
+      "std::unique_lock", "std::scoped_lock"},
+     "synchronise via ppg::Mutex / ppg::MutexLock / ppg::CondVar "
+     "(common/thread_annotations.h) — raw std primitives are invisible to "
+     "clang -Wthread-safety, so annotations beside them go unchecked",
+     {"src/serve/", "src/obs/", "src/gpt/"},
+     {},
+     {},
+     {}},
+    // Custom brace-depth pass (see scan_blocking_under_lock): `needles`
+    // here are the blocking calls, not line-match needles.
+    {"blocking-under-lock",
+     {"fsync(", "::write(", "::read(", "sleep_for(", "atomic_save(",
+      "checked_load("},
+     "blocking call inside a MutexLock/lock_guard scope stalls every thread "
+     "behind the lock — snapshot under the lock, then do the IO outside "
+     "(copy-then-write, DESIGN.md §14)",
+     {"src/"},
+     {"src/common/thread_annotations.h"},
+     {},
+     {}},
+    // Custom sibling-scan pass (see scan_mutex_siblings).
+    {"unannotated-mutex-sibling",
+     {},
+     "member shares a block with a mutex but carries no PPG_GUARDED_BY / "
+     "PPG_PT_GUARDED_BY — annotate it, or waive with a comment naming the "
+     "discipline that protects it",
+     {"src/"},
+     {"src/common/thread_annotations.h"},
+     {},
+     {}},
 };
 
 /// *_main.cpp files are binary entry points: stdout is their product
@@ -242,14 +306,40 @@ bool contains_word(const std::string& code, const std::string& needle) {
   return false;
 }
 
+/// True when `raw` carries a `ppg-lint: allow(...)` naming `rule`. One
+/// allow() can waive several rules as a comma-separated list, and a line
+/// may carry more than one allow() marker.
 bool line_waives(const std::string& raw, const std::string& rule) {
-  const std::size_t mark = raw.find("ppg-lint: allow(");
-  if (mark == std::string::npos) return false;
-  const std::size_t open = raw.find('(', mark);
-  const std::size_t close = raw.find(')', open);
-  if (close == std::string::npos) return false;
-  const std::string_view inside(raw.data() + open + 1, close - open - 1);
-  return inside == rule;
+  std::size_t mark = 0;
+  while ((mark = raw.find("ppg-lint: allow(", mark)) != std::string::npos) {
+    const std::size_t open = raw.find('(', mark);
+    const std::size_t close = raw.find(')', open);
+    if (close == std::string::npos) return false;
+    std::string_view inside(raw.data() + open + 1, close - open - 1);
+    while (!inside.empty()) {
+      const std::size_t comma = inside.find(',');
+      std::string_view tok = inside.substr(0, comma);
+      while (!tok.empty() && tok.front() == ' ') tok.remove_prefix(1);
+      while (!tok.empty() && tok.back() == ' ') tok.remove_suffix(1);
+      if (tok == rule) return true;
+      if (comma == std::string_view::npos) break;
+      inside.remove_prefix(comma + 1);
+    }
+    mark = close;
+  }
+  return false;
+}
+
+/// All left-word-boundary match start positions of `needle` in `code`.
+std::vector<std::size_t> word_positions(const std::string& code,
+                                        const std::string& needle) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || !is_word_char(code[pos - 1])) out.push_back(pos);
+    ++pos;
+  }
+  return out;
 }
 
 struct Finding {
@@ -258,15 +348,163 @@ struct Finding {
   const Rule* rule;
 };
 
+/// Lock-guard spellings whose constructor acquires a capability for the
+/// rest of the enclosing block (blocking-under-lock's notion of "under a
+/// lock" is lexical containment in such a block).
+const std::vector<std::string> kLockGuards = {
+    "MutexLock", "std::lock_guard", "std::unique_lock", "std::scoped_lock"};
+
+/// blocking-under-lock: a char-wise brace walk keeps a stack of the block
+/// depths at which lock guards were declared; while the stack is non-empty
+/// every blocking-call needle is a finding. Lexical, per-file: a blocking
+/// call in a helper that *requires* the lock (PPG_REQUIRES) is the
+/// caller's responsibility, not this rule's.
+void scan_blocking_under_lock(const Rule& r,
+                              const std::vector<std::string>& raws,
+                              const std::vector<std::string>& codes,
+                              const std::string& rel,
+                              std::vector<Finding>& findings) {
+  int depth = 0;
+  std::vector<int> guard_depths;
+  for (std::size_t idx = 0; idx < codes.size(); ++idx) {
+    const std::string& code = codes[idx];
+    std::vector<std::size_t> guards, calls;
+    for (const auto& g : kLockGuards)
+      for (const std::size_t p : word_positions(code, g)) guards.push_back(p);
+    for (const auto& n : r.needles)
+      for (const std::size_t p : word_positions(code, n)) calls.push_back(p);
+    std::sort(guards.begin(), guards.end());
+    std::sort(calls.begin(), calls.end());
+    std::size_t gi = 0, ci = 0;
+    for (std::size_t i = 0; i <= code.size(); ++i) {
+      while (gi < guards.size() && guards[gi] == i) {
+        guard_depths.push_back(depth);
+        ++gi;
+      }
+      while (ci < calls.size() && calls[ci] == i) {
+        if (!guard_depths.empty() && !line_waives(raws[idx], r.name))
+          findings.push_back({rel, idx + 1, &r});
+        ++ci;
+      }
+      if (i == code.size()) break;
+      if (code[i] == '{') {
+        ++depth;
+      } else if (code[i] == '}') {
+        --depth;
+        while (!guard_depths.empty() && guard_depths.back() > depth)
+          guard_depths.pop_back();
+      }
+    }
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Member spellings that excuse a mutex sibling from needing an
+/// annotation: immutable, internally synchronized, or not data at all.
+bool sibling_exempt(const std::string& code) {
+  for (const char* tok :
+       {"const", "constexpr", "static", "using", "typedef", "friend", "enum",
+        "struct", "class", "std::atomic", "Mutex", "CondVar", "std::mutex",
+        "std::condition_variable", "std::once_flag"})
+    if (contains_word(code, tok)) return true;
+  return false;
+}
+
+/// A line that *declares* a mutex member/local: mentions a mutex type,
+/// ends the declaration on this line, and is not a function/friend/type
+/// declaration.
+bool is_mutex_decl(const std::string& code) {
+  const std::string_view t = trim(code);
+  if (t.empty() || t.back() != ';') return false;
+  if (code.find('(') != std::string::npos) return false;
+  for (const char* kw : {"friend", "using", "typedef", "class", "struct"})
+    if (contains_word(code, kw)) return false;
+  return contains_word(code, "Mutex") || contains_word(code, "std::mutex") ||
+         contains_word(code, "std::recursive_mutex") ||
+         contains_word(code, "std::shared_mutex");
+}
+
+/// unannotated-mutex-sibling: for every mutex declaration, walk its
+/// enclosing block (lines whose depth never dips below the mutex's) and
+/// flag same-depth declarations whose name ends in '_' but that carry no
+/// PPG_GUARDED_BY / PPG_PT_GUARDED_BY. The trailing-underscore heuristic
+/// targets members (locals named like `fifo` or `closed` are out of
+/// scope); exemptions live in sibling_exempt().
+void scan_mutex_siblings(const Rule& r, const std::vector<std::string>& raws,
+                         const std::vector<std::string>& codes,
+                         const std::string& rel,
+                         std::vector<Finding>& findings) {
+  const std::size_t n = codes.size();
+  // start_depth[i]: brace depth entering line i; min_depth[i]: the lowest
+  // depth reached while scanning it (detects a block closing mid-line).
+  std::vector<int> start_depth(n, 0), min_depth(n, 0);
+  int depth = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    start_depth[i] = depth;
+    int mind = depth;
+    for (const char c : codes[i]) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      mind = std::min(mind, depth);
+    }
+    min_depth[i] = mind;
+  }
+  std::vector<bool> flagged(n, false);
+  for (std::size_t m = 0; m < n; ++m) {
+    if (!is_mutex_decl(codes[m])) continue;
+    const int d = start_depth[m];
+    std::size_t lo = m, hi = m;
+    while (lo > 0 && min_depth[lo - 1] >= d) --lo;
+    while (hi + 1 < n && min_depth[hi + 1] >= d) ++hi;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (j == m || flagged[j] || start_depth[j] != d) continue;
+      const std::string& code = codes[j];
+      const std::string_view t = trim(code);
+      if (t.empty() || t.back() != ';') continue;
+      if (code.find('(') != std::string::npos) continue;
+      if (contains_word(code, "PPG_GUARDED_BY") ||
+          contains_word(code, "PPG_PT_GUARDED_BY"))
+        continue;
+      if (sibling_exempt(code)) continue;
+      // Last identifier before ';' (or before '=' / '{' when initialized):
+      // member names end in '_' by convention.
+      std::string_view decl = t.substr(0, t.size() - 1);
+      const std::size_t eq = decl.find('=');
+      if (eq != std::string_view::npos) decl = decl.substr(0, eq);
+      std::size_t end = decl.size();
+      while (end > 0 && !is_word_char(decl[end - 1])) --end;
+      std::size_t begin = end;
+      while (begin > 0 && is_word_char(decl[begin - 1])) --begin;
+      if (begin == end || decl[end - 1] != '_') continue;
+      if (line_waives(raws[j], r.name)) continue;
+      flagged[j] = true;
+      findings.push_back({rel, j + 1, &r});
+    }
+  }
+}
+
 void scan_file(const fs::path& abs, const std::string& rel,
                std::vector<Finding>& findings) {
   std::vector<const Rule*> line_rules;
   const Rule* header_rule = nullptr;
   const Rule* require_rule = nullptr;
+  const Rule* blocking_rule = nullptr;
+  const Rule* sibling_rule = nullptr;
   const bool is_header = rel.size() > 2 && rel.rfind(".h") == rel.size() - 2;
   for (const auto& r : kRules) {
     if (!rule_applies(r, rel)) continue;
-    if (!r.require.empty()) {
+    if (r.name == "blocking-under-lock") {
+      blocking_rule = &r;
+    } else if (r.name == "unannotated-mutex-sibling") {
+      sibling_rule = &r;
+    } else if (!r.require.empty()) {
       if (!is_header) require_rule = &r;
     } else if (r.needles.empty()) {
       if (is_header) header_rule = &r;
@@ -274,7 +512,9 @@ void scan_file(const fs::path& abs, const std::string& rel,
       line_rules.push_back(&r);
     }
   }
-  if (line_rules.empty() && header_rule == nullptr && require_rule == nullptr)
+  if (line_rules.empty() && header_rule == nullptr &&
+      require_rule == nullptr && blocking_rule == nullptr &&
+      sibling_rule == nullptr)
     return;
 
   std::ifstream in(abs);
@@ -331,6 +571,10 @@ void scan_file(const fs::path& abs, const std::string& rel,
     findings.push_back({rel, 1, header_rule});
   if (require_rule != nullptr && !require_met)
     findings.push_back({rel, 1, require_rule});
+  if (blocking_rule != nullptr)
+    scan_blocking_under_lock(*blocking_rule, raws, codes, rel, findings);
+  if (sibling_rule != nullptr)
+    scan_mutex_siblings(*sibling_rule, raws, codes, rel, findings);
 }
 
 }  // namespace
