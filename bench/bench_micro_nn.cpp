@@ -17,8 +17,10 @@
 
 #include "gpt/infer.h"
 #include "gpt/model.h"
+#include "nn/backend.h"
 #include "nn/graph.h"
 #include "nn/kernels.h"
+#include "nn/quant.h"
 #include "obs/bench_track.h"
 #include "tokenizer/tokenizer.h"
 
@@ -114,6 +116,100 @@ void BM_InferenceDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_InferenceDecode)->Arg(1)->Arg(16)->Arg(128);
 
+void BM_InferenceDecodeInt8(benchmark::State& state) {
+  // The serve fast path: same decode loop, int8 projections. The fp32
+  // BM_InferenceDecode rows above are the comparison baseline.
+  const gpt::GptModel model(gpt::Config::small(), 4);
+  const auto batch = static_cast<nn::Index>(state.range(0));
+  gpt::InferenceSession session(model, gpt::Precision::kInt8);
+  const std::vector<int> tokens(static_cast<std::size_t>(batch),
+                                tok::Tokenizer::kBos);
+  session.reset(batch);
+  for (auto _ : state) {
+    if (session.position() >= model.config().context) session.reset(batch);
+    benchmark::DoNotOptimize(session.step(tokens).data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_InferenceDecodeInt8)->Arg(1)->Arg(16)->Arg(128);
+
+/// Per-backend variants, registered at startup for whatever tables this
+/// machine can run (scalar always; avx2/avx512 when the CPU has them).
+/// Names carry the backend (BM_GemmNN_avx2/128) so the perf trajectory
+/// tracks each backend's curve separately.
+void register_backend_benchmarks() {
+  for (const nn::BackendKind kind : nn::available_backends()) {
+    const std::string suffix = nn::backend_name(kind);
+    benchmark::RegisterBenchmark(
+        ("BM_GemmNN_" + suffix).c_str(),
+        [kind](benchmark::State& state) {
+          nn::ScopedBackend forced(kind);
+          const auto n = static_cast<nn::Index>(state.range(0));
+          std::vector<float> a(n * n, 1.f), b(n * n, 1.f), c(n * n);
+          for (auto _ : state) {
+            std::fill(c.begin(), c.end(), 0.f);
+            nn::kernels::gemm_nn(n, n, n, a.data(), b.data(), c.data());
+            benchmark::DoNotOptimize(c.data());
+          }
+          state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+        })
+        ->Arg(64)
+        ->Arg(128)
+        ->Arg(256);
+    benchmark::RegisterBenchmark(
+        ("BM_LayerNormRows_" + suffix).c_str(),
+        [kind](benchmark::State& state) {
+          nn::ScopedBackend forced(kind);
+          const nn::Index rows = 512, d = 64;
+          std::vector<float> x(rows * d, 0.5f), gain(d, 1.f), bias(d, 0.f),
+              y(rows * d);
+          for (auto _ : state) {
+            nn::kernels::layernorm_rows(rows, d, x.data(), gain.data(),
+                                        bias.data(), y.data());
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(state.iterations() * rows);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_SoftmaxRows_" + suffix).c_str(),
+        [kind](benchmark::State& state) {
+          nn::ScopedBackend forced(kind);
+          const nn::Index rows = 512, d = 96;
+          std::vector<float> x(rows * d, 0.25f), y(rows * d);
+          for (auto _ : state) {
+            nn::kernels::softmax_rows(rows, d, x.data(), y.data());
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(state.iterations() * rows);
+        });
+    // The full int8 serving step for one matrix: quantize activations,
+    // int8 GEMM, dequant+bias. items/sec is MACs*2, directly comparable
+    // to the fp32 BM_GemmNN_<backend> rows.
+    benchmark::RegisterBenchmark(
+        ("BM_QAffine_" + suffix).c_str(),
+        [kind](benchmark::State& state) {
+          nn::ScopedBackend forced(kind);
+          const auto n = static_cast<nn::Index>(state.range(0));
+          const nn::Index k_pad = nn::quant::padded_k(n);
+          std::vector<float> x(n * n, 0.5f), w(n * n, 0.25f), bias(n, 0.f),
+              y(n * n), sx(n);
+          const auto qw = nn::quant::quantize_weights(w.data(), n, n);
+          std::vector<std::int8_t> qx(n * k_pad, 0);
+          for (auto _ : state) {
+            nn::kernels::quantize_rows(n, n, k_pad, x.data(), qx.data(),
+                                       sx.data());
+            nn::kernels::qaffine(n, n, k_pad, qx.data(), sx.data(),
+                                 qw.data.data(), qw.scales.data(), bias.data(),
+                                 y.data());
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+        })
+        ->Arg(64)
+        ->Arg(128);
+  }
+}
+
 /// Console reporter that additionally collects each benchmark's headline
 /// numbers for the trajectory record. Aggregate rows (_mean/_median from
 /// --benchmark_repetitions) are skipped: the gate medians across runs
@@ -156,6 +252,7 @@ int main(int argc, char** argv) {
   int fwd_argc = static_cast<int>(fwd.size());
   benchmark::Initialize(&fwd_argc, fwd.data());
   if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 1;
+  register_backend_benchmarks();
 
   TrackingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);

@@ -24,6 +24,9 @@
 //                   only ever slows a run down, so best-of approximates
 //                   the machine's true throughput
 //   --max-batch=N   scheduler batch cap (default 64)
+//   --quantize      serve sampled requests through the int8 projection
+//                   path (ServiceConfig::sample.precision = kInt8); the
+//                   default fp32 run is the comparison baseline
 //   --seed=N        base seed (default 2024)
 //   --report=FILE   write the cell table as JSON
 //   --track-dir=DIR append a perf-trajectory record (BENCH_serve_throughput
@@ -93,12 +96,13 @@ double percentile(std::vector<double>& v, double p) {
 Cell run_cell(const gpt::GptModel& model,
               const pcfg::PatternDistribution& patterns, int clients,
               bool batching, int requests, std::size_t max_batch,
-              std::uint64_t seed) {
+              gpt::Precision precision, std::uint64_t seed) {
   serve::ServiceConfig cfg;
   cfg.workers = 1;
   cfg.max_batch = max_batch;
   cfg.max_queue = static_cast<std::size_t>(clients) * 2 + 8;
   cfg.batching = batching;
+  cfg.sample.precision = precision;
   serve::GuessService svc(model, patterns, cfg);
 
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
@@ -161,7 +165,8 @@ Cell run_cell(const gpt::GptModel& model,
 int main(int argc, char** argv) {
   try {
     Cli cli(argc, argv, {"config", "clients", "requests", "repeats",
-                         "max-batch", "seed", "report", "track-dir"});
+                         "max-batch", "quantize", "seed", "report",
+                         "track-dir"});
     const auto config = config_by_name(cli.get("config", "paper"));
     const auto clients = parse_csv_ints(cli.get("clients", "1,4,16"));
     const int requests = static_cast<int>(cli.get_int("requests", 32));
@@ -170,6 +175,9 @@ int main(int argc, char** argv) {
     const auto max_batch =
         static_cast<std::size_t>(cli.get_int("max-batch", 64));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
+    const gpt::Precision precision = cli.get_bool("quantize")
+                                         ? gpt::Precision::kInt8
+                                         : gpt::Precision::kFp32;
     // Random-init weights: strict masks make every guess decodable, and
     // the serving cost (the thing measured) is identical to a trained
     // model of the same config.
@@ -179,9 +187,10 @@ int main(int argc, char** argv) {
     patterns.finalize();
 
     std::printf("bench_serve_throughput: config=%s requests/client=%d "
-                "repeats=%d max_batch=%zu seed=%llu\n",
+                "repeats=%d max_batch=%zu precision=%s seed=%llu\n",
                 cli.get("config", "paper").c_str(), requests, repeats,
-                max_batch, static_cast<unsigned long long>(seed));
+                max_batch, gpt::precision_name(precision),
+                static_cast<unsigned long long>(seed));
     std::printf("%8s  %9s  %10s  %9s  %9s  %9s  %8s\n", "clients", "batching",
                 "guess/sec", "p50 ms", "p99 ms", "occupancy", "invalid");
 
@@ -195,7 +204,7 @@ int main(int argc, char** argv) {
       for (const int n : clients)
         for (const bool batching : {false, true}) {
           const Cell run = run_cell(model, patterns, n, batching, requests,
-                                    max_batch, seed);
+                                    max_batch, precision, seed);
           if (r == 0)
             cells.push_back(run);
           else if (run.guesses_per_sec > cells[idx].guesses_per_sec)
@@ -228,6 +237,7 @@ int main(int argc, char** argv) {
       w.key("requests_per_client").value(std::int64_t{requests});
       w.key("repeats").value(std::int64_t{repeats});
       w.key("max_batch").value(std::uint64_t{max_batch});
+      w.key("precision").value(gpt::precision_name(precision));
       w.key("seed").value(std::uint64_t{seed});
       w.end_object();
       w.key("cells").begin_array();
@@ -281,6 +291,7 @@ int main(int argc, char** argv) {
       config["requests_per_client"] = std::to_string(requests);
       config["repeats"] = std::to_string(repeats);
       config["max_batch"] = std::to_string(max_batch);
+      config["precision"] = gpt::precision_name(precision);
       config["seed"] = std::to_string(seed);
       std::map<std::string, double> metrics;
       if (best != nullptr) {

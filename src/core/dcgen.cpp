@@ -145,6 +145,12 @@ std::uint64_t dc_fingerprint(const gpt::GptModel& model,
   h = jmix_double(h, cfg.sample.top_p);
   h = jmix(h, static_cast<std::uint64_t>(cfg.sample.batch_size));
   h = jmix(h, static_cast<std::uint64_t>(cfg.sample.max_attempt_factor));
+  // Numeric precision changes every sampled guess (int8 logits differ from
+  // fp32 by the quantization error), so it is output-relevant. The SIMD
+  // backend is deliberately NOT mixed: the kernel contract makes fp32
+  // bitwise identical and int8 integer-exact across backends, so a journal
+  // written on one machine resumes on another with different vector units.
+  h = jmix(h, static_cast<std::uint64_t>(cfg.sample.precision));
   for (const auto& [pat, prob] : patterns.sorted()) {
     h = jmix(h, hash64(pat));
     h = jmix_double(h, prob);
@@ -291,6 +297,12 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
                                      std::uint64_t seed, DcGenStats* stats) {
   if (cfg.total <= 0 || cfg.threshold <= 0)
     throw std::invalid_argument("dc_generate: total and threshold must be > 0");
+  if (cfg.leaf_mode == LeafMode::kOrdered &&
+      cfg.sample.precision != gpt::Precision::kFp32)
+    throw std::invalid_argument(
+        "dc_generate: ordered leaves require fp32 (the best-first search's "
+        "probability bounds are derived from fp32 logits; mixing them with "
+        "int8 division states would break its exactness guarantee)");
   obs::Span run_span("dcgen/run", "dcgen");
   DcMetrics& metrics = DcMetrics::get();
   metrics.runs.inc();
@@ -435,7 +447,7 @@ std::vector<std::string> dc_generate(const gpt::GptModel& model,
   std::unique_ptr<gpt::KvTrieCache> cache;
   if (cfg.kv_cache)
     cache = std::make_unique<gpt::KvTrieCache>(cfg.kv_cache_bytes);
-  gpt::InferenceSession session(model);
+  gpt::InferenceSession session(model, cfg.sample.precision);
   const auto& class_sets = ClassTokenSets::instance();
   std::vector<int> feed;
   std::vector<float> task_logits;  ///< [group_size, vocab] scratch

@@ -33,34 +33,31 @@ struct InferMetrics {
   }
 };
 
-/// y[i,:] = layernorm(x[i,:]) * gain + bias, rows of width d.
-void layernorm_rows(Index rows, Index d, const float* x, const float* gain,
-                    const float* bias, float* y) {
-  const float invd = 1.f / static_cast<float>(d);
-  for (Index i = 0; i < rows; ++i) {
-    const float* xr = x + i * d;
-    float* yr = y + i * d;
-    float mean = 0.f;
-    for (Index j = 0; j < d; ++j) mean += xr[j];
-    mean *= invd;
-    float var = 0.f;
-    for (Index j = 0; j < d; ++j) {
-      const float c = xr[j] - mean;
-      var += c * c;
-    }
-    const float rs = 1.f / std::sqrt(var * invd + 1e-5f);
-    for (Index j = 0; j < d; ++j)
-      yr[j] = (xr[j] - mean) * rs * gain[j] + bias[j];
-  }
-}
-
 inline float gelu1(float v) {
   return 0.5f * v * (1.f + std::erf(v * 0.7071067811865475f));
 }
 
 }  // namespace
 
-InferenceSession::InferenceSession(const GptModel& model) : model_(&model) {}
+InferenceSession::InferenceSession(const GptModel& model, Precision precision)
+    : model_(&model), precision_(precision) {
+  if (precision_ == Precision::kInt8) qweights_ = &model.quantized();
+}
+
+void InferenceSession::project(Index n, Index k, const float* x,
+                               const nn::Linear& lin,
+                               const nn::quant::QuantizedMatrix* qm,
+                               float* y) {
+  if (qm == nullptr) {
+    nn::kernels::affine(batch_, n, k, x, lin.weight().data().data(),
+                        lin.bias().data().data(), y);
+    return;
+  }
+  nn::kernels::quantize_rows(batch_, k, qm->k_pad, x, qx_.data(), qs_.data());
+  nn::kernels::qaffine(batch_, n, qm->k_pad, qx_.data(), qs_.data(),
+                       qm->data.data(), qm->scales.data(),
+                       lin.bias().data().data(), y);
+}
 
 void InferenceSession::reset(Index batch) {
   if (batch <= 0)
@@ -84,6 +81,13 @@ void InferenceSession::reset(Index batch) {
     att_.assign(batch * c.d_model, 0.f);
     ff_.assign(batch * c.d_ff(), 0.f);
     logits_.assign(batch * c.vocab, 0.f);
+    if (precision_ == Precision::kInt8) {
+      // Widest activation the projections quantize is the d_ff-wide gelu
+      // output feeding fc2; k is zero-padded per quant.h.
+      qx_.assign(
+          static_cast<std::size_t>(batch * nn::quant::padded_k(c.d_ff())), 0);
+      qs_.assign(static_cast<std::size_t>(batch), 0.f);
+    }
     capacity_ = batch;
   }
 
@@ -131,12 +135,15 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
   float* const scores = scores_.data();
   for (Index l = 0; l < c.n_layers; ++l) {
     const Block& blk = model_->blocks()[static_cast<std::size_t>(l)];
+    const QuantizedBlock* qb =
+        qweights_ != nullptr ? &qweights_->blocks[static_cast<std::size_t>(l)]
+                             : nullptr;
     // Attention: h = ln1(x); qkv = h·Wqkv+b; cache k,v; attend; x += proj.
-    layernorm_rows(batch_, d, x_.data(), blk.ln1.gain().data().data(),
-                   blk.ln1.bias().data().data(), h_.data());
-    nn::kernels::affine(batch_, 3 * d, d, h_.data(),
-                        blk.qkv.weight().data().data(),
-                        blk.qkv.bias().data().data(), qkv_.data());
+    nn::kernels::layernorm_rows(batch_, d, x_.data(),
+                                blk.ln1.gain().data().data(),
+                                blk.ln1.bias().data().data(), h_.data());
+    project(3 * d, d, h_.data(), blk.qkv, qb != nullptr ? &qb->qkv : nullptr,
+            qkv_.data());
     float* kc = kcache_[static_cast<std::size_t>(l)].data();
     float* vc = vcache_[static_cast<std::size_t>(l)].data();
     for (Index i = 0; i < batch_; ++i) {
@@ -178,30 +185,29 @@ std::span<const float> InferenceSession::step(std::span<const int> tokens) {
       }
     }
     // x += proj(att)
-    nn::kernels::affine(batch_, d, d, att_.data(),
-                        blk.proj.weight().data().data(),
-                        blk.proj.bias().data().data(), h_.data());
+    project(d, d, att_.data(), blk.proj, qb != nullptr ? &qb->proj : nullptr,
+            h_.data());
     for (Index i = 0; i < batch_ * d; ++i) x_[i] += h_[i];
     // MLP: x += fc2(gelu(fc1(ln2(x))))
-    layernorm_rows(batch_, d, x_.data(), blk.ln2.gain().data().data(),
-                   blk.ln2.bias().data().data(), h_.data());
-    nn::kernels::affine(batch_, c.d_ff(), d, h_.data(),
-                        blk.fc1.weight().data().data(),
-                        blk.fc1.bias().data().data(), ff_.data());
+    nn::kernels::layernorm_rows(batch_, d, x_.data(),
+                                blk.ln2.gain().data().data(),
+                                blk.ln2.bias().data().data(), h_.data());
+    project(c.d_ff(), d, h_.data(), blk.fc1,
+            qb != nullptr ? &qb->fc1 : nullptr, ff_.data());
     // Only the live batch's rows — ff_ may be capacity-sized (reset reuse).
     const Index ffn = batch_ * c.d_ff();
     for (Index idx = 0; idx < ffn; ++idx) ff_[idx] = gelu1(ff_[idx]);
-    nn::kernels::affine(batch_, d, c.d_ff(), ff_.data(),
-                        blk.fc2.weight().data().data(),
-                        blk.fc2.bias().data().data(), h_.data());
+    project(d, c.d_ff(), ff_.data(), blk.fc2,
+            qb != nullptr ? &qb->fc2 : nullptr, h_.data());
     for (Index i = 0; i < batch_ * d; ++i) x_[i] += h_[i];
   }
 
-  layernorm_rows(batch_, d, x_.data(), model_->ln_f().gain().data().data(),
-                 model_->ln_f().bias().data().data(), h_.data());
-  nn::kernels::affine(batch_, c.vocab, d, h_.data(),
-                      model_->lm_head().weight().data().data(),
-                      model_->lm_head().bias().data().data(), logits_.data());
+  nn::kernels::layernorm_rows(batch_, d, x_.data(),
+                              model_->ln_f().gain().data().data(),
+                              model_->ln_f().bias().data().data(), h_.data());
+  project(c.vocab, d, h_.data(), model_->lm_head(),
+          qweights_ != nullptr ? &qweights_->lm_head : nullptr,
+          logits_.data());
   ++pos_;
   logits_ready_ = true;
   return {logits_.data(), static_cast<std::size_t>(batch_ * c.vocab)};

@@ -18,12 +18,28 @@
 
 namespace ppg::gpt {
 
+/// Numeric substrate for a session's GEMMs. kFp32 is the reference (and
+/// training) path; kInt8 runs the projections through per-row absmax
+/// quantization + int8 GEMM (nn/quant.h) — ~bounded logits error, higher
+/// throughput, identical bits on every SIMD backend. Attention, layernorm
+/// and embeddings stay fp32 in both modes.
+enum class Precision : int { kFp32 = 0, kInt8 = 1 };
+
+constexpr const char* precision_name(Precision p) noexcept {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
 /// Batched incremental decoder over a GptModel's weights.
 /// The model must outlive the session.
 class InferenceSession {
  public:
-  /// Binds to a model. Buffers are sized lazily at reset().
-  explicit InferenceSession(const GptModel& model);
+  /// Binds to a model. Buffers are sized lazily at reset(). kInt8 builds
+  /// (or reuses) the model's cached quantized weight view immediately, so
+  /// the one-time quantization cost lands here rather than on the first
+  /// step; the view must not be invalidated by GptModel::load() while
+  /// this session is alive.
+  explicit InferenceSession(const GptModel& model,
+                            Precision precision = Precision::kFp32);
 
   /// Starts `batch` fresh sequences at position 0. Buffers are reused when
   /// `batch` fits the largest batch this session has seen, so schedulers
@@ -73,8 +89,19 @@ class InferenceSession {
 
   const Config& config() const noexcept { return model_->config(); }
 
+  /// The numeric substrate this session runs its projections on.
+  Precision precision() const noexcept { return precision_; }
+
  private:
+  /// y[batch,n] = x[batch,k]·W + bias for one Linear: fp32 affine when
+  /// `qm` is null, otherwise quantize-activations + int8 GEMM + dequant.
+  void project(Index n, Index k, const float* x, const nn::Linear& lin,
+               const nn::quant::QuantizedMatrix* qm, float* y);
+
   const GptModel* model_;
+  Precision precision_ = Precision::kFp32;
+  /// Int8 weight views (owned by the model), non-null iff kInt8.
+  const QuantizedWeights* qweights_ = nullptr;
   Index batch_ = 0;
   Index capacity_ = 0;  ///< largest batch the buffers are sized for
   Index pos_ = 0;
@@ -86,6 +113,9 @@ class InferenceSession {
   // Scratch buffers reused across steps.
   std::vector<float> x_, h_, qkv_, att_, ff_, logits_;
   std::vector<float> scores_;  ///< attention-score scratch, one row
+  // Int8 activation scratch (kInt8 only): quantized rows + their scales.
+  std::vector<std::int8_t> qx_;
+  std::vector<float> qs_;
 };
 
 /// One-shot convenience: next-token distribution (softmax of logits) after

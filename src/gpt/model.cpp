@@ -212,6 +212,35 @@ void GptModel::load(const std::string& path) {
     if (msg.rfind("GptModel::load:", 0) == 0) throw;
     throw fail(msg);
   }
+  // The weights changed: drop any cached int8 view so the next quantized()
+  // call rebuilds it from the loaded parameters.
+  MutexLock lock(quant_.mu);
+  quant_.weights.reset();
+}
+
+std::size_t QuantizedWeights::bytes() const {
+  std::size_t total = lm_head.bytes();
+  for (const QuantizedBlock& b : blocks)
+    total += b.qkv.bytes() + b.proj.bytes() + b.fc1.bytes() + b.fc2.bytes();
+  return total;
+}
+
+const QuantizedWeights& GptModel::quantized() const {
+  MutexLock lock(quant_.mu);
+  if (quant_.weights == nullptr) {
+    auto quantize = [](const nn::Linear& lin) {
+      const nn::Tensor& w = lin.weight();  // [k, n] row-major
+      return nn::quant::quantize_weights(w.data().data(), w.dim(0), w.dim(1));
+    };
+    auto q = std::make_unique<QuantizedWeights>();
+    q->blocks.reserve(blocks_.size());
+    for (const Block& b : blocks_)
+      q->blocks.push_back({quantize(b.qkv), quantize(b.proj),
+                           quantize(b.fc1), quantize(b.fc2)});
+    q->lm_head = quantize(lm_head_);
+    quant_.weights = std::move(q);
+  }
+  return *quant_.weights;
 }
 
 }  // namespace ppg::gpt

@@ -12,11 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "nn/graph.h"
 #include "nn/layers.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 
 namespace ppg::gpt {
@@ -57,6 +60,20 @@ struct Block {
   nn::LayerNorm ln2;
   nn::Linear fc1;   ///< d_model -> d_ff
   nn::Linear fc2;   ///< d_ff -> d_model
+};
+
+/// Int8 views of one block's Linear weights (DESIGN.md §15). LayerNorms
+/// and embeddings stay fp32 — they are O(d) next to the O(d²) matmuls.
+struct QuantizedBlock {
+  nn::quant::QuantizedMatrix qkv, proj, fc1, fc2;
+};
+
+/// Per-channel int8 quantization of every GEMM weight in the model, built
+/// lazily from the fp32 parameters by GptModel::quantized().
+struct QuantizedWeights {
+  std::vector<QuantizedBlock> blocks;
+  nn::quant::QuantizedMatrix lm_head;
+  std::size_t bytes() const;
 };
 
 /// The transformer. Owns parameters; forward passes build onto a caller-
@@ -104,6 +121,14 @@ class GptModel {
   const nn::LayerNorm& ln_f() const noexcept { return ln_f_; }
   const nn::Linear& lm_head() const noexcept { return lm_head_; }
 
+  /// Int8 view of the GEMM weights, built on first use and cached
+  /// (threads racing here serialize on a mutex; the build is one-time).
+  /// load() drops the cache so a freshly loaded checkpoint re-quantizes.
+  /// The returned reference is stable until the next load() — callers
+  /// must not hold it across a checkpoint reload, the same lifetime rule
+  /// the fp32 accessors already impose.
+  const QuantizedWeights& quantized() const;
+
  private:
   Config cfg_;
   nn::ParamList params_;
@@ -111,6 +136,13 @@ class GptModel {
   std::vector<Block> blocks_;
   nn::LayerNorm ln_f_;
   nn::Linear lm_head_;
+  /// Lazily built int8 weight view (see quantized()); its own mutex keeps
+  /// the one-time build race-free without touching fp32 accessor paths.
+  struct QuantCache {
+    Mutex mu;
+    std::unique_ptr<QuantizedWeights> weights PPG_GUARDED_BY(mu);
+  };
+  mutable QuantCache quant_;
 };
 
 }  // namespace ppg::gpt

@@ -68,7 +68,7 @@ std::vector<std::string> sample_passwords(const GptModel& model,
   out.reserve(count);
   if (count == 0) return out;
   SampleStats local;
-  InferenceSession session(model);
+  InferenceSession session(model, opts.precision);
   const Index max_new =
       model.config().context - static_cast<Index>(prefix.size());
   std::vector<float> row(static_cast<std::size_t>(model.config().vocab));

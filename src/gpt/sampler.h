@@ -32,6 +32,11 @@ struct SampleOptions {
   /// Give up after count*max_attempt_factor sequences when the model keeps
   /// producing undecodable output (unfinished / malformed rules).
   int max_attempt_factor = 4;
+  /// Numeric substrate for the decoding session: kFp32 (reference) or
+  /// kInt8 (quantized projections — faster, bounded logits error; see
+  /// infer.h). Sampled guesses differ between the two, so the precision
+  /// participates in D&C-GEN's journal fingerprint.
+  Precision precision = Precision::kFp32;
 };
 
 /// Diagnostics of one sampling run.

@@ -332,18 +332,9 @@ Tensor Graph::softmax_rows(const Tensor& x) {
   require(x.rank() == 2, "softmax_rows: rank-2 tensor required");
   const Index m = x.dim(0), n = x.dim(1);
   Tensor out({m, n});
-  for (Index i = 0; i < m; ++i) {
-    float mx = x.at(i, 0);
-    for (Index j = 1; j < n; ++j) mx = std::max(mx, x.at(i, j));
-    float z = 0.f;
-    for (Index j = 0; j < n; ++j) {
-      const float e = std::exp(x.at(i, j) - mx);
-      out.at(i, j) = e;
-      z += e;
-    }
-    const float inv = 1.f / z;
-    for (Index j = 0; j < n; ++j) out.at(i, j) *= inv;
-  }
+  // Forward through the dispatched kernel (backend-invariant bits); the
+  // backward below only needs out, which softmax_rows fully determines.
+  kernels::softmax_rows(m, n, x.data().data(), out.data().data());
   record([x, out, m, n]() mutable {
     for (Index i = 0; i < m; ++i) {
       float dot = 0.f;

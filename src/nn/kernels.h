@@ -1,15 +1,22 @@
 // Raw float kernels shared by the autograd ops (graph.cpp) and the
 // no-autograd inference engine (gpt/infer.cpp).
 //
+// Since the backend-dispatch refactor these are thin wrappers: argument
+// DCHECKs here, then one indirect call through the process-wide
+// KernelBackend table (backend.h) into explicitly vectorized scalar /
+// AVX2 / AVX-512 implementations (kernels_scalar.cpp & friends). All
+// backends obey the accumulation contract in kernels_impl.h, so fp32
+// results are bitwise identical whichever table is active — callers can
+// treat the dispatch as invisible.
+//
 // All GEMMs accumulate into C (C += ...) so backward passes can reuse them
 // for gradient accumulation; call them on zeroed buffers for plain products.
-// Loop orders are chosen so the innermost loop is a contiguous stream the
-// compiler auto-vectorises.
 #pragma once
 
 #include <cstdint>
 
 #include "common/check.h"
+#include "nn/backend.h"
 
 namespace ppg::nn::kernels {
 
@@ -34,92 +41,25 @@ inline void dcheck_gemm_args([[maybe_unused]] Index m,
   PPG_DCHECK(c != nullptr || m * n == 0, "gemm: null C with m*n > 0");
 }
 
-/// C[m,n] += A[m,k] · B[k,n]  (ikj order, 4-row register blocking).
-///
-/// Rows are processed four at a time so each streamed B row feeds four
-/// output rows: B (the weight matrix in every inference/affine call) is
-/// read m/4 times instead of m, and each pass over the C rows retires 4×
-/// the MACs. That amortisation is what makes batched inference cheaper per
-/// row than repeated single-row calls (the serve layer's dynamic batching
-/// and the bench_serve_throughput speedup rest on it). Per output element
-/// the accumulation order over p is unchanged, so results are identical to
-/// the unblocked form.
-///
-/// The innermost j-loops are the throughput-critical streams; they MUST
-/// vectorise. GCC's -O2 default "very-cheap" vector cost model refuses
-/// loops whose trip count isn't a compile-time constant, silently dropping
-/// them to scalar (~10x) — the build sets -fvect-cost-model=dynamic to
-/// restore SIMD. Keep the j-loops branch-free, the pointers __restrict,
-/// and the row pointers as distinct named locals (an array of row pointers
-/// measured ~10x slower: the vectoriser gives up on it).
-inline void gemm_nn(Index m, Index n, Index k, const float* __restrict a,
-                    const float* __restrict b, float* __restrict c) {
+/// C[m,n] += A[m,k] · B[k,n].
+inline void gemm_nn(Index m, Index n, Index k, const float* a, const float* b,
+                    float* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
-  Index i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float* a0 = a + i * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    float* c0 = c + i * n;
-    float* c1 = c0 + n;
-    float* c2 = c1 + n;
-    float* c3 = c2 + n;
-    for (Index p = 0; p < k; ++p) {
-      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-      if (v0 == 0.f && v1 == 0.f && v2 == 0.f && v3 == 0.f) continue;
-      const float* brow = b + p * n;
-      for (Index j = 0; j < n; ++j) {
-        const float bv = brow[j];
-        c0[j] += v0 * bv;
-        c1[j] += v1 * bv;
-        c2[j] += v2 * bv;
-        c3[j] += v3 * bv;
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (Index p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      const float* brow = b + p * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  active_backend().gemm_nn(m, n, k, a, b, c);
 }
 
 /// C[m,n] += A[m,k] · B[n,k]ᵀ  (dot-product form).
-inline void gemm_nt(Index m, Index n, Index k, const float* __restrict a,
-                    const float* __restrict b, float* __restrict c) {
+inline void gemm_nt(Index m, Index n, Index k, const float* a, const float* b,
+                    float* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
-  for (Index i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (Index j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.f;
-      for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
+  active_backend().gemm_nt(m, n, k, a, b, c);
 }
 
 /// C[m,n] += A[k,m]ᵀ · B[k,n]  (rank-1 update form).
-inline void gemm_tn(Index m, Index n, Index k, const float* __restrict a,
-                    const float* __restrict b, float* __restrict c) {
+inline void gemm_tn(Index m, Index n, Index k, const float* a, const float* b,
+                    float* c) {
   dcheck_gemm_args(m, n, k, a, b, c);
-  for (Index p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (Index i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.f) continue;
-      float* crow = c + i * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  active_backend().gemm_tn(m, n, k, a, b, c);
 }
 
 /// y[m,n] = x[m,k] · W[k,n] + bias[n] (no accumulate; bias broadcast).
@@ -127,11 +67,48 @@ inline void affine(Index m, Index n, Index k, const float* x, const float* w,
                    const float* bias, float* y) {
   dcheck_gemm_args(m, n, k, x, w, y);
   PPG_DCHECK(bias != nullptr || n == 0, "affine: null bias with n > 0");
-  for (Index i = 0; i < m; ++i) {
-    float* yrow = y + i * n;
-    for (Index j = 0; j < n; ++j) yrow[j] = bias[j];
-  }
-  gemm_nn(m, n, k, x, w, y);
+  active_backend().affine(m, n, k, x, w, bias, y);
+}
+
+/// y[r,d] = layernorm(x[r,d]) * gain[d] + bias[d], eps 1e-5 (forward only;
+/// the autograd layernorm in graph.cpp keeps its own fused form because it
+/// must also save xhat/rstd for backward).
+inline void layernorm_rows(Index rows, Index d, const float* x,
+                           const float* gain, const float* bias, float* y) {
+  PPG_DCHECK(rows >= 0 && d >= 0, "layernorm_rows: negative extent");
+  PPG_DCHECK((x != nullptr && y != nullptr) || rows * d == 0,
+             "layernorm_rows: null buffer");
+  PPG_DCHECK((gain != nullptr && bias != nullptr) || d == 0,
+             "layernorm_rows: null gain/bias");
+  active_backend().layernorm_rows(rows, d, x, gain, bias, y);
+}
+
+/// y[r,n] = softmax(x[r,n]) per row (max-subtracted, eps-free).
+inline void softmax_rows(Index rows, Index n, const float* x, float* y) {
+  PPG_DCHECK(rows >= 0 && n >= 0, "softmax_rows: negative extent");
+  PPG_DCHECK((x != nullptr && y != nullptr) || rows * n == 0,
+             "softmax_rows: null buffer");
+  active_backend().softmax_rows(rows, n, x, y);
+}
+
+/// Per-row absmax int8 quantization of x[rows,k] into q[rows,k_pad]
+/// (zero-padded) + per-row dequant scales. See quant.h for the scheme.
+inline void quantize_rows(Index rows, Index k, Index k_pad, const float* x,
+                          std::int8_t* q, float* scale) {
+  PPG_DCHECK(rows >= 0 && k >= 0 && k_pad >= k, "quantize_rows: bad extents");
+  PPG_DCHECK(k_pad % 32 == 0, "quantize_rows: k_pad not a multiple of 32");
+  active_backend().quantize_rows(rows, k, k_pad, x, q, scale);
+}
+
+/// y[m,n] = dequant(qx[m,k_pad] · qw[n,k_pad]ᵀ) + bias[n]; int32-exact
+/// dot products, so bitwise identical across backends. bias is required.
+inline void qaffine(Index m, Index n, Index k_pad, const std::int8_t* qx,
+                    const float* sx, const std::int8_t* qw, const float* sw,
+                    const float* bias, float* y) {
+  PPG_DCHECK(m >= 0 && n >= 0 && k_pad >= 0 && k_pad % 32 == 0,
+             "qaffine: bad extents");
+  PPG_DCHECK(bias != nullptr || n == 0, "qaffine: null bias with n > 0");
+  active_backend().qaffine(m, n, k_pad, qx, sx, qw, sw, bias, y);
 }
 
 }  // namespace ppg::nn::kernels

@@ -1,0 +1,26 @@
+#include "nn/quant.h"
+
+#include <stdexcept>
+
+namespace ppg::nn::quant {
+
+QuantizedMatrix quantize_weights(const float* w, Index k, Index n) {
+  if (k <= 0 || n <= 0)
+    throw std::invalid_argument("quantize_weights: empty matrix");
+  QuantizedMatrix q;
+  q.n = n;
+  q.k = k;
+  q.k_pad = padded_k(k);
+  q.data.resize(static_cast<std::size_t>(n * q.k_pad));
+  q.scales.resize(static_cast<std::size_t>(n));
+  // Transpose W[k, n] into per-output-channel rows, then reuse the one
+  // shared quantize_rows kernel (identical in every backend table).
+  std::vector<float> wt(static_cast<std::size_t>(n * k));
+  for (Index p = 0; p < k; ++p)
+    for (Index j = 0; j < n; ++j) wt[j * k + p] = w[p * n + j];
+  active_backend().quantize_rows(n, k, q.k_pad, wt.data(), q.data.data(),
+                                 q.scales.data());
+  return q;
+}
+
+}  // namespace ppg::nn::quant

@@ -1,0 +1,51 @@
+// Int8 per-row absmax quantization for the serving fast path
+// (DESIGN.md §15). Dynamic, symmetric, no calibration:
+//
+//   scale = absmax(row) / 127,  q = clamp(round_nearest(x / scale), ±127)
+//
+// Weights are quantized once per matrix, per OUTPUT channel, and stored
+// transposed ([n, k_pad] with k zero-padded to a multiple of 32) so the
+// int8 GEMM is pure contiguous dot products. Activations are quantized
+// per row at each step. The int32 accumulation is exact (|q| ≤ 127,
+// k ≤ 2^15 keeps Σ < 2^31), so the quantized forward is bitwise
+// identical across all SIMD backends; only fp32-vs-int8 differ, by a
+// bounded rounding error of |y_q − y_f| ≤ k·(s_x·|w|_max + s_w·|x|_max)/2
+// per element (each operand is off by at most half a quantization step).
+//
+// fp32 stays the training substrate; quantization is read-only over the
+// trained weights (gpt::GptModel::quantized()).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/backend.h"
+
+namespace ppg::nn::quant {
+
+/// Rows of the int8 weight layout are padded to this many elements so
+/// vector int8 dot kernels never need a tail (zeros contribute nothing).
+inline constexpr Index kPadAlign = 32;
+
+inline Index padded_k(Index k) {
+  return (k + kPadAlign - 1) / kPadAlign * kPadAlign;
+}
+
+/// One weight matrix, quantized per output channel and stored transposed.
+struct QuantizedMatrix {
+  Index n = 0;      ///< output channels (rows of the transposed layout)
+  Index k = 0;      ///< input width before padding
+  Index k_pad = 0;  ///< row stride, padded_k(k)
+  std::vector<std::int8_t> data;  ///< [n, k_pad], row j = channel j
+  std::vector<float> scales;      ///< [n] per-channel dequant scales
+
+  std::size_t bytes() const {
+    return data.size() * sizeof(std::int8_t) + scales.size() * sizeof(float);
+  }
+};
+
+/// Quantizes a row-major fp32 weight W[k, n] (the nn::Linear layout) into
+/// the transposed int8 form above.
+QuantizedMatrix quantize_weights(const float* w, Index k, Index n);
+
+}  // namespace ppg::nn::quant

@@ -25,6 +25,7 @@
 
 #include "common/cli.h"
 #include "core/pagpassgpt.h"
+#include "nn/backend.h"
 #include "serve/service.h"
 #include "serve/wire.h"
 
@@ -139,7 +140,7 @@ int main(int argc, char** argv) {
     Cli cli(argc, argv,
             {"config", "seed", "model", "patterns", "workers", "max-queue",
              "max-batch", "max-count", "no-batching", "attempt-factor",
-             "max-ordered-top-k", "port", "help"});
+             "max-ordered-top-k", "quantize", "nn-backend", "port", "help"});
     if (cli.get_bool("help")) {
       std::fprintf(
           stderr,
@@ -157,12 +158,21 @@ int main(int argc, char** argv) {
           "  --attempt-factor N  retry budget multiplier (default 4)\n"
           "  --max-ordered-top-k N  cap on ordered-request top_k "
           "(default 512)\n"
+          "  --quantize          int8 projections for sampled requests\n"
+          "                      (ordered requests always run fp32)\n"
+          "  --nn-backend NAME   force the SIMD kernel backend\n"
+          "                      (scalar|avx2|avx512; default widest the\n"
+          "                      CPU supports, or $PPG_NN_BACKEND)\n"
           "  --port N            serve localhost TCP instead of stdio\n");
       return 0;
     }
 
     const auto config = config_by_name(cli.get("config", "tiny"));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+    if (cli.has("nn-backend"))
+      nn::set_backend(nn::parse_backend(cli.get("nn-backend")));
+    std::fprintf(stderr, "ppg_serve: nn backend %s\n",
+                 nn::active_backend().name);
 
     // Model + pattern sources: trained checkpoint, or random-init fallback.
     std::optional<core::PagPassGPT> trained;
@@ -201,6 +211,8 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.get_int("attempt-factor", 4));
     scfg.max_ordered_top_k =
         static_cast<std::size_t>(cli.get_int("max-ordered-top-k", 512));
+    if (cli.get_bool("quantize"))
+      scfg.sample.precision = gpt::Precision::kInt8;
     serve::GuessService svc(*model, *patterns, scfg);
 
     if (cli.has("port"))

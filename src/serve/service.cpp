@@ -411,9 +411,13 @@ void GuessService::execute_ordered(const RowRef& row) {
   sopts.deadline_ms = p.search_deadline_ms;
   // The shared prefix cache seeds the enumeration root (its pin outlives
   // the first next(), which is all the resume contract asks); expansion
-  // states live in the enumerator's own trie.
+  // states live in the enumerator's own trie. When the service samples in
+  // int8 the cached states were produced by quantized forwards, which the
+  // enumerator's fp32 exactness guarantee cannot resume from — the
+  // enumeration then primes from scratch instead.
   gpt::KvTrieCache::Handle hit;
-  if (prefix_cache_) hit = prefix_cache_->find_longest(p.prefix);
+  if (prefix_cache_ && cfg_.sample.precision == gpt::Precision::kFp32)
+    hit = prefix_cache_->find_longest(p.prefix);
   search::OrderedEnumerator enumerator(model_, p.prefix, sopts, p.mask,
                                        hit ? hit.state() : nullptr);
   std::vector<std::string> passwords;
@@ -589,7 +593,10 @@ void GuessService::execute_batch(gpt::InferenceSession& session,
 void GuessService::worker_loop(std::size_t index) {
   obs::trace_set_thread_name(
       ("serve-worker-" + std::to_string(index)).c_str());
-  gpt::InferenceSession session(model_);
+  // Sampled generation runs on the configured precision; ordered requests
+  // never touch this session (execute_ordered builds its own fp32
+  // enumerator — best-first bounds require the reference substrate).
+  gpt::InferenceSession session(model_, cfg_.sample.precision);
   for (;;) {
     std::vector<RowRef> rows;
     {

@@ -134,7 +134,11 @@ struct ServiceConfig {
   /// pass. 0 disables; ignored when batching is off.
   std::int64_t batch_window_us = 2000;
   /// Sampling knobs for all requests (batch_size is ignored; the
-  /// scheduler owns batch geometry).
+  /// scheduler owns batch geometry). sample.precision selects the worker
+  /// sessions' numeric substrate: kInt8 serves sampled guesses through
+  /// the quantized GEMM path (higher guesses/sec, bounded logits error);
+  /// ordered requests always run fp32 and skip the prefix cache when the
+  /// sampled side is quantized.
   gpt::SampleOptions sample{};
   /// Byte budget of the cross-request prefix KV cache (0 disables it).
   /// Hits skip re-priming repeated pattern prefixes; responses are

@@ -46,6 +46,12 @@
 //                       enforce_budgets) — best-first frontiers grow
 //                       geometrically, and a push site without an adjacent
 //                       bound turns the search into an OOM.
+//   raw-intrinsics      raw SIMD intrinsics (_mm*/__m*/immintrin.h) appear
+//                       only in the src/nn/kernels_* backend files; all
+//                       other code reaches vector units through the
+//                       dispatched nn/kernels.h wrappers, keeping every
+//                       vector path under the cross-backend differential
+//                       harness (DESIGN.md §15).
 //   raw-std-mutex       src/serve, src/obs and src/gpt synchronise through
 //                       the annotated ppg::Mutex / ppg::MutexLock /
 //                       ppg::CondVar wrappers (common/thread_annotations.h)
@@ -189,6 +195,17 @@ const std::vector<Rule> kRules = {
      {},
      {},
      {"max_nodes", "cache_bytes", "enforce_budgets"}},
+    {"raw-intrinsics",
+     {"_mm_", "_mm256_", "_mm512_", "__m128", "__m256", "__m512",
+      "immintrin.h"},
+     "raw SIMD intrinsics live only in the src/nn/kernels_* backend "
+     "implementations — everything else calls through the dispatched "
+     "nn/kernels.h wrappers, so the differential harness keeps every "
+     "vector path honest (DESIGN.md §15)",
+     {"src/", "tools/", "bench/"},
+     {"src/nn/kernels_avx2.cpp", "src/nn/kernels_avx512.cpp"},
+     {},
+     {}},
     {"raw-std-mutex",
      {"std::mutex", "std::recursive_mutex", "std::timed_mutex",
       "std::shared_mutex", "std::condition_variable", "std::lock_guard",
