@@ -1,0 +1,409 @@
+// Fleet scaling bench: aggregate guesses/sec vs worker count, plus p99
+// under a 1-worker-kill fault schedule (DESIGN.md §16).
+//
+// The workload is the fleet's design regime: a fixed population of
+// distinct (pattern, prefix) keys cycled round-robin by closed-loop
+// clients. Each worker's cross-request prefix KV cache is byte-budgeted
+// (--cache-mb); the key population is sized so that ONE worker's budget
+// cannot hold the whole working set (cyclic LRU access over a too-large
+// set hits 0%: every request re-prefills its full prefix), while a
+// 4-worker fleet's consistent-hash shards each fit (every request after
+// warm-up is an exact cache hit that skips prefill and only decodes the
+// few remaining tokens). That — not core count, this is a 1-core bench —
+// is where the >= 3x aggregate throughput at 4 workers comes from: the
+// prefix-affinity router turns one thrashing cache into four resident
+// ones. Prefix requests only take the cached path at fp32, so there is
+// deliberately no --quantize here.
+//
+// The fault cell re-runs the widest fleet and SIGKILLs one worker partway
+// through: supervision restarts it, retries re-route its in-flight keys,
+// and the cell reports the p99 the schedule actually saw plus the restart
+// count. Every request in every cell must end status=ok — a single lost
+// or rejected request fails the bench.
+//
+// Flags:
+//   --config=tiny|small|bench|paper  worker model size (default paper)
+//   --workers=CSV   worker counts to sweep (default 1,2,4)
+//   --keys=N        distinct (pattern, prefix) keys (default 64)
+//   --passes=N      measured round-robin passes over the keys (default 3)
+//   --clients=N     closed-loop client threads (default 1: single-file
+//                   requests keep the 1-worker cell honest — more clients
+//                   let its batcher amortise the thrashing cache's
+//                   prefills across rows, understating the affinity win)
+//   --cache-mb=N    per-worker prefix KV cache budget (default 14: at the
+//                   paper config 64 keys × ~0.37 MB cannot fit one worker
+//                   but every 4-worker shard fits, even the skewed ones)
+//   --kill-pct=P    fault cell: kill one worker P% into the run
+//                   (default 30; 0 skips the fault cell)
+//   --seed=N        base seed (default 2024)
+//   --serve-bin=P   ppg_serve binary (default: the build's own)
+//   --report=FILE   write the cell table as JSON
+//   --track-dir=DIR append a perf-trajectory record (BENCH_fleet.json)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "fleet/router.h"
+#include "obs/bench_track.h"
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace ppg;
+
+std::vector<int> parse_csv_ints(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(std::stoi(item));
+  return out;
+}
+
+/// One pattern for every key: equal prefix geometry keeps the per-request
+/// cost identical across keys, so throughput differences are pure cache
+/// behaviour. 12 prefix letters + 2 decoded digits maximises the
+/// prefill-skipped-over-decode ratio an exact hit buys.
+constexpr const char* kPattern = "L12N2";
+constexpr int kPrefixLen = 12;
+
+/// Deterministic distinct letter prefixes (tiny LCG, no global RNG).
+std::string prefix_of_key(int key) {
+  std::string p;
+  std::uint64_t s = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(key + 1);
+  for (int i = 0; i < kPrefixLen; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    p.push_back(static_cast<char>('a' + (s >> 33) % 26));
+  }
+  return p;
+}
+
+std::string request_line(int key, int pass, std::uint64_t seed) {
+  return "{\"op\":\"guess\",\"id\":\"k" + std::to_string(key) + "p" +
+         std::to_string(pass) + "\",\"kind\":\"prefix\",\"pattern\":\"" +
+         kPattern + "\",\"prefix\":\"" + prefix_of_key(key) +
+         "\",\"count\":1,\"seed\":" +
+         std::to_string(seed + static_cast<std::uint64_t>(key)) + "}";
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * double(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct Cell {
+  int workers = 0;
+  bool fault = false;
+  double wall_s = 0.0;
+  std::size_t requests = 0;
+  std::size_t guesses = 0;
+  double guesses_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t restarts = 0;  ///< fleet restarts the schedule caused
+  std::size_t not_ok = 0;      ///< must be 0: nothing may be lost or shed
+};
+
+struct Options {
+  std::string config = "paper";
+  std::string serve_bin;
+  int keys = 64;
+  int passes = 3;
+  int clients = 1;
+  int cache_mb = 14;
+  std::uint64_t seed = 2024;
+};
+
+fleet::RouterConfig fleet_config(const Options& opt, int workers) {
+  fleet::RouterConfig cfg;
+  cfg.workers = static_cast<std::size_t>(workers);
+  cfg.serve_bin = opt.serve_bin;
+  cfg.worker_args = {"--config",          opt.config,
+                     "--seed",            std::to_string(opt.seed),
+                     "--workers",         "1",
+                     "--patterns",        kPattern,
+                     "--prefix-cache-mb", std::to_string(opt.cache_mb)};
+  cfg.queue_depth = 256;
+  cfg.max_retries = 20;
+  cfg.backoff_base_ms = 5;
+  cfg.backoff_cap_ms = 100;
+  // Paper-config workers saturate the core; a heartbeat answered 3 s late
+  // is CPU starvation, not death. The default 2 s timeout (tuned for
+  // interactive fleets with headroom) causes spurious restarts here that
+  // cold the very caches the bench measures.
+  cfg.heartbeat_timeout_ms = 10000;
+  return cfg;
+}
+
+std::uint64_t total_restarts(fleet::Router& router) {
+  const auto v = obs::parse_json(router.stats_line("bench"));
+  std::uint64_t restarts = 0;
+  if (v) {
+    if (const auto* ws = v->find("workers");
+        ws && ws->type == obs::JsonValue::Type::kArray)
+      for (const auto& w : ws->array)
+        restarts +=
+            static_cast<std::uint64_t>(w.get_number("restarts").value_or(0));
+  }
+  return restarts;
+}
+
+/// Submits one line and returns (ok, passwords-returned).
+std::pair<bool, std::size_t> submit_one(fleet::Router& router,
+                                        const std::string& line) {
+  std::string err;
+  const auto req = serve::parse_request_line(line, &err);
+  if (!req) {
+    std::fprintf(stderr, "bench_fleet_scaling: bad line: %s\n", err.c_str());
+    return {false, 0};
+  }
+  const std::string resp = router.submit(*req, line).get();
+  const auto v = obs::parse_json(resp);
+  if (!v || v->get_string("status").value_or("?") != "ok") return {false, 0};
+  std::size_t n = 0;
+  if (const auto* pw = v->find("passwords");
+      pw && pw->type == obs::JsonValue::Type::kArray)
+    n = pw->array.size();
+  return {true, n};
+}
+
+/// Runs one cell: warm pass (uncounted), then `passes` round-robin passes
+/// over the keys from `clients` closed-loop threads. When `kill_after_s`
+/// is positive, a chaos thread SIGKILLs worker (workers - 1) that many
+/// seconds in.
+Cell run_cell(const Options& opt, int workers, double kill_after_s) {
+  fleet::Router router(fleet_config(opt, workers));
+  std::string err;
+  if (!router.start(&err)) {
+    std::fprintf(stderr, "bench_fleet_scaling: router start failed: %s\n",
+                 err.c_str());
+    std::exit(1);
+  }
+
+  Cell cell;
+  cell.workers = workers;
+  cell.fault = kill_after_s > 0;
+
+  // Warm pass: populate every shard's cache (and, in the 1-worker cell,
+  // prove the budget cannot hold it). Uncounted.
+  for (int k = 0; k < opt.keys; ++k)
+    if (!submit_one(router, request_line(k, -1, opt.seed)).first) ++cell.not_ok;
+
+  std::vector<std::string> schedule;
+  schedule.reserve(static_cast<std::size_t>(opt.keys) *
+                   static_cast<std::size_t>(opt.passes));
+  for (int pass = 0; pass < opt.passes; ++pass)
+    for (int k = 0; k < opt.keys; ++k)
+      schedule.push_back(request_line(k, pass, opt.seed));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> guesses{0}, failures{0};
+  std::vector<std::vector<double>> lat(
+      static_cast<std::size_t>(opt.clients));
+  const std::int64_t t0 = obs::now_us();
+
+  std::thread chaos;
+  if (cell.fault)
+    chaos = std::thread([&router, workers, kill_after_s] {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<std::int64_t>(kill_after_s * 1e6)));
+      router.kill_worker(static_cast<std::size_t>(workers - 1));
+    });
+
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(opt.clients));
+    for (int c = 0; c < opt.clients; ++c)
+      clients.emplace_back([&, c] {
+        auto& mine = lat[static_cast<std::size_t>(c)];
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= schedule.size()) return;
+          const std::int64_t s0 = obs::now_us();
+          const auto [ok, n] = submit_one(router, schedule[i]);
+          mine.push_back(double(obs::now_us() - s0) / 1000.0);
+          if (ok)
+            guesses.fetch_add(n);
+          else
+            failures.fetch_add(1);
+        }
+      });
+    for (auto& c : clients) c.join();
+  }
+  cell.wall_s = double(obs::now_us() - t0) / 1e6;
+  if (chaos.joinable()) chaos.join();
+
+  cell.requests = schedule.size();
+  cell.guesses = guesses.load();
+  cell.not_ok += failures.load();
+  cell.guesses_per_sec =
+      cell.wall_s > 0 ? double(cell.guesses) / cell.wall_s : 0.0;
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  cell.p50_ms = percentile(all, 0.50);
+  cell.p99_ms = percentile(all, 0.99);
+  cell.restarts = total_restarts(router);
+  router.stop();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv,
+            {"config", "workers", "keys", "passes", "clients", "cache-mb",
+             "kill-pct", "seed", "serve-bin", "report", "track-dir"});
+    Options opt;
+    opt.config = cli.get("config", "paper");
+    opt.serve_bin = cli.get("serve-bin", PPG_SERVE_BIN);
+    opt.keys = static_cast<int>(cli.get_int("keys", 64));
+    opt.passes = static_cast<int>(cli.get_int("passes", 3));
+    opt.clients = static_cast<int>(cli.get_int("clients", 1));
+    opt.cache_mb = static_cast<int>(cli.get_int("cache-mb", 14));
+    opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
+    const int kill_pct = static_cast<int>(cli.get_int("kill-pct", 30));
+    const auto worker_counts = parse_csv_ints(cli.get("workers", "1,2,4"));
+    if (worker_counts.empty())
+      throw std::invalid_argument("--workers must name at least one count");
+
+    std::printf("bench_fleet_scaling: config=%s keys=%d passes=%d clients=%d "
+                "cache-mb=%d kill-pct=%d seed=%llu\n",
+                opt.config.c_str(), opt.keys, opt.passes, opt.clients,
+                opt.cache_mb, kill_pct,
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("%8s  %6s  %10s  %9s  %9s  %9s  %7s\n", "workers", "fault",
+                "guess/sec", "p50 ms", "p99 ms", "restarts", "not_ok");
+
+    std::vector<Cell> cells;
+    for (const int w : worker_counts) {
+      cells.push_back(run_cell(opt, w, 0.0));
+      const Cell& c = cells.back();
+      std::printf("%8d  %6s  %10.2f  %9.2f  %9.2f  %9llu  %7zu\n", c.workers,
+                  "no", c.guesses_per_sec, c.p50_ms, c.p99_ms,
+                  static_cast<unsigned long long>(c.restarts), c.not_ok);
+    }
+    if (kill_pct > 0) {
+      // Fault schedule: the widest clean cell tells us how long a run
+      // takes; kill one worker kill_pct% of the way into a fresh one.
+      const Cell& widest = cells.back();
+      cells.push_back(run_cell(opt, widest.workers,
+                               widest.wall_s * double(kill_pct) / 100.0));
+      const Cell& c = cells.back();
+      std::printf("%8d  %6s  %10.2f  %9.2f  %9.2f  %9llu  %7zu\n", c.workers,
+                  "kill1", c.guesses_per_sec, c.p50_ms, c.p99_ms,
+                  static_cast<unsigned long long>(c.restarts), c.not_ok);
+      if (c.restarts == 0) {
+        std::fprintf(stderr,
+                     "bench_fleet_scaling: fault cell saw no restart — the "
+                     "kill missed the run\n");
+        return 1;
+      }
+    }
+
+    std::size_t lost = 0;
+    for (const Cell& c : cells) lost += c.not_ok;
+    if (lost > 0) {
+      std::fprintf(stderr,
+                   "bench_fleet_scaling: %zu requests did not end ok — the "
+                   "fleet lost or shed load it must not\n",
+                   lost);
+      return 1;
+    }
+
+    const Cell* base = &cells.front();
+    const Cell* widest = nullptr;
+    for (const Cell& c : cells)
+      if (!c.fault && (widest == nullptr || c.workers > widest->workers))
+        widest = &c;
+    const double scaling = base->guesses_per_sec > 0 && widest != nullptr
+                               ? widest->guesses_per_sec /
+                                     base->guesses_per_sec
+                               : 0.0;
+    std::printf("\naggregate scaling %dw/%dw: %.2fx\n", widest->workers,
+                base->workers, scaling);
+
+    if (cli.has("report")) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("bench").value("bench_fleet_scaling");
+      w.key("config").begin_object();
+      w.key("model").value(opt.config);
+      w.key("keys").value(std::int64_t{opt.keys});
+      w.key("passes").value(std::int64_t{opt.passes});
+      w.key("clients").value(std::int64_t{opt.clients});
+      w.key("cache_mb").value(std::int64_t{opt.cache_mb});
+      w.key("kill_pct").value(std::int64_t{kill_pct});
+      w.key("seed").value(std::uint64_t{opt.seed});
+      w.end_object();
+      w.key("cells").begin_array();
+      for (const Cell& c : cells) {
+        w.begin_object();
+        w.key("workers").value(std::int64_t{c.workers});
+        w.key("fault").value(c.fault);
+        w.key("wall_s").value(c.wall_s);
+        w.key("requests").value(std::uint64_t{c.requests});
+        w.key("guesses").value(std::uint64_t{c.guesses});
+        w.key("guesses_per_sec").value(c.guesses_per_sec);
+        w.key("p50_ms").value(c.p50_ms);
+        w.key("p99_ms").value(c.p99_ms);
+        w.key("restarts").value(c.restarts);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("scaling").value(scaling);
+      w.end_object();
+      std::ofstream out(cli.get("report"));
+      out << w.str() << "\n";
+      std::fprintf(stderr, "report written to %s\n",
+                   cli.get("report").c_str());
+    }
+
+    if (cli.has("track-dir")) {
+      std::map<std::string, std::string> config;
+      config["bench"] = "bench_fleet_scaling";
+      config["model"] = opt.config;
+      config["workers"] = cli.get("workers", "1,2,4");
+      config["keys"] = std::to_string(opt.keys);
+      config["passes"] = std::to_string(opt.passes);
+      config["clients"] = std::to_string(opt.clients);
+      config["cache_mb"] = std::to_string(opt.cache_mb);
+      config["kill_pct"] = std::to_string(kill_pct);
+      std::map<std::string, double> metrics;
+      for (const Cell& c : cells) {
+        const std::string tag = c.fault
+                                    ? "fleet.faulted"
+                                    : "fleet.w" + std::to_string(c.workers);
+        metrics[tag + ".guesses_per_sec"] = c.guesses_per_sec;
+        metrics[tag + ".p99_ms"] = c.p99_ms;
+      }
+      metrics["fleet.scaling_speedup"] = scaling;
+      const auto rec = obs::make_bench_record(
+          "bench_fleet", std::move(config), std::move(metrics));
+      const std::string path =
+          obs::trajectory_path(cli.get("track-dir"), rec.bench);
+      std::string error;
+      if (obs::append_trajectory(path, rec, &error))
+        std::fprintf(stderr, "trajectory record appended to %s\n",
+                     path.c_str());
+      else
+        std::fprintf(stderr, "FAILED to append trajectory %s: %s\n",
+                     path.c_str(), error.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_fleet_scaling: %s\n", e.what());
+    return 1;
+  }
+}

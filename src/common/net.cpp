@@ -1,0 +1,262 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <climits>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace ppg::net {
+
+Deadline Deadline::after_ms(double ms) {
+  Deadline d;
+  if (ms <= 0) return d;
+  d.armed_ = true;
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0));
+  return d;
+}
+
+bool Deadline::expired() const {
+  return armed_ && std::chrono::steady_clock::now() >= at_;
+}
+
+int Deadline::poll_timeout_ms() const {
+  if (!armed_) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at_ - std::chrono::steady_clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  // poll takes an int; a deadline years out clamps harmlessly (the outer
+  // loop re-polls).
+  return static_cast<int>(std::min<long long>(left, INT_MAX));
+}
+
+ScopedFd& ScopedFd::operator=(ScopedFd&& o) noexcept {
+  if (this != &o) {
+    reset(o.fd_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int ScopedFd::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+const char* io_status_name(IoStatus s) noexcept {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+int listen_loopback(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    return -1;
+  return ntohs(addr.sin_port);
+}
+
+int connect_loopback(int port, const Deadline& deadline) {
+  for (;;) {
+    PPG_FAILPOINT("net.connect");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    // The listener may not be up yet (a worker still exec-ing): refused /
+    // reset are retryable until the deadline.
+    if (saved != ECONNREFUSED && saved != ECONNRESET && saved != ECONNABORTED) {
+      errno = saved;
+      return -1;
+    }
+    if (deadline.expired()) {
+      errno = ETIMEDOUT;
+      return -1;
+    }
+    ::usleep(2000);
+  }
+}
+
+IoStatus poll_readable(int fd, const Deadline& deadline) {
+  for (;;) {
+    PPG_FAILPOINT("net.read");
+    pollfd p{fd, POLLIN, 0};
+    const int rc = ::poll(&p, 1, deadline.poll_timeout_ms());
+    if (rc > 0) return IoStatus::kOk;  // readable, error or hangup: read()
+                                       // will report which
+    if (rc == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t* n,
+                   const Deadline& deadline) {
+  *n = 0;
+  const IoStatus ready = poll_readable(fd, deadline);
+  if (ready != IoStatus::kOk) return ready;
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, cap);
+    if (r > 0) {
+      *n = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (r == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus write_all(int fd, const char* data, std::size_t n,
+                   const Deadline& deadline) {
+  std::size_t done = 0;
+  while (done < n) {
+    // Chaos site: a `crash` action here after the first chunk leaves a
+    // torn line on the peer's socket, exactly like a worker dying
+    // mid-response. Split point = half the remaining payload so the tear
+    // lands inside the line, not at a boundary.
+    if (done > 0) PPG_FAILPOINT("net.write.torn");
+    pollfd p{fd, POLLOUT, 0};
+    const int rc = ::poll(&p, 1, deadline.poll_timeout_ms());
+    if (rc == 0) return IoStatus::kTimeout;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    // First pass writes at most half when a torn-write failpoint is armed,
+    // so the site above actually sits mid-line; unarmed, write everything.
+    std::size_t want = n - done;
+    if (failpoint::any_active() && done == 0 && n > 1) want = n / 2;
+    // MSG_NOSIGNAL: a peer that died mid-conversation must surface as
+    // EPIPE here, not as a process-killing SIGPIPE in the router.
+    const ssize_t w = ::send(fd, data + done, want, MSG_NOSIGNAL);
+    if (w > 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+LineReader::LineReader(int fd, std::size_t max_line_bytes,
+                       double idle_timeout_ms)
+    : fd_(fd),
+      max_line_bytes_(max_line_bytes == 0 ? (std::size_t(1) << 20)
+                                          : max_line_bytes),
+      idle_timeout_ms_(idle_timeout_ms) {}
+
+LineReader::Result LineReader::next(std::string* line) {
+  const Deadline deadline = Deadline::after_ms(idle_timeout_ms_);
+  char chunk[4096];
+  for (;;) {
+    // Scan what we have for a newline (resuming where the last scan
+    // stopped, so a long line is scanned once, not per chunk).
+    const std::size_t nl_at = buf_.find('\n', scan_);
+    if (nl_at != std::string::npos) {
+      if (discarding_ || nl_at > max_line_bytes_) {
+        // Tail of an overlong line: drop through the newline, report it.
+        buf_.erase(0, nl_at + 1);
+        scan_ = 0;
+        discarding_ = false;
+        return Result::kTooLong;
+      }
+      line->assign(buf_, 0, nl_at);
+      buf_.erase(0, nl_at + 1);
+      scan_ = 0;
+      return Result::kLine;
+    }
+    scan_ = buf_.size();
+    if (!discarding_ && buf_.size() > max_line_bytes_) {
+      // Cap exceeded with no newline yet: free the memory now and eat the
+      // rest of the line as it arrives.
+      buf_.clear();
+      scan_ = 0;
+      discarding_ = true;
+    }
+    if (discarding_) {
+      buf_.clear();
+      scan_ = 0;
+    }
+    if (eof_) {
+      if (discarding_) {
+        discarding_ = false;
+        return Result::kTooLong;
+      }
+      if (buf_.empty()) return Result::kEof;
+      // EOF in the middle of a line: wire lines are newline-terminated by
+      // protocol, so a trailing fragment is a *torn* line (the peer died
+      // mid-write). Delivering it as a line would hand a half response to
+      // the router as if it were real — refuse instead.
+      buf_.clear();
+      scan_ = 0;
+      return Result::kError;
+    }
+    std::size_t n = 0;
+    const IoStatus s = read_some(fd_, chunk, sizeof(chunk), &n, deadline);
+    if (s == IoStatus::kTimeout) return Result::kTimeout;
+    if (s == IoStatus::kError) return Result::kError;
+    if (s == IoStatus::kEof) {
+      eof_ = true;
+      continue;  // emit a trailing unterminated line as an error
+    }
+    buf_.append(chunk, n);
+  }
+}
+
+}  // namespace ppg::net

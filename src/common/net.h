@@ -1,0 +1,143 @@
+// Loopback socket helpers shared by the serving layer (src/serve) and the
+// fleet router (src/fleet).
+//
+// Everything here is deadline-aware and EINTR-safe by construction:
+//  * read_some / write_all retry on EINTR and handle partial transfers;
+//  * every blocking wait goes through poll_fd with an explicit Deadline,
+//    so no caller can park forever on a dead peer (the ppg_lint rule
+//    blocking-socket-no-timeout enforces the same discipline on direct
+//    socket calls elsewhere);
+//  * LineReader frames NDJSON with a hard per-line byte cap — an
+//    adversarial client streaming an endless line costs one fixed buffer,
+//    never unbounded memory — and an optional idle timeout.
+//
+// Failpoint sites (chaos hooks, DESIGN.md §16):
+//   net.connect        before each connect attempt
+//   net.write.torn     between the two halves of a split write: a `crash`
+//                      action tears the line mid-byte exactly the way a
+//                      dying worker would
+//   net.read           before each poll-for-readable
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ppg::net {
+
+/// Absolute wall-deadline for a socket operation. A default Deadline is
+/// infinite; after(ms) with ms <= 0 is also infinite (0 = "no timeout" in
+/// every config knob that feeds one).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now (<= 0: no deadline).
+  static Deadline after_ms(double ms);
+  static Deadline infinite() { return Deadline(); }
+
+  bool is_infinite() const noexcept { return !armed_; }
+  bool expired() const;
+  /// Milliseconds until expiry, clamped to [0, INT_MAX]; -1 if infinite
+  /// (the value poll(2) expects).
+  int poll_timeout_ms() const;
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Owning file descriptor (close-on-destruct, move-only).
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+  ScopedFd(ScopedFd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  ScopedFd& operator=(ScopedFd&& o) noexcept;
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() noexcept;
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of a deadline-bounded socket operation.
+enum class IoStatus {
+  kOk,
+  kEof,      ///< orderly peer close
+  kTimeout,  ///< deadline expired before the operation completed
+  kError,    ///< errno-level failure (connection reset, bad fd, ...)
+};
+
+const char* io_status_name(IoStatus s) noexcept;
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned). Returns
+/// the listening fd or -1 (errno set).
+int listen_loopback(int port, int backlog = 64);
+
+/// The local port a bound socket actually got (resolves port 0).
+int local_port(int fd);
+
+/// Connects to 127.0.0.1:`port`, retrying (connection refused counts as
+/// retryable — the listener may still be coming up) until `deadline`.
+/// Returns the connected fd or -1.
+int connect_loopback(int port, const Deadline& deadline);
+
+/// EINTR-safe poll for readability. kOk = readable (or peer-closed, which
+/// reads as EOF), kTimeout / kError otherwise.
+IoStatus poll_readable(int fd, const Deadline& deadline);
+
+/// Reads at most `cap` bytes into `buf` once the fd is readable. kOk sets
+/// *n > 0; kEof means orderly close.
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t* n,
+                   const Deadline& deadline);
+
+/// Writes all `n` bytes, handling partial writes and EINTR, polling for
+/// writability up to `deadline`. Carries the net.write.torn failpoint.
+IoStatus write_all(int fd, const char* data, std::size_t n,
+                   const Deadline& deadline);
+inline IoStatus write_all(int fd, const std::string& s,
+                          const Deadline& deadline) {
+  return write_all(fd, s.data(), s.size(), deadline);
+}
+
+/// Buffered NDJSON line framer over a socket with a hard per-line byte
+/// cap and an optional per-line idle timeout.
+class LineReader {
+ public:
+  enum class Result {
+    kLine,     ///< *line holds one complete line (newline stripped)
+    kEof,      ///< peer closed cleanly at a line boundary
+    kTooLong,  ///< line exceeded max_line_bytes; the offending line was
+               ///< consumed through its newline, so framing stays intact
+               ///< and the caller can reject-with-reason and continue
+    kTimeout,  ///< idle deadline passed mid-line
+    kError,    ///< socket error (also: EOF in the middle of a line)
+  };
+
+  /// `max_line_bytes` caps one line's payload (excluding the newline);
+  /// 0 means 1 MiB. `idle_timeout_ms` bounds the wait for each next line
+  /// (<= 0: wait forever).
+  LineReader(int fd, std::size_t max_line_bytes, double idle_timeout_ms);
+
+  Result next(std::string* line);
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  double idle_timeout_ms_;
+  std::string buf_;        ///< bytes read but not yet returned
+  std::size_t scan_ = 0;   ///< newline-scan resume offset into buf_
+  bool discarding_ = false;  ///< inside an overlong line, eating to '\n'
+  bool eof_ = false;
+};
+
+}  // namespace ppg::net

@@ -1,0 +1,103 @@
+// Consistent-hash ring for prefix-affinity routing (DESIGN.md §16).
+//
+// The router hashes each request's routing key (pattern, or
+// pattern + prefix) onto a ring of virtual nodes, many per worker, so:
+//  * the same key always lands on the same worker — its KV trie cache
+//    stays hot for exactly its shard of the prefix space;
+//  * adding/removing one worker remaps only ~1/N of the key space
+//    (vnode interleaving), instead of reshuffling everything the way
+//    `hash % N` would;
+//  * successor(key, k) gives a deterministic fail-over order: the k-th
+//    distinct worker clockwise from the key's point, which is where a
+//    retry re-routes when the home worker is down.
+//
+// Everything is pure and seed-free: the ring layout depends only on
+// (worker count, vnodes), so router restarts and tests see identical
+// routing — tests/fleet_test.cpp pins a golden routing table.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ppg::fleet {
+
+/// FNV-1a 64-bit — tiny and seedless, but weak in the high bits for
+/// short similar strings (each input byte only reaches the top bits
+/// through repeated multiplies). Fine for jitter, NOT for ring
+/// placement — use ring_hash() there.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Murmur3 fmix64 finalizer: full-avalanche bijection on 64 bits.
+inline std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Ring position of a label/key. Raw FNV-1a clusters "worker/3#…" and
+/// "key/…" style strings into narrow bands of the 64-bit space (a
+/// 4-worker ring routed ZERO keys to one worker), so the ring hashes
+/// through the fmix64 finalizer to spread points uniformly.
+inline std::uint64_t ring_hash(std::string_view s) {
+  return mix64(fnv1a64(s));
+}
+
+class Ring {
+ public:
+  Ring(std::size_t workers, int vnodes) : workers_(workers) {
+    PPG_CHECK(workers > 0, "ring needs at least one worker");
+    PPG_CHECK(vnodes > 0, "ring needs at least one vnode per worker");
+    points_.reserve(workers * static_cast<std::size_t>(vnodes));
+    for (std::size_t w = 0; w < workers; ++w)
+      for (int v = 0; v < vnodes; ++v)
+        points_.push_back({ring_hash("worker/" + std::to_string(w) + "#" +
+                                     std::to_string(v)),
+                           w});
+    std::sort(points_.begin(), points_.end());
+  }
+
+  std::size_t workers() const noexcept { return workers_; }
+
+  /// The key's home worker.
+  std::size_t route(std::string_view key) const { return successor(key, 0); }
+
+  /// The k-th distinct worker clockwise from the key's ring position
+  /// (k = 0 is the home worker). k wraps modulo the worker count, so any
+  /// k names a valid worker and retries sweep the whole fleet.
+  std::size_t successor(std::string_view key, std::size_t k) const {
+    const std::uint64_t h = ring_hash(key);
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               std::make_pair(h, std::size_t{0}));
+    k %= workers_;
+    std::vector<char> seen(workers_, 0);
+    std::size_t distinct = 0;
+    for (std::size_t step = 0; step < points_.size() + 1; ++step, ++it) {
+      if (it == points_.end()) it = points_.begin();
+      if (seen[it->second]) continue;
+      seen[it->second] = 1;
+      if (distinct++ == k) return it->second;
+    }
+    return 0;  // unreachable: the loop visits every vnode
+  }
+
+ private:
+  std::size_t workers_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace ppg::fleet

@@ -1,0 +1,307 @@
+// ppg_router: fleet coordinator speaking the same NDJSON protocol as
+// ppg_serve on a front-end TCP port, fanning requests out to N supervised
+// ppg_serve worker processes (src/fleet/router.h, DESIGN.md §16).
+//
+// Extra admin ops beyond the worker protocol:
+//   {"op":"stats","id":"s"}            -> fleet summary (per-worker
+//                                         health/depth/restarts + metrics)
+//   {"op":"kill","worker":2,"id":"k"}  -> SIGKILL worker 2 (chaos hook;
+//                                         supervision restarts it)
+//   {"op":"shutdown","id":"x"}         -> stop the fleet, ack, exit
+// guess ops route by pattern/prefix hash; dcgen ops run on a dedicated
+// worker connection with crash-resume (journal) semantics.
+//
+// All diagnostics go to stderr; the protocol rides TCP only.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/net.h"
+#include "common/thread_annotations.h"
+#include "fleet/router.h"
+#include "obs/json.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace ppg;
+
+std::string default_serve_bin() {
+  if (const char* env = std::getenv("PPG_SERVE_BIN")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string p(buf);
+    const auto slash = p.rfind('/');
+    if (slash != std::string::npos) {
+      // Build-tree sibling layout: src/fleet/ppg_router, src/serve/ppg_serve.
+      const std::string guess = p.substr(0, slash) + "/../serve/ppg_serve";
+      if (::access(guess.c_str(), X_OK) == 0) return guess;
+    }
+  }
+  return "ppg_serve";
+}
+
+/// One front-end client connection: NDJSON in, FIFO-ordered responses out
+/// (futures from the router resolve in submission order). Returns true iff
+/// a shutdown op was processed.
+bool serve_client(fleet::Router& router, int fd, std::size_t max_line_bytes) {
+  struct Outgoing {
+    std::string line;
+    std::future<std::string> fut;  ///< valid() => wait for the router
+  };
+  Mutex mu;
+  CondVar cv;
+  std::deque<Outgoing> fifo;
+  bool closed = false;
+
+  const auto push = [&](Outgoing o) {
+    {
+      MutexLock lock(mu);
+      fifo.push_back(std::move(o));
+    }
+    cv.notify_one();
+  };
+
+  std::thread writer([&] {  // ppg-lint: allow(naked-thread)
+    bool broken = false;
+    for (;;) {
+      Outgoing o;
+      {
+        MutexLock lock(mu);
+        while (fifo.empty() && !closed) cv.wait(lock);
+        if (fifo.empty()) return;
+        o = std::move(fifo.front());
+        fifo.pop_front();
+      }
+      if (o.fut.valid()) o.line = o.fut.get();
+      if (broken) continue;  // keep draining futures
+      o.line += '\n';
+      if (net::write_all(fd, o.line, net::Deadline::after_ms(30000)) !=
+          net::IoStatus::kOk)
+        broken = true;
+    }
+  });
+
+  bool did_shutdown = false;
+  // ppg-lint: allow(blocking-socket-no-timeout) front-end clients may
+  // idle indefinitely; shutdown closes the listener and every connection.
+  net::LineReader reader(fd, max_line_bytes, 0);  // ppg-lint: allow(blocking-socket-no-timeout)
+  std::string line;
+  while (!did_shutdown) {
+    const net::LineReader::Result r = reader.next(&line);
+    if (r == net::LineReader::Result::kTooLong) {
+      Outgoing o;
+      o.line = serve::format_error_line(
+          "", "request line exceeds max-line-bytes (" +
+                  std::to_string(max_line_bytes) + " bytes)");
+      push(std::move(o));
+      continue;
+    }
+    if (r != net::LineReader::Result::kLine) break;
+    if (line.empty()) continue;
+
+    // Admin ops first (they are not part of the worker wire grammar).
+    std::string id;
+    const auto parsed = obs::parse_json(line);
+    if (parsed && parsed->is_object()) {
+      if (const auto s = parsed->get_string("id")) id = *s;
+      const auto op = parsed->get_string("op");
+      if (op && *op == "kill") {
+        const auto widx = parsed->get_number("worker");
+        const bool ok =
+            widx && router.kill_worker(static_cast<std::size_t>(*widx));
+        obs::JsonWriter w;
+        w.begin_object();
+        w.key("id").value(id);
+        w.key("status").value(ok ? "ok" : "rejected");
+        w.key("op").value("kill");
+        if (!ok) {
+          w.key("reject").value("bad_request");
+          w.key("error").value("no such running worker");
+        }
+        w.end_object();
+        Outgoing o;
+        o.line = w.take();
+        push(std::move(o));
+        continue;
+      }
+      if (op && *op == "stats") {
+        Outgoing o;
+        o.line = router.stats_line(id);
+        push(std::move(o));
+        continue;
+      }
+    }
+
+    std::string err;
+    auto req = serve::parse_request_line(line, &err);
+    if (!req) {
+      Outgoing o;
+      o.line = serve::format_error_line(id, err);
+      push(std::move(o));
+      continue;
+    }
+    switch (req->op) {
+      case serve::WireRequest::Op::kGuess: {
+        Outgoing o;
+        o.fut = router.submit(*req, line);
+        push(std::move(o));
+        break;
+      }
+      case serve::WireRequest::Op::kDcGen: {
+        // Blocking is intentional: a shard op owns its client connection
+        // the same way it owns its worker connection.
+        Outgoing o;
+        o.line = router.run_shard(*req, line);
+        push(std::move(o));
+        break;
+      }
+      case serve::WireRequest::Op::kStats:
+        break;  // handled above
+      case serve::WireRequest::Op::kShutdown: {
+        did_shutdown = true;
+        router.stop();
+        obs::JsonWriter w;
+        w.begin_object();
+        w.key("id").value(req->id);
+        w.key("status").value("ok");
+        w.key("op").value("shutdown");
+        w.end_object();
+        Outgoing o;
+        o.line = w.take();
+        push(std::move(o));
+        break;
+      }
+    }
+  }
+  {
+    MutexLock lock(mu);
+    closed = true;
+  }
+  cv.notify_all();
+  writer.join();
+  return did_shutdown;
+}
+
+int run_front(fleet::Router& router, int port, std::size_t max_line_bytes) {
+  const int listen_fd = net::listen_loopback(port);
+  if (listen_fd < 0) {
+    std::perror("ppg_router: bind/listen");
+    return 1;
+  }
+  net::ScopedFd listener(listen_fd);
+  std::fprintf(stderr, "ppg_router: serving on 127.0.0.1:%d\n",
+               net::local_port(listen_fd));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> conns;  // ppg-lint: allow(naked-thread)
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !stop.load()) continue;
+      break;
+    }
+    conns.emplace_back([&router, &stop, fd, listen_fd, max_line_bytes] {
+      if (serve_client(router, fd, max_line_bytes)) {
+        stop.store(true);
+        ::shutdown(listen_fd, SHUT_RDWR);
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : conns)
+    if (t.joinable()) t.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv,
+            {"workers", "port", "serve-bin", "config", "seed",
+             "serve-workers", "prefix-cache-mb", "max-line-bytes",
+             "queue-depth", "vnodes", "heartbeat-interval-ms",
+             "heartbeat-timeout-ms", "max-retries", "backoff-base-ms",
+             "backoff-cap-ms", "worker-failpoints", "quantize", "help"});
+    if (cli.get_bool("help")) {
+      std::fprintf(
+          stderr,
+          "ppg_router: sharded ppg_serve fleet coordinator (DESIGN.md §16)\n"
+          "  --workers N              worker processes (default 4)\n"
+          "  --port N                 front-end TCP port (default 0 = auto)\n"
+          "  --serve-bin PATH         ppg_serve binary (default: sibling in\n"
+          "                           the build tree, or $PPG_SERVE_BIN)\n"
+          "  --config NAME            worker model config (tiny|small|bench|\n"
+          "                           paper, default tiny)\n"
+          "  --seed N                 worker model seed (default 17)\n"
+          "  --serve-workers N        threads per worker (default 1)\n"
+          "  --prefix-cache-mb N      per-worker prefix KV cache budget\n"
+          "  --max-line-bytes N       per-connection line cap (default 1MiB)\n"
+          "  --queue-depth N          per-worker queued+inflight cap\n"
+          "  --vnodes N               ring virtual nodes per worker\n"
+          "  --heartbeat-interval-ms / --heartbeat-timeout-ms\n"
+          "  --max-retries / --backoff-base-ms / --backoff-cap-ms\n"
+          "  --worker-failpoints SPEC PPG_FAILPOINTS for incarnation 0 of\n"
+          "                           every worker (chaos testing)\n"
+          "  --quantize               int8 workers\n");
+      return 0;
+    }
+
+    fleet::RouterConfig cfg;
+    cfg.workers = static_cast<std::size_t>(cli.get_int("workers", 4));
+    cfg.vnodes = static_cast<int>(cli.get_int("vnodes", 64));
+    cfg.queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth", 64));
+    cfg.heartbeat_interval_ms =
+        static_cast<double>(cli.get_int("heartbeat-interval-ms", 200));
+    cfg.heartbeat_timeout_ms =
+        static_cast<double>(cli.get_int("heartbeat-timeout-ms", 2000));
+    cfg.max_retries = static_cast<int>(cli.get_int("max-retries", 3));
+    cfg.backoff_base_ms =
+        static_cast<double>(cli.get_int("backoff-base-ms", 10));
+    cfg.backoff_cap_ms =
+        static_cast<double>(cli.get_int("backoff-cap-ms", 500));
+    cfg.serve_bin = cli.get("serve-bin", default_serve_bin());
+    cfg.worker_failpoints = cli.get("worker-failpoints", "");
+    cfg.worker_args = {"--config", cli.get("config", "tiny"),
+                       "--seed", std::to_string(cli.get_int("seed", 17)),
+                       "--workers",
+                       std::to_string(cli.get_int("serve-workers", 1)),
+                       "--prefix-cache-mb",
+                       std::to_string(cli.get_int("prefix-cache-mb", 32)),
+                       "--max-line-bytes",
+                       std::to_string(cli.get_int("max-line-bytes",
+                                                  std::int64_t(1) << 20))};
+    if (cli.get_bool("quantize")) cfg.worker_args.push_back("--quantize");
+
+    fleet::Router router(cfg);
+    std::string err;
+    if (!router.start(&err)) {
+      std::fprintf(stderr, "ppg_router: fleet start failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    for (std::size_t w = 0; w < router.worker_count(); ++w)
+      std::fprintf(stderr, "ppg_router: worker %zu on 127.0.0.1:%d\n", w,
+                   router.worker_port(w));
+    const int rc = run_front(
+        router, static_cast<int>(cli.get_int("port", 0)),
+        static_cast<std::size_t>(
+            cli.get_int("max-line-bytes", std::int64_t(1) << 20)));
+    router.stop();
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppg_router: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,888 @@
+#include "fleet/router.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/net.h"
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+extern char** environ;
+
+namespace ppg::fleet {
+
+namespace {
+
+constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+struct FleetMetrics {
+  obs::Counter& dispatched;
+  obs::Counter& completed;
+  obs::Counter& retries;
+  obs::Counter& restarts;
+  obs::Counter& shed;
+  obs::Counter& rejected;
+  obs::Counter& shard_resends;
+  obs::Gauge& healthy_workers;
+  static FleetMetrics& get() {
+    auto& r = obs::Registry::global();
+    static FleetMetrics m{r.counter("fleet.dispatched"),
+                          r.counter("fleet.completed"),
+                          r.counter("fleet.retries"),
+                          r.counter("fleet.restarts"),
+                          r.counter("fleet.shed"),
+                          r.counter("fleet.rejected"),
+                          r.counter("fleet.shard_resends"),
+                          r.gauge("fleet.healthy_workers")};
+    return m;
+  }
+};
+
+void set_cloexec(int fd) {
+  // Router-held fds must not leak into forked workers: a child still
+  // holding a sibling's sockets would keep connections half-alive after
+  // that sibling dies, hiding the very failures supervision watches for.
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* traffic_class_name(TrafficClass c) noexcept {
+  switch (c) {
+    case TrafficClass::kFree: return "free";
+    case TrafficClass::kSampled: return "sampled";
+    case TrafficClass::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+TrafficClass classify(const serve::WireRequest& req) noexcept {
+  if (req.op != serve::WireRequest::Op::kGuess) return TrafficClass::kCritical;
+  switch (req.guess.kind) {
+    case serve::RequestKind::kFree: return TrafficClass::kFree;
+    case serve::RequestKind::kPattern: return TrafficClass::kSampled;
+    case serve::RequestKind::kPrefix:
+    case serve::RequestKind::kOrdered: return TrafficClass::kCritical;
+  }
+  return TrafficClass::kCritical;
+}
+
+Admit admit_decision(TrafficClass cls, std::size_t depth,
+                     const RouterConfig& cfg) noexcept {
+  if (depth >= cfg.queue_depth) return Admit::kQueueFull;
+  const double frac =
+      static_cast<double>(depth) / static_cast<double>(cfg.queue_depth);
+  if (cls == TrafficClass::kFree && frac >= cfg.shed_free_watermark)
+    return Admit::kShed;
+  if (cls == TrafficClass::kSampled && frac >= cfg.shed_sampled_watermark)
+    return Admit::kShed;
+  return Admit::kAccept;
+}
+
+double backoff_ms(int attempt, std::uint64_t jitter_seed,
+                  const RouterConfig& cfg) noexcept {
+  if (attempt < 1) attempt = 1;
+  // Cap the exponent before pow so a pathological attempt count cannot
+  // overflow to inf; the cap clamps the result anyway.
+  const double exp =
+      cfg.backoff_base_ms * std::pow(2.0, std::min(attempt - 1, 20));
+  const double capped = std::min(exp, cfg.backoff_cap_ms);
+  const std::uint64_t h = fnv1a64(std::to_string(jitter_seed) + "/" +
+                                  std::to_string(attempt));
+  const double jitter =
+      cfg.backoff_base_ms * (static_cast<double>(h % 1000) / 1000.0);
+  return capped + jitter;
+}
+
+std::string routing_key(const serve::Request& req) {
+  switch (req.kind) {
+    case serve::RequestKind::kFree:
+      // No pattern to shard on; salt with the seed so free traffic still
+      // spreads across the fleet instead of convoying on one worker.
+      return "free/" + std::to_string(req.seed);
+    case serve::RequestKind::kPrefix:
+      return req.pattern + '\x1f' + req.prefix;
+    default:
+      return req.pattern;
+  }
+}
+
+std::string format_router_reject(const std::string& id, const char* reason,
+                                 const std::string& detail) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("status").value("rejected");
+  w.key("reject").value(reason);
+  w.key("error").value(detail);
+  w.end_object();
+  return w.take();
+}
+
+/// One routed request's lifecycle state. Shared between the worker queue
+/// it sits in, the retry heap, and the submit() caller's future. Mutable
+/// fields are only touched with the router's mu_ held.
+struct Router::Entry {
+  std::string id;
+  std::string line;  ///< verbatim client line, newline-terminated
+  std::string key;
+  TrafficClass cls = TrafficClass::kCritical;
+  std::uint64_t jitter_seed = 0;
+  int attempt = 0;                 ///< failed attempts so far
+  std::int64_t deadline_us = -1;  ///< steady-clock; -1 = none
+  bool done = false;
+  std::promise<std::string> promise;
+};
+
+/// One supervised worker process and its connections. All fields are
+/// guarded by the router's mu_ except where a loop holds a copied fd and
+/// relies on the incarnation check to detect staleness.
+struct Router::Worker {
+  std::size_t index = 0;
+  net::ScopedFd listen_fd;  ///< bound once by the router, kept across
+                            ///< restarts so the port never moves
+  int port = -1;
+  pid_t pid = -1;
+  int incarnation = 0;  ///< bumped on every teardown; loops exit on mismatch
+  bool healthy = false;
+  bool needs_restart = false;
+  const char* restart_reason = "";
+  bool dead_forever = false;  ///< restart budget exhausted
+  std::uint64_t restarts = 0;
+  std::deque<std::shared_ptr<Entry>> queue;     ///< admitted, not yet sent
+  std::deque<std::shared_ptr<Entry>> inflight;  ///< sent, awaiting response
+  CondVar send_cv;
+  net::ScopedFd data_fd;
+  net::ScopedFd hb_fd;
+  std::thread sender, receiver, monitor;  // ppg-lint: allow(naked-thread)
+};
+
+Router::Router(RouterConfig cfg)
+    : cfg_(std::move(cfg)), ring_(cfg_.workers, cfg_.vnodes) {
+  PPG_CHECK(cfg_.workers > 0, "fleet needs at least one worker");
+  // A router that dies of SIGPIPE because one worker died is a failure
+  // amplifier; every socket write already reports EPIPE via MSG_NOSIGNAL,
+  // this covers any stray write path.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+Router::~Router() { stop(); }
+
+std::size_t Router::pick_worker_locked(const std::string& key,
+                                       std::size_t attempt) {
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    const std::size_t cand = ring_.successor(key, attempt + i);
+    if (workers_[cand]->healthy) return cand;
+  }
+  return kNoWorker;
+}
+
+void Router::enqueue_locked(std::size_t w, std::shared_ptr<Entry> e) {
+  Worker& wk = *workers_[w];
+  wk.queue.push_back(std::move(e));
+  wk.send_cv.notify_one();
+}
+
+void Router::reschedule_locked(std::shared_ptr<Entry> e, const char* why) {
+  if (e->done) return;
+  FleetMetrics& m = FleetMetrics::get();
+  ++e->attempt;
+  if (stopping_) {
+    e->done = true;
+    m.rejected.inc();
+    e->promise.set_value(format_router_reject(
+        e->id, "shutting_down", "fleet stopped while the request was queued"));
+    return;
+  }
+  const std::int64_t now = steady_now_us();
+  if (e->deadline_us >= 0 && now >= e->deadline_us) {
+    e->done = true;
+    m.rejected.inc();
+    e->promise.set_value(format_router_reject(
+        e->id, "retries_exhausted",
+        std::string("deadline passed after failure: ") + why));
+    return;
+  }
+  if (e->attempt > cfg_.max_retries) {
+    e->done = true;
+    m.rejected.inc();
+    e->promise.set_value(format_router_reject(
+        e->id, "retries_exhausted",
+        std::string("gave up after ") + std::to_string(e->attempt) +
+            " attempts: " + why));
+    return;
+  }
+  m.retries.inc();
+  const double delay = backoff_ms(e->attempt, e->jitter_seed, cfg_);
+  retry_heap_.push_back(
+      {now + static_cast<std::int64_t>(delay * 1000.0), std::move(e)});
+  std::push_heap(retry_heap_.begin(), retry_heap_.end(),
+                 [](const RetryItem& a, const RetryItem& b) {
+                   return a.due_us > b.due_us;
+                 });
+  retry_cv_.notify_one();
+}
+
+void Router::request_restart_locked(std::size_t w, const char* why) {
+  Worker& wk = *workers_[w];
+  if (!wk.healthy || wk.needs_restart) return;  // already being handled
+  wk.healthy = false;
+  wk.needs_restart = true;
+  wk.restart_reason = why;
+  FleetMetrics::get().healthy_workers.add(-1.0);
+  std::fprintf(stderr, "ppg_router: worker %zu unhealthy (%s)\n", w, why);
+  supervisor_cv_.notify_all();
+}
+
+bool Router::spawn_worker(std::size_t w, std::string* error) {
+  int listen_raw = -1;
+  int port = -1;
+  int inc = 0;
+  {
+    MutexLock lock(mu_);
+    Worker& wk = *workers_[w];
+    listen_raw = wk.listen_fd.get();
+    port = wk.port;
+    inc = wk.incarnation;
+  }
+
+  // argv/envp are fully built before fork: between fork and exec only
+  // async-signal-safe calls are legal in a multithreaded parent.
+  std::vector<std::string> args;
+  args.push_back(cfg_.serve_bin);
+  args.push_back("--listen-fd");
+  args.push_back("3");
+  for (const auto& a : cfg_.worker_args) args.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  std::vector<std::string> env_store;
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, "PPG_FAILPOINTS=", 15) == 0) continue;
+    envp.push_back(*e);
+  }
+  if (inc == 0 && !cfg_.worker_failpoints.empty()) {
+    // Chaos spec applies to the first incarnation only: the replacement
+    // worker must come up clean, not die the same scripted death forever.
+    env_store.push_back("PPG_FAILPOINTS=" + cfg_.worker_failpoints);
+    envp.push_back(env_store.back().data());
+  }
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error) *error = "fork failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (pid == 0) {
+    // The listen socket may already *be* fd 3 (first socket the router
+    // opened): dup2(3,3) is a no-op that leaves FD_CLOEXEC set, and exec
+    // would silently close the socket. Clear the flag explicitly instead.
+    if (listen_raw == 3)
+      ::fcntl(3, F_SETFD, 0);
+    else
+      ::dup2(listen_raw, 3);
+    ::execve(argv[0], argv.data(), envp.data());
+    _exit(127);
+  }
+
+  const net::Deadline connect_deadline =
+      net::Deadline::after_ms(cfg_.connect_timeout_ms);
+  const int data = net::connect_loopback(port, connect_deadline);
+  const int hb =
+      data >= 0 ? net::connect_loopback(port, connect_deadline) : -1;
+  if (data < 0 || hb < 0) {
+    if (data >= 0) ::close(data);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    if (error)
+      *error = "worker " + std::to_string(w) + " on port " +
+               std::to_string(port) + " never became connectable";
+    return false;
+  }
+  set_cloexec(data);
+  set_cloexec(hb);
+
+  {
+    MutexLock lock(mu_);
+    Worker& wk = *workers_[w];
+    wk.pid = pid;
+    wk.data_fd.reset(data);
+    wk.hb_fd.reset(hb);
+    wk.healthy = true;
+    wk.needs_restart = false;
+    // ppg-lint: allow(naked-thread) — audited lifecycle: every loop is
+    // incarnation-checked and joined by the supervisor's teardown / stop().
+    wk.sender = std::thread([this, w, inc] { sender_loop(w, inc); });    // ppg-lint: allow(naked-thread)
+    wk.receiver = std::thread([this, w, inc] { receiver_loop(w, inc); });  // ppg-lint: allow(naked-thread)
+    wk.monitor = std::thread([this, w, inc] { monitor_loop(w, inc); });  // ppg-lint: allow(naked-thread)
+    FleetMetrics::get().healthy_workers.add(1.0);
+    wk.send_cv.notify_all();
+  }
+  return true;
+}
+
+void Router::sender_loop(std::size_t w, int incarnation) {
+  for (;;) {
+    std::shared_ptr<Entry> e;
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[w];
+      while (wk.incarnation == incarnation && wk.healthy &&
+             wk.queue.empty() && !stopping_)
+        wk.send_cv.wait(lock);
+      if (wk.incarnation != incarnation || !wk.healthy) return;
+      if (wk.queue.empty()) return;  // stopping with nothing left to send
+      e = wk.queue.front();
+      wk.queue.pop_front();
+      if (e->done) continue;  // e.g. rejected during a stop()
+      wk.inflight.push_back(e);
+      fd = wk.data_fd.get();
+    }
+    PPG_FAILPOINT("fleet.route.send");
+    const net::IoStatus s = net::write_all(
+        fd, e->line, net::Deadline::after_ms(cfg_.write_timeout_ms));
+    if (s != net::IoStatus::kOk) {
+      MutexLock lock(mu_);
+      if (workers_[w]->incarnation != incarnation) return;
+      request_restart_locked(w, "data connection send failed");
+      return;  // the restart drain re-drives the inflight entries
+    }
+    FleetMetrics::get().dispatched.inc();
+  }
+}
+
+void Router::receiver_loop(std::size_t w, int incarnation) {
+  int fd = -1;
+  {
+    MutexLock lock(mu_);
+    fd = workers_[w]->data_fd.get();
+  }
+  // No idle timeout here: responses legitimately take as long as the
+  // model takes. Liveness is the heartbeat connection's job; a dead
+  // worker surfaces as EOF/reset, and the restart path shuts this fd
+  // down to unblock the poll.
+  // ppg-lint: allow(blocking-socket-no-timeout) heartbeat owns liveness;
+  // the restart path shuts this fd down to unblock the read.
+  net::LineReader reader(fd, std::size_t(16) << 20, 0);  // ppg-lint: allow(blocking-socket-no-timeout)
+  std::string line;
+  for (;;) {
+    const net::LineReader::Result r = reader.next(&line);
+    MutexLock lock(mu_);
+    Worker& wk = *workers_[w];
+    if (wk.incarnation != incarnation) return;
+    if (r != net::LineReader::Result::kLine) {
+      if (!stopping_) request_restart_locked(w, "data connection lost");
+      return;
+    }
+    if (wk.inflight.empty()) continue;  // stray line; nothing to correlate
+    std::shared_ptr<Entry> e = wk.inflight.front();
+    wk.inflight.pop_front();
+    if (e->done) continue;
+    e->done = true;
+    FleetMetrics::get().completed.inc();
+    e->promise.set_value(line);
+  }
+}
+
+void Router::monitor_loop(std::size_t w, int incarnation) {
+  int fd = -1;
+  {
+    MutexLock lock(mu_);
+    fd = workers_[w]->hb_fd.get();
+  }
+  // Stats responses carry a full metrics snapshot; give them room.
+  net::LineReader reader(fd, std::size_t(16) << 20, cfg_.heartbeat_timeout_ms);
+  const std::string beat = "{\"op\":\"stats\",\"id\":\"hb\"}\n";
+  std::string line;
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[w];
+      if (wk.incarnation != incarnation || !wk.healthy || stopping_) return;
+    }
+    const net::IoStatus s = net::write_all(
+        fd, beat, net::Deadline::after_ms(cfg_.heartbeat_timeout_ms));
+    const net::LineReader::Result r =
+        s == net::IoStatus::kOk ? reader.next(&line)
+                                : net::LineReader::Result::kError;
+    if (r != net::LineReader::Result::kLine) {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[w];
+      if (wk.incarnation != incarnation || stopping_) return;
+      request_restart_locked(
+          w, r == net::LineReader::Result::kTimeout ? "heartbeat stalled"
+                                                    : "heartbeat lost");
+      return;
+    }
+    ::usleep(static_cast<useconds_t>(cfg_.heartbeat_interval_ms * 1000.0));
+  }
+}
+
+void Router::teardown_worker_threads(Worker& wk) {
+  // Caller must NOT hold mu_: the loops being joined take it to exit.
+  if (wk.sender.joinable()) wk.sender.join();
+  if (wk.receiver.joinable()) wk.receiver.join();
+  if (wk.monitor.joinable()) wk.monitor.join();
+}
+
+void Router::supervisor_loop() {
+  for (;;) {
+    std::size_t target = kNoWorker;
+    {
+      MutexLock lock(mu_);
+      while (!stopping_) {
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+          if (workers_[w]->needs_restart) {
+            target = w;
+            break;
+          }
+        }
+        if (target != kNoWorker) break;
+        // Bounded wait doubles as the child-reap poll tick.
+        supervisor_cv_.wait_for(lock, std::chrono::milliseconds(50));
+        break;
+      }
+      if (stopping_) return;
+    }
+
+    // Reap any children the kernel has for us; a reaped pid that still
+    // matches a worker means that worker crashed (chaos kill, failpoint
+    // _exit, OOM...) without its sockets having failed yet.
+    for (;;) {
+      const pid_t p = ::waitpid(-1, nullptr, WNOHANG);
+      if (p <= 0) break;
+      MutexLock lock(mu_);
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        if (workers_[w]->pid == p) {
+          workers_[w]->pid = -1;  // already reaped
+          request_restart_locked(w, "worker process exited");
+          if (target == kNoWorker) target = w;
+        }
+      }
+    }
+    if (target == kNoWorker) continue;
+
+    PPG_FAILPOINT("fleet.worker.restart");
+
+    // Teardown: invalidate the incarnation, wake and join every loop,
+    // then make sure the process is gone.
+    pid_t pid = -1;
+    std::uint64_t restarts = 0;
+    {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[target];
+      wk.needs_restart = false;
+      ++wk.incarnation;
+      pid = wk.pid;
+      wk.pid = -1;
+      if (wk.data_fd.valid()) ::shutdown(wk.data_fd.get(), SHUT_RDWR);
+      if (wk.hb_fd.valid()) ::shutdown(wk.hb_fd.get(), SHUT_RDWR);
+      wk.send_cv.notify_all();
+    }
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+    teardown_worker_threads(*workers_[target]);
+    {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[target];
+      wk.data_fd.reset();
+      wk.hb_fd.reset();
+      restarts = ++wk.restarts;
+      FleetMetrics::get().restarts.inc();
+      // Re-drive everything the dead incarnation owed: requests are
+      // idempotent (deterministic in model x request), so a re-send can
+      // only reproduce the exact response the crash swallowed.
+      for (auto& e : wk.inflight) reschedule_locked(e, wk.restart_reason);
+      wk.inflight.clear();
+      for (auto& e : wk.queue) reschedule_locked(e, wk.restart_reason);
+      wk.queue.clear();
+      if (stopping_) return;
+      if (restarts > cfg_.max_restarts) {
+        wk.dead_forever = true;
+        std::fprintf(stderr,
+                     "ppg_router: worker %zu exceeded %zu restarts, "
+                     "leaving it down\n",
+                     target, cfg_.max_restarts);
+        continue;
+      }
+    }
+    std::string err;
+    if (!spawn_worker(target, &err)) {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[target];
+      std::fprintf(stderr, "ppg_router: respawn of worker %zu failed: %s\n",
+                   target, err.c_str());
+      wk.needs_restart = true;  // try again next tick
+      wk.restart_reason = "respawn failed";
+    } else {
+      std::fprintf(stderr, "ppg_router: worker %zu restarted (restart #%llu)\n",
+                   target, static_cast<unsigned long long>(restarts));
+    }
+  }
+}
+
+void Router::retry_loop() {
+  for (;;) {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      for (auto& item : retry_heap_) {
+        if (item.entry->done) continue;
+        item.entry->done = true;
+        FleetMetrics::get().rejected.inc();
+        item.entry->promise.set_value(format_router_reject(
+            item.entry->id, "shutting_down",
+            "fleet stopped while the request awaited retry"));
+      }
+      retry_heap_.clear();
+      return;
+    }
+    if (retry_heap_.empty()) {
+      retry_cv_.wait(lock);
+      continue;
+    }
+    const std::int64_t now = steady_now_us();
+    if (retry_heap_.front().due_us > now) {
+      retry_cv_.wait_for(lock, std::chrono::microseconds(
+                                   retry_heap_.front().due_us - now));
+      continue;
+    }
+    std::pop_heap(retry_heap_.begin(), retry_heap_.end(),
+                  [](const RetryItem& a, const RetryItem& b) {
+                    return a.due_us > b.due_us;
+                  });
+    std::shared_ptr<Entry> e = std::move(retry_heap_.back().entry);
+    retry_heap_.pop_back();
+    if (e->done) continue;
+    // Re-route to the next distinct ring worker (attempt advances the
+    // successor index), skipping unhealthy ones.
+    const std::size_t w = pick_worker_locked(
+        e->key, static_cast<std::size_t>(e->attempt));
+    if (w == kNoWorker) {
+      reschedule_locked(e, "no healthy worker");
+      continue;
+    }
+    // Retries respect the hard cap but skip the shed ladder: the request
+    // was already admitted once, and dropping it now would turn a worker
+    // crash into silent client-visible loss.
+    Worker& wk = *workers_[w];
+    if (wk.queue.size() + wk.inflight.size() >= cfg_.queue_depth) {
+      reschedule_locked(e, "retry target queue full");
+      continue;
+    }
+    enqueue_locked(w, std::move(e));
+  }
+}
+
+bool Router::start(std::string* error) {
+  {
+    MutexLock lock(mu_);
+    PPG_CHECK(!started_, "Router::start called twice");
+    PPG_CHECK(!cfg_.serve_bin.empty(), "RouterConfig.serve_bin is required");
+    workers_.clear();
+    for (std::size_t w = 0; w < cfg_.workers; ++w) {
+      auto wk = std::make_unique<Worker>();
+      wk->index = w;
+      const int fd = net::listen_loopback(0);
+      if (fd < 0) {
+        if (error) *error = "listen failed for worker " + std::to_string(w);
+        workers_.clear();
+        return false;
+      }
+      set_cloexec(fd);
+      wk->listen_fd.reset(fd);
+      wk->port = net::local_port(fd);
+      workers_.push_back(std::move(wk));
+    }
+  }
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    if (!spawn_worker(w, error)) {
+      stop();
+      return false;
+    }
+  }
+  {
+    MutexLock lock(mu_);
+    started_ = true;
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });  // ppg-lint: allow(naked-thread)
+  retry_timer_ = std::thread([this] { retry_loop(); });  // ppg-lint: allow(naked-thread)
+  return true;
+}
+
+void Router::stop() {
+  {
+    MutexLock lock(mu_);
+    if (stopping_) return;
+    if (workers_.empty()) return;  // never started
+    stopping_ = true;
+  }
+  supervisor_cv_.notify_all();
+  retry_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+  if (retry_timer_.joinable()) retry_timer_.join();
+
+  // Bounded drain: give in-flight responses a chance to land before the
+  // teardown rejects what is left.
+  const std::int64_t drain_deadline = steady_now_us() + 5'000'000;
+  for (;;) {
+    bool empty = true;
+    {
+      MutexLock lock(mu_);
+      for (const auto& wk : workers_)
+        if (!wk->queue.empty() || !wk->inflight.empty()) empty = false;
+      for (auto& wk : workers_) wk->send_cv.notify_all();
+    }
+    if (empty || steady_now_us() >= drain_deadline) break;
+    ::usleep(10000);
+  }
+
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    pid_t pid = -1;
+    {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[w];
+      if (wk.healthy) FleetMetrics::get().healthy_workers.add(-1.0);
+      wk.healthy = false;
+      ++wk.incarnation;
+      pid = wk.pid;
+      wk.pid = -1;
+      if (wk.data_fd.valid()) ::shutdown(wk.data_fd.get(), SHUT_RDWR);
+      if (wk.hb_fd.valid()) ::shutdown(wk.hb_fd.get(), SHUT_RDWR);
+      wk.send_cv.notify_all();
+    }
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+    teardown_worker_threads(*workers_[w]);
+    {
+      MutexLock lock(mu_);
+      Worker& wk = *workers_[w];
+      wk.data_fd.reset();
+      wk.hb_fd.reset();
+      const auto reject_all = [&](std::deque<std::shared_ptr<Entry>>& q) {
+        for (auto& e : q) {
+          if (e->done) continue;
+          e->done = true;
+          FleetMetrics::get().rejected.inc();
+          e->promise.set_value(format_router_reject(
+              e->id, "shutting_down", "fleet stopped before completion"));
+        }
+        q.clear();
+      };
+      reject_all(wk.inflight);
+      reject_all(wk.queue);
+    }
+  }
+}
+
+std::future<std::string> Router::submit(const serve::WireRequest& req,
+                                        std::string raw_line) {
+  auto e = std::make_shared<Entry>();
+  e->id = req.id;
+  raw_line += '\n';
+  e->line = std::move(raw_line);
+  e->cls = classify(req);
+  std::future<std::string> fut = e->promise.get_future();
+  FleetMetrics& m = FleetMetrics::get();
+
+  MutexLock lock(mu_);
+  if (req.op == serve::WireRequest::Op::kStats) {
+    // Stats are shard-agnostic; a rotating key spreads them fleet-wide.
+    e->key = "stats/" + std::to_string(stats_rr_++);
+  } else {
+    e->key = routing_key(req.guess);
+    if (req.guess.timeout_ms > 0)
+      e->deadline_us =
+          steady_now_us() +
+          static_cast<std::int64_t>(req.guess.timeout_ms * 1000.0);
+  }
+  e->jitter_seed = fnv1a64(e->key) ^ req.guess.seed;
+
+  if (!started_ || stopping_) {
+    e->done = true;
+    m.rejected.inc();
+    e->promise.set_value(
+        format_router_reject(e->id, "shutting_down", "fleet is not serving"));
+    return fut;
+  }
+  const std::size_t w = pick_worker_locked(e->key, 0);
+  if (w == kNoWorker) {
+    // A fully-dark fleet is only permanent when every worker has burned
+    // through its restart budget. Otherwise supervision is mid-respawn
+    // (the window right after a correlated crash), so park the request in
+    // the retry heap — it re-routes with backoff once a worker is back,
+    // instead of bouncing clients during a sub-second blip.
+    bool permanent = true;
+    for (const auto& worker : workers_)
+      permanent = permanent && worker->dead_forever;
+    if (permanent) {
+      e->done = true;
+      m.rejected.inc();
+      e->promise.set_value(format_router_reject(
+          e->id, "no_healthy_worker", "every worker is down for good"));
+      return fut;
+    }
+    reschedule_locked(std::move(e), "no healthy worker at admission");
+    return fut;
+  }
+  Worker& wk = *workers_[w];
+  const std::size_t depth = wk.queue.size() + wk.inflight.size();
+  switch (admit_decision(e->cls, depth, cfg_)) {
+    case Admit::kShed:
+      e->done = true;
+      m.shed.inc();
+      m.rejected.inc();
+      e->promise.set_value(format_router_reject(
+          e->id, "shed_load",
+          std::string("worker ") + std::to_string(w) + " at depth " +
+              std::to_string(depth) + " sheds " +
+              traffic_class_name(e->cls) + " traffic"));
+      return fut;
+    case Admit::kQueueFull:
+      e->done = true;
+      m.rejected.inc();
+      e->promise.set_value(format_router_reject(
+          e->id, "worker_queue_full",
+          std::string("worker ") + std::to_string(w) + " queue at cap " +
+              std::to_string(cfg_.queue_depth)));
+      return fut;
+    case Admit::kAccept:
+      break;
+  }
+  enqueue_locked(w, std::move(e));
+  return fut;
+}
+
+std::string Router::run_shard(const serve::WireRequest& req,
+                              std::string raw_line) {
+  raw_line += '\n';
+  const std::string key =
+      req.dcgen.patterns.empty() ? "" : req.dcgen.patterns.front().first;
+  // Generous overall budget: every failed attempt means a worker died and
+  // journal resume makes the re-run cheap, but a fleet that cannot keep a
+  // worker alive long enough must eventually say so.
+  const int max_sends = std::max(10, cfg_.max_retries * 10);
+  int sends = 0;
+  for (;;) {
+    int port = -1;
+    {
+      MutexLock lock(mu_);
+      if (stopping_ || !started_)
+        return format_router_reject(req.id, "shutting_down",
+                                    "fleet is not serving");
+      const std::size_t w =
+          pick_worker_locked(key, static_cast<std::size_t>(sends));
+      if (w != kNoWorker) port = workers_[w]->port;
+    }
+    if (port < 0) {
+      // Everyone is restarting; wait a tick for supervision to catch up.
+      ::usleep(static_cast<useconds_t>(cfg_.shard_poll_ms * 1000.0));
+      continue;
+    }
+    if (sends++ >= max_sends)
+      return format_router_reject(
+          req.id, "retries_exhausted",
+          "shard failed after " + std::to_string(max_sends) + " dispatches");
+    if (sends > 1) FleetMetrics::get().shard_resends.inc();
+
+    // Dedicated connection per shard dispatch: a dcgen op occupies its
+    // worker-side connection for the whole generation, and must not
+    // head-of-line-block guess traffic on the data connection.
+    const int fd = net::connect_loopback(
+        port, net::Deadline::after_ms(cfg_.connect_timeout_ms));
+    if (fd < 0) {
+      ::usleep(static_cast<useconds_t>(cfg_.shard_poll_ms * 1000.0));
+      continue;
+    }
+    set_cloexec(fd);
+    net::ScopedFd conn(fd);
+    if (net::write_all(fd, raw_line,
+                       net::Deadline::after_ms(cfg_.write_timeout_ms)) !=
+        net::IoStatus::kOk) {
+      ::usleep(static_cast<useconds_t>(cfg_.shard_poll_ms * 1000.0));
+      continue;
+    }
+    // ppg-lint: allow(blocking-socket-no-timeout) a shard legitimately
+    // runs unbounded; supervision kills a stalled worker, EOFing this fd.
+    net::LineReader reader(fd, std::size_t(16) << 20, 0);  // ppg-lint: allow(blocking-socket-no-timeout)
+    std::string line;
+    if (reader.next(&line) == net::LineReader::Result::kLine) return line;
+    // EOF/error mid-shard: the worker died. Supervision restarts it; the
+    // identical re-send resumes from the D&C-GEN journal byte-identically.
+    ::usleep(static_cast<useconds_t>(cfg_.shard_poll_ms * 1000.0));
+  }
+}
+
+std::string Router::stats_line(const std::string& id) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("status").value("ok");
+  w.key("op").value("fleet");
+  {
+    MutexLock lock(mu_);
+    w.key("workers").begin_array();
+    for (const auto& wk : workers_) {
+      w.begin_object();
+      w.key("port").value(static_cast<std::int64_t>(wk->port));
+      w.key("healthy").value(wk->healthy);
+      w.key("depth").value(
+          static_cast<std::uint64_t>(wk->queue.size() + wk->inflight.size()));
+      w.key("restarts").value(static_cast<std::uint64_t>(wk->restarts));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.key("metrics");
+  obs::Registry::global().write_json(w);
+  w.end_object();
+  return w.take();
+}
+
+bool Router::kill_worker(std::size_t k) {
+  pid_t pid = -1;
+  {
+    MutexLock lock(mu_);
+    if (k >= workers_.size()) return false;
+    pid = workers_[k]->pid;
+  }
+  if (pid <= 0) return false;
+  ::kill(pid, SIGKILL);
+  supervisor_cv_.notify_all();
+  return true;
+}
+
+int Router::worker_port(std::size_t k) const {
+  MutexLock lock(mu_);
+  PPG_CHECK(k < workers_.size(), "worker index out of range");
+  return workers_[k]->port;
+}
+
+}  // namespace ppg::fleet

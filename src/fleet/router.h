@@ -1,0 +1,212 @@
+// Fault-tolerant sharded serving fleet: the ppg_router coordinator
+// (DESIGN.md §16).
+//
+// The Router spawns and supervises N `ppg_serve --listen-fd` worker
+// processes, routes NDJSON guess traffic to them over loopback TCP with
+// consistent hashing on the pattern/prefix (fleet/hash.h — each worker's
+// KV trie cache stays hot for its shard), and survives any single
+// failure:
+//
+//  * supervision — every worker has a heartbeat connection the router
+//    pings on an interval; a stalled heartbeat (configurable timeout), a
+//    dead data connection, or a reaped child pid all trigger the same
+//    restart path: kill what is left of the process, respawn it on the
+//    *same* listening socket (bound once by the router and kept across
+//    restarts, so the port never moves), reconnect, and re-drive the
+//    work that was queued or in flight;
+//  * bounded queues + backpressure — each worker has a hard in-flight
+//    cap; admission runs a degradation ladder (admit_decision below)
+//    that sheds free-generation traffic first, sampled pattern traffic
+//    next, and keeps ordered/strength-meter traffic admitted until the
+//    queue is truly full. Every rejection names its reason on the wire;
+//  * retries — requests are deterministic in (model, request) (see
+//    serve/service.h), hence idempotent, hence safe to re-send. A failed
+//    request retries with exponential backoff + deterministic jitter,
+//    re-routed to the next distinct worker clockwise on the ring, until
+//    its deadline or the retry cap;
+//  * shard resume — a dcgen op dispatched to a worker that dies mid-run
+//    is re-sent verbatim after the restart; the worker resumes from its
+//    D&C-GEN journal and reproduces the shard output byte-identically.
+//
+// Every submitted request resolves exactly once: with the worker's
+// response line, or with a router-level rejection naming one of
+//   worker_queue_full | shed_load | no_healthy_worker |
+//   retries_exhausted | shutting_down
+//
+// Failpoint sites: fleet.route.send (before each line is written to a
+// worker), fleet.worker.restart (at the top of the restart path).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "fleet/hash.h"
+#include "serve/wire.h"
+
+namespace ppg::fleet {
+
+struct RouterConfig {
+  std::size_t workers = 4;
+  int vnodes = 64;  ///< ring virtual nodes per worker
+
+  // Degradation ladder (fractions of queue_depth; see admit_decision).
+  std::size_t queue_depth = 64;       ///< per-worker queued+inflight cap
+  double shed_free_watermark = 0.50;  ///< above: shed kFree
+  double shed_sampled_watermark = 0.75;  ///< above: shed kSampled too
+
+  // Supervision.
+  double heartbeat_interval_ms = 200;
+  double heartbeat_timeout_ms = 2000;  ///< stalled beat => restart
+  std::size_t max_restarts = 100;      ///< per worker; beyond => left dead
+
+  // Retry policy.
+  int max_retries = 3;
+  double backoff_base_ms = 10;
+  double backoff_cap_ms = 500;
+
+  // Timeouts.
+  double connect_timeout_ms = 10000;  ///< worker spawn -> connectable
+  double write_timeout_ms = 10000;    ///< per-line send deadline
+  double shard_poll_ms = 50;          ///< dcgen retry poll cadence
+
+  // Worker spawn.
+  std::string serve_bin;  ///< path to the ppg_serve binary (required)
+  std::vector<std::string> worker_args;  ///< extra ppg_serve flags
+  /// PPG_FAILPOINTS spec applied to incarnation 0 of every worker only —
+  /// chaos runs arm a crash site, and the *replacement* worker comes up
+  /// clean instead of dying the same death forever.
+  std::string worker_failpoints;
+};
+
+/// Traffic classes of the degradation ladder, most sheddable first.
+enum class TrafficClass {
+  kFree,      ///< free-generation sampling: shed first
+  kSampled,   ///< pattern-conditioned sampling
+  kCritical,  ///< ordered enumeration + prefix (strength-meter) traffic:
+              ///< admitted until the queue is hard-full
+};
+
+const char* traffic_class_name(TrafficClass c) noexcept;
+TrafficClass classify(const serve::WireRequest& req) noexcept;
+
+/// Admission verdict for one request against one worker queue.
+enum class Admit {
+  kAccept,
+  kShed,       ///< degradation ladder: load shed by class
+  kQueueFull,  ///< hard cap: even critical traffic bounces
+};
+
+/// The degradation ladder, as a pure function of (class, queue depth,
+/// config) so tests can sweep it exhaustively.
+Admit admit_decision(TrafficClass cls, std::size_t depth,
+                     const RouterConfig& cfg) noexcept;
+
+/// Exponential backoff with deterministic jitter for retry `attempt`
+/// (1-based): min(cap, base * 2^(attempt-1)) + jitter in [0, base),
+/// jitter drawn from fnv1a64(entry seed, attempt). Monotone bounds are
+/// pinned by tests/fleet_test.cpp.
+double backoff_ms(int attempt, std::uint64_t jitter_seed,
+                  const RouterConfig& cfg) noexcept;
+
+/// The consistent-hash routing key: pattern for pattern/ordered kinds,
+/// pattern + 0x1f + prefix for prefix kinds (distinct strength-meter
+/// prefixes spread across the fleet), a seed-salted key for free kinds.
+std::string routing_key(const serve::Request& req);
+
+/// Router-level rejection line (same wire shape as a worker rejection).
+std::string format_router_reject(const std::string& id, const char* reason,
+                                 const std::string& detail);
+
+class Router {
+ public:
+  explicit Router(RouterConfig cfg);
+  ~Router();  ///< calls stop()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Spawns and connects every worker. False (with *error) if any worker
+  /// failed to come up; already-spawned workers are torn down.
+  bool start(std::string* error);
+
+  /// Drains in-flight work (bounded wait), shuts the workers down, joins
+  /// every thread. Queued work that cannot finish rejects with
+  /// shutting_down. Idempotent.
+  void stop();
+
+  /// Routes one parsed guess/stats request. `raw_line` is forwarded to
+  /// the worker verbatim (responses correlate FIFO per connection, so the
+  /// client's id passes through untouched). The future resolves with the
+  /// worker's response line or a router rejection — exactly once, always.
+  std::future<std::string> submit(const serve::WireRequest& req,
+                                  std::string raw_line);
+
+  /// Runs one dcgen shard op to completion on its routed worker over a
+  /// dedicated connection, re-sending the identical line after a worker
+  /// death (journal resume makes that byte-identical). Blocks; returns
+  /// the worker's response line or a router rejection.
+  std::string run_shard(const serve::WireRequest& req, std::string raw_line);
+
+  /// Fleet stats line: per-worker health/depth/restarts + fleet counters.
+  std::string stats_line(const std::string& id);
+
+  /// Chaos hook (also the admin "kill" op): SIGKILL worker `k` and let
+  /// supervision notice. False if k is out of range or the worker is not
+  /// running.
+  bool kill_worker(std::size_t k);
+
+  std::size_t worker_count() const noexcept { return cfg_.workers; }
+  /// The (stable) port worker `k` listens on. Valid after start().
+  int worker_port(std::size_t k) const;
+
+ private:
+  struct Entry;
+  struct Worker;
+  struct RetryItem {
+    std::int64_t due_us;
+    std::shared_ptr<Entry> entry;
+  };
+
+  std::size_t pick_worker_locked(const std::string& key, std::size_t attempt)
+      PPG_REQUIRES(mu_);
+  void enqueue_locked(std::size_t w, std::shared_ptr<Entry> e)
+      PPG_REQUIRES(mu_);
+  /// Retry-or-reject for an entry whose send/receive failed.
+  void reschedule_locked(std::shared_ptr<Entry> e, const char* why)
+      PPG_REQUIRES(mu_);
+  void request_restart_locked(std::size_t w, const char* why)
+      PPG_REQUIRES(mu_);
+
+  bool spawn_worker(std::size_t w, std::string* error);
+  void teardown_worker_threads(Worker& wk);
+  void sender_loop(std::size_t w, int incarnation);
+  void receiver_loop(std::size_t w, int incarnation);
+  void monitor_loop(std::size_t w, int incarnation);
+  void supervisor_loop();
+  void retry_loop();
+
+  const RouterConfig cfg_;
+  const Ring ring_;
+
+  mutable Mutex mu_;
+  CondVar supervisor_cv_;
+  CondVar retry_cv_;
+  bool started_ PPG_GUARDED_BY(mu_) = false;
+  bool stopping_ PPG_GUARDED_BY(mu_) = false;
+  std::vector<std::unique_ptr<Worker>> workers_ PPG_GUARDED_BY(mu_);
+  std::vector<RetryItem> retry_heap_ PPG_GUARDED_BY(mu_);
+  std::uint64_t stats_rr_ PPG_GUARDED_BY(mu_) = 0;  ///< stats spreading
+
+  // Supervisor + retry timer threads; joined in stop() after stopping_
+  // flips, never touched elsewhere.
+  std::thread supervisor_;  // ppg-lint: allow(naked-thread, unannotated-mutex-sibling)
+  std::thread retry_timer_;  // ppg-lint: allow(naked-thread, unannotated-mutex-sibling)
+};
+
+}  // namespace ppg::fleet

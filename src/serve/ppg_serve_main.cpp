@@ -8,25 +8,17 @@
 // load benches need.
 //
 // All diagnostics go to stderr; stdout carries only protocol lines.
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <atomic>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <optional>
 #include <sstream>
-#include <streambuf>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/cli.h"
 #include "core/pagpassgpt.h"
 #include "nn/backend.h"
 #include "serve/service.h"
+#include "serve/tcp.h"
 #include "serve/wire.h"
 
 namespace {
@@ -52,87 +44,6 @@ pcfg::PatternDistribution builtin_patterns(const std::string& csv) {
   return dist;
 }
 
-/// Unbuffered-read / write-through streambuf over a file descriptor, so a
-/// TCP connection can be driven by the same std::iostream loop as stdio.
-class FdStreamBuf : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) { setg(ibuf_, ibuf_, ibuf_); }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t n = ::read(fd_, ibuf_, sizeof(ibuf_));
-    if (n <= 0) return traits_type::eof();
-    setg(ibuf_, ibuf_, ibuf_ + n);
-    return traits_type::to_int_type(*gptr());
-  }
-  std::streamsize xsputn(const char* s, std::streamsize n) override {
-    std::streamsize done = 0;
-    while (done < n) {
-      const ssize_t w = ::write(fd_, s + done, static_cast<size_t>(n - done));
-      if (w <= 0) return done;
-      done += w;
-    }
-    return done;
-  }
-  int_type overflow(int_type ch) override {
-    if (ch == traits_type::eof()) return ch;
-    const char c = traits_type::to_char_type(ch);
-    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
-  }
-
- private:
-  int fd_;
-  char ibuf_[4096];
-};
-
-int run_tcp(serve::GuessService& svc, int port) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("ppg_serve: socket");
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd, 16) < 0) {
-    std::perror("ppg_serve: bind/listen");
-    ::close(listen_fd);
-    return 1;
-  }
-  std::fprintf(stderr, "ppg_serve: listening on 127.0.0.1:%d\n", port);
-
-  std::atomic<bool> stop{false};
-  // One thread per accepted connection, joined on shutdown below.
-  std::vector<std::thread> conns;  // ppg-lint: allow(naked-thread)
-  for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR && !stop.load()) continue;
-      break;  // listen socket closed by a shutdown op (or hard error)
-    }
-    conns.emplace_back([&svc, &stop, fd, listen_fd] {
-      FdStreamBuf buf(fd);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      if (serve::serve_stream(svc, in, out)) {
-        stop.store(true);
-        ::shutdown(listen_fd, SHUT_RDWR);  // unblocks accept()
-      }
-      ::close(fd);
-    });
-  }
-  ::close(listen_fd);
-  for (auto& t : conns)
-    if (t.joinable()) t.join();
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,7 +51,9 @@ int main(int argc, char** argv) {
     Cli cli(argc, argv,
             {"config", "seed", "model", "patterns", "workers", "max-queue",
              "max-batch", "max-count", "no-batching", "attempt-factor",
-             "max-ordered-top-k", "quantize", "nn-backend", "port", "help"});
+             "max-ordered-top-k", "quantize", "nn-backend", "port",
+             "listen-fd", "max-line-bytes", "idle-timeout-ms",
+             "prefix-cache-mb", "help"});
     if (cli.get_bool("help")) {
       std::fprintf(
           stderr,
@@ -163,7 +76,17 @@ int main(int argc, char** argv) {
           "  --nn-backend NAME   force the SIMD kernel backend\n"
           "                      (scalar|avx2|avx512; default widest the\n"
           "                      CPU supports, or $PPG_NN_BACKEND)\n"
-          "  --port N            serve localhost TCP instead of stdio\n");
+          "  --port N            serve localhost TCP instead of stdio\n"
+          "  --listen-fd N       adopt a pre-bound listening socket (the\n"
+          "                      fleet router binds before fork so a\n"
+          "                      restarted worker keeps its port)\n"
+          "  --max-line-bytes N  per-connection request-line cap, TCP only\n"
+          "                      (default 1 MiB; overlong lines are\n"
+          "                      rejected with a reason, never buffered)\n"
+          "  --idle-timeout-ms N close TCP connections idle this long\n"
+          "                      (default 0 = never)\n"
+          "  --prefix-cache-mb N cross-request prefix KV cache budget in\n"
+          "                      MiB (default 32; 0 disables)\n");
       return 0;
     }
 
@@ -213,10 +136,20 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("max-ordered-top-k", 512));
     if (cli.get_bool("quantize"))
       scfg.sample.precision = gpt::Precision::kInt8;
+    scfg.prefix_cache_bytes =
+        static_cast<std::size_t>(cli.get_int("prefix-cache-mb", 32)) << 20;
     serve::GuessService svc(*model, *patterns, scfg);
 
-    if (cli.has("port"))
-      return run_tcp(svc, static_cast<int>(cli.get_int("port", 0)));
+    if (cli.has("port") || cli.has("listen-fd")) {
+      serve::TcpOptions topts;
+      topts.port = static_cast<int>(cli.get_int("port", 0));
+      topts.listen_fd = static_cast<int>(cli.get_int("listen-fd", -1));
+      topts.max_line_bytes = static_cast<std::size_t>(
+          cli.get_int("max-line-bytes", std::int64_t(1) << 20));
+      topts.idle_timeout_ms =
+          static_cast<double>(cli.get_int("idle-timeout-ms", 0));
+      return serve::serve_tcp(svc, topts);
+    }
     serve::serve_stream(svc, std::cin, std::cout);
     svc.shutdown();
     return 0;

@@ -293,6 +293,8 @@ void GuessService::complete_locked(Pending& p, Status s) {
       1000.0;
   if (s == Status::kTimeout)
     m.timeouts.inc();
+  else if (s == Status::kRejected)
+    m.rejected.inc();
   else
     m.completed.inc();
   m.guesses.inc(p.resp.passwords.size());
@@ -573,7 +575,7 @@ void GuessService::execute_batch(gpt::InferenceSession& session,
         p.resp.passwords.push_back(*pw);
       } else {
         ++p.resp.invalid;
-        if (p.retries_left > 0) {
+        if (p.retries_left > 0 && !stopping_) {
           --p.retries_left;
           ++p.unassigned;
           if (!p.in_queue) {
@@ -636,6 +638,48 @@ void GuessService::shutdown() {
     MutexLock lock(mu_);
     accepting_ = false;
     draining_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+void GuessService::stop() {
+  MutexLock shutdown_lock(shutdown_mu_);
+  {
+    MutexLock lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+    stopping_ = true;
+    // Every queued request gets a terminal status *now* instead of being
+    // served through the drain. Three cases, none of which drops work:
+    //  * never scheduled  -> kRejected/kShuttingDown (the reject race this
+    //    exists to close: a submit that won admission just before stop()
+    //    must hear "no", not silence and not a surprise response);
+    //  * scheduled, nothing in flight (re-queued for retries) -> complete
+    //    kOk with the passwords it already has;
+    //  * rows in flight -> leave it to the delivering worker, which
+    //    completes it because unassigned drops to 0 and retries are off.
+    for (auto& p : queue_) {
+      p->in_queue = false;
+      if (p->done) continue;
+      if (p->first_schedule_us < 0) {
+        p->unassigned = 0;
+        p->retries_left = 0;
+        p->resp.reject = Reject::kShuttingDown;
+        p->resp.error = "service stopped before the request was scheduled";
+        complete_locked(*p, Status::kRejected);
+      } else if (p->inflight == 0) {
+        p->unassigned = 0;
+        p->retries_left = 0;
+        complete_locked(*p, Status::kOk);
+      } else {
+        p->unassigned = 0;
+        p->retries_left = 0;
+      }
+    }
+    queue_.clear();
+    ServeMetrics::get().queue_depth.set(0.0);
   }
   work_cv_.notify_all();
   for (auto& w : workers_)

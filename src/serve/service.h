@@ -179,10 +179,25 @@ class GuessService {
   /// Idempotent; safe to call concurrently with submitters.
   void shutdown();
 
+  /// Fast shutdown: stops admission and *rejects* (Reject::kShuttingDown)
+  /// every admitted request that was never scheduled, instead of serving
+  /// it. Requests with rows already in flight complete with whatever they
+  /// have (kOk, possibly fewer than count); nothing new is scheduled and
+  /// invalid rows are not retried. Every submitted future still resolves
+  /// exactly once — a stop() never silently drops work, it names it.
+  /// Idempotent, safe concurrently with submitters and with shutdown().
+  void stop();
+
   /// Requests admitted and not yet scheduled to their last batch.
   std::size_t queued() const;
 
   const ServiceConfig& config() const noexcept { return cfg_; }
+  /// The model and pattern distribution this service serves (for wire-level
+  /// ops — e.g. a D&C-GEN shard job — that need more than submit()).
+  const gpt::GptModel& model() const noexcept { return model_; }
+  const pcfg::PatternDistribution& patterns() const noexcept {
+    return patterns_;
+  }
 
  private:
   struct Pending;
@@ -224,6 +239,7 @@ class GuessService {
   std::uint64_t next_id_ PPG_GUARDED_BY(mu_) = 1;
   bool accepting_ PPG_GUARDED_BY(mu_) = true;
   bool draining_ PPG_GUARDED_BY(mu_) = false;
+  bool stopping_ PPG_GUARDED_BY(mu_) = false;  ///< stop(): no retries either
   // Workers own per-thread InferenceSessions and a drain-then-join
   // lifecycle that a generic pool cannot express; the vector is filled in
   // the constructor and joined under shutdown_mu_, never touched by the

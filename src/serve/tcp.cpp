@@ -1,0 +1,222 @@
+#include "serve/tcp.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/net.h"
+#include "common/thread_annotations.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/wire.h"
+
+namespace ppg::serve {
+
+namespace {
+
+struct TcpMetrics {
+  obs::Counter& connections;
+  obs::Counter& idle_closed;
+  obs::Counter& overlong;
+  obs::Counter& broken_writes;
+  static TcpMetrics& get() {
+    auto& r = obs::Registry::global();
+    static TcpMetrics m{r.counter("serve.tcp.connections"),
+                        r.counter("serve.tcp.idle_closed"),
+                        r.counter("serve.tcp.overlong_lines"),
+                        r.counter("serve.tcp.broken_writes")};
+    return m;
+  }
+};
+
+/// Runs one connection's NDJSON session. Returns true iff a shutdown op
+/// was processed (the caller then stops accepting).
+bool serve_connection(GuessService& svc, int fd, const TcpOptions& opts) {
+  TcpMetrics::get().connections.inc();
+  // Same FIFO discipline as serve_stream: responses leave in request
+  // order; a dedicated writer waits on guess futures so the reader keeps
+  // admitting and the service keeps batching underneath.
+  struct Outgoing {
+    std::string id;
+    std::string line;
+    std::future<Response> fut;  ///< valid() => format on resolution
+  };
+  Mutex mu;
+  CondVar cv;
+  std::deque<Outgoing> fifo;
+  bool closed = false;
+
+  const auto push = [&](Outgoing o) {
+    {
+      MutexLock lock(mu);
+      fifo.push_back(std::move(o));
+    }
+    cv.notify_one();
+  };
+
+  std::thread writer([&] {  // ppg-lint: allow(naked-thread)
+    // Once a write fails the connection is broken, but the queue still
+    // drains: every admitted request must resolve its future exactly once
+    // even when its response has nowhere to go.
+    bool broken = false;
+    for (;;) {
+      Outgoing o;
+      {
+        MutexLock lock(mu);
+        while (fifo.empty() && !closed) cv.wait(lock);
+        if (fifo.empty()) return;
+        o = std::move(fifo.front());
+        fifo.pop_front();
+      }
+      if (o.fut.valid()) o.line = format_response(o.id, o.fut.get());
+      if (broken) continue;
+      o.line += '\n';
+      const net::IoStatus s = net::write_all(
+          fd, o.line, net::Deadline::after_ms(opts.write_timeout_ms));
+      if (s != net::IoStatus::kOk) {
+        broken = true;
+        TcpMetrics::get().broken_writes.inc();
+      }
+    }
+  });
+
+  bool did_shutdown = false;
+  net::LineReader reader(fd, opts.max_line_bytes, opts.idle_timeout_ms);
+  std::string line;
+  while (!did_shutdown) {
+    const net::LineReader::Result r = reader.next(&line);
+    if (r == net::LineReader::Result::kEof ||
+        r == net::LineReader::Result::kError)
+      break;
+    if (r == net::LineReader::Result::kTimeout) {
+      TcpMetrics::get().idle_closed.inc();
+      std::fprintf(stderr, "ppg_serve: closing idle connection (%.0f ms)\n",
+                   opts.idle_timeout_ms);
+      break;
+    }
+    if (r == net::LineReader::Result::kTooLong) {
+      TcpMetrics::get().overlong.inc();
+      Outgoing o;
+      o.line = format_error_line(
+          "", "request line exceeds max-line-bytes (" +
+                  std::to_string(opts.max_line_bytes) + " bytes)");
+      push(std::move(o));
+      continue;
+    }
+    if (line.empty()) continue;
+    PPG_FAILPOINT("serve.conn.line");
+    std::string err;
+    auto req = parse_request_line(line, &err);
+    if (!req) {
+      Outgoing o;
+      o.line = format_error_line("", err);
+      push(std::move(o));
+      continue;
+    }
+    switch (req->op) {
+      case WireRequest::Op::kGuess: {
+        Outgoing o;
+        o.id = req->id;
+        o.fut = svc.submit(std::move(req->guess));
+        push(std::move(o));
+        break;
+      }
+      case WireRequest::Op::kStats: {
+        PPG_FAILPOINT("serve.stats.stall");
+        Outgoing o;
+        o.id = req->id;
+        o.line = format_stats_line(req->id, svc);
+        push(std::move(o));
+        break;
+      }
+      case WireRequest::Op::kDcGen: {
+        // Blocks this connection for the whole shard generation — the
+        // fleet router dedicates a connection per shard on purpose, and
+        // the heartbeat rides a different connection so health checks
+        // stay live meanwhile.
+        Outgoing o;
+        o.id = req->id;
+        o.line = run_dcgen_op(svc, *req);
+        push(std::move(o));
+        break;
+      }
+      case WireRequest::Op::kShutdown: {
+        did_shutdown = true;
+        svc.shutdown();  // drains every admitted request first
+        obs::JsonWriter w;
+        w.begin_object();
+        w.key("id").value(req->id);
+        w.key("status").value("ok");
+        w.key("op").value("shutdown");
+        w.end_object();
+        Outgoing o;
+        o.id = req->id;
+        o.line = w.take();
+        push(std::move(o));
+        break;
+      }
+    }
+  }
+  {
+    MutexLock lock(mu);
+    closed = true;
+  }
+  cv.notify_all();
+  writer.join();
+  return did_shutdown;
+}
+
+}  // namespace
+
+int serve_tcp(GuessService& svc, const TcpOptions& opts) {
+  net::ScopedFd listener;
+  if (opts.listen_fd >= 0) {
+    listener.reset(opts.listen_fd);
+  } else {
+    const int fd = net::listen_loopback(opts.port);
+    if (fd < 0) {
+      std::perror("ppg_serve: bind/listen");
+      return 1;
+    }
+    listener.reset(fd);
+  }
+  std::fprintf(stderr, "ppg_serve: listening on 127.0.0.1:%d\n",
+               net::local_port(listener.get()));
+
+  std::atomic<bool> stop{false};
+  // One thread per accepted connection, joined on shutdown below.
+  std::vector<std::thread> conns;  // ppg-lint: allow(naked-thread)
+  for (;;) {
+    // The accept loop is the one intentionally unbounded wait here: it is
+    // unblocked by ::shutdown on the listener when a shutdown op lands.
+    PPG_FAILPOINT("serve.accept.slow");
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !stop.load()) continue;
+      break;  // listener shut down by a shutdown op (or hard error)
+    }
+    const int listen_raw = listener.get();
+    conns.emplace_back([&svc, &stop, &opts, fd, listen_raw] {
+      if (serve_connection(svc, fd, opts)) {
+        stop.store(true);
+        ::shutdown(listen_raw, SHUT_RDWR);  // unblocks accept()
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : conns)
+    if (t.joinable()) t.join();
+  return 0;
+}
+
+}  // namespace ppg::serve

@@ -1,0 +1,47 @@
+// Hardened TCP front-end for GuessService (DESIGN.md §16).
+//
+// serve_stream (wire.h) trusts its iostream; a TCP byte stream earns no
+// such trust. This path owns the socket directly through common/net.h:
+//
+//  * EINTR-safe, partial-transfer-safe reads and writes end to end;
+//  * a per-connection max-line-bytes cap — an overlong request line is
+//    consumed through its newline and answered with a bad_request
+//    rejection naming the cap, the connection stays usable, and the
+//    reader's buffer stays bounded however many bytes the peer streams;
+//  * an idle timeout — a connection that sends nothing for the configured
+//    window is closed, so abandoned clients cannot pin threads forever;
+//  * a write deadline — a peer that stops draining responses cannot wedge
+//    the writer (the connection is marked broken and every in-flight
+//    request still resolves, its response simply undeliverable).
+//
+// Failpoint sites (chaos hooks):
+//   serve.accept.slow   before each accept (delay = slow accept loop)
+//   serve.conn.line     after each complete request line is framed
+//                       (crash = worker dies mid-load)
+//   serve.stats.stall   before a stats response is formatted
+//                       (delay = stalled heartbeat)
+#pragma once
+
+#include <cstddef>
+
+#include "serve/service.h"
+
+namespace ppg::serve {
+
+struct TcpOptions {
+  int port = 0;        ///< bind port (0 = kernel-assigned); ignored when
+                       ///< listen_fd takes precedence
+  int listen_fd = -1;  ///< pre-bound listening socket to adopt (the fleet
+                       ///< router binds before fork so a restarted worker
+                       ///< reuses the exact same port); < 0 = bind here
+  std::size_t max_line_bytes = std::size_t(1) << 20;
+  double idle_timeout_ms = 0.0;       ///< 0 = connections never idle out
+  double write_timeout_ms = 30000.0;  ///< per-response write deadline
+};
+
+/// Accepts connections (one thread each) and speaks the NDJSON protocol
+/// on every one until a shutdown op arrives or the listen socket dies.
+/// Returns 0 on orderly exit, 1 on listen/bind failure.
+int serve_tcp(GuessService& svc, const TcpOptions& opts);
+
+}  // namespace ppg::serve

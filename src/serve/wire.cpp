@@ -8,11 +8,15 @@
 #include <thread>
 #include <utility>
 
+#include "common/durable_io.h"
 #include "common/thread_annotations.h"
+#include "core/dcgen.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace ppg::serve {
+
+using obs::JsonValue;
 
 namespace {
 
@@ -72,6 +76,73 @@ std::optional<WireRequest> parse_request_line(std::string_view line,
   }
   if (op == "shutdown") {
     req.op = WireRequest::Op::kShutdown;
+    return req;
+  }
+  if (op == "dcgen") {
+    req.op = WireRequest::Op::kDcGen;
+    const JsonValue* pats = v->find("patterns");
+    if (!pats || pats->type != JsonValue::Type::kArray || pats->array.empty()) {
+      set_error(error, "dcgen needs a non-empty 'patterns' array");
+      return std::nullopt;
+    }
+    for (const auto& e : pats->array) {
+      if (e.type != JsonValue::Type::kString) {
+        set_error(error, "dcgen patterns must be 'PATTERN:COUNT' strings");
+        return std::nullopt;
+      }
+      const std::size_t colon = e.string.rfind(':');
+      std::uint64_t count = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == e.string.size()) {
+        set_error(error, "dcgen pattern '" + e.string +
+                             "' is not PATTERN:COUNT");
+        return std::nullopt;
+      }
+      for (std::size_t i = colon + 1; i < e.string.size(); ++i) {
+        const char c = e.string[i];
+        if (c < '0' || c > '9') {
+          set_error(error, "dcgen pattern '" + e.string +
+                               "' has a non-numeric count");
+          return std::nullopt;
+        }
+        count = count * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      if (count == 0) {
+        set_error(error, "dcgen pattern '" + e.string + "' has count 0");
+        return std::nullopt;
+      }
+      req.dcgen.patterns.emplace_back(e.string.substr(0, colon), count);
+    }
+    const auto total = v->get_number("total");
+    if (!total || *total <= 0 || !std::isfinite(*total)) {
+      set_error(error, "dcgen needs a positive 'total'");
+      return std::nullopt;
+    }
+    req.dcgen.total = *total;
+    if (v->find("threshold")) {
+      const auto t = v->get_number("threshold");
+      if (!t || *t <= 0 || !std::isfinite(*t)) {
+        set_error(error, "field 'threshold' must be a positive number");
+        return std::nullopt;
+      }
+      req.dcgen.threshold = *t;
+    }
+    std::uint64_t seed = 0;
+    if (!read_uint_field(*v, "seed", 1.8e19, &seed, error))
+      return std::nullopt;
+    req.dcgen.seed = seed;
+    std::uint64_t threads = 1;
+    if (!read_uint_field(*v, "threads", 64, &threads, error))
+      return std::nullopt;
+    req.dcgen.threads = static_cast<int>(threads == 0 ? 1 : threads);
+    if (!read_string_field(*v, "journal_dir", &req.dcgen.journal_dir, error))
+      return std::nullopt;
+    if (!read_string_field(*v, "out", &req.dcgen.out, error))
+      return std::nullopt;
+    if (req.dcgen.out.empty()) {
+      set_error(error, "dcgen needs an 'out' path");
+      return std::nullopt;
+    }
     return req;
   }
   if (op != "guess") {
@@ -185,6 +256,53 @@ std::string format_stats_line(const std::string& id, const GuessService& svc) {
   return w.take();
 }
 
+std::string run_dcgen_op(GuessService& svc, const WireRequest& req) {
+  const DcGenWire& job = req.dcgen;
+  try {
+    pcfg::PatternDistribution shard;
+    for (const auto& [pattern, count] : job.patterns)
+      shard.add(pattern, count);
+    shard.finalize();
+
+    core::DcGenConfig cfg;
+    cfg.total = job.total;
+    cfg.threshold = job.threshold;
+    cfg.threads = job.threads;
+    cfg.journal_dir = job.journal_dir;
+    core::DcGenStats stats;
+    const std::vector<std::string> guesses =
+        core::dc_generate(svc.model(), shard, cfg, job.seed, &stats);
+
+    // Durable output: a reply can race a crash, so the router trusts the
+    // CRC-footered file, not the ack. One length-prefixed blob of
+    // newline-joined guesses keeps the aggregate byte-comparable.
+    std::string payload;
+    for (const auto& g : guesses) {
+      payload += g;
+      payload += '\n';
+    }
+    durable::atomic_save(job.out,
+                         [&](BinaryWriter& w) { w.write_string(payload); });
+
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("id").value(req.id);
+    w.key("status").value("ok");
+    w.key("op").value("dcgen");
+    w.key("emitted").value(static_cast<std::uint64_t>(stats.emitted));
+    w.key("unique").value(static_cast<std::uint64_t>(stats.unique_emitted));
+    w.key("resumed_leaves")
+        .value(static_cast<std::uint64_t>(stats.resumed_leaves));
+    w.key("resumed_plan").value(stats.resumed_plan);
+    w.key("bytes").value(static_cast<std::uint64_t>(payload.size()));
+    w.end_object();
+    return w.take();
+  } catch (const std::exception& e) {
+    return format_error_line(req.id,
+                             std::string("dcgen shard failed: ") + e.what());
+  }
+}
+
 bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out) {
   // FIFO of outgoing lines: pre-formatted text, or a guess future the
   // writer resolves in order. Keeps responses in request order while the
@@ -248,6 +366,16 @@ bool serve_stream(GuessService& svc, std::istream& in, std::ostream& out) {
         Outgoing o;
         o.id = req->id;
         o.line = format_stats_line(req->id, svc);
+        push(std::move(o));
+        break;
+      }
+      case WireRequest::Op::kDcGen: {
+        // Runs on the reader thread: a shard job is the connection's only
+        // tenant (the fleet router opens a dedicated connection per
+        // shard), so blocking here is the intended backpressure.
+        Outgoing o;
+        o.id = req->id;
+        o.line = run_dcgen_op(svc, *req);
         push(std::move(o));
         break;
       }

@@ -7,6 +7,9 @@
 //    "deadline_ms":200}
 //   {"op":"stats","id":"s1"}
 //   {"op":"shutdown","id":"x1"}
+//   {"op":"dcgen","id":"shard3","patterns":["L6N2:120","L8:80"],
+//    "total":200,"threshold":64,"seed":7,
+//    "journal_dir":"/tmp/fleet/shard3","out":"/tmp/fleet/shard3.guess"}
 // Fields: `op` defaults to "guess", `kind` to "pattern" ("prefix", "free"
 // and "ordered" select the other request kinds), `count` to 1, `seed` to
 // 0, `timeout_ms` to 0 (no deadline), `strict` to true. "ordered" takes
@@ -36,12 +39,31 @@
 
 namespace ppg::serve {
 
+/// A D&C-GEN shard job (Op::kDcGen): the worker runs dc_generate over the
+/// listed pattern:count slice, durably writes the guesses to `out`
+/// (atomic_save, length-prefixed payload + CRC footer), and replies with
+/// counts. With a `journal_dir` the job is crash-resumable: re-sending the
+/// identical op to a restarted worker resumes from the journal and
+/// reproduces `out` byte-identically (dc_generate is deterministic in
+/// model × patterns × config × seed). That idempotence is what lets the
+/// fleet router re-dispatch a shard after a worker death.
+struct DcGenWire {
+  std::vector<std::pair<std::string, std::uint64_t>> patterns;
+  double total = 0;         ///< guesses to apportion across the shard
+  double threshold = 64;    ///< division threshold T
+  std::uint64_t seed = 0;
+  std::string journal_dir;  ///< empty = no resume journal
+  std::string out;          ///< required output path
+  int threads = 1;
+};
+
 /// One parsed request line.
 struct WireRequest {
-  enum class Op { kGuess, kStats, kShutdown };
+  enum class Op { kGuess, kStats, kShutdown, kDcGen };
   Op op = Op::kGuess;
   std::string id;  ///< client-chosen correlation id, echoed back
   Request guess;   ///< payload for Op::kGuess
+  DcGenWire dcgen; ///< payload for Op::kDcGen
 };
 
 /// Parses one request line. On malformed input returns std::nullopt and,
@@ -57,6 +79,13 @@ std::string format_error_line(const std::string& id, std::string_view error);
 
 /// Formats a stats line: queue depth plus a metrics-registry snapshot.
 std::string format_stats_line(const std::string& id, const GuessService& svc);
+
+/// Executes a kDcGen shard job synchronously on the service's model and
+/// returns the response line (ok with counts, or a rejected line naming
+/// the failure). Blocks its caller for the duration of the generation —
+/// the fleet router dedicates a connection per shard for exactly that
+/// reason.
+std::string run_dcgen_op(GuessService& svc, const WireRequest& req);
 
 /// Runs the NDJSON loop: reads request lines from `in`, writes one response
 /// line per input line to `out`, in input order (a FIFO writer thread waits

@@ -1,0 +1,325 @@
+// Fleet layer tests (DESIGN.md §16): consistent-hash routing stability,
+// the admission/degradation ladder, retry backoff bounds, and — with real
+// forked ppg_serve workers (PPG_SERVE_BIN) — heartbeat-timeout-driven
+// restart with response identity across the crash.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fleet/hash.h"
+#include "fleet/router.h"
+#include "obs/json.h"
+#include "serve/wire.h"
+
+namespace {
+
+using ppg::fleet::Admit;
+using ppg::fleet::Ring;
+using ppg::fleet::Router;
+using ppg::fleet::RouterConfig;
+using ppg::fleet::TrafficClass;
+
+// ------------------------------------------------------------------ ring
+
+TEST(FleetRing, GoldenRoutingTable) {
+  // Pinned routes at the default fleet shape (4 workers, 64 vnodes). The
+  // ring is pure and seed-free, so these may only change if the hash or
+  // point-label scheme changes — which silently invalidates every
+  // worker's warm prefix cache across a router restart. Fail loudly.
+  const Ring ring(4, 64);
+  const std::vector<std::pair<std::string, std::size_t>> golden = {
+      {"L4N2", 2},          {"L6", 2},     {"N6", 3},
+      {"L3N3", 2},          {"L5S1", 2},   {"N4L2", 0},
+      {"L4N2\x1fpass", 2},  {"free/7", 3}, {"stats/0", 1},
+  };
+  for (const auto& [key, worker] : golden)
+    EXPECT_EQ(ring.route(key), worker) << key;
+}
+
+TEST(FleetRing, StableAcrossInstances) {
+  const Ring a(4, 64), b(4, 64);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "pattern/" + std::to_string(i);
+    EXPECT_EQ(a.route(key), b.route(key)) << key;
+  }
+}
+
+TEST(FleetRing, SuccessorsAreDistinctThenWrap) {
+  const Ring ring(4, 64);
+  for (const char* key : {"L4N2", "L6", "N8S1", "free/3"}) {
+    std::set<std::size_t> seen;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::size_t w = ring.successor(key, k);
+      ASSERT_LT(w, 4u);
+      EXPECT_TRUE(seen.insert(w).second)
+          << key << ": successor " << k << " repeats worker " << w;
+    }
+    // k wraps modulo the worker count: attempt 4 lands back on home.
+    EXPECT_EQ(ring.successor(key, 4), ring.successor(key, 0)) << key;
+  }
+}
+
+TEST(FleetRing, VnodesSpreadLoad) {
+  const Ring ring(4, 64);
+  std::vector<int> hits(4, 0);
+  const int kKeys = 2000;
+  for (int i = 0; i < kKeys; ++i)
+    ++hits[ring.route("key/" + std::to_string(i))];
+  for (std::size_t w = 0; w < 4; ++w)
+    EXPECT_GT(hits[w], kKeys / 10)
+        << "worker " << w << " starved: " << hits[w] << "/" << kKeys;
+}
+
+TEST(FleetRing, AddingAWorkerRemapsOnlyAFraction) {
+  // The point of consistent hashing over `hash % N`: growing the fleet by
+  // one must not reshuffle (and cache-cold) the whole key space.
+  const Ring four(4, 64), five(5, 64);
+  int moved = 0;
+  const int kKeys = 2000;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key/" + std::to_string(i);
+    if (four.route(key) != five.route(key)) ++moved;
+  }
+  EXPECT_LT(moved, kKeys * 2 / 5)
+      << moved << "/" << kKeys << " keys remapped (expected ~1/5)";
+  EXPECT_GT(moved, 0);
+}
+
+// -------------------------------------------------- admission ladder
+
+RouterConfig ladder_config() {
+  RouterConfig cfg;
+  cfg.queue_depth = 100;
+  cfg.shed_free_watermark = 0.50;
+  cfg.shed_sampled_watermark = 0.75;
+  return cfg;
+}
+
+TEST(FleetAdmit, LadderShedsFreeFirstThenSampledKeepsCritical) {
+  const RouterConfig cfg = ladder_config();
+  // Sweep every depth: the verdict must be a step function at exactly the
+  // configured watermarks, and critical traffic must survive to the cap.
+  for (std::size_t depth = 0; depth <= cfg.queue_depth + 5; ++depth) {
+    const Admit free_v =
+        ppg::fleet::admit_decision(TrafficClass::kFree, depth, cfg);
+    const Admit sampled_v =
+        ppg::fleet::admit_decision(TrafficClass::kSampled, depth, cfg);
+    const Admit critical_v =
+        ppg::fleet::admit_decision(TrafficClass::kCritical, depth, cfg);
+    if (depth >= cfg.queue_depth) {
+      EXPECT_EQ(free_v, Admit::kQueueFull) << depth;
+      EXPECT_EQ(sampled_v, Admit::kQueueFull) << depth;
+      EXPECT_EQ(critical_v, Admit::kQueueFull) << depth;
+    } else {
+      EXPECT_EQ(free_v, depth >= 50 ? Admit::kShed : Admit::kAccept) << depth;
+      EXPECT_EQ(sampled_v, depth >= 75 ? Admit::kShed : Admit::kAccept)
+          << depth;
+      EXPECT_EQ(critical_v, Admit::kAccept) << depth;
+    }
+  }
+}
+
+TEST(FleetAdmit, ClassifyMapsKindsToLadderClasses) {
+  const auto req_of = [](const std::string& kind) {
+    ppg::serve::WireRequest r;
+    r.op = ppg::serve::WireRequest::Op::kGuess;
+    if (kind == "free") r.guess.kind = ppg::serve::RequestKind::kFree;
+    if (kind == "pattern") r.guess.kind = ppg::serve::RequestKind::kPattern;
+    if (kind == "prefix") r.guess.kind = ppg::serve::RequestKind::kPrefix;
+    if (kind == "ordered") r.guess.kind = ppg::serve::RequestKind::kOrdered;
+    return r;
+  };
+  EXPECT_EQ(ppg::fleet::classify(req_of("free")), TrafficClass::kFree);
+  EXPECT_EQ(ppg::fleet::classify(req_of("pattern")), TrafficClass::kSampled);
+  EXPECT_EQ(ppg::fleet::classify(req_of("prefix")), TrafficClass::kCritical);
+  EXPECT_EQ(ppg::fleet::classify(req_of("ordered")), TrafficClass::kCritical);
+  ppg::serve::WireRequest stats;
+  stats.op = ppg::serve::WireRequest::Op::kStats;
+  EXPECT_EQ(ppg::fleet::classify(stats), TrafficClass::kCritical);
+}
+
+// ----------------------------------------------------------- backoff
+
+TEST(FleetBackoff, BoundedDeterministicAndJittered) {
+  RouterConfig cfg;
+  cfg.backoff_base_ms = 10;
+  cfg.backoff_cap_ms = 500;
+  double prev = 0;
+  for (int attempt = 1; attempt <= 40; ++attempt) {
+    const double d = ppg::fleet::backoff_ms(attempt, 42, cfg);
+    // Exponential base, clamped at the cap, plus jitter in [0, base).
+    const double base =
+        std::min(cfg.backoff_cap_ms,
+                 cfg.backoff_base_ms * std::pow(2.0, std::min(attempt - 1, 20)));
+    EXPECT_GE(d, base) << attempt;
+    EXPECT_LT(d, base + cfg.backoff_base_ms) << attempt;
+    EXPECT_LT(d, cfg.backoff_cap_ms + cfg.backoff_base_ms) << attempt;
+    // Deterministic: same (attempt, seed) -> same delay.
+    EXPECT_EQ(d, ppg::fleet::backoff_ms(attempt, 42, cfg)) << attempt;
+    if (attempt > 1 && base < cfg.backoff_cap_ms) {
+      EXPECT_GT(base, prev) << "backoff must grow until the cap";
+    }
+    prev = base;
+  }
+  // Jitter actually varies with the seed (de-synchronizing retry storms).
+  bool differs = false;
+  for (std::uint64_t seed = 0; seed < 16 && !differs; ++seed)
+    differs = ppg::fleet::backoff_ms(3, seed, cfg) !=
+              ppg::fleet::backoff_ms(3, seed + 1, cfg);
+  EXPECT_TRUE(differs);
+}
+
+TEST(FleetRoutingKey, DistinguishesPrefixesAndSaltsFree) {
+  ppg::serve::Request a;
+  a.kind = ppg::serve::RequestKind::kPrefix;
+  a.pattern = "L4N2";
+  a.prefix = "pass";
+  ppg::serve::Request b = a;
+  b.prefix = "word";
+  EXPECT_NE(ppg::fleet::routing_key(a), ppg::fleet::routing_key(b));
+
+  ppg::serve::Request f;
+  f.kind = ppg::serve::RequestKind::kFree;
+  f.seed = 1;
+  ppg::serve::Request g = f;
+  g.seed = 2;
+  EXPECT_NE(ppg::fleet::routing_key(f), ppg::fleet::routing_key(g));
+
+  ppg::serve::Request p;
+  p.kind = ppg::serve::RequestKind::kPattern;
+  p.pattern = "L4N2";
+  EXPECT_EQ(ppg::fleet::routing_key(p), "L4N2");
+}
+
+// ------------------------------------- live fleet: restart + identity
+
+RouterConfig live_config(std::size_t workers) {
+  RouterConfig cfg;
+  cfg.workers = workers;
+  cfg.serve_bin = PPG_SERVE_BIN;
+  cfg.worker_args = {"--config", "tiny", "--seed", "17", "--workers", "1"};
+  cfg.max_retries = 20;
+  cfg.backoff_base_ms = 5;
+  cfg.backoff_cap_ms = 100;
+  return cfg;
+}
+
+std::vector<std::string> passwords_of(const std::string& line) {
+  using Type = ppg::obs::JsonValue::Type;
+  std::vector<std::string> out;
+  const auto v = ppg::obs::parse_json(line);
+  if (!v) return out;
+  EXPECT_EQ(v->get_string("status").value_or("?"), "ok") << line;
+  if (const auto* pw = v->find("passwords"); pw && pw->type == Type::kArray)
+    for (const auto& e : pw->array)
+      if (e.type == Type::kString) out.push_back(e.string);
+  return out;
+}
+
+std::string submit_line(Router& router, const std::string& line) {
+  std::string err;
+  const auto req = ppg::serve::parse_request_line(line, &err);
+  EXPECT_TRUE(req.has_value()) << err;
+  return router.submit(*req, line).get();
+}
+
+const char* kGuessLine =
+    "{\"op\":\"guess\",\"id\":\"g\",\"kind\":\"pattern\","
+    "\"pattern\":\"L4N2\",\"count\":4,\"seed\":9}";
+
+/// Polls the fleet stats line until every worker reports healthy AND the
+/// fleet has logged at least `min_restarts` total restarts. The restart
+/// floor is what makes this race-free: right after a kill/stall the
+/// supervisor has not yet *noticed*, so the fleet still looks fully
+/// healthy with zero restarts — without the floor the poll would return
+/// during that window. Returns the total restart count.
+std::uint64_t wait_all_healthy(Router& router, std::uint64_t min_restarts) {
+  std::uint64_t restarts = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto v = ppg::obs::parse_json(router.stats_line("probe"));
+    if (v) {
+      if (const auto* ws = v->find("workers");
+          ws && ws->type == ppg::obs::JsonValue::Type::kArray) {
+        std::size_t healthy = 0;
+        restarts = 0;
+        for (const auto& w : ws->array) {
+          if (w.get_bool("healthy").value_or(false)) ++healthy;
+          restarts +=
+              static_cast<std::uint64_t>(w.get_number("restarts").value_or(0));
+        }
+        if (healthy == router.worker_count() && restarts >= min_restarts)
+          return restarts;
+      }
+    }
+    ::usleep(50000);
+  }
+  ADD_FAILURE() << "fleet never became fully healthy with >= " << min_restarts
+                << " restarts (saw " << restarts << ")";
+  return restarts;
+}
+
+TEST(FleetLive, KillRestartPreservesResponseIdentity) {
+  Router router(live_config(2));
+  std::string err;
+  ASSERT_TRUE(router.start(&err)) << err;
+
+  const std::string before = submit_line(router, kGuessLine);
+  const auto golden = passwords_of(before);
+  ASSERT_FALSE(golden.empty());
+
+  // SIGKILL both workers; supervision must notice, respawn them on the
+  // same ports, and the identical request must reproduce the identical
+  // passwords (determinism in (model, request) is the retry contract).
+  const int p0 = router.worker_port(0), p1 = router.worker_port(1);
+  EXPECT_TRUE(router.kill_worker(0));
+  EXPECT_TRUE(router.kill_worker(1));
+  const std::uint64_t restarts = wait_all_healthy(router, 2);
+  EXPECT_GE(restarts, 2u);
+  EXPECT_EQ(router.worker_port(0), p0) << "ports must survive restarts";
+  EXPECT_EQ(router.worker_port(1), p1);
+
+  const std::string after = submit_line(router, kGuessLine);
+  EXPECT_EQ(passwords_of(after), golden);
+  router.stop();
+}
+
+TEST(FleetLive, HeartbeatTimeoutTriggersRestart) {
+  RouterConfig cfg = live_config(2);
+  // Incarnation 0 of every worker stalls its first stats response for far
+  // longer than the heartbeat timeout; the monitor must declare the
+  // worker dead and the replacement (no failpoints) must serve cleanly.
+  cfg.worker_failpoints = "serve.stats.stall=delay:5000@1";
+  cfg.heartbeat_interval_ms = 50;
+  cfg.heartbeat_timeout_ms = 400;
+  Router router(cfg);
+  std::string err;
+  ASSERT_TRUE(router.start(&err)) << err;
+
+  const std::uint64_t restarts = wait_all_healthy(router, 2);
+  EXPECT_GE(restarts, 2u) << "stalled heartbeats must restart both workers";
+
+  const auto got = passwords_of(submit_line(router, kGuessLine));
+  EXPECT_FALSE(got.empty());
+  router.stop();
+}
+
+TEST(FleetLive, StoppedRouterRejectsWithReason) {
+  Router router(live_config(1));
+  std::string err;
+  ASSERT_TRUE(router.start(&err)) << err;
+  router.stop();
+  const std::string line = submit_line(router, kGuessLine);
+  const auto v = ppg::obs::parse_json(line);
+  ASSERT_TRUE(v.has_value()) << line;
+  EXPECT_EQ(v->get_string("status").value_or("?"), "rejected");
+  EXPECT_EQ(v->get_string("reject").value_or("?"), "shutting_down");
+}
+
+}  // namespace

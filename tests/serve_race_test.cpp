@@ -170,6 +170,66 @@ TEST_F(ServeRaceTest, ShutdownMidFlight) {
   EXPECT_EQ(resolved, kThreads * kPerThread);
 }
 
+TEST_F(ServeRaceTest, StopMidFlightRejectsRatherThanDrops) {
+  // stop() is the fast path the fleet router uses when tearing down a
+  // worker: admission closes and drain-admitted requests are *rejected*
+  // with kShuttingDown — never silently dropped. The regression this
+  // guards: an early stop() implementation abandoned queue_ entries that
+  // were admitted but never scheduled, leaving their futures unresolved
+  // and f.get() below hanging forever.
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue = 256;
+  GuessService svc(*model_, *patterns_, cfg);
+
+  std::atomic<bool> go{false};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::future<Response>> futures[kThreads];
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i)
+        futures[t].push_back(svc.submit(
+            req("L4N2", 2, static_cast<std::uint64_t>(t * 100 + i))));
+    });
+  }
+  go.store(true);
+  svc.stop();
+  svc.stop();      // idempotent
+  svc.shutdown();  // stop() then shutdown() is the router teardown order
+  for (auto& s : submitters) s.join();
+
+  int resolved = 0, ok = 0, rejected = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      const Response r = f.get();  // must never hang: stop() names all work
+      ++resolved;
+      switch (r.status) {
+        case Status::kOk:
+          ++ok;
+          // In-flight rows complete with what they have; nothing invalid.
+          EXPECT_LE(r.passwords.size(), 2u);
+          break;
+        case Status::kTimeout:
+          break;  // legal if a deadline raced the stop
+        case Status::kRejected:
+          ++rejected;
+          EXPECT_TRUE(r.reject == Reject::kShuttingDown ||
+                      r.reject == Reject::kQueueFull)
+              << r.error;
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(resolved, kThreads * kPerThread);
+  // The race window is wide (100 submits vs an immediate stop), so at
+  // least one side of it must have fired; all-ok would mean stop() waited
+  // for the full drain, all-rejected that admission never opened.
+  EXPECT_GT(ok + rejected, 0);
+}
+
 TEST_F(ServeRaceTest, ThreadPoolSubmitDrainStopRace) {
   ThreadPool pool(3);
   std::atomic<int> done{0};

@@ -1,0 +1,364 @@
+// Fleet chaos harness: random worker kills under live load must not
+// change what clients see (DESIGN.md §16).
+//
+// The harness runs the real thing — an in-process fleet::Router
+// supervising real forked ppg_serve workers — three ways:
+//
+//   golden   one failure-free pass over a fixed request workload (and one
+//            dcgen shard), recording every response's password list and
+//            the shard's output bytes;
+//   kill     trials that re-run the workload while a chaos thread
+//            SIGKILLs random workers mid-load. Supervision restarts them;
+//            retries re-route idempotent requests; every request must end
+//            exactly once, every response must carry the golden password
+//            list byte-for-byte;
+//   torn     a trial where every incarnation-0 worker is armed with a
+//            torn-write crash failpoint (dies mid-response), exercising
+//            the router's torn-line refusal + retry path;
+//   shard    trials that run the dcgen shard while workers are killed:
+//            the router re-sends the identical line, the replacement
+//            worker resumes from the D&C-GEN journal, and the output file
+//            must be byte-identical to the golden shard.
+//
+//   ppg_fleetchaos --serve-bin PATH --workdir DIR [--workers 4]
+//                  [--trials 3] [--kills 3] [--seed 1]
+//
+// Exit status: 0 iff every trial preserved output identity.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fleet/router.h"
+#include "obs/json.h"
+#include "serve/wire.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ppg::fleet::Router;
+using ppg::fleet::RouterConfig;
+
+struct Options {
+  std::string serve_bin;
+  std::string workdir;
+  std::size_t workers = 4;
+  int trials = 3;
+  int kills = 3;
+  std::uint64_t seed = 1;
+};
+
+/// The fixed guess workload: a spread of patterns (distinct shard keys so
+/// the hash ring actually fans out) in every traffic class the identity
+/// assertion can cover. No free-kind requests: those are seeded
+/// *samples*, still deterministic, but they would be shed first under
+/// overload — the identity workload sticks to classes the ladder keeps.
+std::vector<std::string> workload_lines() {
+  const char* patterns[] = {"L4N2", "L6", "N6", "L3N3", "L5S1", "N4L2",
+                            "L2N4", "L7N1", "S1L4N2", "L4N4"};
+  std::vector<std::string> lines;
+  int id = 0;
+  for (const char* p : patterns) {
+    for (int k = 0; k < 3; ++k) {
+      lines.push_back("{\"op\":\"guess\",\"id\":\"q" + std::to_string(id++) +
+                      "\",\"kind\":\"pattern\",\"pattern\":\"" + p +
+                      "\",\"count\":4,\"seed\":" + std::to_string(7 + k) +
+                      "}");
+    }
+    if (p[0] == 'L') {
+      lines.push_back("{\"op\":\"guess\",\"id\":\"q" + std::to_string(id++) +
+                      "\",\"kind\":\"prefix\",\"pattern\":\"" +
+                      std::string(p) +
+                      "\",\"prefix\":\"pa\",\"count\":3,\"seed\":11}");
+    }
+  }
+  return lines;
+}
+
+std::string shard_line(const std::string& journal_dir,
+                       const std::string& out) {
+  return "{\"op\":\"dcgen\",\"id\":\"shard\",\"patterns\":[\"L4N2:40\","
+         "\"L6:30\",\"N6:20\",\"L3N3:10\"],\"total\":200,\"threshold\":16,"
+         "\"seed\":99,\"threads\":2,\"journal_dir\":\"" +
+         journal_dir + "\",\"out\":\"" + out + "\"}";
+}
+
+RouterConfig fleet_config(const Options& opt) {
+  RouterConfig cfg;
+  cfg.workers = opt.workers;
+  cfg.serve_bin = opt.serve_bin;
+  cfg.worker_args = {"--config", "tiny", "--seed", "17", "--workers", "1"};
+  // Chaos runs must converge, not shed: a deep queue keeps the ladder out
+  // of the identity assertion's way, and a generous retry budget means a
+  // kill storm delays a request instead of failing it.
+  cfg.queue_depth = 4096;
+  cfg.max_retries = 25;
+  cfg.backoff_base_ms = 5;
+  cfg.backoff_cap_ms = 100;
+  cfg.heartbeat_interval_ms = 50;
+  cfg.heartbeat_timeout_ms = 2000;
+  return cfg;
+}
+
+/// Extracts {status, reject-reason, password list} from a response line;
+/// ignores timing fields, which legitimately differ between runs.
+struct Outcome {
+  std::string status;
+  std::string reject;
+  std::vector<std::string> passwords;
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome parse_outcome(const std::string& line) {
+  Outcome o;
+  const auto v = ppg::obs::parse_json(line);
+  if (!v || !v->is_object()) {
+    o.status = "unparseable";
+    return o;
+  }
+  if (const auto s = v->get_string("status")) o.status = *s;
+  if (const auto r = v->get_string("reject")) o.reject = *r;
+  using Type = ppg::obs::JsonValue::Type;
+  if (const auto* pw = v->find("passwords"); pw && pw->type == Type::kArray)
+    for (const auto& e : pw->array)
+      if (e.type == Type::kString) o.passwords.push_back(e.string);
+  return o;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Runs the guess workload against a started fleet; returns id -> outcome.
+/// Every future must resolve (the router's exactly-once contract); a hang
+/// here is itself a failure, surfaced by the ctest timeout.
+std::map<std::string, Outcome> run_workload(Router& router) {
+  const auto lines = workload_lines();
+  std::vector<std::pair<std::string, std::future<std::string>>> pending;
+  for (const auto& line : lines) {
+    std::string err;
+    auto req = ppg::serve::parse_request_line(line, &err);
+    if (!req) {
+      std::fprintf(stderr, "bad workload line (%s): %s\n", err.c_str(),
+                   line.c_str());
+      std::exit(2);
+    }
+    pending.emplace_back(req->id, router.submit(*req, line));
+  }
+  std::map<std::string, Outcome> out;
+  for (auto& [id, fut] : pending) out[id] = parse_outcome(fut.get());
+  return out;
+}
+
+/// Chaos thread: SIGKILL `kills` random workers, spaced so restarts and
+/// kills interleave with the in-flight load.
+void kill_some(Router& router, ppg::Rng& rng, int kills,
+               std::atomic<bool>* done) {
+  for (int k = 0; k < kills && !done->load(); ++k) {
+    ::usleep(static_cast<useconds_t>(30000 + rng.uniform_u64(120000)));
+    const std::size_t victim = rng.uniform_u64(router.worker_count());
+    if (router.kill_worker(victim))
+      std::printf("  chaos: killed worker %zu\n", victim);
+  }
+}
+
+bool compare_outcomes(const std::map<std::string, Outcome>& golden,
+                      const std::map<std::string, Outcome>& got) {
+  bool ok = true;
+  for (const auto& [id, gold] : golden) {
+    const auto it = got.find(id);
+    if (it == got.end()) {
+      std::printf("  FAIL %s: no response\n", id.c_str());
+      ok = false;
+      continue;
+    }
+    if (it->second.status != "ok") {
+      std::printf("  FAIL %s: status=%s reject=%s\n", id.c_str(),
+                  it->second.status.c_str(), it->second.reject.c_str());
+      ok = false;
+      continue;
+    }
+    if (!(it->second == gold)) {
+      std::printf("  FAIL %s: password list differs from golden\n",
+                  id.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--serve-bin") {
+      opt.serve_bin = next();
+    } else if (arg == "--workdir") {
+      opt.workdir = next();
+    } else if (arg == "--workers") {
+      opt.workers = static_cast<std::size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--trials") {
+      opt.trials = std::atoi(next().c_str());
+    } else if (arg == "--kills") {
+      opt.kills = std::atoi(next().c_str());
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ppg_fleetchaos --serve-bin PATH --workdir DIR "
+                   "[--workers N] [--trials N] [--kills N] [--seed N]\n");
+      return 2;
+    }
+  }
+  if (opt.serve_bin.empty() || opt.workdir.empty()) {
+    std::fprintf(stderr, "--serve-bin and --workdir are required\n");
+    return 2;
+  }
+  fs::remove_all(opt.workdir);
+  fs::create_directories(opt.workdir);
+
+  // ---- golden: failure-free run -----------------------------------------
+  std::map<std::string, Outcome> golden;
+  std::string golden_shard_bytes;
+  {
+    Router router(fleet_config(opt));
+    std::string err;
+    if (!router.start(&err)) {
+      std::fprintf(stderr, "golden fleet start failed: %s\n", err.c_str());
+      return 2;
+    }
+    golden = run_workload(router);
+    const std::string out = opt.workdir + "/golden_shard.bin";
+    std::string line = shard_line(opt.workdir + "/golden_journal", out);
+    auto req = ppg::serve::parse_request_line(line, &err);
+    if (!req) {
+      std::fprintf(stderr, "bad shard line: %s\n", err.c_str());
+      return 2;
+    }
+    const Outcome o = parse_outcome(router.run_shard(*req, line));
+    if (o.status != "ok") {
+      std::fprintf(stderr, "golden shard failed: %s\n", o.reject.c_str());
+      return 2;
+    }
+    golden_shard_bytes = slurp(out);
+    router.stop();
+  }
+  for (const auto& [id, o] : golden) {
+    if (o.status != "ok") {
+      std::fprintf(stderr, "golden run had a non-ok response (%s)\n",
+                   id.c_str());
+      return 2;
+    }
+  }
+  if (golden_shard_bytes.empty()) {
+    std::fprintf(stderr, "golden shard produced no bytes\n");
+    return 2;
+  }
+  std::printf("golden: %zu responses, shard %zu bytes\n", golden.size(),
+              golden_shard_bytes.size());
+
+  ppg::Rng rng(opt.seed, "fleetchaos");
+  int failures = 0;
+
+  // ---- kill trials: random SIGKILLs under live guess load ---------------
+  for (int t = 0; t < opt.trials; ++t) {
+    std::printf("kill trial %d:\n", t);
+    Router router(fleet_config(opt));
+    std::string err;
+    if (!router.start(&err)) {
+      std::fprintf(stderr, "fleet start failed: %s\n", err.c_str());
+      return 2;
+    }
+    std::atomic<bool> done{false};
+    std::thread chaos(
+        [&] { kill_some(router, rng, opt.kills, &done); });
+    const auto got = run_workload(router);
+    done.store(true);
+    chaos.join();
+    router.stop();
+    if (!compare_outcomes(golden, got)) ++failures;
+  }
+
+  // ---- torn trial: workers die mid-response-write -----------------------
+  {
+    std::printf("torn-write trial:\n");
+    RouterConfig cfg = fleet_config(opt);
+    // Incarnation 0 of every worker crashes halfway through its 2nd
+    // response write, leaving a torn line the router must refuse.
+    cfg.worker_failpoints = "net.write.torn=crash@2";
+    Router router(cfg);
+    std::string err;
+    if (!router.start(&err)) {
+      std::fprintf(stderr, "torn fleet start failed: %s\n", err.c_str());
+      return 2;
+    }
+    const auto got = run_workload(router);
+    router.stop();
+    if (!compare_outcomes(golden, got)) ++failures;
+  }
+
+  // ---- shard trials: kill workers mid-dcgen, journal resume -------------
+  for (int t = 0; t < opt.trials; ++t) {
+    std::printf("shard trial %d:\n", t);
+    Router router(fleet_config(opt));
+    std::string err;
+    if (!router.start(&err)) {
+      std::fprintf(stderr, "fleet start failed: %s\n", err.c_str());
+      return 2;
+    }
+    const std::string dir = opt.workdir + "/shard" + std::to_string(t);
+    fs::create_directories(dir);
+    const std::string out = dir + "/shard.bin";
+    std::string line = shard_line(dir + "/journal", out);
+    auto req = ppg::serve::parse_request_line(line, &err);
+    std::atomic<bool> done{false};
+    std::thread chaos(
+        [&] { kill_some(router, rng, opt.kills, &done); });
+    const Outcome o = parse_outcome(router.run_shard(*req, line));
+    done.store(true);
+    chaos.join();
+    router.stop();
+    if (o.status != "ok") {
+      std::printf("  FAIL shard: status=%s reject=%s\n", o.status.c_str(),
+                  o.reject.c_str());
+      ++failures;
+    } else if (slurp(out) != golden_shard_bytes) {
+      std::printf("  FAIL shard: output differs from golden\n");
+      ++failures;
+    } else {
+      std::printf("  shard OK (%zu bytes identical)\n",
+                  golden_shard_bytes.size());
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("%d trial(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all fleet chaos trials passed\n");
+  return 0;
+}

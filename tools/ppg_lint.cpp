@@ -74,6 +74,17 @@
 //                       atomic/Mutex/CondVar members are exempt). Catches
 //                       the classic drift where a new field lands beside
 //                       mu_ without joining its lock discipline.
+//   blocking-socket-no-timeout
+//                       in src/serve and src/fleet, every blocking socket
+//                       read primitive (::read / ::recv / read_some /
+//                       poll_readable / a `LineReader reader(...)`
+//                       construction) must sit within two lines of a
+//                       deadline or timeout token (Deadline, *_timeout_ms)
+//                       — an untimed read wedges its connection thread
+//                       forever when the peer stalls instead of dying, and
+//                       the fleet's liveness story (DESIGN.md §16) depends
+//                       on every wait being either bounded or killable by
+//                       supervision (waive with a comment naming which).
 //
 // A finding on one specific line can be waived in place with a trailing
 //   // ppg-lint: allow(<rule-name>) <why>
@@ -217,6 +228,17 @@ const std::vector<Rule> kRules = {
      {},
      {},
      {}},
+    {"blocking-socket-no-timeout",
+     {"::read(", "::recv(", "read_some(", "poll_readable(",
+      "LineReader reader("},
+     "socket read with no deadline in reach — pass a Deadline / timeout (or "
+     "waive with a comment naming what bounds the wait: an idle timeout, or "
+     "supervision that kills the stalled peer and EOFs this fd)",
+     {"src/serve/", "src/fleet/"},
+     {},
+     {},
+     {"Deadline", "idle_timeout_ms", "heartbeat_timeout_ms", "timeout_ms",
+      "poll_timeout_ms"}},
     // Custom brace-depth pass (see scan_blocking_under_lock): `needles`
     // here are the blocking calls, not line-match needles.
     {"blocking-under-lock",
